@@ -1,0 +1,306 @@
+//! iPython (§5.2, "based on sockets directly"): an enhanced Python shell
+//! with parallel computing support. Two configurations from Figure 4:
+//!
+//! * **iPython/Shell** — the interactive interpreter, idle at checkpoint
+//!   time: a single process with an interpreter-sized footprint.
+//! * **iPython/Demo** — the tutorial's "parallel computing" demo: a
+//!   controller process plus one engine per node, connected with plain TCP
+//!   sockets (no MPI), running a parallel map.
+
+use crate::result_path;
+use oskit::mem::FillProfile;
+use oskit::program::{Program, Registry, Step};
+use oskit::world::{NodeId, OsSim, Pid, World};
+use oskit::{Errno, Fd, Kernel};
+use simkit::{Nanos, Snap};
+
+/// Controller port.
+pub const IPY_PORT: u16 = 10_105;
+
+/// The idle interactive shell (iPython/Shell).
+pub struct IPyShell {
+    /// Program counter.
+    pub pc: u8,
+    /// Interpreter footprint in MiB.
+    pub raw_mb: u64,
+    /// Prompt ticks.
+    pub ticks: u64,
+}
+simkit::impl_snap!(struct IPyShell { pc, raw_mb, ticks });
+
+impl Program for IPyShell {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        match self.pc {
+            0 => {
+                k.map_library("libpython2.5.so", (self.raw_mb / 3) << 20, 0x1b51);
+                k.mmap_synthetic(
+                    "interpreter-heap",
+                    (self.raw_mb * 2 / 3) << 20,
+                    0x1b52,
+                    FillProfile::Mixed {
+                        zero_pct: 15,
+                        text_pct: 45,
+                        code_pct: 30,
+                    },
+                );
+                self.pc = 1;
+                Step::Yield
+            }
+            1 => {
+                self.ticks += 1;
+                Step::Sleep(Nanos::from_millis(50)) // idle at the prompt
+            }
+            _ => unreachable!(),
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "ipython-shell"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+/// The parallel-demo controller: accepts engines, scatters map tasks,
+/// gathers results, loops for `rounds`.
+pub struct IPyController {
+    /// Program counter.
+    pub pc: u8,
+    /// Listener fd.
+    pub lfd: Fd,
+    /// Engine sockets.
+    pub engines: Vec<Fd>,
+    /// Expected engine count.
+    pub n_engines: u32,
+    /// Rounds completed.
+    pub round: u32,
+    /// Rounds requested.
+    pub rounds: u32,
+    /// Partial results this round.
+    pub got: Vec<Option<u64>>,
+    /// Accumulated checksum across rounds.
+    pub acc: u64,
+    /// Partial read buffers per engine.
+    pub bufs: Vec<Vec<u8>>,
+}
+simkit::impl_snap!(struct IPyController { pc, lfd, engines, n_engines, round, rounds, got, acc, bufs });
+
+impl Program for IPyController {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        loop {
+            match self.pc {
+                0 => {
+                    k.mmap_synthetic(
+                        "controller-heap",
+                        24 << 20,
+                        0x1b60,
+                        FillProfile::Mixed { zero_pct: 15, text_pct: 45, code_pct: 30 },
+                    );
+                    let (fd, _) = k.listen_on(IPY_PORT).expect("controller port");
+                    self.lfd = fd;
+                    self.pc = 1;
+                }
+                1 => {
+                    while (self.engines.len() as u32) < self.n_engines {
+                        match k.accept(self.lfd) {
+                            Ok(fd) => {
+                                self.engines.push(fd);
+                                self.bufs.push(Vec::new());
+                            }
+                            Err(Errno::WouldBlock) => return Step::Block,
+                            Err(e) => panic!("controller accept: {e:?}"),
+                        }
+                    }
+                    self.pc = 2;
+                }
+                2 => {
+                    if self.round == self.rounds {
+                        for &fd in &self.engines {
+                            let _ = k.write(fd, &u64::MAX.to_le_bytes());
+                        }
+                        let fd = k.open(&result_path("ipython-demo"), true).expect("result");
+                        k.write(fd, format!("{}", self.acc).as_bytes()).expect("w");
+                        return Step::Exit(0);
+                    }
+                    // Scatter: task = round-salted seed per engine.
+                    for (i, &fd) in self.engines.iter().enumerate() {
+                        let task = (self.round as u64) << 32 | i as u64;
+                        k.write(fd, &task.to_le_bytes()).expect("scatter");
+                    }
+                    self.got = vec![None; self.engines.len()];
+                    self.pc = 3;
+                }
+                3 => {
+                    // Gather one u64 result per engine.
+                    let mut progressed = false;
+                    for i in 0..self.engines.len() {
+                        if self.got[i].is_some() {
+                            continue;
+                        }
+                        match k.read(self.engines[i], 8 - self.bufs[i].len()) {
+                            Ok(b) if b.is_empty() => panic!("engine died"),
+                            Ok(b) => {
+                                self.bufs[i].extend_from_slice(&b);
+                                if self.bufs[i].len() == 8 {
+                                    self.got[i] = Some(u64::from_le_bytes(
+                                        self.bufs[i][..].try_into().expect("8"),
+                                    ));
+                                    self.bufs[i].clear();
+                                }
+                                progressed = true;
+                            }
+                            Err(Errno::WouldBlock) => {}
+                            Err(e) => panic!("gather: {e:?}"),
+                        }
+                    }
+                    if self.got.iter().all(|g| g.is_some()) {
+                        for g in &self.got {
+                            self.acc = self.acc.wrapping_mul(31).wrapping_add(g.expect("all"));
+                        }
+                        self.round += 1;
+                        self.pc = 2;
+                    } else if !progressed {
+                        return Step::Block;
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "ipython-controller"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+/// A parallel engine: connects to the controller, maps tasks forever.
+pub struct IPyEngine {
+    /// Program counter.
+    pub pc: u8,
+    /// Controller hostname.
+    pub controller: String,
+    /// Socket to the controller.
+    pub fd: Fd,
+    /// Partial task buffer.
+    pub buf: Vec<u8>,
+    /// Tasks completed.
+    pub done: u64,
+}
+simkit::impl_snap!(struct IPyEngine { pc, controller, fd, buf, done });
+
+impl Program for IPyEngine {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        loop {
+            match self.pc {
+                0 => {
+                    k.mmap_synthetic(
+                        "engine-heap",
+                        30 << 20,
+                        0x1b70,
+                        FillProfile::Mixed { zero_pct: 15, text_pct: 40, code_pct: 30 },
+                    );
+                    self.pc = 1;
+                }
+                1 => match k.connect(&self.controller, IPY_PORT) {
+                    Ok(fd) => {
+                        self.fd = fd;
+                        self.pc = 2;
+                    }
+                    Err(Errno::ConnRefused) => return Step::Sleep(Nanos::from_millis(2)),
+                    Err(e) => panic!("engine connect: {e:?}"),
+                },
+                2 => match k.read(self.fd, 8 - self.buf.len()) {
+                    Ok(b) if b.is_empty() => return Step::Exit(0),
+                    Ok(b) => {
+                        self.buf.extend_from_slice(&b);
+                        if self.buf.len() == 8 {
+                            let task = u64::from_le_bytes(self.buf[..].try_into().expect("8"));
+                            self.buf.clear();
+                            if task == u64::MAX {
+                                return Step::Exit(0); // shutdown
+                            }
+                            // "map": a deterministic function of the task.
+                            let mut x = task.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(1);
+                            x ^= x >> 33;
+                            self.pc = 3;
+                            self.done = x;
+                            return Step::Compute(300_000);
+                        }
+                    }
+                    Err(Errno::WouldBlock) => return Step::Block,
+                    Err(e) => panic!("engine read: {e:?}"),
+                },
+                3 => {
+                    k.write(self.fd, &self.done.to_le_bytes()).expect("result");
+                    self.pc = 2;
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "ipython-engine"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+/// Launch the parallel demo: controller on `nodes[0]`, one engine per node.
+pub fn launch_demo(
+    w: &mut World,
+    sim: &mut OsSim,
+    session: Option<&dmtcp::Session>,
+    nodes: &[NodeId],
+    rounds: u32,
+) -> Vec<Pid> {
+    let controller_host = w.node(nodes[0]).hostname.clone();
+    let spawn = |w: &mut World, sim: &mut OsSim, node: NodeId, cmd: &str, prog: Box<dyn Program>| {
+        match session {
+            Some(s) => s.launch(w, sim, node, cmd, prog),
+            None => w.spawn(sim, node, cmd, prog, Pid(1), Default::default()),
+        }
+    };
+    let mut pids = vec![spawn(
+        w,
+        sim,
+        nodes[0],
+        "ipcontroller",
+        Box::new(IPyController {
+            pc: 0,
+            lfd: -1,
+            engines: Vec::new(),
+            n_engines: nodes.len() as u32,
+            round: 0,
+            rounds,
+            got: Vec::new(),
+            acc: 0,
+            bufs: Vec::new(),
+        }),
+    )];
+    for (i, n) in nodes.iter().enumerate() {
+        pids.push(spawn(
+            w,
+            sim,
+            *n,
+            &format!("ipengine{i}"),
+            Box::new(IPyEngine {
+                pc: 0,
+                controller: controller_host.clone(),
+                fd: -1,
+                buf: Vec::new(),
+                done: 0,
+            }),
+        ));
+    }
+    pids
+}
+
+/// Register loaders.
+pub fn register(reg: &mut Registry) {
+    reg.register_snap::<IPyShell>("ipython-shell");
+    reg.register_snap::<IPyController>("ipython-controller");
+    reg.register_snap::<IPyEngine>("ipython-engine");
+}

@@ -1,0 +1,40 @@
+//! `apps` — the workloads of the paper's evaluation (§5).
+//!
+//! Two families:
+//!
+//! * **Desktop applications** ([`desktop`]) — the 21 shell-like programs of
+//!   Figure 3 (bc … vim/cscope), modelled as interactive loops with memory
+//!   footprints and compressibility mixes calibrated to the figure, plus
+//!   the multi-process ones (TightVNC+TWM over a pty, vim/cscope over a
+//!   pipe). [`runcms`] is the 680 MB / 540-dynamic-library CMS job.
+//! * **Distributed applications** ([`nas`], [`geant`], [`ipython`],
+//!   [`memhog`]) — NAS-NPB-style kernels with genuinely computed, verified
+//!   numerics at simulation scale plus synthetic ballast bringing each rank
+//!   to its class-C footprint; ParGeant4 as TOP-C master/worker Monte
+//!   Carlo; the iPython shell and parallel demo; and Figure 6's synthetic
+//!   memory hog.
+//!
+//! Every application here is *checkpoint-unaware*: plain programs against
+//! the kernel API, registered in [`registry::register_all`] so restarts can
+//! reconstruct them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod desktop;
+pub mod geant;
+pub mod ipython;
+pub mod memhog;
+pub mod nas;
+pub mod registry;
+pub mod runcms;
+
+pub use registry::register_all;
+
+/// Marker written by distributed apps when they complete, for harnesses.
+pub const RESULT_DIR: &str = "/shared/results";
+
+/// Result path for a named app.
+pub fn result_path(name: &str) -> String {
+    format!("{RESULT_DIR}/{name}")
+}

@@ -1,0 +1,86 @@
+//! Figure 6's synthetic workload: "A synthetic OpenMPI program allocating
+//! random data on 32 nodes", swept from 0 to ~70 GB of aggregate memory
+//! with compression disabled.
+
+use oskit::mem::FillProfile;
+use oskit::program::{Program, Registry, Step};
+use oskit::Kernel;
+use simkit::{Nanos, Snap};
+use simmpi::coll::CollOp;
+use simmpi::launch::RankFactory;
+use simmpi::rt::MpiRt;
+use std::rc::Rc;
+
+/// One memory-hog rank: joins the job, allocates `mb` MiB of random data,
+/// then idles so the checkpoint can be taken at a known footprint.
+pub struct MemHogRank {
+    /// Runtime.
+    pub rt: MpiRt,
+    /// Program counter.
+    pub pc: u8,
+    /// MiB of random data to allocate.
+    pub mb: u64,
+    /// Collective scratch.
+    pub coll: CollOp,
+}
+simkit::impl_snap!(struct MemHogRank { rt, pc, mb, coll });
+
+impl Program for MemHogRank {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        loop {
+            match self.pc {
+                0 => {
+                    if !self.rt.init(k) {
+                        return Step::Sleep(Nanos::from_millis(1));
+                    }
+                    if self.mb > 0 {
+                        k.mmap_synthetic(
+                            "random-data",
+                            self.mb << 20,
+                            0xfeed ^ self.rt.rank as u64,
+                            FillProfile::Random,
+                        );
+                    }
+                    self.coll = CollOp::begin(&mut self.rt);
+                    self.pc = 1;
+                }
+                1 => {
+                    // Barrier so every rank has its memory before anyone
+                    // reports ready.
+                    if !self.coll.barrier(&mut self.rt, k) {
+                        return Step::Block;
+                    }
+                    self.pc = 2;
+                }
+                2 => {
+                    // Idle: the harness checkpoints us here.
+                    return Step::Sleep(Nanos::from_millis(20));
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "memhog-rank"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+/// Factory allocating `mb_per_rank` MiB per rank.
+pub fn memhog_factory(mb_per_rank: u64) -> RankFactory {
+    Rc::new(move |rank, size, hosts, port| {
+        Box::new(MemHogRank {
+            rt: MpiRt::new(rank, size, port, hosts),
+            pc: 0,
+            mb: mb_per_rank,
+            coll: CollOp::default(),
+        }) as Box<dyn Program>
+    })
+}
+
+/// Register loaders.
+pub fn register(reg: &mut Registry) {
+    reg.register_snap::<MemHogRank>("memhog-rank");
+}

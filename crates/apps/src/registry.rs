@@ -1,0 +1,23 @@
+//! One-stop program registry for every workload in this crate (plus the
+//! MPI management processes), so restart can reconstruct anything the
+//! benchmarks checkpoint.
+
+use oskit::program::Registry;
+
+/// Register every application loader.
+pub fn register_all(reg: &mut Registry) {
+    crate::desktop::register(reg);
+    crate::nas::register(reg);
+    crate::geant::register(reg);
+    crate::ipython::register(reg);
+    crate::memhog::register(reg);
+    crate::runcms::register(reg);
+    simmpi::launch::register_management(reg);
+}
+
+/// A registry with everything registered.
+pub fn full_registry() -> Registry {
+    let mut reg = Registry::new();
+    register_all(&mut reg);
+    reg
+}

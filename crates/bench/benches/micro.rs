@@ -1,0 +1,167 @@
+//! Criterion micro-benchmarks of the reproduction's moving parts: the szip
+//! codec (the real compute cost of simulated checkpoints), image
+//! write/restore, the drain/refill protocol, and a whole small-cluster
+//! checkpoint cycle. These measure *host* time — how fast the simulator
+//! itself runs — complementing the fig*/table1 binaries, which report
+//! *virtual* (simulated) time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dmtcp::session::run_for;
+use dmtcp::{Options, Session};
+use oskit::mem::FillProfile;
+use oskit::program::{Program, Registry, Step};
+use oskit::world::{NodeId, Pid, World};
+use oskit::{HwSpec, Kernel};
+use simkit::{Nanos, Sim, Snap};
+
+fn bench_szip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("szip");
+    let len = 1 << 20;
+    for (name, profile) in [
+        ("zeros", FillProfile::Zeros),
+        ("text", FillProfile::Text),
+        ("code", FillProfile::Code),
+        ("random", FillProfile::Random),
+    ] {
+        let data = profile.bytes(7, len);
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_function(format!("compress/{name}"), |b| {
+            b.iter(|| szip::compress(&data))
+        });
+        let comp = szip::compress(&data);
+        g.bench_function(format!("decompress/{name}"), |b| {
+            b.iter(|| szip::decompress(&comp).expect("valid"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let data = FillProfile::Code.bytes(3, 1 << 20);
+    let mut g = c.benchmark_group("crc32");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("1MiB", |b| b.iter(|| szip::crc32(&data)));
+    g.finish();
+}
+
+struct Holder {
+    pc: u8,
+    mb: u64,
+}
+simkit::impl_snap!(struct Holder { pc, mb });
+impl Program for Holder {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        match self.pc {
+            0 => {
+                k.mmap_synthetic(
+                    "data",
+                    self.mb << 20,
+                    7,
+                    FillProfile::Mixed {
+                        zero_pct: 30,
+                        text_pct: 30,
+                        code_pct: 20,
+                    },
+                );
+                self.pc = 1;
+                Step::Yield
+            }
+            _ => Step::Sleep(Nanos::from_millis(5)),
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "bench-holder"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.register_snap::<Holder>("bench-holder");
+    r
+}
+
+fn bench_image_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mtcp");
+    g.sample_size(20);
+    g.bench_function("write_image/8MiB-compressed", |b| {
+        b.iter_batched(
+            || {
+                let mut w = World::new(HwSpec::desktop(), 1, registry());
+                let mut sim = Sim::new();
+                let pid = w.spawn(
+                    &mut sim,
+                    NodeId(0),
+                    "holder",
+                    Box::new(Holder { pc: 0, mb: 8 }),
+                    Pid(1),
+                    Default::default(),
+                );
+                sim.run_until(&mut w, Nanos::from_millis(2));
+                w.suspend_user_threads(&mut sim, pid);
+                (w, sim, pid)
+            },
+            |(mut w, sim, pid)| {
+                mtcp::write_image(
+                    &mut w,
+                    sim.now(),
+                    pid,
+                    "/img",
+                    mtcp::WriteMode::Compressed,
+                    pid.0,
+                    vec![],
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_full_checkpoint_cycle(c: &mut Criterion) {
+    // Host time to simulate a full 2-node distributed checkpoint: measures
+    // the DES + protocol machinery end to end.
+    let mut g = c.benchmark_group("protocol");
+    g.sample_size(10);
+    g.bench_function("cluster-checkpoint/2nodes-2procs", |b| {
+        b.iter_batched(
+            || {
+                let mut w = World::new(HwSpec::cluster(), 2, registry());
+                let mut sim = Sim::new();
+                let s = Session::start(
+                    &mut w,
+                    &mut sim,
+                    Options {
+                        ckpt_dir: "/shared/ckpt".into(),
+                        ..Options::default()
+                    },
+                );
+                for n in 0..2 {
+                    s.launch(
+                        &mut w,
+                        &mut sim,
+                        NodeId(n),
+                        "holder",
+                        Box::new(Holder { pc: 0, mb: 4 }),
+                    );
+                }
+                run_for(&mut w, &mut sim, Nanos::from_millis(10));
+                (w, sim, s)
+            },
+            |(mut w, mut sim, s)| s.checkpoint_and_wait(&mut w, &mut sim, 10_000_000),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_szip,
+    bench_crc,
+    bench_image_write,
+    bench_full_checkpoint_cycle
+);
+criterion_main!(benches);

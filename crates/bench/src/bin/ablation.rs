@@ -1,0 +1,150 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. **Forked vs. in-line checkpointing** as the image grows (the paper's
+//!    0.2 s claim is an artifact of COW fork + background compression).
+//! 2. **Centralized coordinator scaling**: barrier-bound checkpoint time of
+//!    a tiny-image job vs. process count — §5.4's "the single checkpoint
+//!    coordinator is not a bottleneck".
+//! 3. **Compression crossover**: gzip wins on disk bytes but loses on
+//!    checkpoint latency once images are incompressible.
+//!
+//! Regenerate with: `cargo run --release -p dmtcp-bench --bin ablation`
+
+use apps::nas::baseline_factory;
+use dmtcp::coord::stage;
+use dmtcp::session::run_for;
+use dmtcp::Session;
+use dmtcp_bench::{cluster_world, measure_checkpoints, options, run_parallel, EV};
+use oskit::mem::FillProfile;
+use oskit::program::{Program, Step};
+use oskit::world::NodeId;
+use oskit::Kernel;
+use simkit::{Nanos, Snap};
+use simmpi::launch::{mpirun, Flavor, Launcher, MpiJob};
+
+/// A single process holding `mb` of data with the given profile, idling.
+struct Holder {
+    pc: u8,
+    mb: u64,
+    zero_pct: u8,
+}
+simkit::impl_snap!(struct Holder { pc, mb, zero_pct });
+impl Program for Holder {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        match self.pc {
+            0 => {
+                k.mmap_synthetic(
+                    "data",
+                    self.mb << 20,
+                    7,
+                    FillProfile::Mixed {
+                        zero_pct: self.zero_pct,
+                        text_pct: 0,
+                        code_pct: 0,
+                    },
+                );
+                self.pc = 1;
+                Step::Yield
+            }
+            _ => Step::Sleep(Nanos::from_millis(10)),
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "ablate-holder"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+fn pause_of(mb: u64, forked: bool) -> f64 {
+    let (mut w, mut sim) = cluster_world(1);
+    w.registry.register_snap::<Holder>("ablate-holder");
+    let s = Session::start(&mut w, &mut sim, options(true, forked, true));
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(0),
+        "holder",
+        Box::new(Holder { pc: 0, mb, zero_pct: 20 }),
+    );
+    run_for(&mut w, &mut sim, Nanos::from_millis(20));
+    let g = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    g.total_pause().expect("complete").as_secs_f64()
+}
+
+fn barrier_scaling(nodes: usize) -> (u32, f64) {
+    let (mut w, mut sim) = cluster_world(nodes);
+    let s = Session::start(&mut w, &mut sim, options(true, false, true));
+    let job = MpiJob {
+        flavor: Flavor::Mpich2,
+        nodes: (0..nodes as u32).map(NodeId).collect(),
+        procs_per_node: 4,
+        base_port: 30_000,
+    };
+    mpirun(&mut w, &mut sim, Launcher::Dmtcp(&s), &job, baseline_factory(0));
+    run_for(&mut w, &mut sim, Nanos::from_millis(400));
+    let g = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    // Pure coordination cost: everything except the image write.
+    let t =
+        (g.releases[&stage::DRAINED] - g.requested_at).as_secs_f64();
+    (g.participants, t)
+}
+
+fn main() {
+    println!("# Ablation 1: user-visible pause, in-line vs forked checkpointing\n");
+    println!("{:<10} {:>12} {:>12} {:>8}", "image", "inline", "forked", "ratio");
+    let sizes = [16u64, 64, 256, 1024];
+    let jobs: Vec<Box<dyn FnOnce() -> (u64, f64, f64) + Send>> = sizes
+        .iter()
+        .map(|&mb| {
+            Box::new(move || (mb, pause_of(mb, false), pause_of(mb, true)))
+                as Box<dyn FnOnce() -> (u64, f64, f64) + Send>
+        })
+        .collect();
+    for (mb, inline, forked) in run_parallel(jobs) {
+        println!(
+            "{:>6} MB {:>11.3}s {:>11.3}s {:>7.1}x",
+            mb,
+            inline,
+            forked,
+            inline / forked.max(1e-9)
+        );
+    }
+
+    println!("\n# Ablation 2: coordination (suspend+elect+drain) cost vs process count");
+    println!("# (tiny images: isolates the centralized barrier coordinator)\n");
+    let jobs: Vec<Box<dyn FnOnce() -> (u32, f64) + Send>> = [2usize, 4, 8, 16, 32]
+        .iter()
+        .map(|&n| Box::new(move || barrier_scaling(n)) as Box<dyn FnOnce() -> (u32, f64) + Send>)
+        .collect();
+    for (procs, t) in run_parallel(jobs) {
+        println!("{procs:>4} procs   coordination {t:.4}s");
+    }
+
+    println!("\n# Ablation 3: compression crossover vs content compressibility\n");
+    for zero_pct in [0u8, 50, 95] {
+        let run = |compress: bool| -> (f64, u64) {
+            let (mut w, mut sim) = cluster_world(1);
+            w.registry.register_snap::<Holder>("ablate-holder");
+            let s = Session::start(&mut w, &mut sim, options(compress, false, true));
+            s.launch(
+                &mut w,
+                &mut sim,
+                NodeId(0),
+                "holder",
+                Box::new(Holder { pc: 0, mb: 256, zero_pct }),
+            );
+            run_for(&mut w, &mut sim, Nanos::from_millis(20));
+            let (t, size, _) = measure_checkpoints(&mut w, &mut sim, &s, 1, Nanos::from_millis(10));
+            (t[0], size)
+        };
+        let (t_raw, s_raw) = run(false);
+        let (t_gz, s_gz) = run(true);
+        println!(
+            "{zero_pct:>3}% zeros: raw {t_raw:6.3}s/{:7.1}MB   gzip {t_gz:6.3}s/{:7.1}MB",
+            s_raw as f64 / (1 << 20) as f64,
+            s_gz as f64 / (1 << 20) as f64,
+        );
+    }
+}

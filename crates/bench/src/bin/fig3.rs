@@ -1,0 +1,43 @@
+//! Figure 3 — checkpoint/restart times (a) and checkpoint sizes (b) for the
+//! 21 common shell-like applications, single node, compression enabled.
+//!
+//! Regenerate with: `cargo run --release -p dmtcp-bench --bin fig3`
+
+use apps::desktop::{launch_desktop, CATALOGUE};
+use dmtcp::session::run_for;
+use dmtcp::Session;
+use dmtcp_bench::{
+    desktop_world, kill_and_measure_restart, measure_checkpoints, options, reps, run_parallel,
+    ExpResult,
+};
+use oskit::world::NodeId;
+use simkit::{Nanos, Summary};
+
+fn main() {
+    println!("# Figure 3: common shell-like languages and other applications");
+    println!("# single node (8-core desktop), compression enabled\n");
+    let jobs: Vec<Box<dyn FnOnce() -> ExpResult + Send>> = CATALOGUE
+        .iter()
+        .map(|spec| {
+            Box::new(move || {
+                let (mut w, mut sim) = desktop_world();
+                let s = Session::start(&mut w, &mut sim, options(true, false, true));
+                launch_desktop(&mut w, &mut sim, Some(&s), NodeId(0), spec, 0xF16_3);
+                run_for(&mut w, &mut sim, Nanos::from_millis(120));
+                let (times, size, parts) =
+                    measure_checkpoints(&mut w, &mut sim, &s, reps(), Nanos::from_millis(50));
+                let restart = kill_and_measure_restart(&mut w, &mut sim, &s);
+                ExpResult {
+                    label: spec.name.to_string(),
+                    ckpt_s: Summary::of(&times),
+                    restart_s: Some(restart),
+                    image_bytes: size,
+                    participants: parts,
+                }
+            }) as Box<dyn FnOnce() -> ExpResult + Send>
+        })
+        .collect();
+    for r in run_parallel(jobs) {
+        println!("{}", r.row());
+    }
+}

@@ -1,0 +1,142 @@
+//! Figure 4 — distributed applications on 32 nodes / 128 cores:
+//! (a) checkpoint timings, (b) restart timings, (c) aggregate checkpoint
+//! sizes, each with and without compression.
+//!
+//! Regenerate with: `cargo run --release -p dmtcp-bench --bin fig4`
+//! (set `DMTCP_REPS` to change the repetition count; the paper uses 10)
+
+use apps::geant::geant_factory;
+use apps::ipython::launch_demo;
+use apps::nas::{baseline_factory, nas_factory, NasKernel};
+use dmtcp::session::run_for;
+use dmtcp::Session;
+use dmtcp_bench::{
+    cluster_world, kill_and_measure_restart, measure_checkpoints, options, reps, run_parallel,
+    ExpResult,
+};
+use oskit::world::NodeId;
+use simkit::{Nanos, Summary};
+use simmpi::launch::{mpirun, Flavor, Launcher, MpiJob, RankFactory};
+
+const NODES: usize = 32;
+const PPN: usize = 4;
+
+#[derive(Clone, Copy)]
+enum Workload {
+    IpyShell,
+    IpyDemo,
+    Mpi(Flavor, MpiApp, usize /* nodes */),
+}
+
+#[derive(Clone, Copy)]
+enum MpiApp {
+    Baseline,
+    ParGeant4,
+    Nas(NasKernel),
+}
+
+fn factory(app: MpiApp) -> RankFactory {
+    match app {
+        MpiApp::Baseline => baseline_factory(0),
+        MpiApp::ParGeant4 => geant_factory(u32::MAX, 2_000_000),
+        // Long-running instances: iteration counts far beyond the
+        // measurement window; the harness kills the job afterwards. CG gets
+        // a larger system so it cannot converge inside the window.
+        MpiApp::Nas(NasKernel::Cg) => nas_factory(NasKernel::Cg, 1_000_000, 4096),
+        MpiApp::Nas(k) => nas_factory(k, 1_000_000, 1024),
+    }
+}
+
+fn run_one(label: &str, wl: Workload, compression: bool) -> ExpResult {
+    let nodes_for = match wl {
+        Workload::Mpi(_, _, n) => n,
+        _ => NODES,
+    };
+    let (mut w, mut sim) = cluster_world(NODES.max(nodes_for));
+    let s = Session::start(&mut w, &mut sim, options(compression, false, true));
+    match wl {
+        Workload::IpyShell => {
+            s.launch(
+                &mut w,
+                &mut sim,
+                NodeId(0),
+                "ipython",
+                Box::new(apps::ipython::IPyShell {
+                    pc: 0,
+                    raw_mb: 30,
+                    ticks: 0,
+                }),
+            );
+        }
+        Workload::IpyDemo => {
+            let nodes: Vec<NodeId> = (0..NODES as u32).map(NodeId).collect();
+            launch_demo(&mut w, &mut sim, Some(&s), &nodes, u32::MAX);
+        }
+        Workload::Mpi(flavor, app, n) => {
+            let job = MpiJob {
+                flavor,
+                nodes: (0..n as u32).map(NodeId).collect(),
+                procs_per_node: PPN,
+                base_port: 30_000,
+            };
+            mpirun(&mut w, &mut sim, Launcher::Dmtcp(&s), &job, factory(app));
+        }
+    }
+    // Let the job wire up and reach steady state.
+    run_for(&mut w, &mut sim, Nanos::from_millis(400));
+    let (times, size, parts) =
+        measure_checkpoints(&mut w, &mut sim, &s, reps(), Nanos::from_millis(100));
+    let restart = kill_and_measure_restart(&mut w, &mut sim, &s);
+    ExpResult {
+        label: label.to_string(),
+        ckpt_s: Summary::of(&times),
+        restart_s: Some(restart),
+        image_bytes: size,
+        participants: parts,
+    }
+}
+
+fn main() {
+    println!("# Figure 4: distributed applications, 32 nodes / 128 cores");
+    println!("# [1] sockets directly  [2] MPICH2  [3] OpenMPI");
+    println!("# SP and BT use 36 processes (square requirement): 9 nodes x 4\n");
+    let configs: Vec<(&str, Workload)> = vec![
+        ("iPython/Shell[1]", Workload::IpyShell),
+        ("iPython/Demo[1]", Workload::IpyDemo),
+        ("Baseline[2]", Workload::Mpi(Flavor::Mpich2, MpiApp::Baseline, NODES)),
+        ("ParGeant4[2]", Workload::Mpi(Flavor::Mpich2, MpiApp::ParGeant4, NODES)),
+        ("NAS/CG[2] (32p)", Workload::Mpi(Flavor::Mpich2, MpiApp::Nas(NasKernel::Cg), 8)),
+        ("Baseline[3]", Workload::Mpi(Flavor::OpenMpi, MpiApp::Baseline, NODES)),
+        ("NAS/EP[3]", Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Ep), NODES)),
+        ("NAS/LU[3]", Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Lu), NODES)),
+        ("NAS/SP[3]", Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Sp), 9)),
+        ("NAS/MG[3]", Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Mg), NODES)),
+        ("NAS/IS[3]", Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Is), NODES)),
+        ("NAS/BT[3]", Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Bt), 9)),
+    ];
+    let only: Option<usize> = std::env::var("DMTCP_FIG4_ONLY").ok().and_then(|v| v.parse().ok());
+    let mode: Option<usize> = std::env::var("DMTCP_FIG4_MODE").ok().and_then(|v| v.parse().ok());
+    for compression in [false, true] {
+        if let Some(m) = mode {
+            if (m == 1) != compression {
+                continue;
+            }
+        }
+        println!(
+            "\n== {} ==",
+            if compression { "compressed (gzip)" } else { "uncompressed" }
+        );
+        let jobs: Vec<Box<dyn FnOnce() -> ExpResult + Send>> = configs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| only.is_none() || only == Some(*i))
+            .map(|(_, &(label, wl))| {
+                Box::new(move || run_one(label, wl, compression))
+                    as Box<dyn FnOnce() -> ExpResult + Send>
+            })
+            .collect();
+        for r in run_parallel(jobs) {
+            println!("{}", r.row());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 5 — checkpoint/restart timing vs. number of ParGeant4 compute
+//! processes (16 → 128, four per node), under MPICH2 with compression:
+//! (a) checkpoints to node-local disk, (b) to centralized storage (8 nodes
+//! over the SAN, the rest via NFS). Also reports the §5.2 post-checkpoint
+//! `sync` cost when `--sync` is passed.
+//!
+//! Regenerate with: `cargo run --release -p dmtcp-bench --bin fig5 [--sync]`
+
+use apps::geant::geant_factory;
+use dmtcp::session::run_for;
+use dmtcp::Session;
+use dmtcp_bench::{
+    cluster_world, kill_and_measure_restart, measure_checkpoints, options, reps, run_parallel,
+    ExpResult,
+};
+use oskit::world::NodeId;
+use simkit::{Nanos, Summary};
+use simmpi::launch::{mpirun, Flavor, Launcher, MpiJob};
+
+fn run_point(nodes: usize, local_disk: bool, want_sync: bool) -> (ExpResult, Option<f64>) {
+    let (mut w, mut sim) = cluster_world(nodes);
+    let s = Session::start(&mut w, &mut sim, options(true, false, local_disk));
+    let job = MpiJob {
+        flavor: Flavor::Mpich2,
+        nodes: (0..nodes as u32).map(NodeId).collect(),
+        procs_per_node: 4,
+        base_port: 30_000,
+    };
+    mpirun(
+        &mut w,
+        &mut sim,
+        Launcher::Dmtcp(&s),
+        &job,
+        geant_factory(u32::MAX, 2_000_000),
+    );
+    run_for(&mut w, &mut sim, Nanos::from_millis(400));
+    let (times, size, parts) =
+        measure_checkpoints(&mut w, &mut sim, &s, reps(), Nanos::from_millis(100));
+    // Optional sync cost: how much longer until all dirty image bytes are
+    // on the platter (local-disk runs only; the paper reports +0.79 s).
+    let sync_cost = if want_sync && local_disk {
+        let now = sim.now();
+        let worst = (0..nodes)
+            .map(|n| w.nodes[n].disk.sync(now))
+            .max()
+            .expect("nodes exist");
+        Some((worst - now).as_secs_f64())
+    } else {
+        None
+    };
+    let restart = kill_and_measure_restart(&mut w, &mut sim, &s);
+    (
+        ExpResult {
+            label: format!("{:>3} procs", nodes * 4),
+            ckpt_s: Summary::of(&times),
+            restart_s: Some(restart),
+            image_bytes: size,
+            participants: parts,
+        },
+        sync_cost,
+    )
+}
+
+fn main() {
+    let want_sync = std::env::args().any(|a| a == "--sync");
+    println!("# Figure 5: ParGeant4 under MPICH2, compression enabled");
+    println!("# (compute processes = 4 per node; MPD daemons + console also checkpointed)\n");
+    for (title, local) in [
+        ("(a) checkpoints to local disk of each node", true),
+        ("(b) checkpoints to centralized storage (SAN x8 nodes, NFS rest)", false),
+    ] {
+        println!("== {title} ==");
+        let points: Vec<usize> = vec![4, 8, 12, 16, 20, 24, 28, 32];
+        let jobs: Vec<Box<dyn FnOnce() -> (ExpResult, Option<f64>) + Send>> = points
+            .iter()
+            .map(|&n| {
+                Box::new(move || run_point(n, local, want_sync))
+                    as Box<dyn FnOnce() -> (ExpResult, Option<f64>) + Send>
+            })
+            .collect();
+        for (r, sync) in run_parallel(jobs) {
+            match sync {
+                Some(s) => println!("{}   +sync {:.2}s", r.row(), s),
+                None => println!("{}", r.row()),
+            }
+        }
+        println!();
+    }
+}

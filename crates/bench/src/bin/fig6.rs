@@ -1,0 +1,61 @@
+//! Figure 6 — checkpoint/restart time as total memory grows: a synthetic
+//! OpenMPI program allocating random data on 32 nodes, compression
+//! disabled, checkpoints to local disk.
+//!
+//! Regenerate with: `cargo run --release -p dmtcp-bench --bin fig6`
+
+use apps::memhog::memhog_factory;
+use dmtcp::session::run_for;
+use dmtcp::Session;
+use dmtcp_bench::{
+    cluster_world, kill_and_measure_restart, measure_checkpoints, options, run_parallel, ExpResult,
+};
+use oskit::world::NodeId;
+use simkit::{Nanos, Summary};
+use simmpi::launch::{mpirun, Flavor, Launcher, MpiJob};
+
+const NODES: usize = 32;
+const PPN: usize = 4;
+
+fn run_point(total_gb: u64) -> ExpResult {
+    let (mut w, mut sim) = cluster_world(NODES);
+    let s = Session::start(&mut w, &mut sim, options(false, false, true));
+    let ranks = (NODES * PPN) as u64;
+    let mb_per_rank = total_gb * 1024 / ranks;
+    let job = MpiJob {
+        flavor: Flavor::OpenMpi,
+        nodes: (0..NODES as u32).map(NodeId).collect(),
+        procs_per_node: PPN,
+        base_port: 30_000,
+    };
+    mpirun(
+        &mut w,
+        &mut sim,
+        Launcher::Dmtcp(&s),
+        &job,
+        memhog_factory(mb_per_rank),
+    );
+    run_for(&mut w, &mut sim, Nanos::from_millis(400));
+    let (times, size, parts) = measure_checkpoints(&mut w, &mut sim, &s, 1, Nanos::from_millis(50));
+    let restart = kill_and_measure_restart(&mut w, &mut sim, &s);
+    ExpResult {
+        label: format!("{total_gb:>3} GB total"),
+        ckpt_s: Summary::of(&times),
+        restart_s: Some(restart),
+        image_bytes: size,
+        participants: parts,
+    }
+}
+
+fn main() {
+    println!("# Figure 6: timing as memory usage grows");
+    println!("# synthetic OpenMPI program, random data, 32 nodes, no compression, local disk\n");
+    let points: Vec<u64> = vec![2, 8, 16, 24, 32, 48, 64, 70];
+    let jobs: Vec<Box<dyn FnOnce() -> ExpResult + Send>> = points
+        .iter()
+        .map(|&gb| Box::new(move || run_point(gb)) as Box<dyn FnOnce() -> ExpResult + Send>)
+        .collect();
+    for r in run_parallel(jobs) {
+        println!("{}", r.row());
+    }
+}

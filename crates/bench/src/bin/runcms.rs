@@ -1,0 +1,41 @@
+//! RunCMS (§5.1 narrative numbers): the CMS software checkpoints in 25.2 s
+//! and restarts in 18.4 s; the 680 MB in-memory image (540 dynamic
+//! libraries) gzips to 225 MB on disk.
+//!
+//! Regenerate with: `cargo run --release -p dmtcp-bench --bin runcms`
+
+use dmtcp::session::run_for;
+use dmtcp::Session;
+use dmtcp_bench::{desktop_world, kill_and_measure_restart, measure_checkpoints, options};
+use oskit::world::NodeId;
+use simkit::Nanos;
+
+fn main() {
+    println!("# RunCMS: 680 MB image, 540 dynamic libraries (desktop, gzip on)\n");
+    let (mut w, mut sim) = desktop_world();
+    let s = Session::start(&mut w, &mut sim, options(true, false, false));
+    let pid = s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(0),
+        "runCMS",
+        Box::new(apps::runcms::RunCms::new()),
+    );
+    // Let initialization (library loading + conditions DB) complete.
+    run_for(&mut w, &mut sim, Nanos::from_secs(60));
+    let libs = w
+        .proc_maps(pid)
+        .map(|m| m.matches(".so").count())
+        .unwrap_or(0);
+    let raw = w.procs[&pid].mem.total_bytes();
+    let (times, size, _) = measure_checkpoints(&mut w, &mut sim, &s, 1, Nanos::from_millis(100));
+    let restart = kill_and_measure_restart(&mut w, &mut sim, &s);
+    println!("dynamic libraries mapped : {libs}");
+    println!("in-memory image          : {:.0} MB", raw as f64 / (1 << 20) as f64);
+    println!("checkpoint time          : {:.1} s   (paper: 25.2 s)", times[0]);
+    println!("restart time             : {restart:.1} s   (paper: 18.4 s)");
+    println!(
+        "gzip'd image on disk     : {:.0} MB  (paper: 225 MB)",
+        size as f64 / (1 << 20) as f64
+    );
+}

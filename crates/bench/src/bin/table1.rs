@@ -1,0 +1,150 @@
+//! Table 1 — time for the different stages of checkpoint (a) and restart
+//! (b) for NAS/MG under OpenMPI on 8 nodes, in uncompressed, compressed,
+//! and forked-compressed modes. This is the calibration anchor for every
+//! other figure (see DESIGN.md §4).
+//!
+//! Regenerate with: `cargo run --release -p dmtcp-bench --bin table1`
+
+use apps::nas::{nas_factory, NasKernel};
+use dmtcp::coord::{coord_shared, RestartSample, StageSample};
+use dmtcp::session::run_for;
+use dmtcp::Session;
+use dmtcp_bench::{cluster_world, kill_and_measure_restart, options, EV};
+use oskit::world::NodeId;
+use simkit::Nanos;
+use simmpi::launch::{mpirun, Flavor, Launcher, MpiJob};
+
+const NODES: usize = 8;
+
+struct Breakdown {
+    suspend: f64,
+    elect: f64,
+    drain: f64,
+    write: f64,
+    refill: f64,
+}
+
+fn mean_stage(samples: &[StageSample]) -> Breakdown {
+    let n = samples.len() as f64;
+    let s = |f: &dyn Fn(&StageSample) -> Nanos| {
+        samples.iter().map(|x| f(x).as_secs_f64()).sum::<f64>() / n
+    };
+    Breakdown {
+        suspend: s(&|x| x.suspend),
+        elect: s(&|x| x.elect),
+        drain: s(&|x| x.drain),
+        write: s(&|x| x.write),
+        refill: s(&|x| x.refill),
+    }
+}
+
+struct RestartBreakdown {
+    files: f64,
+    sockets: f64,
+    memory: f64,
+    refill: f64,
+}
+
+fn mean_restart(samples: &[RestartSample]) -> RestartBreakdown {
+    let n = samples.len() as f64;
+    RestartBreakdown {
+        files: samples.iter().map(|x| x.files.as_secs_f64()).sum::<f64>() / n,
+        sockets: samples.iter().map(|x| x.sockets.as_secs_f64()).sum::<f64>() / n,
+        memory: samples.iter().map(|x| x.memory.as_secs_f64()).sum::<f64>() / n,
+        refill: samples.iter().map(|x| x.refill.as_secs_f64()).sum::<f64>() / n,
+    }
+}
+
+fn run_mode(compression: bool, forked: bool) -> (Breakdown, Option<RestartBreakdown>, f64) {
+    let (mut w, mut sim) = cluster_world(NODES);
+    let s = Session::start(&mut w, &mut sim, options(compression, forked, true));
+    let job = MpiJob {
+        flavor: Flavor::OpenMpi,
+        nodes: (0..NODES as u32).map(NodeId).collect(),
+        procs_per_node: 4,
+        base_port: 30_000,
+    };
+    mpirun(
+        &mut w,
+        &mut sim,
+        Launcher::Dmtcp(&s),
+        &job,
+        nas_factory(NasKernel::Mg, 1_000_000, 1024),
+    );
+    run_for(&mut w, &mut sim, Nanos::from_millis(400));
+    let g = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    // Managers record their per-stage samples when they resume user
+    // threads, shortly after the final barrier releases.
+    run_for(&mut w, &mut sim, Nanos::from_millis(50));
+    let gen = g.gen;
+    let stages: Vec<StageSample> = coord_shared(&mut w)
+        .stage_samples
+        .iter()
+        .filter(|x| x.gen == gen)
+        .copied()
+        .collect();
+    let ckpt = mean_stage(&stages);
+    // Restart breakdown only makes sense for non-forked modes in the
+    // paper's table; measure it anyway except for forked.
+    let (restart_bd, total_restart) = if forked {
+        (None, 0.0)
+    } else {
+        let total = kill_and_measure_restart(&mut w, &mut sim, &s);
+        run_for(&mut w, &mut sim, Nanos::from_millis(50));
+        let rs: Vec<RestartSample> = coord_shared(&mut w).restart_samples.clone();
+        (Some(mean_restart(&rs)), total)
+    };
+    (ckpt, restart_bd, total_restart)
+}
+
+fn main() {
+    println!("# Table 1: stage breakdown for NAS/MG under OpenMPI, 8 nodes (seconds)");
+    println!("# (a) checkpoint\n");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12}",
+        "Stage", "Uncompressed", "Compressed", "Fork Compr."
+    );
+    let (un, un_restart, _un_total) = run_mode(false, false);
+    let (co, co_restart, _co_total) = run_mode(true, false);
+    let (fo, _, _) = run_mode(true, true);
+    let row = |name: &str, f: &dyn Fn(&Breakdown) -> f64| {
+        println!(
+            "{:<24} {:>12.4} {:>12.4} {:>12.4}",
+            name,
+            f(&un),
+            f(&co),
+            f(&fo)
+        );
+    };
+    row("Suspend user threads", &|b| b.suspend);
+    row("Elect FD leaders", &|b| b.elect);
+    row("Drain kernel buffers", &|b| b.drain);
+    row("Write checkpoint", &|b| b.write);
+    row("Refill kernel buffers", &|b| b.refill);
+    let total = |b: &Breakdown| b.suspend + b.elect + b.drain + b.write + b.refill;
+    println!(
+        "{:<24} {:>12.4} {:>12.4} {:>12.4}",
+        "Total",
+        total(&un),
+        total(&co),
+        total(&fo)
+    );
+
+    println!("\n# (b) restart\n");
+    println!("{:<24} {:>12} {:>12}", "Stage", "Uncompressed", "Compressed");
+    let (ur, cr) = (un_restart.expect("measured"), co_restart.expect("measured"));
+    let rrow = |name: &str, f: &dyn Fn(&RestartBreakdown) -> f64| {
+        println!("{:<24} {:>12.4} {:>12.4}", name, f(&ur), f(&cr));
+    };
+    rrow("Restore files and ptys", &|b| b.files);
+    rrow("Reconnect sockets", &|b| b.sockets);
+    rrow("Restore memory/threads", &|b| b.memory);
+    rrow("Refill kernel buffers", &|b| b.refill);
+    let rtotal = |b: &RestartBreakdown| b.files + b.sockets + b.memory + b.refill;
+    println!(
+        "{:<24} {:>12.4} {:>12.4}",
+        "Total",
+        rtotal(&ur),
+        rtotal(&cr)
+    );
+}

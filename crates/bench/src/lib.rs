@@ -1,0 +1,204 @@
+//! Experiment harness: everything the per-figure binaries share.
+//!
+//! Each experiment builds a fresh simulated cluster, launches a workload
+//! under DMTCP, requests checkpoints, optionally kills and restarts the
+//! computation, and reads the coordinator's barrier timings — the same
+//! quantities the paper reports. Independent experiment configurations run
+//! in parallel on host threads (each owns its own world) through
+//! [`run_parallel`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use apps::registry::full_registry;
+use dmtcp::coord::{coord_shared, stage, GenStat};
+use dmtcp::session::run_for;
+use dmtcp::{Options, Session};
+use oskit::world::{NodeId, OsSim, World};
+use oskit::HwSpec;
+use simkit::{Nanos, Sim, Summary};
+
+/// Event budget per phase — generous; a hang is a bug.
+pub const EV: u64 = 400_000_000;
+
+/// One experiment's measurements.
+#[derive(Debug, Clone)]
+pub struct ExpResult {
+    /// Label for the output row.
+    pub label: String,
+    /// Checkpoint wall-clock times (request → stage-5 barrier), seconds.
+    pub ckpt_s: Summary,
+    /// Restart wall-clock (plan → restart-refill barrier), seconds.
+    pub restart_s: Option<f64>,
+    /// Aggregate (cluster-wide) image bytes of the last generation.
+    pub image_bytes: u64,
+    /// Number of checkpointed processes.
+    pub participants: u32,
+}
+
+impl ExpResult {
+    /// Paper-style row: label, ckpt mean±σ, restart, size in MB.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<24} ckpt {:6.2}s ±{:4.2}  restart {:>6}  size {:9.1} MB  ({} procs)",
+            self.label,
+            self.ckpt_s.mean,
+            self.ckpt_s.stddev,
+            self.restart_s
+                .map(|r| format!("{r:5.2}s"))
+                .unwrap_or_else(|| "  n/a".into()),
+            self.image_bytes as f64 / (1u64 << 20) as f64,
+            self.participants,
+        )
+    }
+}
+
+/// A cluster world ready for experiments.
+pub fn cluster_world(nodes: usize) -> (World, OsSim) {
+    (
+        World::new(HwSpec::cluster(), nodes, full_registry()),
+        Sim::new(),
+    )
+}
+
+/// A desktop world (single 8-core node).
+pub fn desktop_world() -> (World, OsSim) {
+    (
+        World::new(HwSpec::desktop(), 1, full_registry()),
+        Sim::new(),
+    )
+}
+
+/// Standard options: images to the shared store unless `local_disk`.
+pub fn options(compression: bool, forked: bool, local_disk: bool) -> Options {
+    Options {
+        ckpt_dir: if local_disk { "/ckpt".into() } else { "/shared/ckpt".into() },
+        compression,
+        forked,
+        ..Options::default()
+    }
+}
+
+/// Checkpoint time (request → image-written barrier) in seconds.
+pub fn ckpt_seconds(g: &GenStat) -> f64 {
+    g.checkpoint_time()
+        .expect("generation complete")
+        .as_secs_f64()
+}
+
+/// Take `reps` checkpoints spaced by `gap`, returning their times and the
+/// aggregate image size of the last one.
+pub fn measure_checkpoints(
+    w: &mut World,
+    sim: &mut OsSim,
+    s: &Session,
+    reps: usize,
+    gap: Nanos,
+) -> (Vec<f64>, u64, u32) {
+    let mut times = Vec::new();
+    let mut size = 0;
+    let mut parts = 0;
+    for _ in 0..reps {
+        let g = s.checkpoint_and_wait(w, sim, EV);
+        times.push(ckpt_seconds(&g));
+        parts = g.participants;
+        let images = coord_shared(w).last_images.clone();
+        size = images
+            .iter()
+            .map(|(path, host)| {
+                let node = w.resolve(host).expect("host");
+                w.fs_for(node, path).size(path).expect("image exists")
+            })
+            .sum();
+        run_for(w, sim, gap);
+    }
+    (times, size, parts)
+}
+
+/// Kill the computation and restart it in place; returns the restart
+/// wall-clock in seconds (plan arrival → restart-refill barrier).
+pub fn kill_and_measure_restart(w: &mut World, sim: &mut OsSim, s: &Session) -> f64 {
+    let gen = Session::last_gen_stat(w).expect("a checkpoint exists").gen;
+    s.kill_computation(w, sim);
+    let script = Session::parse_restart_script(w);
+    let names: Vec<(String, NodeId)> = script
+        .iter()
+        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
+        .collect();
+    let remap = move |h: &str| {
+        names
+            .iter()
+            .find(|(n, _)| n == h)
+            .map(|(_, x)| *x)
+            .expect("host")
+    };
+    s.restart_from_script(w, sim, &script, &remap, gen);
+    Session::wait_restart_done(w, sim, gen, EV);
+    let g = coord_shared(w)
+        .gen_stats
+        .iter()
+        .rev()
+        .find(|g| g.gen == gen && g.releases.contains_key(&stage::RESTART_REFILLED))
+        .expect("restart stats recorded")
+        .clone();
+    (g.releases[&stage::RESTART_REFILLED] - g.requested_at).as_secs_f64()
+}
+
+/// Run independent experiment closures on parallel host threads, preserving
+/// input order in the output.
+pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
+    let n = jobs.len();
+    let (tx, rx) = crossbeam::channel::unbounded();
+    std::thread::scope(|scope| {
+        for (i, job) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let out = job();
+                tx.send((i, out)).expect("collector alive");
+            });
+        }
+        drop(tx);
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, out) in rx.iter() {
+        slots[i] = Some(out);
+    }
+    slots.into_iter().map(|s| s.expect("job finished")).collect()
+}
+
+/// Repetition count: figures use the paper's 10 unless `DMTCP_REPS` says
+/// otherwise (CI uses fewer).
+pub fn reps() -> usize {
+    std::env::var("DMTCP_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        assert_eq!(run_parallel(jobs), vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn row_formatting_is_stable() {
+        let r = ExpResult {
+            label: "NAS/MG[3]".into(),
+            ckpt_s: Summary::of(&[2.0, 2.2, 1.8]),
+            restart_s: Some(2.5),
+            image_bytes: 1536 << 20,
+            participants: 131,
+        };
+        let row = r.row();
+        assert!(row.contains("NAS/MG[3]"));
+        assert!(row.contains("1536.0 MB"));
+        assert!(row.contains("131 procs"));
+    }
+}

@@ -1,0 +1,411 @@
+//! The checkpoint coordinator.
+//!
+//! One coordinator process serves a whole computation: it implements the
+//! six global barriers of the checkpoint algorithm (§4.3), the discovery
+//! service restart needs to find migrated peers (§4.4), interval
+//! checkpointing (`--interval`), and restart-script generation. The paper
+//! notes the centralized coordinator is not a bottleneck at 32 nodes and
+//! could be replaced by a distributed implementation; `bench/ablation`
+//! measures exactly that claim.
+
+use crate::gsid::{global, Gsid};
+use crate::proto::{frame, FrameBuf, Msg};
+use oskit::program::{Program, Step};
+use oskit::world::{Pid, Tid, World};
+use oskit::{Errno, Fd, Kernel};
+use simkit::Nanos;
+use std::collections::BTreeMap;
+
+/// Default coordinator port (the real default is 7779).
+pub const COORD_PORT: u16 = 7779;
+
+/// Checkpoint barrier stages, numbered as in Figure 1.
+pub mod stage {
+    /// User threads suspended.
+    pub const SUSPENDED: u8 = 2;
+    /// Shared-fd leader election completed.
+    pub const ELECTED: u8 = 3;
+    /// Kernel buffers drained, handshakes done.
+    pub const DRAINED: u8 = 4;
+    /// Checkpoint image written.
+    pub const CHECKPOINTED: u8 = 5;
+    /// Kernel buffers refilled.
+    pub const REFILLED: u8 = 6;
+    /// Restart: memory and threads restored (Figure 2 step 5).
+    pub const RESTORED: u8 = 11;
+    /// Restart: kernel buffers refilled (Figure 2 step 6).
+    pub const RESTART_REFILLED: u8 = 12;
+}
+
+/// Barrier timing for one checkpoint generation (benchmark input).
+#[derive(Debug, Clone)]
+pub struct GenStat {
+    /// Generation number.
+    pub gen: u64,
+    /// When the coordinator broadcast the request.
+    pub requested_at: Nanos,
+    /// Release time of each barrier stage.
+    pub releases: BTreeMap<u8, Nanos>,
+    /// Number of participating processes.
+    pub participants: u32,
+}
+
+impl GenStat {
+    /// Wall-clock from request to the "checkpointed" barrier — the paper's
+    /// reported checkpoint time (user threads are suspended from request to
+    /// resume; the image is safe at stage 5).
+    pub fn checkpoint_time(&self) -> Option<Nanos> {
+        self.releases
+            .get(&stage::CHECKPOINTED)
+            .map(|t| *t - self.requested_at)
+    }
+
+    /// Wall-clock until user threads resumed (stage 6 released).
+    pub fn total_pause(&self) -> Option<Nanos> {
+        self.releases
+            .get(&stage::REFILLED)
+            .map(|t| *t - self.requested_at)
+    }
+}
+
+/// Per-process stage breakdown (Table 1a input), recorded by each manager.
+#[derive(Debug, Clone, Copy)]
+pub struct StageSample {
+    /// Generation.
+    pub gen: u64,
+    /// Process vpid.
+    pub vpid: u32,
+    /// Suspend user threads.
+    pub suspend: Nanos,
+    /// Elect fd leaders.
+    pub elect: Nanos,
+    /// Drain kernel buffers.
+    pub drain: Nanos,
+    /// Write checkpoint.
+    pub write: Nanos,
+    /// Refill kernel buffers.
+    pub refill: Nanos,
+}
+
+/// Per-process restart breakdown (Table 1b input).
+#[derive(Debug, Clone, Copy)]
+pub struct RestartSample {
+    /// Process vpid.
+    pub vpid: u32,
+    /// Restore files and ptys.
+    pub files: Nanos,
+    /// Recreate and reconnect sockets.
+    pub sockets: Nanos,
+    /// Restore memory and threads.
+    pub memory: Nanos,
+    /// Refill kernel buffers.
+    pub refill: Nanos,
+}
+
+/// Coordinator-side shared state (kept in the world's DMTCP singleton so
+/// benches can read it after the run).
+#[derive(Debug, Default)]
+pub struct CoordShared {
+    /// Trigger flag posted by `dmtcp command --checkpoint` / the interval
+    /// timer.
+    pub ckpt_request_pending: bool,
+    /// Coordinator process (for waking on mailbox posts).
+    pub coord_pid: Option<Pid>,
+    /// Barrier timing per generation.
+    pub gen_stats: Vec<GenStat>,
+    /// Manager-reported checkpoint stage breakdowns.
+    pub stage_samples: Vec<StageSample>,
+    /// Restart stage breakdowns.
+    pub restart_samples: Vec<RestartSample>,
+    /// Paths of every image written in the last completed generation,
+    /// with their hostnames (drives the restart script).
+    pub last_images: Vec<(String, String)>,
+}
+
+/// Access the coordinator-shared state (world singleton).
+pub fn coord_shared(w: &mut World) -> &mut CoordShared {
+    let slot = w
+        .ext_slots
+        .entry("dmtcp-coord-shared".to_string())
+        .or_insert_with(|| Box::new(CoordShared::default()));
+    slot.downcast_mut::<CoordShared>()
+        .expect("slot holds CoordShared")
+}
+
+struct Client {
+    fd: Fd,
+    vpid: u32,
+    fb: FrameBuf,
+}
+
+/// The coordinator program. It is *not* checkpointed (same as real DMTCP,
+/// where a new coordinator is started for restart), so its state need not
+/// be serializable.
+pub struct Coordinator {
+    port: u16,
+    interval: Option<Nanos>,
+    lfd: Fd,
+    clients: Vec<Client>,
+    gen: u64,
+    in_progress: bool,
+    expected: u32,
+    barrier_counts: BTreeMap<(u64, u8), u32>,
+    discovery: BTreeMap<Gsid, (String, u16)>,
+    requested_at: Nanos,
+}
+
+impl Coordinator {
+    /// A coordinator listening on `port`, checkpointing every `interval`
+    /// when set.
+    pub fn new(port: u16, interval: Option<Nanos>) -> Self {
+        Coordinator {
+            port,
+            interval,
+            lfd: -1,
+            clients: Vec::new(),
+            gen: 0,
+            in_progress: false,
+            expected: 0,
+            barrier_counts: BTreeMap::new(),
+            discovery: BTreeMap::new(),
+            requested_at: Nanos::ZERO,
+        }
+    }
+
+    fn broadcast(&mut self, k: &mut Kernel<'_>, msg: &Msg) {
+        let bytes = frame(msg);
+        for c in &self.clients {
+            // Coordinator frames are tiny; a full window here means a hung
+            // client, which the simulation treats as fatal.
+            let n = k.write(c.fd, &bytes).expect("coordinator broadcast");
+            assert_eq!(n, bytes.len(), "coordinator socket full");
+        }
+    }
+
+    fn start_checkpoint(&mut self, k: &mut Kernel<'_>) {
+        if self.in_progress || self.clients.is_empty() {
+            return;
+        }
+        self.gen += 1;
+        self.in_progress = true;
+        self.expected = self.clients.len() as u32;
+        self.requested_at = k.now();
+        k.trace("coord", format!("ckpt gen {} requested ({} procs)", self.gen, self.expected));
+        coord_shared(k.w).gen_stats.push(GenStat {
+            gen: self.gen,
+            requested_at: self.requested_at,
+            releases: BTreeMap::new(),
+            participants: self.expected,
+        });
+        coord_shared(k.w).last_images.clear();
+        self.broadcast(k, &Msg::CkptRequest(self.gen));
+    }
+
+    fn handle(&mut self, k: &mut Kernel<'_>, from: usize, msg: Msg) {
+        match msg {
+            Msg::Register(vpid, _host) => {
+                self.clients[from].vpid = vpid;
+            }
+            Msg::BarrierReached(gen, stg) => {
+                let count = self.barrier_counts.entry((gen, stg)).or_insert(0);
+                *count += 1;
+                self.check_release(k, gen, stg);
+            }
+            Msg::Advertise(gsid, host, port) => {
+                self.discovery.insert(gsid, (host, port));
+            }
+            Msg::Query(gsid) => {
+                let reply = match self.discovery.get(&gsid) {
+                    Some((h, p)) => Msg::QueryReply(gsid, h.clone(), *p),
+                    None => Msg::QueryReply(gsid, String::new(), 0),
+                };
+                let bytes = frame(&reply);
+                let fd = self.clients[from].fd;
+                let n = k.write(fd, &bytes).expect("query reply");
+                assert_eq!(n, bytes.len());
+            }
+            Msg::RestartPlan(n, gen) => {
+                // A restart driver re-arms barrier accounting for the
+                // restored computation at the generation it is restoring.
+                self.expected = n;
+                self.in_progress = true;
+                self.gen = gen;
+                self.requested_at = k.now();
+                // Advertisements from any previous restart are stale.
+                self.discovery.clear();
+                coord_shared(k.w).gen_stats.push(GenStat {
+                    gen,
+                    requested_at: self.requested_at,
+                    releases: BTreeMap::new(),
+                    participants: n,
+                });
+                // Managers may have raced their barrier messages ahead of
+                // the plan; re-check every pending barrier.
+                let pending: Vec<(u64, u8)> = self.barrier_counts.keys().copied().collect();
+                for (g, s) in pending {
+                    self.check_release(k, g, s);
+                }
+            }
+            other => panic!("coordinator got unexpected message {other:?}"),
+        }
+    }
+
+    /// Release a barrier once every expected participant reached it.
+    fn check_release(&mut self, k: &mut Kernel<'_>, gen: u64, stg: u8) {
+        let count = self.barrier_counts.get(&(gen, stg)).copied().unwrap_or(0);
+        if self.expected == 0 || count != self.expected {
+            return;
+        }
+        self.barrier_counts.remove(&(gen, stg));
+        let now = k.now();
+        if let Some(gs) = coord_shared(k.w)
+            .gen_stats
+            .iter_mut()
+            .rev()
+            .find(|g| g.gen == gen)
+        {
+            gs.releases.insert(stg, now);
+        }
+        k.trace("barrier", format!("gen {gen} stage {stg} released"));
+        self.broadcast(k, &Msg::BarrierRelease(gen, stg));
+        if stg == stage::REFILLED || stg == stage::RESTART_REFILLED {
+            self.in_progress = false;
+            self.write_restart_script(k);
+            if let Some(iv) = self.interval {
+                let pid = k.getpid_real();
+                k.sim.after(iv, move |w: &mut World, sim| {
+                    coord_shared(w).ckpt_request_pending = true;
+                    w.wake(sim, (pid, Tid(0)));
+                });
+            }
+        }
+    }
+
+    /// Generate `dmtcp_restart_script.sh` listing every image of the last
+    /// generation, grouped by host (§3: "a shell script ... containing all
+    /// the commands needed to restart the distributed computation").
+    fn write_restart_script(&mut self, k: &mut Kernel<'_>) {
+        let images = coord_shared(k.w).last_images.clone();
+        if images.is_empty() {
+            return;
+        }
+        let mut by_host: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (path, host) in &images {
+            by_host.entry(host.clone()).or_default().push(path.clone());
+        }
+        let mut script = String::from("#!/bin/sh\n# generated by dmtcp_coordinator\n");
+        for (host, paths) in &by_host {
+            script.push_str(&format!("ssh {host} dmtcp_restart {}\n", paths.join(" ")));
+        }
+        let node = k.node();
+        let fs = k.w.fs_for_mut(node, "/shared/dmtcp_restart_script.sh");
+        fs.write_all("/shared/dmtcp_restart_script.sh", script.as_bytes())
+            .expect("shared fs writable");
+    }
+}
+
+impl Program for Coordinator {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        if self.lfd < 0 {
+            let (fd, port) = k.listen_on(self.port).expect("coordinator port free");
+            self.lfd = fd;
+            self.port = port;
+            coord_shared(k.w).coord_pid = Some(k.getpid_real());
+            if self.interval.is_some() {
+                // Arm the first interval tick.
+                let iv = self.interval.expect("checked");
+                let pid = k.getpid_real();
+                k.sim.after(iv, move |w: &mut World, sim| {
+                    coord_shared(w).ckpt_request_pending = true;
+                    w.wake(sim, (pid, Tid(0)));
+                });
+            }
+        }
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            // Accept new managers.
+            loop {
+                match k.accept(self.lfd) {
+                    Ok(fd) => {
+                        self.clients.push(Client {
+                            fd,
+                            vpid: 0,
+                            fb: FrameBuf::new(),
+                        });
+                        progressed = true;
+                    }
+                    Err(Errno::WouldBlock) => break,
+                    Err(e) => panic!("coordinator accept: {e:?}"),
+                }
+            }
+            // Drain every client socket; clients whose process exited
+            // (EOF) leave the computation.
+            let mut dead = Vec::new();
+            for i in 0..self.clients.len() {
+                loop {
+                    match k.read(self.clients[i].fd, 64 * 1024) {
+                        Ok(b) if b.is_empty() => {
+                            dead.push(i);
+                            break;
+                        }
+                        Ok(b) => {
+                            self.clients[i].fb.feed(&b);
+                            progressed = true;
+                        }
+                        Err(Errno::WouldBlock) => break,
+                        Err(e) => panic!("coordinator read: {e:?}"),
+                    }
+                }
+                while let Some(msg) = self.clients[i].fb.pop().expect("well-formed frames") {
+                    self.handle(k, i, msg);
+                    progressed = true;
+                }
+            }
+            for i in dead.into_iter().rev() {
+                let c = self.clients.remove(i);
+                let _ = k.close(c.fd);
+                progressed = true;
+            }
+            // Mailbox: `dmtcp command --checkpoint`, interval timer, or the
+            // dmtcpaware request API.
+            if coord_shared(k.w).ckpt_request_pending {
+                coord_shared(k.w).ckpt_request_pending = false;
+                self.start_checkpoint(k);
+                progressed = true;
+            }
+        }
+        Step::Block
+    }
+
+    fn tag(&self) -> &'static str {
+        "dmtcp-coordinator"
+    }
+
+    fn save(&self) -> Vec<u8> {
+        unreachable!("the coordinator is never checkpointed (as in real DMTCP)")
+    }
+}
+
+/// Record an image written by a manager so the restart script includes it.
+pub fn record_image(w: &mut World, path: String, host: String) {
+    coord_shared(w).last_images.push((path, host));
+}
+
+/// Post a checkpoint request (the `dmtcp command --checkpoint` path) and
+/// wake the coordinator.
+pub fn request_checkpoint(w: &mut World, sim: &mut oskit::world::OsSim) {
+    coord_shared(w).ckpt_request_pending = true;
+    if let Some(pid) = coord_shared(w).coord_pid {
+        w.wake(sim, (pid, Tid(0)));
+    }
+}
+
+/// Query the discovery/global tables — used by tests to assert protocol
+/// invariants without reaching into the coordinator program.
+pub fn discovery_len(w: &mut World) -> usize {
+    // The discovery table lives in the program; expose via the gsid table
+    // instead: count of advertised ids is not tracked globally, so report
+    // the number of known connection gsids.
+    global(w).conn_gsid.len()
+}

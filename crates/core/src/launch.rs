@@ -1,0 +1,247 @@
+//! `dmtcp_checkpoint` — launching programs under DMTCP.
+//!
+//! The real launcher injects `dmtcphijack.so` via `LD_PRELOAD` and spawns
+//! the coordinator on first use; wrappers around `fork`/`exec`/`ssh`
+//! propagate the injection to every descendant. Here the injection is a
+//! kernel spawn hook: any process created with `DMTCP_COORD_*` in its
+//! environment (inherited exactly like `LD_PRELOAD` would be) gets a
+//! [`Hijack`] state and a checkpoint-manager thread, plus pid
+//! virtualization with the conflict-detecting fork of §4.5.
+
+use crate::coord::{Coordinator, COORD_PORT};
+use crate::gsid::global;
+use crate::hijack::Hijack;
+use crate::manager::{Manager, Mode};
+use mtcp::WriteMode;
+use oskit::program::Program;
+use oskit::world::{NodeId, OsSim, Pid, World};
+use simkit::Nanos;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Environment keys carrying the injection (the `LD_PRELOAD` analogue).
+pub const ENV_COORD_HOST: &str = "DMTCP_COORD_HOST";
+/// Coordinator port environment key.
+pub const ENV_COORD_PORT: &str = "DMTCP_COORD_PORT";
+/// Checkpoint directory environment key.
+pub const ENV_CKPT_DIR: &str = "DMTCP_CHECKPOINT_DIR";
+/// Compression toggle environment key (`0` disables, as `DMTCP_GZIP=0`).
+pub const ENV_GZIP: &str = "DMTCP_GZIP";
+/// Forked-checkpointing toggle environment key.
+pub const ENV_FORKED: &str = "DMTCP_FORKED_CKPT";
+/// Marker telling the spawn hook to leave a process alone because
+/// `dmtcp_restart` installs its state manually.
+pub const ENV_RESTART_CHILD: &str = "DMTCP_RESTART_CHILD";
+
+/// Durability policy for freshly written images (§5.2: results in the
+/// paper do not sync; the cost of syncing is reported separately, and an
+/// alternative is to sync the *previous* checkpoint instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncMode {
+    /// Rely on the kernel's writeback (the paper's timing methodology).
+    #[default]
+    None,
+    /// `sync` after writing, before resuming user threads (+0.79 s mean
+    /// for ParGeant4 in the paper).
+    AfterCheckpoint,
+    /// Sync the *previous* generation's image instead: every checkpoint
+    /// except the newest is guaranteed durable without waiting for disk
+    /// in the common case.
+    Previous,
+}
+
+/// Environment key carrying the sync mode.
+pub const ENV_SYNC: &str = "DMTCP_SYNC";
+
+/// Launch options (the `dmtcp_checkpoint` command line).
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Coordinator node.
+    pub coord_node: NodeId,
+    /// Coordinator port.
+    pub coord_port: u16,
+    /// Where images are written (`--ckptdir`). May be `/shared/...`.
+    pub ckpt_dir: String,
+    /// gzip the images (DMTCP's default: on).
+    pub compression: bool,
+    /// Forked checkpointing (experimental in the paper).
+    pub forked: bool,
+    /// `--interval`: periodic checkpoints.
+    pub interval: Option<Nanos>,
+    /// Image durability policy.
+    pub sync: SyncMode,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            coord_node: NodeId(0),
+            coord_port: COORD_PORT,
+            ckpt_dir: "/ckpt".into(),
+            compression: true,
+            forked: false,
+            interval: None,
+            sync: SyncMode::None,
+        }
+    }
+}
+
+impl Options {
+    /// The image write mode these options imply.
+    pub fn write_mode(&self) -> WriteMode {
+        match (self.compression, self.forked) {
+            (_, true) => WriteMode::ForkedCompressed,
+            (true, false) => WriteMode::Compressed,
+            (false, false) => WriteMode::Uncompressed,
+        }
+    }
+}
+
+/// Install the DMTCP spawn hook into a world (idempotent). Every process
+/// whose environment carries the coordinator address is hijacked at
+/// creation — including children created by `fork`, `exec` and `ssh`,
+/// because the environment is inherited through all three.
+pub fn install_hook(w: &mut World) {
+    if w.spawn_hook.is_some() {
+        return;
+    }
+    w.spawn_hook = Some(Rc::new(|w: &mut World, sim: &mut OsSim, pid: Pid| {
+        hijack_new_process(w, sim, pid)
+    }));
+}
+
+fn hijack_new_process(w: &mut World, sim: &mut OsSim, pid: Pid) -> Pid {
+    let Some(p) = w.procs.get(&pid) else {
+        return pid;
+    };
+    if !p.env.contains_key(ENV_COORD_HOST) || p.env.contains_key(ENV_RESTART_CHILD) {
+        return pid;
+    }
+    if p.ext.is_some() {
+        // exec re-runs the hook; the state survives exec (DMTCP re-injects
+        // and reconnects, but keeps the same vpid).
+        return pid;
+    }
+    // ---- Conflict-detecting fork wrapper (§4.5): if the kernel handed us
+    // a pid that collides with a virtual pid that may still come back (a
+    // live traced process, or one captured in a checkpoint image), the
+    // wrapper terminates the child and forks again. ----
+    let mut pid = pid;
+    loop {
+        let conflict = {
+            // Live traced vpids (excluding the fresh process itself).
+            let live_conflict = w.procs.iter().any(|(other, p)| {
+                *other != pid && p.alive() && p.virt_pid == Some(pid.0)
+            });
+            live_conflict || global(w).checkpointed_vpids.contains(&pid.0)
+        };
+        if !conflict {
+            break;
+        }
+        global(w).fork_retries += 1;
+        pid = w.rekey_pid(pid);
+    }
+    // Close any fork-inherited copies of DMTCP's own protected connections
+    // (the parent's manager ↔ coordinator socket): the child gets its own.
+    let protected: Vec<oskit::fdtable::Fd> = {
+        let g = global(w);
+        let prot = g.protected_conns.clone();
+        w.procs[&pid]
+            .fds
+            .iter()
+            .filter(|(_, e)| matches!(e.obj, oskit::fdtable::FdObject::Sock(cid, _) if prot.contains(&cid)))
+            .map(|(fd, _)| fd)
+            .collect()
+    };
+    for fd in protected {
+        if let Some(entry) = w.procs.get_mut(&pid).expect("process exists").fds.remove(fd) {
+            w.release_obj(sim, entry.obj);
+        }
+    }
+
+    let env = &w.procs[&pid].env;
+    let coord_host = env[ENV_COORD_HOST].clone();
+    let coord_port: u16 = env[ENV_COORD_PORT].parse().expect("valid port in env");
+    let ckpt_dir = env
+        .get(ENV_CKPT_DIR)
+        .cloned()
+        .unwrap_or_else(|| "/ckpt".to_string());
+    let compression = env.get(ENV_GZIP).map(|v| v != "0").unwrap_or(true);
+    let forked = env.get(ENV_FORKED).map(|v| v == "1").unwrap_or(false);
+    let sync = match env.get(ENV_SYNC).map(|s| s.as_str()) {
+        Some("after") => SyncMode::AfterCheckpoint,
+        Some("previous") => SyncMode::Previous,
+        _ => SyncMode::None,
+    };
+    let mode = match (compression, forked) {
+        (_, true) => WriteMode::ForkedCompressed,
+        (true, false) => WriteMode::Compressed,
+        (false, false) => WriteMode::Uncompressed,
+    };
+    let vpid = pid.0;
+    global(w).session_vpids.insert(vpid);
+    let p = w.procs.get_mut(&pid).expect("process exists");
+    let mut hijack = Hijack::new(vpid, coord_host, coord_port, ckpt_dir, mode);
+    hijack.sync = sync;
+    p.ext = Some(Box::new(hijack));
+    p.virt_pid = Some(vpid);
+    p.pid_map.insert(vpid, pid.0);
+    let tid = p.add_thread(Box::new(Manager::new(Mode::Steady)), false);
+    w.schedule_dispatch(sim, pid, tid);
+    w.trace
+        .emit_with(sim.now(), "hijack", || format!("pid {} traced", pid.0));
+    pid
+}
+
+/// Spawn the coordinator process on `opts.coord_node` (the first
+/// `dmtcp_checkpoint` invocation does this automatically).
+pub fn spawn_coordinator(w: &mut World, sim: &mut OsSim, opts: &Options) -> Pid {
+    // The coordinator itself must NOT be traced: no DMTCP_* env.
+    w.spawn(
+        sim,
+        opts.coord_node,
+        "dmtcp_coordinator",
+        Box::new(Coordinator::new(opts.coord_port, opts.interval)),
+        Pid(1),
+        BTreeMap::new(),
+    )
+}
+
+/// `dmtcp_checkpoint <program>`: start `prog` on `node` under DMTCP.
+///
+/// Installs the spawn hook, ensures the checkpoint directory exists, and
+/// spawns the process with the injection environment. The coordinator must
+/// already be running (see [`spawn_coordinator`] / [`crate::Session`]).
+pub fn launch_under_dmtcp(
+    w: &mut World,
+    sim: &mut OsSim,
+    node: NodeId,
+    cmd: &str,
+    prog: Box<dyn Program>,
+    opts: &Options,
+) -> Pid {
+    install_hook(w);
+    let coord_host = w.node(opts.coord_node).hostname.clone();
+    let mut env = BTreeMap::new();
+    env.insert(ENV_COORD_HOST.to_string(), coord_host);
+    env.insert(ENV_COORD_PORT.to_string(), opts.coord_port.to_string());
+    env.insert(ENV_CKPT_DIR.to_string(), opts.ckpt_dir.clone());
+    env.insert(
+        ENV_GZIP.to_string(),
+        if opts.compression { "1" } else { "0" }.to_string(),
+    );
+    env.insert(
+        ENV_FORKED.to_string(),
+        if opts.forked { "1" } else { "0" }.to_string(),
+    );
+    env.insert(
+        ENV_SYNC.to_string(),
+        match opts.sync {
+            SyncMode::None => "none",
+            SyncMode::AfterCheckpoint => "after",
+            SyncMode::Previous => "previous",
+        }
+        .to_string(),
+    );
+    w.spawn(sim, node, cmd, prog, Pid(1), env)
+}

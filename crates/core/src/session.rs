@@ -1,0 +1,215 @@
+//! High-level session driver: the programmatic equivalents of the three
+//! DMTCP commands (§3):
+//!
+//! ```text
+//! dmtcp_checkpoint [options] <program>   → Session::start + Session::launch
+//! dmtcp_command --checkpoint             → Session::checkpoint_and_wait
+//! dmtcp_restart_script.sh                → Session::restart_from_script
+//! ```
+//!
+//! Tests, examples, and the benchmark harness all drive checkpoints through
+//! this type, so they exercise the same protocol code paths.
+
+use crate::coord::{coord_shared, stage, GenStat};
+use crate::launch::{launch_under_dmtcp, spawn_coordinator, Options};
+use crate::restart::RestartProc;
+use oskit::program::Program;
+use oskit::proc::sig;
+use oskit::world::{NodeId, OsSim, Pid, World};
+use simkit::Nanos;
+use std::collections::BTreeMap;
+
+/// A running DMTCP session (one coordinator + its computation).
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Launch options in force.
+    pub opts: Options,
+    /// Coordinator process.
+    pub coord_pid: Pid,
+}
+
+impl Session {
+    /// Start a coordinator with `opts`.
+    pub fn start(w: &mut World, sim: &mut OsSim, opts: Options) -> Session {
+        let coord_pid = spawn_coordinator(w, sim, &opts);
+        // Let it bind its port before anything tries to register.
+        sim.run_until(w, sim.now() + Nanos::from_millis(1));
+        Session { opts, coord_pid }
+    }
+
+    /// `dmtcp_checkpoint <program>` on `node`.
+    pub fn launch(
+        &self,
+        w: &mut World,
+        sim: &mut OsSim,
+        node: NodeId,
+        cmd: &str,
+        prog: Box<dyn Program>,
+    ) -> Pid {
+        launch_under_dmtcp(w, sim, node, cmd, prog, &self.opts)
+    }
+
+    /// `dmtcp_command --checkpoint` (asynchronous).
+    pub fn request_checkpoint(&self, w: &mut World, sim: &mut OsSim) {
+        crate::coord::request_checkpoint(w, sim);
+    }
+
+    /// Request a checkpoint and run the simulation until it completes
+    /// (stage-6 barrier released). Returns the generation's stats.
+    ///
+    /// Panics if the checkpoint does not finish within `max_events` — a
+    /// hung barrier is a protocol bug the tests must see.
+    pub fn checkpoint_and_wait(
+        &self,
+        w: &mut World,
+        sim: &mut OsSim,
+        max_events: u64,
+    ) -> GenStat {
+        let before = coord_shared(w).gen_stats.len();
+        self.request_checkpoint(w, sim);
+        let fired_start = sim.events_fired();
+        loop {
+            if !sim.step(w) {
+                break;
+            }
+            let done = {
+                let cs = coord_shared(w);
+                cs.gen_stats.len() > before
+                    && cs.gen_stats.last().expect("pushed").releases.contains_key(&stage::REFILLED)
+            };
+            if done {
+                return coord_shared(w).gen_stats.last().expect("pushed").clone();
+            }
+            assert!(
+                sim.events_fired() - fired_start < max_events,
+                "checkpoint did not complete within {max_events} events"
+            );
+        }
+        panic!("event queue drained before the checkpoint completed");
+    }
+
+    /// The most recent generation stats.
+    pub fn last_gen_stat(w: &mut World) -> Option<GenStat> {
+        coord_shared(w).gen_stats.last().cloned()
+    }
+
+    /// Kill the whole traced computation with SIGKILL (simulated failure).
+    /// The coordinator survives, as in real deployments.
+    pub fn kill_computation(&self, w: &mut World, sim: &mut OsSim) {
+        let traced: Vec<Pid> = w
+            .procs
+            .iter()
+            .filter(|(_, p)| p.alive() && p.ext.as_ref().map(|e| e.is::<crate::hijack::Hijack>()).unwrap_or(false))
+            .map(|(pid, _)| *pid)
+            .collect();
+        for pid in traced {
+            w.signal(sim, pid, sig::SIGKILL);
+        }
+        sim.run_until(w, sim.now() + Nanos::from_millis(1));
+    }
+
+    /// Parse `dmtcp_restart_script.sh` into `(hostname, image paths)`.
+    pub fn parse_restart_script(w: &World) -> Vec<(String, Vec<String>)> {
+        let Ok(bytes) = w.shared_fs.read_all("/shared/dmtcp_restart_script.sh") else {
+            return Vec::new();
+        };
+        let script = String::from_utf8(bytes).expect("script is utf-8");
+        let mut out = Vec::new();
+        for line in script.lines() {
+            let mut words = line.split_whitespace();
+            if words.next() != Some("ssh") {
+                continue;
+            }
+            let host = words.next().expect("host after ssh").to_string();
+            assert_eq!(words.next(), Some("dmtcp_restart"));
+            out.push((host, words.map(|s| s.to_string()).collect()));
+        }
+        out
+    }
+
+    /// `dmtcp_restart_script.sh`: restart the last checkpoint in (possibly
+    /// another) world. `remap` translates original hostnames to restart
+    /// nodes — identity for in-place restart, everything-to-one-node for
+    /// the paper's "continue on your laptop" use case. Returns the restart
+    /// process pids.
+    ///
+    /// The target world must already contain the image files (see
+    /// [`transplant_storage`]) and a running coordinator for `self`.
+    pub fn restart_from_script(
+        &self,
+        w: &mut World,
+        sim: &mut OsSim,
+        script: &[(String, Vec<String>)],
+        remap: &dyn Fn(&str) -> NodeId,
+        gen: u64,
+    ) -> Vec<Pid> {
+        crate::launch::install_hook(w);
+        let coord_host = w.node(self.opts.coord_node).hostname.clone();
+        // Group images by *target* node (migration may merge hosts).
+        let mut by_node: BTreeMap<NodeId, Vec<String>> = BTreeMap::new();
+        for (host, images) in script {
+            by_node
+                .entry(remap(host))
+                .or_default()
+                .extend(images.iter().cloned());
+        }
+        let total: u32 = by_node.values().map(|v| v.len() as u32).sum();
+        let mut restart_pids = Vec::new();
+        let mut first = true;
+        for (node, images) in by_node {
+            let plan = if first { Some((total, gen)) } else { None };
+            first = false;
+            let prog = Box::new(RestartProc::new(
+                images,
+                coord_host.clone(),
+                self.opts.coord_port,
+                plan,
+            ));
+            let pid = w.spawn(sim, node, "dmtcp_restart", prog, Pid(1), BTreeMap::new());
+            restart_pids.push(pid);
+        }
+        restart_pids
+    }
+
+    /// Run the simulation until the restart completes (restart-refill
+    /// barrier released for `gen`).
+    pub fn wait_restart_done(w: &mut World, sim: &mut OsSim, gen: u64, max_events: u64) {
+        let start = sim.events_fired();
+        loop {
+            let done = coord_shared(w)
+                .gen_stats
+                .iter()
+                .any(|g| g.gen == gen && g.releases.contains_key(&stage::RESTART_REFILLED));
+            if done {
+                return;
+            }
+            assert!(
+                sim.step(w),
+                "event queue drained before restart completed (gen {gen})"
+            );
+            assert!(
+                sim.events_fired() - start < max_events,
+                "restart did not complete within {max_events} events"
+            );
+        }
+    }
+}
+
+/// Copy checkpoint artifacts from one world to another: the shared
+/// filesystem always, and each node's local filesystem onto the same node
+/// index when the topologies allow. This is "the storage survived the
+/// crash"; everything else about the old world is discarded.
+pub fn transplant_storage(src: &World, dst: &mut World) {
+    dst.shared_fs = src.shared_fs.clone();
+    for (i, node) in src.nodes.iter().enumerate() {
+        if let Some(dnode) = dst.nodes.get_mut(i) {
+            dnode.fs = node.fs.clone();
+        }
+    }
+}
+
+/// Convenience: run the simulation for a fixed virtual duration.
+pub fn run_for(w: &mut World, sim: &mut OsSim, dur: Nanos) {
+    let deadline = sim.now() + dur;
+    sim.run_until(w, deadline);
+}

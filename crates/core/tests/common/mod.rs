@@ -1,0 +1,413 @@
+//! Checkpointable test applications shared by the dmtcp integration tests.
+//!
+//! These are honest applications: they never mention DMTCP (except the
+//! `aware_*` variants), keep all state in snap-serializable structs, and
+//! verify their own data integrity, so a checkpoint/restart that corrupts
+//! a byte stream or loses in-flight data fails the test through the
+//! application's own checks.
+
+use oskit::program::{Program, Registry, Step};
+use oskit::world::{OsSim, World};
+use oskit::{Errno, Fd, HwSpec, Kernel};
+use simkit::{Nanos, Sim, Snap};
+
+/// A TCP server: accepts one client, then for each 8-byte LE integer
+/// received replies with value + 1. Exits on client EOF, recording the
+/// number of rounds served in `/shared/server_result`.
+pub struct EchoPlusOne {
+    pub pc: u8,
+    pub lfd: Fd,
+    pub cfd: Fd,
+    pub port: u16,
+    pub rounds: u64,
+    pub inbuf: Vec<u8>,
+}
+simkit::impl_snap!(struct EchoPlusOne { pc, lfd, cfd, port, rounds, inbuf });
+
+impl EchoPlusOne {
+    pub fn new(port: u16) -> Self {
+        EchoPlusOne {
+            pc: 0,
+            lfd: -1,
+            cfd: -1,
+            port,
+            rounds: 0,
+            inbuf: Vec::new(),
+        }
+    }
+}
+
+impl Program for EchoPlusOne {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        loop {
+            match self.pc {
+                0 => {
+                    let (fd, _) = k.listen_on(self.port).expect("server listen");
+                    self.lfd = fd;
+                    self.pc = 1;
+                }
+                1 => match k.accept(self.lfd) {
+                    Ok(fd) => {
+                        self.cfd = fd;
+                        self.pc = 2;
+                    }
+                    Err(Errno::WouldBlock) => return Step::Block,
+                    Err(e) => panic!("server accept: {e:?}"),
+                },
+                2 => {
+                    match k.read(self.cfd, 8 - self.inbuf.len()) {
+                        Ok(b) if b.is_empty() => {
+                            // Client done.
+                            let fd = k.open("/shared/server_result", true).expect("result");
+                            k.write(fd, self.rounds.to_string().as_bytes()).expect("w");
+                            return Step::Exit(0);
+                        }
+                        Ok(b) => {
+                            self.inbuf.extend_from_slice(&b);
+                            if self.inbuf.len() == 8 {
+                                let v = u64::from_le_bytes(
+                                    self.inbuf[..].try_into().expect("8 bytes"),
+                                );
+                                self.inbuf.clear();
+                                self.rounds += 1;
+                                let reply = (v + 1).to_le_bytes();
+                                let n = k.write(self.cfd, &reply).expect("reply");
+                                assert_eq!(n, 8);
+                            }
+                        }
+                        Err(Errno::WouldBlock) => return Step::Block,
+                        Err(e) => panic!("server read: {e:?}"),
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "echo-plus-one"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+/// The client: `rounds` request/response exchanges with compute in between,
+/// verifying each reply is its value + 1; records the final accumulator in
+/// `/shared/client_result`.
+pub struct ChainClient {
+    pub pc: u8,
+    pub fd: Fd,
+    pub server: String,
+    pub port: u16,
+    pub sent: u64,
+    pub rounds: u64,
+    pub value: u64,
+    pub inbuf: Vec<u8>,
+    /// MiB of synthetic memory ballast (exercises image size effects).
+    pub ballast_mb: u64,
+}
+simkit::impl_snap!(struct ChainClient { pc, fd, server, port, sent, rounds, value, inbuf, ballast_mb });
+
+impl ChainClient {
+    pub fn new(server: &str, port: u16, rounds: u64) -> Self {
+        ChainClient {
+            pc: 0,
+            fd: -1,
+            server: server.to_string(),
+            port,
+            sent: 0,
+            rounds,
+            value: 1,
+            inbuf: Vec::new(),
+            ballast_mb: 0,
+        }
+    }
+
+    pub fn with_ballast(mut self, mb: u64) -> Self {
+        self.ballast_mb = mb;
+        self
+    }
+}
+
+impl Program for ChainClient {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        loop {
+            match self.pc {
+                0 => match k.connect(&self.server, self.port) {
+                    Ok(fd) => {
+                        if self.ballast_mb > 0 {
+                            k.mmap_synthetic(
+                                "client-ballast",
+                                self.ballast_mb << 20,
+                                77,
+                                oskit::mem::FillProfile::Text,
+                            );
+                        }
+                        self.fd = fd;
+                        self.pc = 1;
+                    }
+                    Err(Errno::ConnRefused) => return Step::Sleep(Nanos::from_millis(2)),
+                    Err(e) => panic!("client connect: {e:?}"),
+                },
+                1 => {
+                    if self.sent == self.rounds {
+                        k.close(self.fd).expect("close");
+                        let fd = k.open("/shared/client_result", true).expect("result");
+                        k.write(fd, self.value.to_string().as_bytes()).expect("w");
+                        return Step::Exit(0);
+                    }
+                    let n = k.write(self.fd, &self.value.to_le_bytes()).expect("send");
+                    assert_eq!(n, 8);
+                    self.sent += 1;
+                    self.pc = 2;
+                    // A little compute between rounds keeps user threads
+                    // busy when the checkpoint lands.
+                    return Step::Compute(200_000);
+                }
+                2 => match k.read(self.fd, 8 - self.inbuf.len()) {
+                    Ok(b) if b.is_empty() => panic!("server hung up mid-round"),
+                    Ok(b) => {
+                        self.inbuf.extend_from_slice(&b);
+                        if self.inbuf.len() == 8 {
+                            let v = u64::from_le_bytes(self.inbuf[..].try_into().expect("8"));
+                            assert_eq!(v, self.value + 1, "stream corrupted");
+                            self.value = v;
+                            self.inbuf.clear();
+                            self.pc = 1;
+                        }
+                    }
+                    Err(Errno::WouldBlock) => return Step::Block,
+                    Err(e) => panic!("client read: {e:?}"),
+                },
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "chain-client"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+/// A fork-based pipe chain: the parent creates a pipe and forks; the child
+/// (fork_ret == 0) writes `total` sequenced bytes and exits; the parent
+/// reads and verifies them, then records the checksum.
+pub struct PipeChain {
+    pub pc: u8,
+    pub rfd: Fd,
+    pub wfd: Fd,
+    pub total: u64,
+    pub progress: u64,
+    pub checksum: u64,
+    pub child: u32,
+}
+simkit::impl_snap!(struct PipeChain { pc, rfd, wfd, total, progress, checksum, child });
+
+impl PipeChain {
+    pub fn new(total: u64) -> Self {
+        PipeChain {
+            pc: 0,
+            rfd: -1,
+            wfd: -1,
+            total,
+            progress: 0,
+            checksum: 0,
+            child: 0,
+        }
+    }
+}
+
+impl Program for PipeChain {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        loop {
+            match self.pc {
+                0 => {
+                    let (r, w) = k.pipe();
+                    self.rfd = r;
+                    self.wfd = w;
+                    self.pc = 1;
+                    let child = k.fork_snapshot(self).expect("fork");
+                    self.child = child.0;
+                }
+                1 => match k.fork_ret() {
+                    Some(0) => {
+                        k.clear_fork_ret();
+                        k.close(self.rfd).expect("child closes read end");
+                        self.pc = 10; // writer
+                    }
+                    _ => {
+                        k.clear_fork_ret();
+                        k.close(self.wfd).expect("parent closes write end");
+                        self.pc = 20; // reader
+                    }
+                },
+                // ---- child: writer ----
+                10 => {
+                    if self.progress >= self.total {
+                        k.close(self.wfd).expect("writer done");
+                        return Step::Exit(0);
+                    }
+                    let n = (self.total - self.progress).min(2048) as usize;
+                    let chunk: Vec<u8> = (self.progress..self.progress + n as u64)
+                        .map(|i| (i % 251) as u8)
+                        .collect();
+                    match k.write(self.wfd, &chunk) {
+                        Ok(sent) => {
+                            self.progress += sent as u64;
+                            return Step::Compute(50_000);
+                        }
+                        Err(Errno::WouldBlock) => return Step::Block,
+                        Err(e) => panic!("pipe write: {e:?}"),
+                    }
+                }
+                // ---- parent: reader ----
+                20 => match k.read(self.rfd, 4096) {
+                    Ok(b) if b.is_empty() => {
+                        assert_eq!(self.progress, self.total, "short pipe stream");
+                        let fd = k.open("/shared/pipe_result", true).expect("result");
+                        k.write(fd, self.checksum.to_string().as_bytes()).expect("w");
+                        self.pc = 21;
+                    }
+                    Ok(b) => {
+                        for &byte in &b {
+                            assert_eq!(
+                                byte,
+                                (self.progress % 251) as u8,
+                                "pipe byte order broken at {}",
+                                self.progress
+                            );
+                            self.checksum = self
+                                .checksum
+                                .wrapping_mul(31)
+                                .wrapping_add(byte as u64);
+                            self.progress += 1;
+                        }
+                    }
+                    Err(Errno::WouldBlock) => return Step::Block,
+                    Err(e) => panic!("pipe read: {e:?}"),
+                },
+                21 => match k.waitpid(oskit::world::Pid(self.child)) {
+                    Ok(code) => {
+                        assert_eq!(code, 0);
+                        return Step::Exit(0);
+                    }
+                    Err(Errno::WouldBlock) => return Step::Block,
+                    Err(e) => panic!("waitpid: {e:?}"),
+                },
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "pipe-chain"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+/// A two-thread process: the main thread spawns a worker; both count to a
+/// target with compute steps; main joins by polling a shared heap cell the
+/// worker bumps, then records both counters.
+pub struct TwinMain {
+    pub pc: u8,
+    pub heap: u64,
+    pub count: u64,
+    pub target: u64,
+}
+simkit::impl_snap!(struct TwinMain { pc, heap, count, target });
+
+pub struct TwinWorker {
+    pub heap: u64,
+    pub count: u64,
+    pub target: u64,
+}
+simkit::impl_snap!(struct TwinWorker { heap, count, target });
+
+impl Program for TwinWorker {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        if self.count < self.target {
+            self.count += 1;
+            return Step::Compute(100_000);
+        }
+        k.mem_write(self.heap as usize, 0, &1u64.to_le_bytes());
+        Step::ExitThread
+    }
+    fn tag(&self) -> &'static str {
+        "twin-worker"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+impl Program for TwinMain {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        loop {
+            match self.pc {
+                0 => {
+                    self.heap = k.mmap_anon("twin-flag", 8) as u64;
+                    let worker = TwinWorker {
+                        heap: self.heap,
+                        count: 0,
+                        target: self.target,
+                    };
+                    k.spawn_thread(Box::new(worker), true);
+                    self.pc = 1;
+                }
+                1 => {
+                    if self.count < self.target {
+                        self.count += 1;
+                        return Step::Compute(100_000);
+                    }
+                    self.pc = 2;
+                }
+                2 => {
+                    let flag = k.mem_read(self.heap as usize, 0, 8);
+                    if u64::from_le_bytes(flag.try_into().expect("8")) == 1 {
+                        let fd = k.open("/shared/twin_result", true).expect("result");
+                        k.write(fd, format!("{}", self.count * 2).as_bytes()).expect("w");
+                        return Step::Exit(0);
+                    }
+                    return Step::Sleep(Nanos::from_millis(1));
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "twin-main"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+/// Registry with every test application.
+pub fn test_registry() -> Registry {
+    let mut r = Registry::new();
+    r.register_snap::<EchoPlusOne>("echo-plus-one");
+    r.register_snap::<ChainClient>("chain-client");
+    r.register_snap::<PipeChain>("pipe-chain");
+    r.register_snap::<TwinMain>("twin-main");
+    r.register_snap::<TwinWorker>("twin-worker");
+    r
+}
+
+/// A standard 2-node world + sim.
+pub fn cluster(nodes: usize) -> (World, OsSim) {
+    (
+        World::new(HwSpec::cluster(), nodes, test_registry()),
+        Sim::new(),
+    )
+}
+
+/// Read a /shared result file as a string.
+pub fn shared_result(w: &World, path: &str) -> Option<String> {
+    w.shared_fs
+        .read_all(path)
+        .ok()
+        .map(|b| String::from_utf8(b).expect("utf8"))
+}

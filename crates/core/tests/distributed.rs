@@ -1,0 +1,358 @@
+//! End-to-end distributed checkpoint/restart: the headline behaviour of the
+//! paper, verified by the applications' own integrity checks.
+
+mod common;
+
+use common::*;
+use dmtcp::coord::{coord_shared, stage};
+use dmtcp::session::{run_for, transplant_storage};
+use dmtcp::{Options, Session};
+use oskit::proc::ProcState;
+use oskit::world::NodeId;
+use simkit::Nanos;
+
+const EV: u64 = 5_000_000;
+
+fn opts_shared_dir() -> Options {
+    Options {
+        ckpt_dir: "/shared/ckpt".into(),
+        ..Options::default()
+    }
+}
+
+/// Reference: run the chain app with no DMTCP at all.
+fn chain_reference(rounds: u64) -> (String, String) {
+    let (mut w, mut sim) = cluster(2);
+    use std::collections::BTreeMap;
+    w.spawn(
+        &mut sim,
+        NodeId(1),
+        "server",
+        Box::new(EchoPlusOne::new(9000)),
+        oskit::world::Pid(1),
+        BTreeMap::new(),
+    );
+    w.spawn(
+        &mut sim,
+        NodeId(0),
+        "client",
+        Box::new(ChainClient::new("node01", 9000, rounds)),
+        oskit::world::Pid(1),
+        BTreeMap::new(),
+    );
+    assert!(sim.run_bounded(&mut w, EV));
+    (
+        shared_result(&w, "/shared/client_result").expect("client finished"),
+        shared_result(&w, "/shared/server_result").expect("server finished"),
+    )
+}
+
+fn launch_chain(w: &mut oskit::world::World, sim: &mut oskit::world::OsSim, s: &Session, rounds: u64) {
+    s.launch(w, sim, NodeId(1), "server", Box::new(EchoPlusOne::new(9000)));
+    s.launch(
+        w,
+        sim,
+        NodeId(0),
+        "client",
+        Box::new(ChainClient::new("node01", 9000, rounds)),
+    );
+}
+
+#[test]
+fn checkpoint_mid_stream_then_continue() {
+    let rounds = 400;
+    let (ref_client, ref_server) = chain_reference(rounds);
+
+    let (mut w, mut sim) = cluster(2);
+    let s = Session::start(&mut w, &mut sim, opts_shared_dir());
+    launch_chain(&mut w, &mut sim, &s, rounds);
+    run_for(&mut w, &mut sim, Nanos::from_millis(40)); // mid-computation
+    assert!(w.live_procs() >= 3, "apps + coordinator alive");
+
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    assert_eq!(stat.participants, 2);
+    assert!(stat.checkpoint_time().is_some());
+
+    // Images + restart script exist on the shared fs.
+    let images: Vec<_> = w.shared_fs.list_prefix("/shared/ckpt/").collect();
+    assert_eq!(images.len(), 2, "one image per process: {images:?}");
+    assert!(w.shared_fs.exists("/shared/dmtcp_restart_script.sh"));
+
+    // The computation continues to the right answer.
+    assert!(sim.run_bounded(&mut w, EV), "post-checkpoint deadlock");
+    assert_eq!(shared_result(&w, "/shared/client_result").as_deref(), Some(ref_client.as_str()));
+    assert_eq!(shared_result(&w, "/shared/server_result").as_deref(), Some(ref_server.as_str()));
+}
+
+#[test]
+fn kill_and_restart_in_same_world() {
+    let rounds = 400;
+    let (ref_client, ref_server) = chain_reference(rounds);
+
+    let (mut w, mut sim) = cluster(2);
+    let s = Session::start(&mut w, &mut sim, opts_shared_dir());
+    launch_chain(&mut w, &mut sim, &s, rounds);
+    run_for(&mut w, &mut sim, Nanos::from_millis(40));
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let gen = stat.gen;
+
+    // Run a little further (progress past the checkpoint is discarded),
+    // then kill the whole computation.
+    run_for(&mut w, &mut sim, Nanos::from_millis(20));
+    s.kill_computation(&mut w, &mut sim);
+    assert_eq!(w.live_procs(), 1, "only the coordinator survives");
+    // Results from the pre-kill run must not exist yet.
+    assert!(shared_result(&w, "/shared/client_result").is_none());
+
+    // Restart from the script, same hosts.
+    let script = Session::parse_restart_script(&w);
+    assert_eq!(script.len(), 2, "two hosts in script: {script:?}");
+    let w_ref = &w;
+    let remap = move |h: &str| -> NodeId {
+        w_ref.resolve(h).expect("host exists")
+    };
+    // (borrow juggling: precompute the mapping)
+    let mapping: Vec<(String, NodeId)> = script
+        .iter()
+        .map(|(h, _)| (h.clone(), remap(h)))
+        .collect();
+    let remap2 = move |h: &str| -> NodeId {
+        mapping
+            .iter()
+            .find(|(name, _)| name == h)
+            .map(|(_, n)| *n)
+            .expect("host in mapping")
+    };
+    s.restart_from_script(&mut w, &mut sim, &script, &remap2, gen);
+    Session::wait_restart_done(&mut w, &mut sim, gen, EV);
+
+    // The computation resumes and completes with the reference answers.
+    assert!(sim.run_bounded(&mut w, EV), "post-restart deadlock");
+    assert_eq!(shared_result(&w, "/shared/client_result").as_deref(), Some(ref_client.as_str()));
+    assert_eq!(shared_result(&w, "/shared/server_result").as_deref(), Some(ref_server.as_str()));
+}
+
+#[test]
+fn migrate_cluster_to_single_laptop() {
+    // The paper's use case 6: checkpoint on a cluster, restart everything
+    // on one machine.
+    let rounds = 300;
+    let (ref_client, ref_server) = chain_reference(rounds);
+
+    let (mut w, mut sim) = cluster(2);
+    let s = Session::start(&mut w, &mut sim, opts_shared_dir());
+    launch_chain(&mut w, &mut sim, &s, rounds);
+    run_for(&mut w, &mut sim, Nanos::from_millis(40));
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let gen = stat.gen;
+    let script = Session::parse_restart_script(&w);
+
+    // "Laptop": a fresh single-node world; only the shared storage moved.
+    let (mut laptop, mut sim2) = {
+        let mut lw = oskit::World::new(oskit::HwSpec::desktop(), 1, test_registry());
+        transplant_storage(&w, &mut lw);
+        // Results were not produced before the crash.
+        let _ = lw.shared_fs.remove("/shared/client_result");
+        (lw, simkit::Sim::new())
+    };
+    drop(w);
+    drop(sim);
+
+    let s2 = Session::start(&mut laptop, &mut sim2, opts_shared_dir());
+    let everything_to_node0 = |_h: &str| NodeId(0);
+    s2.restart_from_script(&mut laptop, &mut sim2, &script, &everything_to_node0, gen);
+    Session::wait_restart_done(&mut laptop, &mut sim2, gen, EV);
+    assert!(sim2.run_bounded(&mut laptop, EV), "laptop deadlock");
+    assert_eq!(
+        shared_result(&laptop, "/shared/client_result").as_deref(),
+        Some(ref_client.as_str())
+    );
+    assert_eq!(
+        shared_result(&laptop, "/shared/server_result").as_deref(),
+        Some(ref_server.as_str())
+    );
+    // Loopback restore: the former cross-node socket now lives on one node.
+    assert!(laptop.nodes.len() == 1);
+}
+
+#[test]
+fn pipes_and_fork_survive_checkpoint_restart() {
+    let total = 3_000_000; // ~45 windows of pipe data; runs well past the ckpt
+    let (mut w, mut sim) = cluster(1);
+    let s = Session::start(&mut w, &mut sim, opts_shared_dir());
+    s.launch(&mut w, &mut sim, NodeId(0), "pipechain", Box::new(PipeChain::new(total)));
+    run_for(&mut w, &mut sim, Nanos::from_millis(30));
+    // Parent and forked child are both traced.
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    assert_eq!(stat.participants, 2, "fork wrapper traced the child");
+    let gen = stat.gen;
+    s.kill_computation(&mut w, &mut sim);
+    let script = Session::parse_restart_script(&w);
+    let to0 = |_h: &str| NodeId(0);
+    s.restart_from_script(&mut w, &mut sim, &script, &to0, gen);
+    Session::wait_restart_done(&mut w, &mut sim, gen, EV);
+    assert!(sim.run_bounded(&mut w, EV), "pipe chain deadlocked after restart");
+    // The reader's own assertions verified the byte stream; the checksum
+    // must match an uninterrupted run.
+    let got = shared_result(&w, "/shared/pipe_result").expect("finished");
+    let (mut w2, mut sim2) = cluster(1);
+    use std::collections::BTreeMap;
+    w2.spawn(
+        &mut sim2,
+        NodeId(0),
+        "ref",
+        Box::new(PipeChain::new(total)),
+        oskit::world::Pid(1),
+        BTreeMap::new(),
+    );
+    assert!(sim2.run_bounded(&mut w2, EV));
+    assert_eq!(Some(got), shared_result(&w2, "/shared/pipe_result"));
+}
+
+#[test]
+fn multithreaded_process_restores_both_threads() {
+    let (mut w, mut sim) = cluster(1);
+    let s = Session::start(&mut w, &mut sim, opts_shared_dir());
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(0),
+        "twin",
+        Box::new(TwinMain {
+            pc: 0,
+            heap: 0,
+            count: 0,
+            target: 300,
+        }),
+    );
+    run_for(&mut w, &mut sim, Nanos::from_millis(15)); // both threads mid-count
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let gen = stat.gen;
+    s.kill_computation(&mut w, &mut sim);
+    let script = Session::parse_restart_script(&w);
+    let to0 = |_h: &str| NodeId(0);
+    s.restart_from_script(&mut w, &mut sim, &script, &to0, gen);
+    Session::wait_restart_done(&mut w, &mut sim, gen, EV);
+    assert!(sim.run_bounded(&mut w, EV));
+    assert_eq!(shared_result(&w, "/shared/twin_result").as_deref(), Some("600"));
+}
+
+#[test]
+fn interval_checkpointing_produces_multiple_generations() {
+    let (mut w, mut sim) = cluster(2);
+    let s = Session::start(
+        &mut w,
+        &mut sim,
+        Options {
+            ckpt_dir: "/shared/ckpt".into(),
+            interval: Some(Nanos::from_millis(30)),
+            ..Options::default()
+        },
+    );
+    launch_chain(&mut w, &mut sim, &s, 1500);
+    assert!(sim.run_bounded(&mut w, 20_000_000), "interval run deadlocked");
+    let gens = coord_shared(&mut w).gen_stats.len();
+    assert!(gens >= 3, "expected several interval checkpoints, got {gens}");
+    for g in &coord_shared(&mut w).gen_stats {
+        assert!(
+            g.releases.contains_key(&stage::REFILLED),
+            "gen {} incomplete",
+            g.gen
+        );
+    }
+    // And the app still finished correctly.
+    let (ref_client, _) = chain_reference(1500);
+    assert_eq!(shared_result(&w, "/shared/client_result").as_deref(), Some(ref_client.as_str()));
+}
+
+#[test]
+fn second_checkpoint_after_restart_works() {
+    // Checkpoint → kill → restart → checkpoint again → kill → restart:
+    // generations must keep advancing and the answer must stay right.
+    let rounds = 600;
+    let (ref_client, _) = chain_reference(rounds);
+    let (mut w, mut sim) = cluster(2);
+    let s = Session::start(&mut w, &mut sim, opts_shared_dir());
+    launch_chain(&mut w, &mut sim, &s, rounds);
+    run_for(&mut w, &mut sim, Nanos::from_millis(30));
+    let g1 = s.checkpoint_and_wait(&mut w, &mut sim, EV).gen;
+    s.kill_computation(&mut w, &mut sim);
+    let script1 = Session::parse_restart_script(&w);
+    let id = {
+        let names: Vec<(String, NodeId)> = script1
+            .iter()
+            .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
+            .collect();
+        move |h: &str| names.iter().find(|(n, _)| n == h).map(|(_, x)| *x).expect("host")
+    };
+    s.restart_from_script(&mut w, &mut sim, &script1, &id, g1);
+    Session::wait_restart_done(&mut w, &mut sim, g1, EV);
+
+    run_for(&mut w, &mut sim, Nanos::from_millis(20));
+    let stat2 = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    assert!(stat2.gen > g1, "generation advanced: {} > {g1}", stat2.gen);
+    s.kill_computation(&mut w, &mut sim);
+    let script2 = Session::parse_restart_script(&w);
+    s.restart_from_script(&mut w, &mut sim, &script2, &id, stat2.gen);
+    Session::wait_restart_done(&mut w, &mut sim, stat2.gen, EV);
+    assert!(sim.run_bounded(&mut w, EV));
+    assert_eq!(shared_result(&w, "/shared/client_result").as_deref(), Some(ref_client.as_str()));
+}
+
+#[test]
+fn forked_checkpointing_shortens_the_pause() {
+    let rounds = 800;
+    let run = |forked: bool| -> (Nanos, String) {
+        let (mut w, mut sim) = cluster(2);
+        let s = Session::start(
+            &mut w,
+            &mut sim,
+            Options {
+                ckpt_dir: "/shared/ckpt".into(),
+                forked,
+                ..Options::default()
+            },
+        );
+        // A sizable image makes the write stage dominate, which is what
+        // forked checkpointing optimizes (Table 1).
+        s.launch(&mut w, &mut sim, NodeId(1), "server", Box::new(EchoPlusOne::new(9000)));
+        s.launch(
+            &mut w,
+            &mut sim,
+            NodeId(0),
+            "client",
+            Box::new(ChainClient::new("node01", 9000, rounds).with_ballast(64)),
+        );
+        run_for(&mut w, &mut sim, Nanos::from_millis(40));
+        let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+        assert!(sim.run_bounded(&mut w, EV));
+        (
+            stat.total_pause().expect("complete"),
+            shared_result(&w, "/shared/client_result").expect("finished"),
+        )
+    };
+    let (pause_normal, r1) = run(false);
+    let (pause_forked, r2) = run(true);
+    assert_eq!(r1, r2, "forked mode must not change results");
+    assert!(
+        pause_forked < pause_normal,
+        "forked {pause_forked:?} !< normal {pause_normal:?}"
+    );
+}
+
+#[test]
+fn zombie_free_teardown_and_coordinator_client_tracking() {
+    let (mut w, mut sim) = cluster(2);
+    let s = Session::start(&mut w, &mut sim, opts_shared_dir());
+    launch_chain(&mut w, &mut sim, &s, 50);
+    assert!(sim.run_bounded(&mut w, EV));
+    // Apps done; only the coordinator still runs.
+    assert_eq!(w.live_procs(), 1);
+    for p in w.procs.values() {
+        if p.alive() {
+            assert_eq!(p.cmd, "dmtcp_coordinator");
+        } else {
+            assert!(matches!(p.state, ProcState::Zombie(0)), "{:?}", p.state);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! The strongest transparency property we can state: for *any* checkpoint
+//! instant and any kill delay, kill + restart must produce exactly the
+//! answer of an uninterrupted run. proptest drives the instant across the
+//! protocol's life (wiring, steady state, mid-drain of a previous
+//! generation's leftovers, near completion).
+
+mod common;
+
+use common::*;
+use dmtcp::session::run_for;
+use dmtcp::{Options, Session};
+use oskit::world::NodeId;
+use proptest::prelude::*;
+use simkit::Nanos;
+
+const EV: u64 = 8_000_000;
+
+fn reference(rounds: u64) -> String {
+    let (mut w, mut sim) = cluster(2);
+    use std::collections::BTreeMap;
+    w.spawn(
+        &mut sim,
+        NodeId(1),
+        "server",
+        Box::new(EchoPlusOne::new(9000)),
+        oskit::world::Pid(1),
+        BTreeMap::new(),
+    );
+    w.spawn(
+        &mut sim,
+        NodeId(0),
+        "client",
+        Box::new(ChainClient::new("node01", 9000, rounds)),
+        oskit::world::Pid(1),
+        BTreeMap::new(),
+    );
+    assert!(sim.run_bounded(&mut w, EV));
+    shared_result(&w, "/shared/client_result").expect("reference")
+}
+
+fn ckpt_kill_restart_at(rounds: u64, ckpt_at_ms: u64, kill_delay_ms: u64, merge: bool) -> String {
+    let (mut w, mut sim) = cluster(2);
+    let s = Session::start(
+        &mut w,
+        &mut sim,
+        Options {
+            ckpt_dir: "/shared/ckpt".into(),
+            ..Options::default()
+        },
+    );
+    s.launch(&mut w, &mut sim, NodeId(1), "server", Box::new(EchoPlusOne::new(9000)));
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(0),
+        "client",
+        Box::new(ChainClient::new("node01", 9000, rounds)),
+    );
+    run_for(&mut w, &mut sim, Nanos::from_millis(ckpt_at_ms));
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    run_for(&mut w, &mut sim, Nanos::from_millis(kill_delay_ms));
+    s.kill_computation(&mut w, &mut sim);
+    let _ = w.shared_fs.remove("/shared/client_result");
+    let script = Session::parse_restart_script(&w);
+    let names: Vec<(String, NodeId)> = script
+        .iter()
+        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
+        .collect();
+    let remap = move |h: &str| {
+        if merge {
+            NodeId(0)
+        } else {
+            names
+                .iter()
+                .find(|(n, _)| n == h)
+                .map(|(_, x)| *x)
+                .expect("host")
+        }
+    };
+    s.restart_from_script(&mut w, &mut sim, &script, &remap, stat.gen);
+    Session::wait_restart_done(&mut w, &mut sim, stat.gen, EV);
+    assert!(sim.run_bounded(&mut w, EV), "post-restart deadlock");
+    shared_result(&w, "/shared/client_result").expect("restored run finished")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn any_checkpoint_instant_is_transparent(
+        ckpt_at_ms in 3u64..68,
+        kill_delay_ms in 0u64..25,
+        merge in any::<bool>(),
+    ) {
+        // 400 rounds ≈ 80 ms of virtual runtime, so the instant sweeps
+        // wiring, steady state, and near-completion.
+        let rounds = 400;
+        let expect = reference(rounds);
+        let got = ckpt_kill_restart_at(rounds, ckpt_at_ms, kill_delay_ms, merge);
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,239 @@
+//! The checkpoint image format.
+//!
+//! An image file is a [`oskit::fs::Blob`] laid out as:
+//!
+//! ```text
+//! [ real chunk:  IMAGE_MAGIC · header_len varint · snap(CkptImage) ]
+//! [ per-region payloads, in region-table order:
+//!     StoredAs::Real      → real chunk of (possibly szip'd) bytes
+//!     StoredAs::Shared    → real chunk of (possibly szip'd) bytes
+//!     StoredAs::Synthetic → virtual chunk of comp_len bytes           ]
+//! ```
+//!
+//! Synthetic payloads are "written" as virtual extents: the file records
+//! their exact on-disk size (computed by really compressing the generated
+//! stream, or a documented 1 MiB sample of it for very large regions) but
+//! the simulation host never materializes them. Real application state is
+//! always stored — and verified on restore — byte for byte.
+
+use oskit::mem::{FillProfile, RegionKind};
+use oskit::proc::{SigAction, ThreadCtx};
+use simkit::{impl_snap, Snap, SnapError, SnapReader, SnapWriter};
+
+/// Magic prefix of image files.
+pub const IMAGE_MAGIC: &[u8; 8] = b"MTCPIMG1";
+
+/// How a region's payload is stored in the image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoredAs {
+    /// Real bytes follow in the payload area (szip'd when the image is
+    /// compressed).
+    Real {
+        /// Stored payload size in bytes.
+        comp_len: u64,
+    },
+    /// A shared-memory segment's bytes follow, with the backing path
+    /// recorded for the §4.5 restore rules.
+    Shared {
+        /// Backing file path.
+        backing: String,
+        /// Stored payload size in bytes.
+        comp_len: u64,
+    },
+    /// Synthetic recipe; the payload is a virtual extent of `comp_len`.
+    Synthetic {
+        /// Generator seed.
+        seed: u64,
+        /// Fill profile.
+        profile: FillProfile,
+        /// Stored payload size in bytes.
+        comp_len: u64,
+        /// Whether `comp_len` came from sampled extrapolation.
+        sampled: bool,
+    },
+}
+
+impl_snap!(enum StoredAs {
+    Real { comp_len },
+    Shared { backing, comp_len },
+    Synthetic { seed, profile, comp_len, sampled },
+});
+
+/// Region table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionMeta {
+    /// Mapping name.
+    pub name: String,
+    /// Region kind.
+    pub kind: RegionKind,
+    /// Protection bits.
+    pub prot: u8,
+    /// Uncompressed length.
+    pub raw_len: u64,
+    /// Payload representation.
+    pub stored: StoredAs,
+    /// CRC-32 of the raw bytes (0 for synthetic — their identity is the
+    /// recipe).
+    pub crc: u32,
+}
+
+impl_snap!(struct RegionMeta { name, kind, prot, raw_len, stored, crc });
+
+/// The image header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptImage {
+    /// Original (virtual) pid of the checkpointed process.
+    pub vpid: u32,
+    /// Command name.
+    pub cmd: String,
+    /// Environment.
+    pub env: Vec<(String, String)>,
+    /// Captured thread contexts (registers/stack analogue).
+    pub threads: Vec<ThreadCtx>,
+    /// Region table.
+    pub regions: Vec<RegionMeta>,
+    /// Signal dispositions.
+    pub sig_actions: Vec<(u8, SigAction)>,
+    /// Whether payloads are szip-compressed.
+    pub compressed: bool,
+    /// Opaque upper-layer (DMTCP) metadata: the connection-information
+    /// table, virtual-pid map, pty state. MTCP never interprets it.
+    pub dmtcp_meta: Vec<u8>,
+}
+
+impl_snap!(struct CkptImage {
+    vpid, cmd, env, threads, regions, sig_actions, compressed, dmtcp_meta
+});
+
+impl CkptImage {
+    /// Serialize the header (magic + length-prefixed snap bytes).
+    pub fn encode_header(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        self.save(&mut w);
+        let body = w.into_bytes();
+        let mut out = Vec::with_capacity(body.len() + 16);
+        out.extend_from_slice(IMAGE_MAGIC);
+        let mut lenw = SnapWriter::new();
+        lenw.put_varint(body.len() as u64);
+        out.extend_from_slice(&lenw.into_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parse a header from the front of `bytes`; returns the image and the
+    /// number of bytes consumed.
+    pub fn decode_header(bytes: &[u8]) -> Result<(CkptImage, usize), SnapError> {
+        if bytes.len() < IMAGE_MAGIC.len() || &bytes[..IMAGE_MAGIC.len()] != IMAGE_MAGIC {
+            return Err(SnapError::BadTag(0));
+        }
+        let mut r = SnapReader::new(&bytes[IMAGE_MAGIC.len()..]);
+        let body_len = r.get_varint()? as usize;
+        let varint_bytes = (bytes.len() - IMAGE_MAGIC.len()) - r.remaining();
+        let body = r.get_raw(body_len)?;
+        let img = CkptImage::from_snap_bytes(body)?;
+        Ok((img, IMAGE_MAGIC.len() + varint_bytes + body_len))
+    }
+
+    /// Total stored payload bytes (the image file size minus the header).
+    pub fn payload_len(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| match &r.stored {
+                StoredAs::Real { comp_len } => *comp_len,
+                StoredAs::Shared { comp_len, .. } => *comp_len,
+                StoredAs::Synthetic { comp_len, .. } => *comp_len,
+            })
+            .sum()
+    }
+
+    /// Total raw (uncompressed) bytes of the address space.
+    pub fn raw_len(&self) -> u64 {
+        self.regions.iter().map(|r| r.raw_len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image() -> CkptImage {
+        CkptImage {
+            vpid: 1234,
+            cmd: "octave".into(),
+            env: vec![("DMTCP_COORD".into(), "node00:7779".into())],
+            threads: vec![ThreadCtx {
+                tag: "worker".into(),
+                state: vec![9, 9],
+                user: true,
+                blocked: false,
+            }],
+            regions: vec![
+                RegionMeta {
+                    name: "heap".into(),
+                    kind: RegionKind::Heap,
+                    prot: 3,
+                    raw_len: 4096,
+                    stored: StoredAs::Real { comp_len: 812 },
+                    crc: 0xDEADBEEF,
+                },
+                RegionMeta {
+                    name: "ballast".into(),
+                    kind: RegionKind::Anon,
+                    prot: 1,
+                    raw_len: 1 << 30,
+                    stored: StoredAs::Synthetic {
+                        seed: 7,
+                        profile: FillProfile::Text,
+                        comp_len: 200 << 20,
+                        sampled: true,
+                    },
+                    crc: 0,
+                },
+            ],
+            sig_actions: vec![(15, SigAction::Handler)],
+            compressed: true,
+            dmtcp_meta: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let img = sample_image();
+        let enc = img.encode_header();
+        let (back, used) = CkptImage::decode_header(&enc).unwrap();
+        assert_eq!(back, img);
+        assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn header_roundtrip_with_trailing_payload() {
+        let img = sample_image();
+        let mut enc = img.encode_header();
+        let hdr_len = enc.len();
+        enc.extend_from_slice(&[0xAB; 100]); // payload bytes follow
+        let (back, used) = CkptImage::decode_header(&enc).unwrap();
+        assert_eq!(back, img);
+        assert_eq!(used, hdr_len);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(CkptImage::decode_header(b"NOTANIMG........").is_err());
+        assert!(CkptImage::decode_header(b"").is_err());
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let enc = sample_image().encode_header();
+        for cut in [8, 9, enc.len() / 2, enc.len() - 1] {
+            assert!(CkptImage::decode_header(&enc[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn size_accounting() {
+        let img = sample_image();
+        assert_eq!(img.payload_len(), 812 + (200 << 20));
+        assert_eq!(img.raw_len(), 4096 + (1 << 30));
+    }
+}

@@ -1,0 +1,28 @@
+//! `mtcp` — MultiThreaded CheckPointing, the lower layer of the paper's
+//! two-layer design (§4.1).
+//!
+//! MTCP owns *single-process* checkpointing: it captures a process's address
+//! space and thread contexts into an image file, and restores them. It knows
+//! nothing about sockets, coordinators, or other processes — that is the
+//! DMTCP layer's job, which drives MTCP through the small API in this crate
+//! (`write_image` / `read_image` / `restore_into`), mirroring the "separate
+//! layers with a small API between them" structure the paper credits for
+//! maintainability.
+//!
+//! Images are written through the real [`szip`] compressor when compression
+//! is on (the paper's default, via gzip), with a per-region CRC-32 so
+//! restore can prove bit-identical reconstruction. Forked checkpointing
+//! (§5.3, Table 1) exploits the simulated kernel's copy-on-write `fork`:
+//! the parent is blocked only for the COW setup while a child does the
+//! compression and I/O in the background.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod reader;
+pub mod writer;
+
+pub use image::{CkptImage, RegionMeta, StoredAs, IMAGE_MAGIC};
+pub use reader::{read_image, restore_into, RestoreReport};
+pub use writer::{write_image, WriteMode, WriteReport};

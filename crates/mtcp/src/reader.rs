@@ -1,0 +1,328 @@
+//! Checkpoint image reading and process restoration.
+//!
+//! `read_image` parses the header out of an image file; `restore_into`
+//! rebuilds a process's address space and threads inside an existing
+//! (freshly created) process shell — the DMTCP restart program creates that
+//! shell, restores fds/sockets around it, and then calls down into MTCP,
+//! matching Figure 2 step 5 ("restore memory and threads").
+
+use crate::image::{CkptImage, StoredAs};
+use oskit::fs::Chunk;
+use oskit::mem::{Content, RegionKind};
+use oskit::proc::ThreadState;
+use oskit::world::{NodeId, Pid, World};
+use simkit::Nanos;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Errors surfaced while reading or restoring an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The image file does not exist.
+    NotFound,
+    /// The file is not an MTCP image or its header is corrupt.
+    BadHeader,
+    /// A payload failed to decompress.
+    BadPayload(String),
+    /// A restored region's bytes do not match the recorded CRC.
+    CrcMismatch {
+        /// Region name.
+        region: String,
+    },
+    /// A thread's program tag has no loader in the registry.
+    UnknownProgram(String),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::NotFound => write!(f, "image file not found"),
+            RestoreError::BadHeader => write!(f, "not a valid MTCP image"),
+            RestoreError::BadPayload(r) => write!(f, "corrupt payload for region {r}"),
+            RestoreError::CrcMismatch { region } => {
+                write!(f, "CRC mismatch restoring region {region}")
+            }
+            RestoreError::UnknownProgram(t) => write!(f, "no program loader for tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Timing of a completed restore.
+#[derive(Debug, Clone, Copy)]
+pub struct RestoreReport {
+    /// When memory and threads are fully restored.
+    pub done_at: Nanos,
+    /// Image file size read.
+    pub image_bytes: u64,
+    /// Raw bytes reconstructed.
+    pub raw_bytes: u64,
+}
+
+/// Parse the image header from `path` on `node`'s view of the filesystem.
+pub fn read_image(w: &World, node: NodeId, path: &str) -> Result<CkptImage, RestoreError> {
+    let fs = w.fs_for(node, path);
+    let file = fs.get(path).ok_or(RestoreError::NotFound)?;
+    // The header always lives at the front of the first real chunk.
+    let head = match file.blob.chunks().first() {
+        Some(Chunk::Real(bytes)) => bytes,
+        _ => return Err(RestoreError::BadHeader),
+    };
+    let (img, _) = CkptImage::decode_header(head).map_err(|_| RestoreError::BadHeader)?;
+    Ok(img)
+}
+
+/// Restore memory, signal state, and threads of `img` into the existing
+/// process `pid` (its current regions/threads are replaced). Returns timing.
+///
+/// Shared-memory regions follow the paper's §4.5 rules against the *target*
+/// world: recreate a missing backing file when the directory is writable;
+/// overwrite the live segment when the file is writable; otherwise map the
+/// file's current data instead of the checkpointed bytes.
+pub fn restore_into(
+    w: &mut World,
+    now: Nanos,
+    pid: Pid,
+    node: NodeId,
+    path: &str,
+    img: &CkptImage,
+) -> Result<RestoreReport, RestoreError> {
+    // Walk payload chunks in lockstep with the region table.
+    let (payload_owned, image_bytes) = {
+        let fs = w.fs_for(node, path);
+        let file = fs.get(path).ok_or(RestoreError::NotFound)?;
+        (file.blob.chunks().to_vec(), file.blob.len())
+    };
+    let mut cursor = BlobCursor::new(&payload_owned);
+    // Skip the header bytes within the first chunk.
+    let head = cursor.peek_real().ok_or(RestoreError::BadHeader)?;
+    let (_, header_len) = CkptImage::decode_header(head).map_err(|_| RestoreError::BadHeader)?;
+    cursor.skip_real(header_len);
+
+    let mut new_mem = oskit::mem::AddressSpace::new();
+    let mut raw_bytes = 0u64;
+    for rm in &img.regions {
+        raw_bytes += rm.raw_len;
+        match &rm.stored {
+            StoredAs::Real { comp_len } => {
+                let stored = cursor
+                    .take_real(*comp_len as usize)
+                    .ok_or_else(|| RestoreError::BadPayload(rm.name.clone()))?;
+                let raw = unpack_real(&stored, img.compressed)
+                    .map_err(|_| RestoreError::BadPayload(rm.name.clone()))?;
+                if szip::crc32(&raw) != rm.crc {
+                    return Err(RestoreError::CrcMismatch {
+                        region: rm.name.clone(),
+                    });
+                }
+                new_mem.map(rm.name.clone(), rm.kind.clone(), rm.prot, Content::Real(Rc::new(raw)));
+            }
+            StoredAs::Shared { backing, comp_len } => {
+                let stored = cursor
+                    .take_real(*comp_len as usize)
+                    .ok_or_else(|| RestoreError::BadPayload(rm.name.clone()))?;
+                let raw = unpack_real(&stored, img.compressed)
+                    .map_err(|_| RestoreError::BadPayload(rm.name.clone()))?;
+                if szip::crc32(&raw) != rm.crc {
+                    return Err(RestoreError::CrcMismatch {
+                        region: rm.name.clone(),
+                    });
+                }
+                let seg = restore_shared_segment(w, node, backing, raw);
+                new_mem.map(
+                    rm.name.clone(),
+                    RegionKind::Shm {
+                        backing: backing.clone(),
+                    },
+                    rm.prot,
+                    Content::Shared(seg),
+                );
+            }
+            StoredAs::Synthetic {
+                seed,
+                profile,
+                comp_len,
+                ..
+            } => {
+                cursor
+                    .take_virtual(*comp_len)
+                    .ok_or_else(|| RestoreError::BadPayload(rm.name.clone()))?;
+                new_mem.map(
+                    rm.name.clone(),
+                    rm.kind.clone(),
+                    rm.prot,
+                    Content::Synthetic {
+                        seed: *seed,
+                        len: rm.raw_len,
+                        profile: *profile,
+                    },
+                );
+            }
+        }
+    }
+
+    // Rebuild threads through the registry (must happen before we borrow
+    // the process mutably, since the registry lives on the world).
+    let mut new_threads = Vec::new();
+    for t in &img.threads {
+        let prog = w
+            .registry
+            .load(&t.tag, &t.state)
+            .map_err(|_| RestoreError::UnknownProgram(t.tag.clone()))?;
+        new_threads.push(prog);
+    }
+
+    {
+        let p = w
+            .procs
+            .get_mut(&pid)
+            .expect("restore target process exists");
+        p.mem = new_mem;
+        p.cmd = img.cmd.clone();
+        p.env = img.env.iter().cloned().collect();
+        p.sig_actions = img.sig_actions.iter().map(|(s, a)| (*s, *a)).collect();
+        // Replace user threads with the restored ones; manager threads (the
+        // restarter's own) are left alone.
+        p.threads.retain(|t| !t.user);
+        for prog in new_threads {
+            p.add_thread(prog, true);
+        }
+        // Restored user threads must not run until the DMTCP layer finishes
+        // the refill stage; it resumes them explicitly.
+        p.user_suspended = true;
+        for t in &mut p.threads {
+            if t.user {
+                t.state = ThreadState::Runnable;
+            }
+        }
+    }
+
+    // Charge time: read the image, decompress, copy into place.
+    let spec = w.spec.clone();
+    let io_done = w.charge_storage_read(now, node, path, image_bytes);
+    let cpu_done = if img.compressed {
+        let (_s, e) = w.nodes[node.0 as usize]
+            .cpu
+            .run(now, spec.gunzip_time(raw_bytes));
+        e
+    } else {
+        now + spec.memcpy_time(raw_bytes)
+    };
+    Ok(RestoreReport {
+        done_at: io_done.max(cpu_done),
+        image_bytes,
+        raw_bytes,
+    })
+}
+
+/// §4.5 shared-memory restore rules, against the current world state.
+fn restore_shared_segment(
+    w: &mut World,
+    node: NodeId,
+    backing: &str,
+    ckpt_data: Vec<u8>,
+) -> Rc<RefCell<Vec<u8>>> {
+    let key = (node, backing.to_string());
+    if let Some(seg) = w.shm_segs.get(&key) {
+        // Another restored process on this host already re-created the
+        // segment; both write the same data (same checkpoint), so aliasing
+        // is safe — exactly the paper's argument.
+        return seg.clone();
+    }
+    let fs = w.fs_for_mut(node, backing);
+    let file_exists = fs.exists(backing);
+    let file_writable = fs.get(backing).map(|f| f.writable).unwrap_or(false);
+    let dir_writable = fs.dir_writable(backing);
+    let data = if !file_exists && dir_writable {
+        // Backing file missing and we may create it: recreate, use ckpt data.
+        fs.create(backing).expect("dir checked writable");
+        let f = fs.get_mut(backing).expect("file just created");
+        f.blob = oskit::fs::Blob::from_bytes(ckpt_data.clone());
+        ckpt_data
+    } else if file_exists && file_writable {
+        // Overwrite with checkpoint data.
+        let f = fs.get_mut(backing).expect("file exists");
+        f.blob = oskit::fs::Blob::from_bytes(ckpt_data.clone());
+        ckpt_data
+    } else if file_exists {
+        // Read-only (system-wide data): map the file's *current* contents.
+        fs.read_all(backing).unwrap_or(ckpt_data)
+    } else {
+        // No file and nowhere to create it: fall back to ckpt bytes in an
+        // anonymous segment.
+        ckpt_data
+    };
+    let seg = Rc::new(RefCell::new(data));
+    w.shm_segs.insert(key, seg.clone());
+    seg
+}
+
+fn unpack_real(stored: &[u8], compressed: bool) -> Result<Vec<u8>, ()> {
+    if compressed {
+        szip::decompress(stored).map_err(|_| ())
+    } else {
+        Ok(stored.to_vec())
+    }
+}
+
+/// Walks a blob's chunks, consuming real bytes and virtual extents.
+struct BlobCursor<'a> {
+    chunks: &'a [Chunk],
+    idx: usize,
+    offset: usize, // within a real chunk
+}
+
+impl<'a> BlobCursor<'a> {
+    fn new(chunks: &'a [Chunk]) -> Self {
+        BlobCursor {
+            chunks,
+            idx: 0,
+            offset: 0,
+        }
+    }
+
+    fn peek_real(&self) -> Option<&'a [u8]> {
+        match self.chunks.get(self.idx)? {
+            Chunk::Real(b) => Some(&b[self.offset..]),
+            Chunk::Virtual { .. } => None,
+        }
+    }
+
+    fn skip_real(&mut self, n: usize) {
+        self.offset += n;
+        self.normalize();
+    }
+
+    fn take_real(&mut self, n: usize) -> Option<Vec<u8>> {
+        let b = self.peek_real()?;
+        if b.len() < n {
+            return None;
+        }
+        let out = b[..n].to_vec();
+        self.skip_real(n);
+        Some(out)
+    }
+
+    fn take_virtual(&mut self, expect_len: u64) -> Option<()> {
+        match self.chunks.get(self.idx)? {
+            Chunk::Virtual { len, .. } if *len == expect_len => {
+                self.idx += 1;
+                self.offset = 0;
+                Some(())
+            }
+            _ => None,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while let Some(Chunk::Real(b)) = self.chunks.get(self.idx) {
+            if self.offset >= b.len() {
+                self.offset -= b.len();
+                self.idx += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}

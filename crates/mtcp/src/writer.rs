@@ -1,0 +1,252 @@
+//! Checkpoint image writing.
+//!
+//! `write_image` runs at a single virtual instant (user threads are already
+//! suspended by the caller), produces the image file in the target
+//! filesystem, and *charges* the time the work would take — compression on
+//! a CPU core, bytes through the disk/SAN/NFS path — returning when each
+//! part completes so the checkpoint-manager thread can sleep until then.
+
+use crate::image::{CkptImage, RegionMeta, StoredAs, IMAGE_MAGIC};
+use oskit::fs::Blob;
+use oskit::mem::Content;
+use oskit::proc::{ThreadCtx, ThreadState};
+use oskit::world::{Pid, World};
+use simkit::{Nanos, Snap, SnapWriter};
+use szip::SizeEstimator;
+
+/// How the image is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMode {
+    /// Write raw payloads.
+    Uncompressed,
+    /// Pipe payloads through szip (the paper's gzip default).
+    Compressed,
+    /// Forked checkpointing: a COW child compresses and writes in the
+    /// background; the parent is blocked only for the fork itself.
+    ForkedCompressed,
+}
+
+impl WriteMode {
+    /// Whether payloads go through the compressor.
+    pub fn compressed(self) -> bool {
+        !matches!(self, WriteMode::Uncompressed)
+    }
+}
+
+/// Completion report.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteReport {
+    /// When the checkpointed process may resume (for forked mode this is
+    /// just after the COW fork; otherwise when the image is fully written).
+    pub resume_at: Nanos,
+    /// When the image file is completely on storage.
+    pub image_complete_at: Nanos,
+    /// Total image file size in bytes.
+    pub image_bytes: u64,
+    /// Total raw address-space bytes captured.
+    pub raw_bytes: u64,
+}
+
+/// Capture `pid`'s address space and threads into `path`.
+///
+/// The caller (DMTCP's checkpoint manager) guarantees user threads are
+/// suspended. `dmtcp_meta` is the upper layer's connection-information
+/// table, stored opaquely.
+pub fn write_image(
+    w: &mut World,
+    now: Nanos,
+    pid: Pid,
+    path: &str,
+    mode: WriteMode,
+    vpid: u32,
+    dmtcp_meta: Vec<u8>,
+) -> WriteReport {
+    let estimator = SizeEstimator::default();
+    let node = w.procs[&pid].node;
+
+    // ---- Phase 1: build the region table and payload byte streams. ----
+    // (Pure data work on the frozen address space; timing charged below.)
+    let mut regions = Vec::new();
+    let mut payloads: Vec<Payload> = Vec::new();
+    let mut raw_bytes = 0u64;
+    {
+        let p = &w.procs[&pid];
+        for (_, region) in p.mem.iter() {
+            let raw_len = region.len();
+            raw_bytes += raw_len;
+            match &region.content {
+                Content::Real(bytes) => {
+                    let (stored_bytes, crc) = pack_real(bytes, mode.compressed());
+                    regions.push(RegionMeta {
+                        name: region.name.clone(),
+                        kind: region.kind.clone(),
+                        prot: region.prot,
+                        raw_len,
+                        stored: StoredAs::Real {
+                            comp_len: stored_bytes.len() as u64,
+                        },
+                        crc,
+                    });
+                    payloads.push(Payload::Real(stored_bytes));
+                }
+                Content::Shared(seg) => {
+                    let bytes = seg.borrow();
+                    let (stored_bytes, crc) = pack_real(&bytes, mode.compressed());
+                    let backing = match &region.kind {
+                        oskit::mem::RegionKind::Shm { backing } => backing.clone(),
+                        _ => String::new(),
+                    };
+                    regions.push(RegionMeta {
+                        name: region.name.clone(),
+                        kind: region.kind.clone(),
+                        prot: region.prot,
+                        raw_len,
+                        stored: StoredAs::Shared {
+                            backing,
+                            comp_len: stored_bytes.len() as u64,
+                        },
+                        crc,
+                    });
+                    payloads.push(Payload::Real(stored_bytes));
+                }
+                Content::Synthetic { seed, len, profile } => {
+                    let (comp_len, sampled) = if !mode.compressed() {
+                        (*len, false)
+                    } else if estimator.should_sample(*len) {
+                        let sample = profile.bytes(*seed, estimator.sample_len as usize);
+                        let sample_comp = szip::compressed_len(&sample);
+                        (
+                            estimator.extrapolate(*len, sample.len() as u64, sample_comp),
+                            true,
+                        )
+                    } else {
+                        (szip::compressed_len(&profile.bytes(*seed, *len as usize)), false)
+                    };
+                    let stored = StoredAs::Synthetic {
+                        seed: *seed,
+                        profile: *profile,
+                        comp_len,
+                        sampled,
+                    };
+                    // The virtual chunk's meta carries the recipe so a
+                    // reader could re-derive it from the file alone.
+                    let mut meta = SnapWriter::new();
+                    stored.save(&mut meta);
+                    regions.push(RegionMeta {
+                        name: region.name.clone(),
+                        kind: region.kind.clone(),
+                        prot: region.prot,
+                        raw_len,
+                        stored,
+                        crc: 0,
+                    });
+                    payloads.push(Payload::Virtual {
+                        len: comp_len,
+                        meta: meta.into_bytes(),
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- Phase 2: thread contexts (registers/stack analogue). ----
+    let threads: Vec<ThreadCtx> = {
+        let p = &w.procs[&pid];
+        p.threads
+            .iter()
+            .filter(|t| t.user && t.state != ThreadState::Exited)
+            .map(|t| ThreadCtx {
+                tag: t.program.tag().to_string(),
+                state: t.program.save(),
+                user: true,
+                blocked: t.state == ThreadState::Blocked,
+            })
+            .collect()
+    };
+
+    let header = {
+        let p = &w.procs[&pid];
+        CkptImage {
+            vpid,
+            cmd: p.cmd.clone(),
+            env: p.env.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            threads,
+            regions,
+            sig_actions: p.sig_actions.iter().map(|(s, a)| (*s, *a)).collect(),
+            compressed: mode.compressed(),
+            dmtcp_meta,
+        }
+    };
+
+    // ---- Phase 3: materialize the file. ----
+    let mut blob = Blob::new();
+    blob.append_bytes(&header.encode_header());
+    for p in &payloads {
+        match p {
+            Payload::Real(bytes) => blob.append_bytes(bytes),
+            Payload::Virtual { len, meta } => blob.append_virtual(*len, meta.clone()),
+        }
+    }
+    let image_bytes = blob.len();
+    {
+        let fs = w.fs_for_mut(node, path);
+        fs.create(path).expect("checkpoint directory writable");
+        let f = fs.get_mut(path).expect("file just created");
+        f.blob = blob;
+    }
+
+    // ---- Phase 4: charge time. ----
+    let spec = w.spec.clone();
+    let fork_cost = spec.fork_time(raw_bytes);
+    let (work_start, fork_pause) = match mode {
+        WriteMode::ForkedCompressed => (now + fork_cost, fork_cost),
+        _ => (now, Nanos::ZERO),
+    };
+    // Compression occupies one core of the node (gzip is single-threaded
+    // per process; concurrent processes use distinct cores via the pool).
+    let cpu_done = if mode.compressed() {
+        let dur = spec.gzip_time(raw_bytes);
+        let (_s, e) = w.nodes[node.0 as usize].cpu.run(work_start, dur);
+        e
+    } else {
+        work_start + spec.memcpy_time(raw_bytes)
+    };
+    // The file goes out behind the compressor; model the pipeline as
+    // overlap: I/O completes no earlier than compression, charged from
+    // work_start so disk contention with other processes is respected.
+    let io_done = w.charge_storage_write(work_start, node, path, image_bytes);
+    let image_complete_at = cpu_done.max(io_done);
+    let resume_at = match mode {
+        WriteMode::ForkedCompressed => now + fork_pause,
+        _ => image_complete_at,
+    };
+
+    WriteReport {
+        resume_at,
+        image_complete_at,
+        image_bytes,
+        raw_bytes,
+    }
+}
+
+enum Payload {
+    Real(Vec<u8>),
+    Virtual { len: u64, meta: Vec<u8> },
+}
+
+/// Compress (or pass through) real bytes and compute their CRC.
+fn pack_real(bytes: &[u8], compress: bool) -> (Vec<u8>, u32) {
+    let crc = szip::crc32(bytes);
+    let stored = if compress {
+        szip::compress(bytes)
+    } else {
+        bytes.to_vec()
+    };
+    (stored, crc)
+}
+
+/// Verify a blob starts with an image header (restart scripts sanity-check
+/// files before launching restarters).
+pub fn looks_like_image(blob_head: &[u8]) -> bool {
+    blob_head.len() >= IMAGE_MAGIC.len() && &blob_head[..IMAGE_MAGIC.len()] == IMAGE_MAGIC
+}

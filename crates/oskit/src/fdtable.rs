@@ -1,0 +1,176 @@
+//! File descriptors and the system-wide open-file table.
+//!
+//! UNIX separates the per-process fd table from the system open-file table;
+//! DMTCP depends on that distinction (shared offsets after `fork`, the
+//! F_SETOWN leader-election trick, `dup2` rearrangement at restart), so the
+//! model keeps both layers explicit. Reference counts are maintained by the
+//! world when fds are duplicated, inherited across `fork`, or closed.
+
+use crate::net::ConnId;
+use crate::pty::PtyId;
+use std::collections::BTreeMap;
+
+/// A per-process file descriptor number.
+pub type Fd = i32;
+
+/// Id of an entry in the system open-file table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpenFileId(pub u64);
+
+/// Id of a listening socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ListenerId(pub u64);
+
+/// What an fd refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdObject {
+    /// Regular file via the open-file table (shared offset semantics).
+    File(OpenFileId),
+    /// One endpoint (0 or 1) of a connection (TCP socket, UNIX socket,
+    /// socketpair, or promoted pipe).
+    Sock(ConnId, u8),
+    /// A listening TCP socket.
+    Listener(ListenerId),
+    /// Pty master side.
+    PtyMaster(PtyId),
+    /// Pty slave side.
+    PtySlave(PtyId),
+}
+
+/// One slot in a process's fd table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FdEntry {
+    /// Referent.
+    pub obj: FdObject,
+    /// Close-on-exec flag.
+    pub cloexec: bool,
+}
+
+/// An entry in the system-wide open-file table: shared by every fd that
+/// `dup`ed or inherited it, with a shared offset.
+#[derive(Debug, Clone)]
+pub struct OpenFile {
+    /// Absolute path.
+    pub path: String,
+    /// Shared read/write offset.
+    pub offset: u64,
+    /// Open for writing?
+    pub writable: bool,
+    /// `fcntl(F_SETOWN)` owner — DMTCP's leader election misuses this.
+    pub owner_pid: u32,
+    /// Live fd references across all processes.
+    pub refs: u32,
+}
+
+/// A per-process fd table.
+#[derive(Debug, Clone, Default)]
+pub struct FdTable {
+    entries: BTreeMap<Fd, FdEntry>,
+    next_fd: Fd,
+}
+
+impl FdTable {
+    /// An empty table; fds start at 3 (0–2 reserved for std streams, which
+    /// the world wires to a pty or /dev/null at spawn).
+    pub fn new() -> Self {
+        FdTable {
+            entries: BTreeMap::new(),
+            next_fd: 3,
+        }
+    }
+
+    /// Install `entry` at the lowest free fd ≥ `next`, POSIX-style.
+    pub fn install(&mut self, entry: FdEntry) -> Fd {
+        let mut fd = self.next_fd;
+        while self.entries.contains_key(&fd) {
+            fd += 1;
+        }
+        self.entries.insert(fd, entry);
+        fd
+    }
+
+    /// Install at a specific fd, returning whatever was displaced
+    /// (dup2 semantics: caller must release the displaced reference).
+    pub fn install_at(&mut self, fd: Fd, entry: FdEntry) -> Option<FdEntry> {
+        self.entries.insert(fd, entry)
+    }
+
+    /// Look up an fd.
+    pub fn get(&self, fd: Fd) -> Option<&FdEntry> {
+        self.entries.get(&fd)
+    }
+
+    /// Remove an fd, returning its entry for the caller to release.
+    pub fn remove(&mut self, fd: Fd) -> Option<FdEntry> {
+        self.entries.remove(&fd)
+    }
+
+    /// Iterate `(fd, entry)` in fd order.
+    pub fn iter(&self) -> impl Iterator<Item = (Fd, &FdEntry)> {
+        self.entries.iter().map(|(fd, e)| (*fd, e))
+    }
+
+    /// All entries (for fork inheritance).
+    pub fn clone_entries(&self) -> Vec<(Fd, FdEntry)> {
+        self.entries.iter().map(|(fd, e)| (*fd, *e)).collect()
+    }
+
+    /// Number of open fds.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no fds are open.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file_entry(id: u64) -> FdEntry {
+        FdEntry {
+            obj: FdObject::File(OpenFileId(id)),
+            cloexec: false,
+        }
+    }
+
+    #[test]
+    fn install_uses_lowest_free_fd() {
+        let mut t = FdTable::new();
+        let a = t.install(file_entry(1));
+        let b = t.install(file_entry(2));
+        assert_eq!((a, b), (3, 4));
+        t.remove(3);
+        let c = t.install(file_entry(3));
+        assert_eq!(c, 3, "lowest free fd is reused");
+    }
+
+    #[test]
+    fn install_at_returns_displaced_entry() {
+        let mut t = FdTable::new();
+        let fd = t.install(file_entry(1));
+        let old = t.install_at(fd, file_entry(2));
+        assert_eq!(old, Some(file_entry(1)));
+        assert_eq!(t.get(fd), Some(&file_entry(2)));
+        assert_eq!(t.install_at(99, file_entry(3)), None);
+    }
+
+    #[test]
+    fn clone_entries_preserves_everything() {
+        let mut t = FdTable::new();
+        t.install(file_entry(1));
+        t.install_at(
+            7,
+            FdEntry {
+                obj: FdObject::Sock(ConnId(4), 1),
+                cloexec: true,
+            },
+        );
+        let cloned = t.clone_entries();
+        assert_eq!(cloned.len(), 2);
+        assert!(cloned.contains(&(7, FdEntry { obj: FdObject::Sock(ConnId(4), 1), cloexec: true })));
+    }
+}

@@ -1,0 +1,340 @@
+//! Simulated filesystems.
+//!
+//! Each node has a local [`Fs`]; the world additionally holds one shared
+//! [`Fs`] mounted at [`SHARED_MOUNT`] on every node (the paper's EMC SAN
+//! reachable by 8 nodes over Fibre Channel and by the other 24 via NFS).
+//! Path routing and I/O *timing* live in `world.rs`; this module is the pure
+//! data model.
+//!
+//! File contents are [`Blob`]s: sequences of real-byte chunks and *virtual*
+//! chunks. A virtual chunk contributes to the file's size and carries opaque
+//! metadata for whoever wrote it — the checkpoint layer uses this to "write"
+//! multi-gigabyte compressed payloads of synthetic memory without the host
+//! materializing them. Ordinary files (scripts, tables, logs) are all-real
+//! and support byte-accurate read-back.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Mount point of the cluster-shared filesystem.
+pub const SHARED_MOUNT: &str = "/shared";
+
+/// One extent of file content.
+#[derive(Debug, Clone)]
+pub enum Chunk {
+    /// Literal bytes.
+    Real(Vec<u8>),
+    /// `len` bytes that were accounted but not materialized; `meta` is
+    /// opaque to the filesystem (the checkpoint layer stores synthetic
+    /// region recipes here).
+    Virtual {
+        /// Size contributed to the file.
+        len: u64,
+        /// Writer-defined payload describing how to regenerate the bytes.
+        meta: Vec<u8>,
+    },
+}
+
+impl Chunk {
+    /// Size contributed to the containing file.
+    pub fn len(&self) -> u64 {
+        match self {
+            Chunk::Real(b) => b.len() as u64,
+            Chunk::Virtual { len, .. } => *len,
+        }
+    }
+
+    /// True for zero-length chunks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// File content as an append-only chunk sequence.
+#[derive(Debug, Clone, Default)]
+pub struct Blob {
+    chunks: Vec<Chunk>,
+    len: u64,
+}
+
+impl Blob {
+    /// An empty blob.
+    pub fn new() -> Self {
+        Blob::default()
+    }
+
+    /// A blob holding `bytes`.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        let mut b = Blob::new();
+        b.append_bytes(&bytes);
+        b
+    }
+
+    /// Total size in bytes (real + virtual).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the blob has no content.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append literal bytes (coalesces with a trailing real chunk).
+    pub fn append_bytes(&mut self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.len += bytes.len() as u64;
+        if let Some(Chunk::Real(last)) = self.chunks.last_mut() {
+            last.extend_from_slice(bytes);
+        } else {
+            self.chunks.push(Chunk::Real(bytes.to_vec()));
+        }
+    }
+
+    /// Append an accounted-but-unmaterialized extent.
+    pub fn append_virtual(&mut self, len: u64, meta: Vec<u8>) {
+        self.len += len;
+        self.chunks.push(Chunk::Virtual { len, meta });
+    }
+
+    /// The chunk sequence.
+    pub fn chunks(&self) -> &[Chunk] {
+        &self.chunks
+    }
+
+    /// All bytes, if the blob is entirely real. `None` if any chunk is
+    /// virtual (the caller is trying to byte-read an image that was sized
+    /// but not materialized — a logic error it must handle explicitly).
+    pub fn read_all(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        for c in &self.chunks {
+            match c {
+                Chunk::Real(b) => out.extend_from_slice(b),
+                Chunk::Virtual { .. } => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// Truncate to empty.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+        self.len = 0;
+    }
+}
+
+/// A file.
+#[derive(Debug, Clone)]
+pub struct FileNode {
+    /// Content.
+    pub blob: Blob,
+    /// Whether writes are permitted (models read-only system data for the
+    /// shared-memory restore rules of §4.5).
+    pub writable: bool,
+}
+
+/// Errors from filesystem operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path does not exist.
+    NotFound,
+    /// Write to a read-only file or creation in a read-only directory.
+    ReadOnly,
+    /// Byte-read of a file containing virtual extents.
+    NotMaterialized,
+}
+
+/// One filesystem tree (flat path → file map; directories are implicit).
+#[derive(Debug, Clone, Default)]
+pub struct Fs {
+    files: BTreeMap<String, FileNode>,
+    readonly_dirs: BTreeSet<String>,
+}
+
+impl Fs {
+    /// An empty filesystem.
+    pub fn new() -> Self {
+        Fs::default()
+    }
+
+    /// Does `path` exist?
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Mark a directory prefix read-only (creations under it fail).
+    pub fn set_dir_readonly(&mut self, dir: &str) {
+        self.readonly_dirs.insert(dir.to_string());
+    }
+
+    /// Whether new files may be created under `path`'s directory.
+    pub fn dir_writable(&self, path: &str) -> bool {
+        !self
+            .readonly_dirs
+            .iter()
+            .any(|d| path.starts_with(d.as_str()))
+    }
+
+    /// Create or truncate a file; fails under a read-only directory.
+    pub fn create(&mut self, path: &str) -> Result<(), FsError> {
+        if let Some(f) = self.files.get_mut(path) {
+            if !f.writable {
+                return Err(FsError::ReadOnly);
+            }
+            f.blob.clear();
+            return Ok(());
+        }
+        if !self.dir_writable(path) {
+            return Err(FsError::ReadOnly);
+        }
+        self.files.insert(
+            path.to_string(),
+            FileNode {
+                blob: Blob::new(),
+                writable: true,
+            },
+        );
+        Ok(())
+    }
+
+    /// Append bytes to an existing file.
+    pub fn append(&mut self, path: &str, bytes: &[u8]) -> Result<(), FsError> {
+        let f = self.files.get_mut(path).ok_or(FsError::NotFound)?;
+        if !f.writable {
+            return Err(FsError::ReadOnly);
+        }
+        f.blob.append_bytes(bytes);
+        Ok(())
+    }
+
+    /// Append a virtual extent to an existing file.
+    pub fn append_virtual(&mut self, path: &str, len: u64, meta: Vec<u8>) -> Result<(), FsError> {
+        let f = self.files.get_mut(path).ok_or(FsError::NotFound)?;
+        if !f.writable {
+            return Err(FsError::ReadOnly);
+        }
+        f.blob.append_virtual(len, meta);
+        Ok(())
+    }
+
+    /// Write a whole file in one call.
+    pub fn write_all(&mut self, path: &str, bytes: &[u8]) -> Result<(), FsError> {
+        self.create(path)?;
+        self.append(path, bytes)
+    }
+
+    /// Read a whole (fully real) file.
+    pub fn read_all(&self, path: &str) -> Result<Vec<u8>, FsError> {
+        let f = self.files.get(path).ok_or(FsError::NotFound)?;
+        f.blob.read_all().ok_or(FsError::NotMaterialized)
+    }
+
+    /// Borrow a file node.
+    pub fn get(&self, path: &str) -> Option<&FileNode> {
+        self.files.get(path)
+    }
+
+    /// Mutably borrow a file node.
+    pub fn get_mut(&mut self, path: &str) -> Option<&mut FileNode> {
+        self.files.get_mut(path)
+    }
+
+    /// File size, if it exists.
+    pub fn size(&self, path: &str) -> Option<u64> {
+        self.files.get(path).map(|f| f.blob.len())
+    }
+
+    /// Delete a file.
+    pub fn remove(&mut self, path: &str) -> Result<(), FsError> {
+        self.files.remove(path).map(|_| ()).ok_or(FsError::NotFound)
+    }
+
+    /// Mark an existing file read-only.
+    pub fn set_readonly(&mut self, path: &str) -> Result<(), FsError> {
+        let f = self.files.get_mut(path).ok_or(FsError::NotFound)?;
+        f.writable = false;
+        Ok(())
+    }
+
+    /// All paths with a given prefix, in order (restart-script discovery).
+    pub fn list_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.files
+            .range(prefix.to_string()..)
+            .take_while(move |(p, _)| p.starts_with(prefix))
+            .map(|(p, _)| p.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_roundtrips_bytes_and_coalesces() {
+        let mut b = Blob::new();
+        b.append_bytes(b"hello ");
+        b.append_bytes(b"world");
+        assert_eq!(b.len(), 11);
+        assert_eq!(b.chunks().len(), 1, "adjacent real chunks coalesce");
+        assert_eq!(b.read_all().unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn virtual_chunks_count_but_do_not_materialize() {
+        let mut b = Blob::new();
+        b.append_bytes(b"hdr");
+        b.append_virtual(1 << 30, vec![1, 2, 3]);
+        assert_eq!(b.len(), 3 + (1 << 30));
+        assert!(b.read_all().is_none());
+        assert_eq!(b.chunks().len(), 2);
+    }
+
+    #[test]
+    fn create_write_read() {
+        let mut fs = Fs::new();
+        fs.write_all("/tmp/x", b"data").unwrap();
+        assert_eq!(fs.read_all("/tmp/x").unwrap(), b"data");
+        assert_eq!(fs.size("/tmp/x"), Some(4));
+        assert!(fs.exists("/tmp/x"));
+        assert_eq!(fs.read_all("/nope"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn create_truncates() {
+        let mut fs = Fs::new();
+        fs.write_all("/f", b"long content").unwrap();
+        fs.write_all("/f", b"s").unwrap();
+        assert_eq!(fs.read_all("/f").unwrap(), b"s");
+    }
+
+    #[test]
+    fn readonly_file_rejects_writes() {
+        let mut fs = Fs::new();
+        fs.write_all("/sys/data", b"system").unwrap();
+        fs.set_readonly("/sys/data").unwrap();
+        assert_eq!(fs.append("/sys/data", b"x"), Err(FsError::ReadOnly));
+        assert_eq!(fs.create("/sys/data"), Err(FsError::ReadOnly));
+        // Reading still works.
+        assert_eq!(fs.read_all("/sys/data").unwrap(), b"system");
+    }
+
+    #[test]
+    fn readonly_dir_rejects_creation() {
+        let mut fs = Fs::new();
+        fs.set_dir_readonly("/usr/lib/");
+        assert_eq!(fs.create("/usr/lib/libc.so"), Err(FsError::ReadOnly));
+        assert!(fs.create("/home/u/f").is_ok());
+        assert!(!fs.dir_writable("/usr/lib/x/y"));
+    }
+
+    #[test]
+    fn list_prefix_is_ordered_and_scoped() {
+        let mut fs = Fs::new();
+        for p in ["/ckpt/b.img", "/ckpt/a.img", "/other/c", "/ckpt2/d"] {
+            fs.write_all(p, b"").unwrap();
+        }
+        let got: Vec<_> = fs.list_prefix("/ckpt/").collect();
+        assert_eq!(got, vec!["/ckpt/a.img", "/ckpt/b.img"]);
+    }
+}

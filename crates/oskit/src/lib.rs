@@ -1,0 +1,45 @@
+//! `oskit` — the simulated UNIX cluster that stands in for the Linux kernel.
+//!
+//! The real DMTCP manipulates kernel state through raw syscalls; this crate
+//! provides that kernel as an explicit, deterministic object model driven by
+//! `simkit`'s discrete-event engine. Everything the paper's checkpointer
+//! must capture exists here with UNIX semantics:
+//!
+//! * nodes with cores, local disks (page-cache model), NICs, and shared
+//!   SAN/NFS storage ([`spec`], [`fs`]),
+//! * processes and threads with copy-on-write `fork`, `exec`, `ssh` remote
+//!   spawn, signals, zombies and `waitpid` ([`proc`], [`world`]),
+//! * address spaces made of real-byte and synthetic regions ([`mem`]),
+//! * file-descriptor tables over a shared open-file table, TCP and UNIX
+//!   sockets with kernel buffers and in-flight data, pipes, ptys with
+//!   terminal modes, and `mmap` shared memory ([`fdtable`], [`net`],
+//!   [`pty`]),
+//! * a pid namespace with wraparound allocation, so virtual-pid conflicts
+//!   after restart genuinely occur ([`world`]).
+//!
+//! Simulated application code implements [`program::Program`]: a poll-style
+//! state machine whose *entire* control state serializes into its thread's
+//! stack region. The checkpointer treats those bytes as opaque — the same
+//! opacity a real stack has — which is what makes the DMTCP layer above
+//! this crate genuinely transparent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fdtable;
+pub mod fs;
+pub mod kernel;
+pub mod mem;
+pub mod net;
+pub mod proc;
+pub mod program;
+pub mod pty;
+pub mod spec;
+pub mod world;
+
+pub use fdtable::{Fd, FdObject};
+pub use kernel::{Errno, Kernel};
+pub use mem::{AddressSpace, Content, FillProfile, Region, RegionKind};
+pub use program::{Program, Registry, Step};
+pub use spec::HwSpec;
+pub use world::{NodeId, OsSim, Pid, Tid, World};

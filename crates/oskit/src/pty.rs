@@ -1,0 +1,147 @@
+//! Pseudo-terminals.
+//!
+//! A pty is a master/slave pair of byte queues plus terminal modes. DMTCP
+//! restores ptys *before* sockets at restart (Figure 2 step 1), preserves
+//! terminal modes, and tracks ownership of the controlling terminal; this
+//! model carries exactly that state.
+
+use crate::world::{Pid, Tid};
+use std::collections::VecDeque;
+
+/// Pty id; also determines the slave path `/dev/pts/<n>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PtyId(pub u32);
+
+impl PtyId {
+    /// The slave device path (`ptsname(3)`).
+    pub fn slave_path(&self) -> String {
+        format!("/dev/pts/{}", self.0)
+    }
+}
+
+/// Terminal modes — the subset checkpoint/restore must preserve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Termios {
+    /// Canonical (line-buffered) mode.
+    pub canonical: bool,
+    /// Echo input back.
+    pub echo: bool,
+    /// Translate NL to CR-NL on output.
+    pub onlcr: bool,
+    /// Rows of the winsize.
+    pub rows: u16,
+    /// Columns of the winsize.
+    pub cols: u16,
+}
+
+impl Default for Termios {
+    fn default() -> Self {
+        Termios {
+            canonical: true,
+            echo: true,
+            onlcr: true,
+            rows: 24,
+            cols: 80,
+        }
+    }
+}
+
+simkit::impl_snap!(struct Termios { canonical, echo, onlcr, rows, cols });
+
+/// One pseudo-terminal pair.
+#[derive(Debug)]
+pub struct Pty {
+    /// Id (names the slave path).
+    pub id: PtyId,
+    /// Bytes written by master, read by slave (keyboard direction).
+    pub to_slave: VecDeque<u8>,
+    /// Bytes written by slave, read by master (display direction).
+    pub to_master: VecDeque<u8>,
+    /// Terminal modes.
+    pub termios: Termios,
+    /// Live master fd references.
+    pub master_refs: u32,
+    /// Live slave fd references.
+    pub slave_refs: u32,
+    /// Session leader owning this as its controlling terminal.
+    pub controlling_pid: Option<Pid>,
+    /// Threads blocked reading the slave side.
+    pub slave_read_waiters: Vec<(Pid, Tid)>,
+    /// Threads blocked reading the master side.
+    pub master_read_waiters: Vec<(Pid, Tid)>,
+}
+
+impl Pty {
+    /// A fresh pty.
+    pub fn new(id: PtyId) -> Self {
+        Pty {
+            id,
+            to_slave: VecDeque::new(),
+            to_master: VecDeque::new(),
+            termios: Termios::default(),
+            master_refs: 0,
+            slave_refs: 0,
+            controlling_pid: None,
+            slave_read_waiters: Vec::new(),
+            master_read_waiters: Vec::new(),
+        }
+    }
+
+    /// Write from the master side (applies no output processing — input
+    /// processing such as echo is handled by the kernel facade so waiters
+    /// can be woken there).
+    pub fn master_write(&mut self, bytes: &[u8]) {
+        self.to_slave.extend(bytes);
+    }
+
+    /// Write from the slave side, applying `onlcr` translation.
+    pub fn slave_write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            if b == b'\n' && self.termios.onlcr {
+                self.to_master.push_back(b'\r');
+            }
+            self.to_master.push_back(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slave_path_matches_ptsname_convention() {
+        assert_eq!(PtyId(3).slave_path(), "/dev/pts/3");
+    }
+
+    #[test]
+    fn onlcr_translates_newlines() {
+        let mut p = Pty::new(PtyId(0));
+        p.slave_write(b"a\nb");
+        assert_eq!(p.to_master.iter().copied().collect::<Vec<_>>(), b"a\r\nb");
+        p.termios.onlcr = false;
+        p.slave_write(b"\n");
+        assert_eq!(p.to_master.pop_back(), Some(b'\n'));
+        assert_ne!(p.to_master.pop_back(), Some(b'\r'));
+    }
+
+    #[test]
+    fn master_write_is_raw() {
+        let mut p = Pty::new(PtyId(0));
+        p.master_write(b"ls\n");
+        assert_eq!(p.to_slave.iter().copied().collect::<Vec<_>>(), b"ls\n");
+    }
+
+    #[test]
+    fn termios_snap_roundtrip() {
+        use simkit::Snap;
+        let t = Termios {
+            canonical: false,
+            echo: false,
+            onlcr: true,
+            rows: 50,
+            cols: 132,
+        };
+        assert_eq!(Termios::from_snap_bytes(&t.to_snap_bytes()).unwrap(), t);
+    }
+}

@@ -1,0 +1,256 @@
+//! The event queue.
+//!
+//! [`Sim<W>`] is a priority queue of `(time, seq, closure)` entries, generic
+//! over the world type `W` so that this crate stays independent of the
+//! operating-system model built on top of it. All simulation state lives in
+//! the world; events are one-shot closures. Two events scheduled for the
+//! same instant fire in scheduling order (FIFO), which makes runs fully
+//! deterministic.
+
+use crate::time::Nanos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled one-shot event.
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+struct Entry<W> {
+    at: Nanos,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The discrete-event simulator core.
+///
+/// ```
+/// use simkit::{Sim, Nanos};
+///
+/// let mut sim: Sim<Vec<u64>> = Sim::new();
+/// let mut world = Vec::new();
+/// sim.after(Nanos::from_secs(2), |w: &mut Vec<u64>, _| w.push(2));
+/// sim.after(Nanos::from_secs(1), |w: &mut Vec<u64>, sim| {
+///     w.push(1);
+///     sim.after(Nanos::from_secs(5), |w: &mut Vec<u64>, _| w.push(6));
+/// });
+/// sim.run(&mut world);
+/// assert_eq!(world, vec![1, 2, 6]);
+/// assert_eq!(sim.now(), Nanos::from_secs(6));
+/// ```
+pub struct Sim<W> {
+    now: Nanos,
+    seq: u64,
+    fired: u64,
+    halted: bool,
+    queue: BinaryHeap<Entry<W>>,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// An empty simulator positioned at `t = 0`.
+    pub fn new() -> Self {
+        Sim {
+            now: Nanos::ZERO,
+            seq: 0,
+            fired: 0,
+            halted: false,
+            queue: BinaryHeap::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of events fired so far (diagnostics / runaway detection).
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `f` at absolute time `at`. Scheduling into the past is a
+    /// logic error and panics (it would silently reorder causality).
+    pub fn at(&mut self, at: Nanos, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at:?} < now {:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedule `f` after a delay of `dt` from the current time.
+    pub fn after(&mut self, dt: Nanos, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        self.at(self.now + dt, f);
+    }
+
+    /// Schedule `f` to run "immediately" (after the current event, same time).
+    pub fn soon(&mut self, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        self.at(self.now, f);
+    }
+
+    /// Stop the run loop after the current event completes.
+    pub fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    /// Fire a single event if one is pending. Returns `false` when the queue
+    /// was empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        let Some(entry) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        self.fired += 1;
+        (entry.f)(world, self);
+        true
+    }
+
+    /// Run until the queue drains or [`Sim::halt`] is called.
+    pub fn run(&mut self, world: &mut W) {
+        self.halted = false;
+        while !self.halted && self.step(world) {}
+    }
+
+    /// Run until the queue drains, `halt` is called, or virtual time would
+    /// pass `deadline`; events scheduled after the deadline stay queued.
+    pub fn run_until(&mut self, world: &mut W, deadline: Nanos) {
+        self.halted = false;
+        while !self.halted {
+            match self.queue.peek() {
+                Some(e) if e.at <= deadline => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Run with a budget on the number of events, as a watchdog against
+    /// non-terminating protocols in tests. Returns `true` if the queue
+    /// drained within the budget.
+    pub fn run_bounded(&mut self, world: &mut W, max_events: u64) -> bool {
+        self.halted = false;
+        let start = self.fired;
+        while !self.halted {
+            if self.fired - start >= max_events {
+                return false;
+            }
+            if !self.step(world) {
+                return true;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut w = Vec::new();
+        for i in 0..10u32 {
+            sim.at(Nanos::from_secs(1), move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        sim.run(&mut w);
+        assert_eq!(w, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_ordering_dominates_insertion_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut w = Vec::new();
+        sim.at(Nanos::from_secs(3), |w: &mut Vec<u32>, _| w.push(3));
+        sim.at(Nanos::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        sim.at(Nanos::from_secs(2), |w: &mut Vec<u32>, _| w.push(2));
+        sim.run(&mut w);
+        assert_eq!(w, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim: Sim<()> = Sim::new();
+        sim.at(Nanos::from_secs(5), |_, sim| {
+            sim.at(Nanos::from_secs(1), |_, _| {});
+        });
+        sim.run(&mut ());
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_queued() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut w = Vec::new();
+        sim.at(Nanos::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        sim.at(Nanos::from_secs(10), |w: &mut Vec<u32>, _| w.push(10));
+        sim.run_until(&mut w, Nanos::from_secs(5));
+        assert_eq!(w, vec![1]);
+        assert_eq!(sim.pending(), 1);
+        sim.run(&mut w);
+        assert_eq!(w, vec![1, 10]);
+    }
+
+    #[test]
+    fn halt_stops_the_loop() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut w = 0u32;
+        sim.at(Nanos::from_secs(1), |w: &mut u32, sim| {
+            *w += 1;
+            sim.halt();
+        });
+        sim.at(Nanos::from_secs(2), |w: &mut u32, _| *w += 100);
+        sim.run(&mut w);
+        assert_eq!(w, 1);
+        // Resuming picks the remaining event back up.
+        sim.run(&mut w);
+        assert_eq!(w, 101);
+    }
+
+    #[test]
+    fn run_bounded_detects_runaway() {
+        fn rearm(_: &mut (), sim: &mut Sim<()>) {
+            sim.after(Nanos::from_micros(1), rearm);
+        }
+        let mut sim: Sim<()> = Sim::new();
+        sim.soon(rearm);
+        assert!(!sim.run_bounded(&mut (), 1000));
+        assert_eq!(sim.events_fired(), 1000);
+    }
+}

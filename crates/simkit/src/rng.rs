@@ -1,0 +1,207 @@
+//! Deterministic random number generation.
+//!
+//! The simulator needs randomness whose sequence is stable *forever* — a
+//! checkpoint written by one build must restore bit-identically under a
+//! later build, and CI must reproduce the paper's figures exactly. We
+//! therefore pin the algorithm in-tree: SplitMix64 for seeding and
+//! xoshiro256++ for the stream (public-domain reference constants).
+
+/// SplitMix64 step — used for seed expansion and cheap stateless hashing.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash a pair of values into a well-mixed 64-bit seed.
+pub fn mix2(a: u64, b: u64) -> u64 {
+    let mut s = a ^ b.rotate_left(32) ^ 0x51_7C_C1_B7_27_22_0A_95;
+    splitmix64(&mut s)
+}
+
+/// A deterministic xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Seed from a single 64-bit value via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, bound)` via Lemire's multiply-shift (bound > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        // Widening multiply; the tiny modulo bias (< 2^-64 * bound) is
+        // irrelevant for workload generation.
+        let x = self.next_u64();
+        ((x as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi);
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform in `[0, 1)` with 53-bit resolution.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fill a byte slice.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        let mut chunks = out.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+
+    /// A derived, independent stream (for per-entity RNGs).
+    pub fn fork(&mut self, tag: u64) -> DetRng {
+        DetRng::seed_from_u64(mix2(self.next_u64(), tag))
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// The raw 32-byte generator state (for checkpointing the generator).
+    pub fn state_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, word) in self.s.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Rebuild a generator from [`DetRng::state_bytes`] output.
+    pub fn from_state_bytes(bytes: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            *word = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("fixed size"));
+        }
+        // An all-zero state would lock xoshiro at zero forever; it can only
+        // arise from corrupted input, so reseed deterministically instead.
+        if s == [0u64; 4] {
+            return DetRng::seed_from_u64(0);
+        }
+        DetRng { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_respects_bound_and_covers_range() {
+        let mut r = DetRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn unit_f64_in_half_open_interval() {
+        let mut r = DetRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_handles_unaligned_lengths() {
+        let mut r = DetRng::seed_from_u64(3);
+        for len in [0usize, 1, 7, 8, 9, 31, 64] {
+            let mut buf = vec![0u8; len];
+            r.fill_bytes(&mut buf);
+            if len >= 16 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len} all zeros");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut r = DetRng::seed_from_u64(1234);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.unit_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_deterministic() {
+        let mut base1 = DetRng::seed_from_u64(5);
+        let mut base2 = DetRng::seed_from_u64(5);
+        let mut f1 = base1.fork(1);
+        let mut f2 = base2.fork(1);
+        for _ in 0..100 {
+            assert_eq!(f1.next_u64(), f2.next_u64());
+        }
+        let mut g = base1.fork(2);
+        assert_ne!(g.next_u64(), f1.next_u64());
+    }
+}

@@ -1,0 +1,103 @@
+//! Small statistics helpers for the experiment harness.
+//!
+//! The paper reports means with ±1σ error bars over 10 repetitions
+//! (Figure 4); [`Summary`] provides exactly that, computed with Welford's
+//! online algorithm so long sweeps stay numerically stable.
+
+/// Mean / standard deviation / extrema of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator); 0 for n < 2.
+    pub stddev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a slice of observations. Panics on an empty slice — an
+    /// experiment that produced no data is a harness bug worth failing loud.
+    pub fn of(xs: &[f64]) -> Summary {
+        assert!(!xs.is_empty(), "Summary::of on empty sample");
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for (i, &x) in xs.iter().enumerate() {
+            let delta = x - mean;
+            mean += delta / (i + 1) as f64;
+            m2 += delta * (x - mean);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let n = xs.len();
+        let stddev = if n > 1 {
+            (m2 / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            stddev,
+            min,
+            max,
+        }
+    }
+}
+
+/// Render a byte count the way the paper's axes do (MB = 2^20).
+pub fn fmt_mb(bytes: u64) -> String {
+    format!("{:.1} MB", bytes as f64 / (1u64 << 20) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic dataset is sqrt(32/7).
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn welford_is_stable_with_large_offsets() {
+        let base = 1e9;
+        let xs: Vec<f64> = (0..1000).map(|i| base + (i % 10) as f64).collect();
+        let s = Summary::of(&xs);
+        assert!((s.mean - (base + 4.5)).abs() < 1e-3);
+        assert!(s.stddev > 2.0 && s.stddev < 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn fmt_mb_uses_binary_megabytes() {
+        assert_eq!(fmt_mb(1 << 20), "1.0 MB");
+        assert_eq!(fmt_mb(225 * (1 << 20)), "225.0 MB");
+    }
+}

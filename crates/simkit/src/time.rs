@@ -1,0 +1,160 @@
+//! Virtual time, represented as integer nanoseconds.
+//!
+//! Using an integer representation (rather than `f64` seconds) keeps the
+//! event queue totally ordered and bit-for-bit reproducible: two events
+//! scheduled at the same instant tie-break on a sequence number, never on
+//! floating-point rounding.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, in nanoseconds.
+///
+/// `Nanos` is used both as an instant and as a duration; the simulation only
+/// ever needs the monoid structure, so a second type would add noise without
+/// catching real bugs here.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// The origin of virtual time.
+    pub const ZERO: Nanos = Nanos(0);
+    /// The maximum representable instant (used as "never").
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// A span of whole seconds.
+    pub const fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// A span of whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// A span of whole microseconds.
+    pub const fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    /// A span from fractional seconds, rounding to the nearest nanosecond.
+    ///
+    /// Negative and non-finite inputs clamp to zero: resource math can
+    /// produce `-0.0`-ish values from subtracting nearly equal floats, and a
+    /// simulation must never schedule into the past.
+    pub fn from_secs_f64(s: f64) -> Nanos {
+        if !s.is_finite() || s <= 0.0 {
+            return Nanos::ZERO;
+        }
+        Nanos((s * 1e9).round() as u64)
+    }
+
+    /// This instant/span as fractional seconds (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This instant/span as fractional milliseconds (for reporting only).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction; `a.saturating_sub(b)` is zero when `b > a`.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, rhs: Nanos) -> Nanos {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, rhs: Nanos) -> Nanos {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.checked_add(rhs.0).expect("virtual time overflow"))
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.checked_sub(rhs.0).expect("virtual time underflow"))
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Debug for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Nanos::from_secs(2), Nanos(2_000_000_000));
+        assert_eq!(Nanos::from_millis(2_000), Nanos::from_secs(2));
+        assert_eq!(Nanos::from_micros(2_000_000), Nanos::from_secs(2));
+        assert_eq!(Nanos::from_secs_f64(2.0), Nanos::from_secs(2));
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_garbage() {
+        assert_eq!(Nanos::from_secs_f64(-1.0), Nanos::ZERO);
+        assert_eq!(Nanos::from_secs_f64(f64::NAN), Nanos::ZERO);
+        assert_eq!(Nanos::from_secs_f64(f64::NEG_INFINITY), Nanos::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = Nanos::from_secs(1);
+        let b = Nanos::from_millis(500);
+        assert_eq!(a + b, Nanos::from_millis(1500));
+        assert_eq!(a - b, Nanos::from_millis(500));
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        assert!(a > b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn roundtrips_through_f64_for_small_values() {
+        let t = Nanos::from_micros(123_456);
+        assert_eq!(Nanos::from_secs_f64(t.as_secs_f64()), t);
+    }
+}

@@ -1,0 +1,130 @@
+//! A lightweight, allocation-frugal trace facility.
+//!
+//! Worlds embed a [`Trace`] and call [`Trace::emit`] at interesting protocol
+//! points (barrier reached, socket drained, image written). Traces are off
+//! by default so the hot path costs one branch; tests switch them on to
+//! assert protocol *order* (e.g. "no process writes its image before every
+//! process passed the drain barrier").
+
+use crate::time::Nanos;
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time at which the event was emitted.
+    pub at: Nanos,
+    /// Free-form category tag, e.g. `"barrier"`.
+    pub tag: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// An in-memory event trace.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// A disabled trace (events are dropped).
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// An enabled trace that records everything.
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether events are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turn recording on/off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Record an event (cheap no-op when disabled). `detail` is only
+    /// evaluated lazily by callers that use [`Trace::emit_with`].
+    pub fn emit(&mut self, at: Nanos, tag: &'static str, detail: impl Into<String>) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                tag,
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// Record an event, building the detail string only if enabled.
+    pub fn emit_with(&mut self, at: Nanos, tag: &'static str, f: impl FnOnce() -> String) {
+        if self.enabled {
+            let detail = f();
+            self.events.push(TraceEvent { at, tag, detail });
+        }
+    }
+
+    /// All recorded events in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events with a given tag, in order.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.tag == tag)
+    }
+
+    /// Index of the first event with `tag` whose detail contains `needle`.
+    pub fn position(&self, tag: &str, needle: &str) -> Option<usize> {
+        self.events
+            .iter()
+            .position(|e| e.tag == tag && e.detail.contains(needle))
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.emit(Nanos::ZERO, "x", "hello");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn emit_with_skips_closure_when_disabled() {
+        let mut t = Trace::disabled();
+        let mut called = false;
+        t.emit_with(Nanos::ZERO, "x", || {
+            called = true;
+            String::from("never")
+        });
+        assert!(!called);
+    }
+
+    #[test]
+    fn ordering_and_filtering() {
+        let mut t = Trace::enabled();
+        t.emit(Nanos::from_secs(1), "a", "first");
+        t.emit(Nanos::from_secs(2), "b", "second");
+        t.emit(Nanos::from_secs(3), "a", "third");
+        assert_eq!(t.events().len(), 3);
+        let tags: Vec<_> = t.with_tag("a").map(|e| e.detail.as_str()).collect();
+        assert_eq!(tags, vec!["first", "third"]);
+        assert_eq!(t.position("b", "sec"), Some(1));
+        assert_eq!(t.position("b", "zzz"), None);
+    }
+}

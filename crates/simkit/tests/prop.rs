@@ -1,0 +1,86 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use simkit::{Nanos, Sim, Snap};
+
+proptest! {
+    /// Any schedule of (time, id) pairs fires in (time, insertion) order.
+    #[test]
+    fn events_fire_in_time_then_insertion_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim: Sim<Vec<(u64, usize)>> = Sim::new();
+        let mut fired = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            sim.at(Nanos(t), move |w: &mut Vec<(u64, usize)>, _| w.push((t, i)));
+        }
+        sim.run(&mut fired);
+
+        let mut expect: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
+        expect.sort_by_key(|&(t, i)| (t, i));
+        prop_assert_eq!(fired, expect);
+    }
+
+    /// Varints roundtrip for arbitrary u64 values.
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        prop_assert_eq!(u64::from_snap_bytes(&v.to_snap_bytes()).unwrap(), v);
+    }
+
+    /// Zig-zag signed encoding roundtrips.
+    #[test]
+    fn signed_roundtrip(v in any::<i64>()) {
+        prop_assert_eq!(i64::from_snap_bytes(&v.to_snap_bytes()).unwrap(), v);
+    }
+
+    /// Nested containers roundtrip.
+    #[test]
+    fn nested_roundtrip(v in proptest::collection::vec(
+        (any::<u32>(), proptest::option::of(".*"), proptest::collection::vec(any::<i32>(), 0..8)),
+        0..32,
+    )) {
+        let v: Vec<(u32, Option<String>, Vec<i32>)> = v;
+        let bytes = v.to_snap_bytes();
+        prop_assert_eq!(<Vec<(u32, Option<String>, Vec<i32>)>>::from_snap_bytes(&bytes).unwrap(), v);
+    }
+
+    /// Arbitrary byte garbage never panics the decoder.
+    #[test]
+    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = <Vec<(u32, String)>>::from_snap_bytes(&bytes);
+        let _ = <Option<Vec<u64>>>::from_snap_bytes(&bytes);
+        let _ = String::from_snap_bytes(&bytes);
+    }
+
+    /// The FIFO pipe never completes a later request before an earlier one,
+    /// and total busy time equals bytes/rate.
+    #[test]
+    fn pipe_is_fifo_and_work_conserving(sizes in proptest::collection::vec(1u64..10_000_000, 1..50)) {
+        let rate = 1_000_000.0; // 1 MB/s
+        let mut pipe = simkit::resource::Pipe::new(rate);
+        let mut last = Nanos::ZERO;
+        for &s in &sizes {
+            let end = pipe.transfer(Nanos::ZERO, s);
+            prop_assert!(end >= last);
+            last = end;
+        }
+        let total: u64 = sizes.iter().sum();
+        let expect = total as f64 / rate;
+        prop_assert!((last.as_secs_f64() - expect).abs() < 1e-3 * sizes.len() as f64);
+    }
+
+    /// CorePool with one core equals a FIFO queue; with many cores, makespan
+    /// is never worse than one core and never better than critical path.
+    #[test]
+    fn core_pool_bounds(durs in proptest::collection::vec(1u64..1_000_000u64, 1..40), cores in 1usize..8) {
+        let mut pool = simkit::resource::CorePool::new(cores);
+        let mut makespan = Nanos::ZERO;
+        for &d in &durs {
+            let (_, end) = pool.run(Nanos::ZERO, Nanos(d));
+            makespan = makespan.max(end);
+        }
+        let total: u64 = durs.iter().sum();
+        let longest = *durs.iter().max().unwrap();
+        prop_assert!(makespan.0 >= total / cores as u64);
+        prop_assert!(makespan.0 >= longest);
+        prop_assert!(makespan.0 <= total);
+    }
+}

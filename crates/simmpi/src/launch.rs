@@ -1,0 +1,372 @@
+//! MPI job launch models.
+//!
+//! The paper's MPICH2 runs are started as `dmtcp_checkpoint mpdboot -n 32`
+//! followed by `dmtcp_checkpoint mpirun <prog>`: the MPD resource-manager
+//! daemons are checkpointed along with the computation (Figure 5 notes "an
+//! additional 21 to 161 MPICH2 resource management processes are also
+//! checkpointed"). OpenMPI runs go through `orterun` and its OpenRTE
+//! daemons. This module models both shapes:
+//!
+//! * a **console** process (`mpdboot+mpirun` or `orterun`) on the first
+//!   node, which ssh-spawns one daemon per node — under DMTCP the ssh
+//!   wrapper transparently traces the remote daemons;
+//! * **MPD daemons** connected in a ring (MPICH2) or **OpenRTE daemons**
+//!   connected in a star to the console (OpenMPI);
+//! * per-node **rank spawning** by each daemon (fork wrapper traces the
+//!   ranks), with ranks wiring their own full mesh via [`crate::MpiRt`].
+
+use oskit::program::{Program, Step};
+use oskit::world::{NodeId, OsSim, Pid, World};
+use oskit::{Errno, Fd, Kernel};
+use simkit::{Nanos, Snap, SnapWriter};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Which MPI implementation's management topology to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    /// MPICH2: MPD daemons in a ring.
+    Mpich2,
+    /// OpenMPI: OpenRTE daemons in a star to the console.
+    OpenMpi,
+}
+
+/// Job description.
+#[derive(Debug, Clone)]
+pub struct MpiJob {
+    /// Implementation flavor.
+    pub flavor: Flavor,
+    /// Nodes that get one daemon each.
+    pub nodes: Vec<NodeId>,
+    /// Ranks per node.
+    pub procs_per_node: usize,
+    /// Rank listener base port.
+    pub base_port: u16,
+}
+
+impl MpiJob {
+    /// Total rank count.
+    pub fn size(&self) -> u32 {
+        (self.nodes.len() * self.procs_per_node) as u32
+    }
+}
+
+/// Builds the rank program for `(rank, size, rank_hosts, base_port)`.
+pub type RankFactory = Rc<dyn Fn(u32, u32, Vec<String>, u16) -> Box<dyn Program>>;
+
+/// How to start the console process.
+pub enum Launcher<'a> {
+    /// Plain spawn (no checkpointing).
+    Raw,
+    /// Under `dmtcp_checkpoint` via the given session.
+    Dmtcp(&'a dmtcp::Session),
+}
+
+/// `mpdboot && mpirun` / `orterun`: start the whole MPI job. Returns the
+/// console pid (its exit means the job finished).
+pub fn mpirun(
+    w: &mut World,
+    sim: &mut OsSim,
+    launcher: Launcher<'_>,
+    job: &MpiJob,
+    factory: RankFactory,
+) -> Pid {
+    let rank_hosts: Vec<String> = job
+        .nodes
+        .iter()
+        .flat_map(|n| {
+            std::iter::repeat_n(w.node(*n).hostname.clone(), job.procs_per_node)
+        })
+        .collect();
+    let daemon_hosts: Vec<String> = job
+        .nodes
+        .iter()
+        .map(|n| w.node(*n).hostname.clone())
+        .collect();
+    let console = Console {
+        pc: 0,
+        job: job.clone(),
+        rank_hosts,
+        daemon_hosts,
+        factory: Some(factory),
+        daemons: Vec::new(),
+    };
+    let cmd = match job.flavor {
+        Flavor::Mpich2 => "mpirun(mpich2)",
+        Flavor::OpenMpi => "orterun",
+    };
+    match launcher {
+        Launcher::Raw => w.spawn(sim, job.nodes[0], cmd, Box::new(console), Pid(1), BTreeMap::new()),
+        Launcher::Dmtcp(s) => s.launch(w, sim, job.nodes[0], cmd, Box::new(console)),
+    }
+}
+
+/// The console: ssh-spawns daemons, waits for them all, exits.
+struct Console {
+    pc: u8,
+    job: MpiJob,
+    rank_hosts: Vec<String>,
+    daemon_hosts: Vec<String>,
+    factory: Option<RankFactory>,
+    daemons: Vec<u32>,
+}
+
+impl Program for Console {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        loop {
+            match self.pc {
+                0 => {
+                    let factory = self.factory.clone().expect("factory present at launch");
+                    for (i, host) in self.daemon_hosts.clone().iter().enumerate() {
+                        let daemon = Daemon {
+                            pc: 0,
+                            flavor_openmpi: self.job.flavor == Flavor::OpenMpi,
+                            node_index: i as u32,
+                            n_nodes: self.daemon_hosts.len() as u32,
+                            ppn: self.job.procs_per_node as u32,
+                            base_port: self.job.base_port,
+                            rank_hosts: self.rank_hosts.clone(),
+                            daemon_hosts: self.daemon_hosts.clone(),
+                            factory: Some(factory.clone()),
+                            lfd: -1,
+                            ring_fd: -1,
+                            inbound: Vec::new(),
+                            kids: Vec::new(),
+                        };
+                        let cmd = match self.job.flavor {
+                            Flavor::Mpich2 => "mpd",
+                            Flavor::OpenMpi => "orted",
+                        };
+                        let pid = k
+                            .ssh_spawn(host, cmd, Box::new(daemon), BTreeMap::new())
+                            .expect("daemon host reachable");
+                        self.daemons.push(pid.0);
+                    }
+                    self.factory = None;
+                    self.pc = 1;
+                }
+                1 => {
+                    let Some(&d) = self.daemons.last() else {
+                        return Step::Exit(0);
+                    };
+                    match k.waitpid(Pid(d)) {
+                        Ok(_) => {
+                            self.daemons.pop();
+                        }
+                        Err(Errno::WouldBlock) => return Step::Block,
+                        Err(e) => panic!("console waitpid daemon: {e:?}"),
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn tag(&self) -> &'static str {
+        "mpi-console"
+    }
+
+    fn save(&self) -> Vec<u8> {
+        assert!(
+            self.factory.is_none(),
+            "checkpoint during job launch is unsupported (daemons not yet spawned)"
+        );
+        let mut w = SnapWriter::new();
+        self.pc.save(&mut w);
+        self.daemons.save(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// Loader for restored consoles (post-launch state only).
+pub fn register_console(reg: &mut oskit::program::Registry) {
+    reg.register("mpi-console", |bytes| {
+        let mut r = simkit::SnapReader::new(bytes);
+        let pc = u8::load(&mut r)?;
+        let daemons = Vec::<u32>::load(&mut r)?;
+        Ok(Box::new(Console {
+            pc,
+            job: MpiJob {
+                flavor: Flavor::Mpich2,
+                nodes: Vec::new(),
+                procs_per_node: 0,
+                base_port: 0,
+            },
+            rank_hosts: Vec::new(),
+            daemon_hosts: Vec::new(),
+            factory: None,
+            daemons,
+        }))
+    });
+}
+
+/// One resource-manager daemon (MPD or OpenRTE flavor).
+struct Daemon {
+    pc: u8,
+    flavor_openmpi: bool,
+    node_index: u32,
+    n_nodes: u32,
+    ppn: u32,
+    base_port: u16,
+    rank_hosts: Vec<String>,
+    daemon_hosts: Vec<String>,
+    factory: Option<RankFactory>,
+    lfd: Fd,
+    ring_fd: Fd,
+    inbound: Vec<Fd>,
+    kids: Vec<u32>,
+}
+
+impl Daemon {
+    /// Control connections this daemon must accept: its ring predecessor
+    /// (MPICH2) or, for the OpenRTE head daemon, every other daemon.
+    fn expected_inbound(&self) -> usize {
+        if self.n_nodes <= 1 {
+            0
+        } else if self.flavor_openmpi {
+            if self.node_index == 0 {
+                self.n_nodes as usize - 1
+            } else {
+                0
+            }
+        } else {
+            1
+        }
+    }
+}
+
+impl Daemon {
+    fn control_port(&self, i: u32) -> u16 {
+        self.base_port - 1000 + i as u16
+    }
+}
+
+impl Program for Daemon {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        loop {
+            match self.pc {
+                0 => {
+                    // Management-plane wiring: MPD ring (connect to the next
+                    // daemon) or OpenRTE star (connect to the console's
+                    // node-0 daemon). These idle connections are part of
+                    // what DMTCP checkpoints.
+                    let (fd, _) = k
+                        .listen_on(self.control_port(self.node_index))
+                        .expect("daemon port free");
+                    self.lfd = fd;
+                    self.pc = 1;
+                }
+                1 => {
+                    let target = if self.flavor_openmpi {
+                        0
+                    } else {
+                        (self.node_index + 1) % self.n_nodes
+                    };
+                    if target == self.node_index {
+                        self.pc = 2; // single-node job: no peer link
+                        continue;
+                    }
+                    let host = self.daemon_hosts[target as usize].clone();
+                    match k.connect(&host, self.control_port(target)) {
+                        Ok(fd) => {
+                            self.ring_fd = fd;
+                            self.pc = 2;
+                        }
+                        Err(Errno::ConnRefused) => return Step::Sleep(Nanos::from_millis(2)),
+                        Err(e) => panic!("daemon wiring: {e:?}"),
+                    }
+                }
+                2 => {
+                    // Accept the inbound control connections (leaving them
+                    // half-open in the backlog would leave sockets no drain
+                    // peer can ever answer for).
+                    while self.inbound.len() < self.expected_inbound() {
+                        match k.accept(self.lfd) {
+                            Ok(fd) => self.inbound.push(fd),
+                            Err(Errno::WouldBlock) => return Step::Block,
+                            Err(e) => panic!("daemon accept: {e:?}"),
+                        }
+                    }
+                    self.pc = 5;
+                }
+                5 => {
+                    // Spawn the local ranks (one per core, as in the paper).
+                    let factory = self.factory.take().expect("spawn once");
+                    let size = self.rank_hosts.len() as u32;
+                    for j in 0..self.ppn {
+                        let rank = self.node_index * self.ppn + j;
+                        let prog = factory(rank, size, self.rank_hosts.clone(), self.base_port);
+                        let pid = k.spawn_process(&format!("rank{rank}"), prog);
+                        self.kids.push(pid.0);
+                    }
+                    self.pc = 3;
+                }
+                3 => {
+                    let Some(&kid) = self.kids.last() else {
+                        return Step::Exit(0);
+                    };
+                    match k.waitpid(Pid(kid)) {
+                        Ok(_) => {
+                            self.kids.pop();
+                        }
+                        Err(Errno::WouldBlock) => return Step::Block,
+                        Err(e) => panic!("daemon waitpid rank: {e:?}"),
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn tag(&self) -> &'static str {
+        "mpi-daemon"
+    }
+
+    fn save(&self) -> Vec<u8> {
+        assert!(
+            self.factory.is_none(),
+            "checkpoint while daemon is still spawning ranks is unsupported"
+        );
+        let mut w = SnapWriter::new();
+        self.pc.save(&mut w);
+        self.lfd.save(&mut w);
+        self.ring_fd.save(&mut w);
+        self.inbound.save(&mut w);
+        self.kids.save(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// Loader for restored daemons (post-spawn state only).
+pub fn register_daemon(reg: &mut oskit::program::Registry) {
+    reg.register("mpi-daemon", |bytes| {
+        let mut r = simkit::SnapReader::new(bytes);
+        let pc = u8::load(&mut r)?;
+        let lfd = Fd::load(&mut r)?;
+        let ring_fd = Fd::load(&mut r)?;
+        let inbound = Vec::<Fd>::load(&mut r)?;
+        let kids = Vec::<u32>::load(&mut r)?;
+        Ok(Box::new(Daemon {
+            pc,
+            flavor_openmpi: false,
+            node_index: 0,
+            n_nodes: 0,
+            ppn: 0,
+            base_port: 0,
+            rank_hosts: Vec::new(),
+            daemon_hosts: Vec::new(),
+            factory: None,
+            lfd,
+            ring_fd,
+            inbound,
+            kids,
+        }))
+    });
+}
+
+/// Register the management-process loaders (consoles + daemons) so jobs can
+/// be restored from checkpoints.
+pub fn register_management(reg: &mut oskit::program::Registry) {
+    register_console(reg);
+    register_daemon(reg);
+}

@@ -1,0 +1,79 @@
+//! `simmpi` — the message-passing substrates the paper's evaluation runs on.
+//!
+//! The distributed experiments (§5.2) use MPICH2 (with its MPD resource
+//! manager) and OpenMPI (with OpenRTE daemons); ParGeant4 additionally runs
+//! over TOP-C. DMTCP checkpoints all of it — compute ranks *and* the
+//! management processes — without knowing it is MPI, which is the paper's
+//! central claim. This crate therefore implements:
+//!
+//! * [`rt`] — an MPI runtime embedded in each rank program: full-mesh
+//!   socket setup over the simulated kernel, length+tag framed messages,
+//!   non-blocking pump with unbounded user-space send queues (MPI buffered
+//!   semantics). Its entire state is snap-serializable, so ranks checkpoint
+//!   and restore transparently mid-communication.
+//! * [`coll`] — collectives (barrier, bcast, reduce, allreduce, alltoall,
+//!   gather) built from point-to-point messages with sequence-tagged
+//!   uniqueness.
+//! * [`launch`] — `mpdboot`/`mpirun` (MPICH2) and `orterun` (OpenMPI)
+//!   process models: a console process, one daemon per node (MPD daemons in
+//!   a ring, OpenRTE daemons in a star), and per-node rank spawning, all of
+//!   which end up traced by DMTCP through the ssh/fork wrappers.
+//! * [`topc`] — a minimal TOP-C master/worker task-distribution layer over
+//!   the runtime (what ParGeant4 uses).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coll;
+pub mod launch;
+pub mod rt;
+pub mod topc;
+
+pub use coll::CollOp;
+pub use launch::{mpirun, Flavor, MpiJob};
+pub use rt::MpiRt;
+
+/// Encode a f64 slice as little-endian bytes.
+pub fn f64s_to_bytes(xs: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(xs.len() * 8);
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into f64s.
+pub fn bytes_to_f64s(b: &[u8]) -> Vec<f64> {
+    assert_eq!(b.len() % 8, 0, "f64 payload length");
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+/// Encode a u64 slice as little-endian bytes.
+pub fn u64s_to_bytes(xs: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(xs.len() * 8);
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into u64s.
+pub fn bytes_to_u64s(b: &[u8]) -> Vec<u64> {
+    assert_eq!(b.len() % 8, 0, "u64 payload length");
+    b.chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn byte_codecs_roundtrip() {
+        let xs = vec![1.5f64, -0.0, f64::MAX, 3.25e-300];
+        assert_eq!(super::bytes_to_f64s(&super::f64s_to_bytes(&xs)), xs);
+        let us = vec![0u64, 1, u64::MAX];
+        assert_eq!(super::bytes_to_u64s(&super::u64s_to_bytes(&us)), us);
+    }
+}

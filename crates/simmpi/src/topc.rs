@@ -1,0 +1,138 @@
+//! TOP-C (Task Oriented Parallel C/C++) — the master-worker layer ParGeant4
+//! runs on, itself built over MPI (the paper's configuration builds TOP-C
+//! on MPICH2).
+//!
+//! Rank 0 is the master: it keeps every worker loaded with one outstanding
+//! task, collects results, and broadcasts shutdown when the task pool
+//! drains. Workers report for duty, receive opaque task payloads, and
+//! submit opaque results; the application supplies the payloads and the
+//! compute (which may span many scheduler steps — Monte-Carlo tracking in
+//! ParGeant4's case).
+
+use crate::rt::MpiRt;
+use oskit::Kernel;
+use simkit::impl_snap;
+
+const TAG_TASK: u32 = 0x7F00_0001;
+const TAG_RESULT: u32 = 0x7F00_0002;
+const TAG_DONE: u32 = 0x7F00_0003;
+
+/// Master-side distribution state (embed in the rank-0 program).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopcMaster {
+    /// Next task index to hand out.
+    pub next_task: u32,
+    /// Total tasks in the pool.
+    pub total: u32,
+    /// Task currently outstanding per worker rank (index 0 unused).
+    pub outstanding: Vec<Option<u32>>,
+    /// Collected results, in completion order: `(task, worker, payload)`.
+    pub results: Vec<(u32, u32, Vec<u8>)>,
+    /// Workers that have been sent DONE.
+    pub released: Vec<bool>,
+}
+impl_snap!(struct TopcMaster { next_task, total, outstanding, results, released });
+
+impl TopcMaster {
+    /// A master distributing `total` tasks over `size - 1` workers.
+    pub fn new(total: u32, size: u32) -> Self {
+        TopcMaster {
+            next_task: 0,
+            total,
+            outstanding: vec![None; size as usize],
+            results: Vec::new(),
+            released: vec![false; size as usize],
+        }
+    }
+
+    /// Drive distribution. `make_task(i)` produces task `i`'s payload.
+    /// Returns true when every task is done and every worker released.
+    pub fn poll(
+        &mut self,
+        rt: &mut MpiRt,
+        k: &mut Kernel<'_>,
+        make_task: impl Fn(u32) -> Vec<u8>,
+    ) -> bool {
+        loop {
+            // Keep every idle worker loaded (or release it).
+            let mut sent_any = false;
+            for w in 1..rt.size {
+                if self.outstanding[w as usize].is_some() || self.released[w as usize] {
+                    continue;
+                }
+                if self.next_task < self.total {
+                    let t = self.next_task;
+                    self.next_task += 1;
+                    let mut payload = t.to_le_bytes().to_vec();
+                    payload.extend_from_slice(&make_task(t));
+                    rt.send(w, TAG_TASK, &payload);
+                    self.outstanding[w as usize] = Some(t);
+                    sent_any = true;
+                } else {
+                    rt.send(w, TAG_DONE, b"");
+                    self.released[w as usize] = true;
+                    sent_any = true;
+                }
+            }
+            if self.results.len() as u32 == self.total
+                && (1..rt.size).all(|w| self.released[w as usize])
+            {
+                // Flush the final DONE messages.
+                return rt.drain_out(k);
+            }
+            match rt.recv_any_or_block(k, TAG_RESULT) {
+                Some((from, data)) => {
+                    let t = self.outstanding[from as usize]
+                        .take()
+                        .expect("result from an idle worker");
+                    self.results.push((t, from, data));
+                }
+                None => {
+                    if !sent_any {
+                        return false; // block; wakers registered
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// What a worker should do next.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerPoll {
+    /// Nothing available; block.
+    Idle,
+    /// A task arrived: `(task id, payload)`. Compute, then
+    /// [`TopcWorker::submit`].
+    Task(u32, Vec<u8>),
+    /// The master released this worker.
+    Done,
+}
+
+/// Worker-side state (embed in worker rank programs).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TopcWorker {
+    /// Tasks completed by this worker.
+    pub completed: u32,
+}
+impl_snap!(struct TopcWorker { completed });
+
+impl TopcWorker {
+    /// Check for work.
+    pub fn poll(&mut self, rt: &mut MpiRt, k: &mut Kernel<'_>) -> WorkerPoll {
+        if let Some(d) = rt.recv_or_block(k, 0, TAG_TASK) {
+            let t = u32::from_le_bytes(d[..4].try_into().expect("task id"));
+            return WorkerPoll::Task(t, d[4..].to_vec());
+        }
+        if rt.try_recv(0, TAG_DONE).is_some() {
+            return WorkerPoll::Done;
+        }
+        WorkerPoll::Idle
+    }
+
+    /// Submit a result for the last task.
+    pub fn submit(&mut self, rt: &mut MpiRt, result: &[u8]) {
+        rt.send(0, TAG_RESULT, result);
+        self.completed += 1;
+    }
+}

@@ -1,0 +1,370 @@
+//! MPI semantics end to end: mesh wiring, point-to-point ordering,
+//! collectives correctness, the management-process models, TOP-C, and —
+//! the paper's headline — transparent checkpoint/restart of a full MPI job
+//! including its resource managers.
+
+use dmtcp::session::run_for;
+use dmtcp::{Options, Session};
+use oskit::program::{Program, Registry, Step};
+use oskit::world::{NodeId, OsSim, Pid, World};
+use oskit::{HwSpec, Kernel};
+use simkit::{Nanos, Sim, Snap};
+use simmpi::coll::CollOp;
+use simmpi::launch::{mpirun, register_management, Flavor, Launcher, MpiJob};
+use simmpi::rt::MpiRt;
+use simmpi::topc::{TopcMaster, TopcWorker, WorkerPoll};
+use std::rc::Rc;
+
+const EV: u64 = 20_000_000;
+
+/// A rank that alternates compute with allreduce iterations, then verifies
+/// the converged value and (rank 0) writes it to the shared fs.
+struct IterRank {
+    rt: MpiRt,
+    pc: u8,
+    iter: u32,
+    iters: u32,
+    local: f64,
+    global: Vec<f64>,
+    coll: CollOp,
+}
+simkit::impl_snap!(struct IterRank { rt, pc, iter, iters, local, global, coll });
+
+impl IterRank {
+    fn new(rank: u32, size: u32, hosts: Vec<String>, port: u16, iters: u32) -> Self {
+        IterRank {
+            rt: MpiRt::new(rank, size, port, hosts),
+            pc: 0,
+            iter: 0,
+            iters,
+            local: (rank + 1) as f64,
+            global: Vec::new(),
+            coll: CollOp::default(),
+        }
+    }
+}
+
+impl Program for IterRank {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        loop {
+            match self.pc {
+                0 => {
+                    if !self.rt.init(k) {
+                        return Step::Sleep(Nanos::from_millis(1));
+                    }
+                    self.pc = 1;
+                }
+                1 => {
+                    if self.iter == self.iters {
+                        self.pc = 3;
+                        continue;
+                    }
+                    // Deterministic "compute": fold the global sum back in.
+                    let g = self.global.first().copied().unwrap_or(0.0);
+                    self.local = self.local * 0.5 + g / self.rt.size as f64 + 1.0;
+                    self.coll = CollOp::begin(&mut self.rt);
+                    self.pc = 2;
+                    return Step::Compute(1_000_000);
+                }
+                2 => {
+                    let contrib = [self.local];
+                    let mut out = std::mem::take(&mut self.global);
+                    let done = self.coll.allreduce_sum_f64(&mut self.rt, k, &contrib, &mut out);
+                    self.global = out;
+                    if !done {
+                        return Step::Block;
+                    }
+                    self.iter += 1;
+                    self.pc = 1;
+                }
+                3 => {
+                    if !self.rt.drain_out(k) {
+                        return Step::Block;
+                    }
+                    if self.rt.rank == 0 {
+                        let fd = k.open("/shared/mpi_result", true).expect("result");
+                        k.write(fd, format!("{:.9e}", self.global[0]).as_bytes())
+                            .expect("w");
+                    }
+                    return Step::Exit(0);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "iter-rank"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.register_snap::<IterRank>("iter-rank");
+    r.register_snap::<GeantRank>("geant-rank");
+    register_management(&mut r);
+    r
+}
+
+fn job(nodes: usize, ppn: usize, flavor: Flavor) -> MpiJob {
+    MpiJob {
+        flavor,
+        nodes: (0..nodes as u32).map(NodeId).collect(),
+        procs_per_node: ppn,
+        base_port: 30_000,
+    }
+}
+
+fn iter_factory(iters: u32) -> simmpi::launch::RankFactory {
+    Rc::new(move |rank, size, hosts, port| {
+        Box::new(IterRank::new(rank, size, hosts, port, iters)) as Box<dyn Program>
+    })
+}
+
+fn world(nodes: usize) -> (World, OsSim) {
+    (World::new(HwSpec::cluster(), nodes, registry()), Sim::new())
+}
+
+fn mpi_reference(nodes: usize, ppn: usize, iters: u32, flavor: Flavor) -> String {
+    let (mut w, mut sim) = world(nodes);
+    mpirun(&mut w, &mut sim, Launcher::Raw, &job(nodes, ppn, flavor), iter_factory(iters));
+    assert!(sim.run_bounded(&mut w, EV), "reference MPI run deadlocked");
+    String::from_utf8(w.shared_fs.read_all("/shared/mpi_result").expect("result")).expect("utf8")
+}
+
+#[test]
+fn allreduce_converges_identically_for_both_flavors() {
+    let a = mpi_reference(4, 2, 20, Flavor::Mpich2);
+    let b = mpi_reference(4, 2, 20, Flavor::OpenMpi);
+    assert_eq!(a, b, "flavor must not affect numerics");
+    // Closed form check for one iteration step is awkward; instead pin
+    // determinism: a third run must agree bit-for-bit.
+    assert_eq!(a, mpi_reference(4, 2, 20, Flavor::Mpich2));
+}
+
+#[test]
+fn management_processes_exist_and_tear_down() {
+    let (mut w, mut sim) = world(3);
+    mpirun(&mut w, &mut sim, Launcher::Raw, &job(3, 2, Flavor::Mpich2), iter_factory(1000));
+    // Mid-run: console + 3 daemons + 6 ranks alive.
+    sim.run_until(&mut w, Nanos::from_millis(60));
+    let alive = w.live_procs();
+    assert!(alive >= 10, "console+daemons+ranks alive, got {alive}");
+    assert!(sim.run_bounded(&mut w, EV));
+    assert_eq!(w.live_procs(), 0, "everything exits when the job finishes");
+}
+
+#[test]
+fn mpi_job_checkpoint_kill_restart_same_answer() {
+    let iters = 300;
+    let reference = mpi_reference(2, 2, iters, Flavor::Mpich2);
+
+    let (mut w, mut sim) = world(2);
+    let s = Session::start(
+        &mut w,
+        &mut sim,
+        Options {
+            ckpt_dir: "/shared/ckpt".into(),
+            ..Options::default()
+        },
+    );
+    mpirun(
+        &mut w,
+        &mut sim,
+        Launcher::Dmtcp(&s),
+        &job(2, 2, Flavor::Mpich2),
+        iter_factory(iters),
+    );
+    run_for(&mut w, &mut sim, Nanos::from_millis(150)); // mid-iterations
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    // console + 2 daemons + 4 ranks = 7 traced processes.
+    assert_eq!(stat.participants, 7, "management processes are checkpointed too");
+    let gen = stat.gen;
+    s.kill_computation(&mut w, &mut sim);
+    let _ = w.shared_fs.remove("/shared/mpi_result");
+    let script = Session::parse_restart_script(&w);
+    let names: Vec<(String, NodeId)> = script
+        .iter()
+        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
+        .collect();
+    let remap = move |h: &str| {
+        names
+            .iter()
+            .find(|(n, _)| n == h)
+            .map(|(_, x)| *x)
+            .expect("host")
+    };
+    s.restart_from_script(&mut w, &mut sim, &script, &remap, gen);
+    Session::wait_restart_done(&mut w, &mut sim, gen, EV);
+    assert!(sim.run_bounded(&mut w, EV), "restored MPI job deadlocked");
+    let got = String::from_utf8(w.shared_fs.read_all("/shared/mpi_result").expect("result"))
+        .expect("utf8");
+    assert_eq!(got, reference, "restored MPI job diverged");
+}
+
+// ---------------------------------------------------------------------
+// TOP-C master/worker (the ParGeant4 shape)
+// ---------------------------------------------------------------------
+
+struct GeantRank {
+    rt: MpiRt,
+    pc: u8,
+    master: TopcMaster,
+    worker: TopcWorker,
+    tasks: u32,
+    current_task: u32,
+    acc: u64,
+}
+simkit::impl_snap!(struct GeantRank { rt, pc, master, worker, tasks, current_task, acc });
+
+impl Program for GeantRank {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        loop {
+            match self.pc {
+                0 => {
+                    if !self.rt.init(k) {
+                        return Step::Sleep(Nanos::from_millis(1));
+                    }
+                    self.pc = if self.rt.rank == 0 { 1 } else { 10 };
+                }
+                // master
+                1 => {
+                    let done = self.master.poll(&mut self.rt, k, |t| {
+                        // task payload: a seed derived from the task id
+                        (t as u64 * 0x9E3779B9).to_le_bytes().to_vec()
+                    });
+                    if !done {
+                        return Step::Block;
+                    }
+                    // Aggregate results deterministically (sorted by task).
+                    let mut rs = self.master.results.clone();
+                    rs.sort_by_key(|(t, _, _)| *t);
+                    let mut acc = 0u64;
+                    for (_, _, payload) in rs {
+                        acc = acc.wrapping_add(u64::from_le_bytes(
+                            payload[..8].try_into().expect("8"),
+                        ));
+                    }
+                    let fd = k.open("/shared/topc_result", true).expect("result");
+                    k.write(fd, format!("{acc}").as_bytes()).expect("w");
+                    return Step::Exit(0);
+                }
+                // worker: poll for a task
+                10 => match self.worker.poll(&mut self.rt, k) {
+                    WorkerPoll::Idle => return Step::Block,
+                    WorkerPoll::Done => {
+                        if !self.rt.drain_out(k) {
+                            return Step::Block;
+                        }
+                        return Step::Exit(0);
+                    }
+                    WorkerPoll::Task(t, payload) => {
+                        self.current_task = t;
+                        self.acc = u64::from_le_bytes(payload[..8].try_into().expect("8"));
+                        self.pc = 11;
+                        return Step::Compute(2_000_000); // "Monte-Carlo tracking"
+                    }
+                },
+                // worker: finish the task
+                11 => {
+                    // Deterministic pseudo-physics on the seed.
+                    let mut x = self.acc;
+                    for _ in 0..32 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                    }
+                    self.worker.submit(&mut self.rt, &x.to_le_bytes());
+                    self.pc = 10;
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "geant-rank"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+fn geant_factory(tasks: u32) -> simmpi::launch::RankFactory {
+    Rc::new(move |rank, size, hosts, port| {
+        Box::new(GeantRank {
+            rt: MpiRt::new(rank, size, port, hosts),
+            pc: 0,
+            master: TopcMaster::new(tasks, size),
+            worker: TopcWorker::default(),
+            tasks,
+            current_task: 0,
+            acc: 0,
+        }) as Box<dyn Program>
+    })
+}
+
+fn topc_reference(tasks: u32) -> String {
+    let (mut w, mut sim) = world(2);
+    mpirun(&mut w, &mut sim, Launcher::Raw, &job(2, 2, Flavor::Mpich2), geant_factory(tasks));
+    assert!(sim.run_bounded(&mut w, EV));
+    String::from_utf8(w.shared_fs.read_all("/shared/topc_result").expect("result")).expect("utf8")
+}
+
+#[test]
+fn topc_distributes_all_tasks_and_aggregates() {
+    let r = topc_reference(40);
+    // The aggregate is a pure function of the task seeds, independent of
+    // which worker computed what.
+    assert_eq!(r, topc_reference(40));
+}
+
+#[test]
+fn topc_job_survives_checkpoint_restart() {
+    let tasks = 400;
+    let reference = topc_reference(tasks);
+    let (mut w, mut sim) = world(2);
+    let s = Session::start(
+        &mut w,
+        &mut sim,
+        Options {
+            ckpt_dir: "/shared/ckpt".into(),
+            ..Options::default()
+        },
+    );
+    mpirun(
+        &mut w,
+        &mut sim,
+        Launcher::Dmtcp(&s),
+        &job(2, 2, Flavor::Mpich2),
+        geant_factory(tasks),
+    );
+    run_for(&mut w, &mut sim, Nanos::from_millis(150));
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let gen = stat.gen;
+    s.kill_computation(&mut w, &mut sim);
+    let _ = w.shared_fs.remove("/shared/topc_result");
+    let script = Session::parse_restart_script(&w);
+    let names: Vec<(String, NodeId)> = script
+        .iter()
+        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
+        .collect();
+    let remap = move |h: &str| {
+        names
+            .iter()
+            .find(|(n, _)| n == h)
+            .map(|(_, x)| *x)
+            .expect("host")
+    };
+    s.restart_from_script(&mut w, &mut sim, &script, &remap, gen);
+    Session::wait_restart_done(&mut w, &mut sim, gen, EV);
+    assert!(sim.run_bounded(&mut w, EV), "restored TOP-C job deadlocked");
+    let got = String::from_utf8(w.shared_fs.read_all("/shared/topc_result").expect("result"))
+        .expect("utf8");
+    assert_eq!(got, reference);
+}
+
+// Keep Pid referenced (used in debugging sessions).
+#[allow(dead_code)]
+fn _t(_: Pid) {}

@@ -1,0 +1,95 @@
+//! CRC-32 (IEEE 802.3 polynomial, the same one gzip uses).
+//!
+//! Checkpoint images carry a CRC per memory region so restore can verify
+//! bit-identical reconstruction — including regions regenerated from
+//! synthetic recipes rather than stored bytes.
+
+/// Streaming CRC-32 state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+const POLY: u32 = 0xEDB8_8320;
+
+// Build the byte table at compile time so there is no runtime init to race.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh CRC computation.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// Final CRC value.
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a buffer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vectors for CRC-32/IEEE.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i * 7 + 3) as u8).collect();
+        let whole = crc32(&data);
+        for split in [0, 1, 9, 4096, data.len()] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finish(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn different_data_different_crc() {
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+        assert_ne!(crc32(&[0u8; 100]), crc32(&[0u8; 101]));
+    }
+}

@@ -1,0 +1,93 @@
+//! Sampled compressed-size estimation.
+//!
+//! Figure 6 sweeps aggregate memory to 70 GB; compressing that much real
+//! data on every simulation run would dominate wall-clock time for no
+//! fidelity gain. For *synthetic* regions above a threshold the simulator
+//! compresses a deterministic sample and extrapolates the ratio; *real*
+//! regions (application state) are always compressed exactly. EXPERIMENTS.md
+//! documents where sampling was active.
+
+/// Policy knob for exact-vs-sampled compression sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeEstimator {
+    /// Regions at or below this many bytes are always compressed exactly.
+    pub exact_threshold: u64,
+    /// Sample size used above the threshold.
+    pub sample_len: u64,
+}
+
+impl Default for SizeEstimator {
+    fn default() -> Self {
+        SizeEstimator {
+            exact_threshold: 512 << 10, // 512 KiB
+            sample_len: 128 << 10,      // 128 KiB
+        }
+    }
+}
+
+impl SizeEstimator {
+    /// Whether a region of `total_len` bytes should be sized by sampling.
+    pub fn should_sample(&self, total_len: u64) -> bool {
+        total_len > self.exact_threshold
+    }
+
+    /// Extrapolate a compressed size for `total_len` bytes from a sample of
+    /// `sample_raw` bytes that compressed to `sample_comp` bytes.
+    ///
+    /// The per-stream fixed overhead (magic + block headers) is accounted
+    /// separately so tiny samples do not inflate the ratio.
+    pub fn extrapolate(&self, total_len: u64, sample_raw: u64, sample_comp: u64) -> u64 {
+        assert!(sample_raw > 0);
+        let overhead = super::stream::MAGIC.len() as u64;
+        let body = sample_comp.saturating_sub(overhead);
+        let est = (body as u128 * total_len as u128 / sample_raw as u128) as u64;
+        est + overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extrapolation_is_linear() {
+        let e = SizeEstimator::default();
+        let est = e.extrapolate(100 << 20, 1 << 20, (1 << 18) + 4);
+        // quarter ratio → ~25 MiB
+        let expect = 25u64 << 20;
+        let err = (est as f64 - expect as f64).abs() / expect as f64;
+        assert!(err < 0.01, "est {est}, expect {expect}");
+    }
+
+    #[test]
+    fn threshold_behaviour() {
+        let e = SizeEstimator::default();
+        assert!(!e.should_sample(512 << 10));
+        assert!(e.should_sample((512 << 10) + 1));
+    }
+
+    #[test]
+    fn sampled_estimate_tracks_real_compression_on_uniform_content() {
+        // Build 8 MiB of half-compressible content; compare the sampled
+        // estimate against exact compression.
+        let unit: Vec<u8> = (0..64u32)
+            .flat_map(|i| {
+                if i % 2 == 0 {
+                    vec![0u8; 64]
+                } else {
+                    (0..64u32).map(|j| (j * 97 + i) as u8).collect()
+                }
+            })
+            .collect();
+        let mut data = Vec::new();
+        while data.len() < 8 << 20 {
+            data.extend_from_slice(&unit);
+        }
+        let exact = crate::compressed_len(&data);
+        let e = SizeEstimator::default();
+        let sample = &data[..e.sample_len as usize];
+        let est = e.extrapolate(data.len() as u64, sample.len() as u64, crate::compressed_len(sample));
+        let err = (est as f64 - exact as f64).abs() / exact as f64;
+        assert!(err < 0.05, "estimate off by {:.1}%", err * 100.0);
+    }
+}

@@ -1,0 +1,360 @@
+//! Streaming container around [`crate::lzss`] blocks.
+//!
+//! The checkpoint writer feeds memory regions chunk by chunk; the container
+//! slices the stream into ≤64 KiB blocks, stores blocks that would expand,
+//! and prefixes everything with a magic number so a restart can fail fast on
+//! a file that is not an image.
+
+use crate::lzss::{self, Counter, Scratch};
+
+/// File magic: "SZ1\n".
+pub const MAGIC: [u8; 4] = *b"SZ1\n";
+/// Input block size. 64 KiB keeps offsets in u16 with full reach.
+pub const BLOCK: usize = 1 << 16;
+
+/// Errors surfaced by [`Decompressor`] (and [`crate::decompress`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SzipError {
+    /// The stream did not start with [`MAGIC`].
+    BadMagic,
+    /// A block header was malformed or truncated.
+    BadHeader,
+    /// A block body failed to decode.
+    BadBlock(lzss::BlockError),
+    /// The stream ended mid-block.
+    Truncated,
+}
+
+impl std::fmt::Display for SzipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SzipError::BadMagic => write!(f, "not an szip stream (bad magic)"),
+            SzipError::BadHeader => write!(f, "malformed szip block header"),
+            SzipError::BadBlock(e) => write!(f, "corrupt szip block: {e:?}"),
+            SzipError::Truncated => write!(f, "szip stream truncated"),
+        }
+    }
+}
+
+impl std::error::Error for SzipError {}
+
+enum Output {
+    Buffer(Vec<u8>),
+    Count(Counter),
+}
+
+/// Streaming compressor.
+pub struct Compressor {
+    pending: Vec<u8>,
+    scratch: Scratch,
+    out: Output,
+    raw_in: u64,
+}
+
+impl Default for Compressor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Compressor {
+    /// A compressor that materializes output bytes.
+    pub fn new() -> Self {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        Compressor {
+            pending: Vec::with_capacity(BLOCK),
+            scratch: Scratch::new(),
+            out: Output::Buffer(out),
+            raw_in: 0,
+        }
+    }
+
+    /// A compressor that only counts output bytes (for sizing huge images).
+    pub fn counting() -> Self {
+        Compressor {
+            pending: Vec::with_capacity(BLOCK),
+            scratch: Scratch::new(),
+            out: Output::Count(Counter(MAGIC.len() as u64)),
+            raw_in: 0,
+        }
+    }
+
+    /// Total raw bytes fed in so far.
+    pub fn raw_len(&self) -> u64 {
+        self.raw_in
+    }
+
+    /// Feed input bytes.
+    pub fn write(&mut self, mut input: &[u8]) {
+        self.raw_in += input.len() as u64;
+        while !input.is_empty() {
+            let room = BLOCK - self.pending.len();
+            let take = room.min(input.len());
+            self.pending.extend_from_slice(&input[..take]);
+            input = &input[take..];
+            if self.pending.len() == BLOCK {
+                self.flush_block();
+            }
+        }
+    }
+
+    fn flush_block(&mut self) {
+        let raw = std::mem::take(&mut self.pending);
+        if raw.is_empty() {
+            return;
+        }
+        // Trial-compress into a counter first when we only need sizes;
+        // otherwise compress into a scratch buffer and decide stored/lzss.
+        match &mut self.out {
+            Output::Buffer(out) => {
+                let mut body = Vec::with_capacity(raw.len() / 2);
+                lzss::compress_block(&raw, &mut self.scratch, &mut body);
+                put_varint(out, raw.len() as u64);
+                if body.len() >= raw.len() {
+                    out.push(0); // stored
+                    put_varint(out, raw.len() as u64);
+                    out.extend_from_slice(&raw);
+                } else {
+                    out.push(1); // lzss
+                    put_varint(out, body.len() as u64);
+                    out.extend_from_slice(&body);
+                }
+            }
+            Output::Count(c) => {
+                let mut body = Counter::default();
+                lzss::compress_block(&raw, &mut self.scratch, &mut body);
+                let stored = body.0 >= raw.len() as u64;
+                let payload = if stored { raw.len() as u64 } else { body.0 };
+                c.0 += varint_len(raw.len() as u64) + 1 + varint_len(payload) + payload;
+            }
+        }
+        self.pending = raw;
+        self.pending.clear();
+    }
+
+    /// Finish and return the compressed bytes. Panics on a counting
+    /// compressor (use [`Compressor::finish_len`]).
+    pub fn finish(mut self) -> Vec<u8> {
+        self.flush_block();
+        match self.out {
+            Output::Buffer(v) => v,
+            Output::Count(_) => panic!("finish() on a counting compressor"),
+        }
+    }
+
+    /// Finish and return only the compressed size.
+    pub fn finish_len(mut self) -> u64 {
+        self.flush_block();
+        match self.out {
+            Output::Buffer(v) => v.len() as u64,
+            Output::Count(c) => c.0,
+        }
+    }
+}
+
+/// Streaming decompressor. Feed compressed bytes with [`Decompressor::write`]
+/// in any chunking; collect output with [`Decompressor::finish`].
+pub struct Decompressor {
+    input: Vec<u8>,
+    pos: usize,
+    out: Vec<u8>,
+    magic_ok: bool,
+}
+
+impl Default for Decompressor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Decompressor {
+    /// A fresh decompressor.
+    pub fn new() -> Self {
+        Decompressor {
+            input: Vec::new(),
+            pos: 0,
+            out: Vec::new(),
+            magic_ok: false,
+        }
+    }
+
+    /// Feed compressed bytes; decodes every complete block eagerly.
+    pub fn write(&mut self, bytes: &[u8]) -> Result<(), SzipError> {
+        self.input.extend_from_slice(bytes);
+        self.drain()
+    }
+
+    fn drain(&mut self) -> Result<(), SzipError> {
+        if !self.magic_ok {
+            if self.input.len() < MAGIC.len() {
+                return Ok(());
+            }
+            if self.input[..MAGIC.len()] != MAGIC {
+                return Err(SzipError::BadMagic);
+            }
+            self.pos = MAGIC.len();
+            self.magic_ok = true;
+        }
+        loop {
+            let mut p = self.pos;
+            let Some((raw_len, p1)) = read_varint(&self.input, p) else {
+                return Ok(()); // incomplete header; wait for more input
+            };
+            p = p1;
+            let Some(&kind) = self.input.get(p) else {
+                return Ok(());
+            };
+            p += 1;
+            let Some((payload_len, p2)) = read_varint(&self.input, p) else {
+                return Ok(());
+            };
+            p = p2;
+            if raw_len > (lzss::MAX_BLOCK) as u64 || payload_len > 2 * lzss::MAX_BLOCK as u64 {
+                return Err(SzipError::BadHeader);
+            }
+            if self.input.len() - p < payload_len as usize {
+                return Ok(()); // body not fully arrived
+            }
+            let payload = &self.input[p..p + payload_len as usize];
+            match kind {
+                0 => {
+                    if payload_len != raw_len {
+                        return Err(SzipError::BadHeader);
+                    }
+                    self.out.extend_from_slice(payload);
+                }
+                1 => {
+                    lzss::decompress_block(payload, raw_len as usize, &mut self.out)
+                        .map_err(SzipError::BadBlock)?;
+                }
+                _ => return Err(SzipError::BadHeader),
+            }
+            self.pos = p + payload_len as usize;
+            // Reclaim consumed input occasionally to bound memory.
+            if self.pos > (1 << 20) {
+                self.input.drain(..self.pos);
+                self.pos = 0;
+            }
+        }
+    }
+
+    /// Finish the stream; errors if it ends mid-block or never had a magic.
+    pub fn finish(self) -> Result<Vec<u8>, SzipError> {
+        if !self.magic_ok {
+            return if self.input.is_empty() {
+                Err(SzipError::Truncated)
+            } else {
+                Err(SzipError::BadMagic)
+            };
+        }
+        if self.pos != self.input.len() {
+            return Err(SzipError::Truncated);
+        }
+        Ok(self.out)
+    }
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn varint_len(v: u64) -> u64 {
+    let bits = 64 - v.max(1).leading_zeros() as u64;
+    bits.div_ceil(7).max(1)
+}
+
+fn read_varint(buf: &[u8], mut pos: usize) -> Option<(u64, usize)> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(pos)?;
+        pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some((v, pos));
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_len_matches_encoder() {
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            buf.clear();
+            put_varint(&mut buf, v);
+            assert_eq!(varint_len(v), buf.len() as u64, "v = {v}");
+            assert_eq!(read_varint(&buf, 0), Some((v, buf.len())));
+        }
+    }
+
+    #[test]
+    fn chunked_writes_equal_one_shot() {
+        let input: Vec<u8> = (0..200_000usize).map(|i| (i % 251) as u8).collect();
+        let whole = crate::compress(&input);
+        let mut c = Compressor::new();
+        for chunk in input.chunks(777) {
+            c.write(chunk);
+        }
+        assert_eq!(c.finish(), whole);
+    }
+
+    #[test]
+    fn chunked_reads_equal_one_shot() {
+        let input: Vec<u8> = (0..200_000usize).map(|i| (i % 13) as u8).collect();
+        let comp = crate::compress(&input);
+        let mut d = Decompressor::new();
+        for chunk in comp.chunks(311) {
+            d.write(chunk).unwrap();
+        }
+        assert_eq!(d.finish().unwrap(), input);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        assert_eq!(crate::decompress(b"GZIP....").unwrap_err(), SzipError::BadMagic);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let comp = crate::compress(&[1u8; 100_000]);
+        for cut in [5, comp.len() / 2, comp.len() - 1] {
+            let r = crate::decompress(&comp[..cut]);
+            assert!(r.is_err(), "cut at {cut} succeeded");
+        }
+    }
+
+    #[test]
+    fn incompressible_blocks_are_stored() {
+        // A stream with essentially no 3-byte repeats: size must stay within
+        // the stored-block overhead bound.
+        let mut x: u64 = 0x12345;
+        let input: Vec<u8> = (0..(1 << 17))
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        let comp = crate::compress(&input);
+        assert!(comp.len() <= input.len() + 16 + 8 * (input.len() / BLOCK + 1));
+        assert_eq!(crate::decompress(&comp).unwrap(), input);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests: szip must be a lossless codec for arbitrary inputs and a
+//! total function over arbitrary compressed garbage.
+
+use proptest::prelude::*;
+
+fn arb_input() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // fully arbitrary bytes
+        proptest::collection::vec(any::<u8>(), 0..20_000),
+        // runs of a single byte (stress overlapping matches)
+        (any::<u8>(), 0usize..200_000).prop_map(|(b, n)| vec![b; n]),
+        // repeated phrases (stress long-range matches within a block)
+        (proptest::collection::vec(any::<u8>(), 1..64), 1usize..2_000)
+            .prop_map(|(unit, reps)| unit.iter().copied().cycle().take(unit.len() * reps).collect()),
+        // block-boundary straddlers
+        (any::<u8>(), (szip::stream::BLOCK - 3)..(szip::stream::BLOCK + 3))
+            .prop_map(|(b, n)| (0..n).map(|i| b.wrapping_add((i % 7) as u8)).collect()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip(input in arb_input()) {
+        let comp = szip::compress(&input);
+        prop_assert_eq!(szip::decompress(&comp).unwrap(), input);
+    }
+
+    #[test]
+    fn counting_matches_materializing(input in arb_input()) {
+        prop_assert_eq!(szip::compressed_len(&input), szip::compress(&input).len() as u64);
+    }
+
+    #[test]
+    fn chunking_is_invisible(input in arb_input(), chunk in 1usize..10_000) {
+        let whole = szip::compress(&input);
+        let mut c = szip::Compressor::new();
+        for part in input.chunks(chunk) {
+            c.write(part);
+        }
+        prop_assert_eq!(c.finish(), whole);
+    }
+
+    #[test]
+    fn decompressor_never_panics_on_garbage(mut garbage in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = szip::decompress(&garbage);
+        // Also with a valid magic prepended.
+        let mut with_magic = szip::stream::MAGIC.to_vec();
+        with_magic.append(&mut garbage);
+        let _ = szip::decompress(&with_magic);
+    }
+
+    #[test]
+    fn corrupting_one_byte_never_yields_wrong_data_silently(input in proptest::collection::vec(any::<u8>(), 64..4096), flip in any::<(usize, u8)>()) {
+        // Either decode fails, or it succeeds; if it succeeds with different
+        // bytes than the original, the CRC the image layer stores alongside
+        // must catch it. Emulate that contract here.
+        let comp = szip::compress(&input);
+        let crc = szip::crc32(&input);
+        let mut bad = comp.clone();
+        let idx = flip.0 % bad.len();
+        let delta = if flip.1 == 0 { 1 } else { flip.1 };
+        bad[idx] ^= delta;
+        if let Ok(out) = szip::decompress(&bad) {
+            if out != input {
+                prop_assert_ne!(szip::crc32(&out), crc, "corruption escaped CRC");
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The paper's marquee use case (§1, item 6): run the CPU-intensive phase
+//! of a computation on a cluster, checkpoint it, and restart *everything on
+//! a single laptop* for interactive analysis at home or on a plane.
+//!
+//! A 4-node MPI job (conjugate gradient under simulated OpenMPI, with its
+//! OpenRTE daemons) is checkpointed mid-solve; the cluster then vanishes;
+//! the whole computation — 8 ranks, daemons, console, sockets and all —
+//! resumes on a 1-node "laptop" world and finishes with the identical
+//! residual.
+//!
+//! Run with: `cargo run --release --example migrate_to_laptop`
+
+use apps::nas::{nas_factory, NasKernel};
+use apps::registry::full_registry;
+use apps::result_path;
+use dmtcp::session::{run_for, transplant_storage};
+use dmtcp::{Options, Session};
+use oskit::world::NodeId;
+use oskit::{HwSpec, World};
+use simkit::{Nanos, Sim};
+use simmpi::launch::{mpirun, Flavor, Launcher, MpiJob};
+
+const EV: u64 = 100_000_000;
+
+fn main() {
+    let opts = Options {
+        ckpt_dir: "/shared/ckpt".into(),
+        ..Options::default()
+    };
+
+    // ---- Phase 1: the cluster ----
+    let mut cluster = World::new(HwSpec::cluster(), 4, full_registry());
+    let mut sim = Sim::new();
+    let session = Session::start(&mut cluster, &mut sim, opts.clone());
+    let job = MpiJob {
+        flavor: Flavor::OpenMpi,
+        nodes: (0..4).map(NodeId).collect(),
+        procs_per_node: 2,
+        base_port: 30_000,
+    };
+    mpirun(
+        &mut cluster,
+        &mut sim,
+        Launcher::Dmtcp(&session),
+        &job,
+        nas_factory(NasKernel::Cg, 400, 2_000),
+    );
+    println!("cluster: 8-rank CG job running under simulated OpenMPI + DMTCP");
+    run_for(&mut cluster, &mut sim, Nanos::from_millis(150));
+    let stat = session.checkpoint_and_wait(&mut cluster, &mut sim, EV);
+    println!(
+        "cluster: checkpointed {} processes (ranks + orteds + orterun) in {:.2}s",
+        stat.participants,
+        stat.checkpoint_time().expect("complete").as_secs_f64()
+    );
+    let script = Session::parse_restart_script(&cluster);
+
+    // ---- Phase 2: the laptop ----
+    let mut laptop = World::new(HwSpec::desktop(), 1, full_registry());
+    let mut sim2 = Sim::new();
+    transplant_storage(&cluster, &mut laptop); // only the storage survives
+    drop(cluster);
+    drop(sim);
+    println!("laptop: cluster gone; images carried over on shared storage");
+
+    let session2 = Session::start(&mut laptop, &mut sim2, opts);
+    let everything_here = |_host: &str| NodeId(0);
+    session2.restart_from_script(&mut laptop, &mut sim2, &script, &everything_here, stat.gen);
+    Session::wait_restart_done(&mut laptop, &mut sim2, stat.gen, EV);
+    println!("laptop: all {} processes restored on one machine", stat.participants);
+
+    assert!(sim2.run_bounded(&mut laptop, EV), "laptop run deadlocked");
+    let residual = String::from_utf8(
+        laptop
+            .shared_fs
+            .read_all(&result_path("nas-CG"))
+            .expect("CG finished"),
+    )
+    .expect("utf8");
+    println!("laptop: CG completed; final residual = {residual}");
+    println!("OK — cluster job finished on a laptop.");
+}

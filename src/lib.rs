@@ -1,0 +1,56 @@
+//! `dmtcp-repro` — a from-scratch Rust reproduction of
+//! *DMTCP: Transparent Checkpointing for Cluster Computations and the
+//! Desktop* (Ansel, Arya, Cooperman — IPDPS 2009).
+//!
+//! This facade crate re-exports the workspace layers; see the individual
+//! crates for the real APIs, DESIGN.md for the architecture and the
+//! substitution rationale (simulated kernel in place of raw Linux
+//! syscalls), and EXPERIMENTS.md for paper-vs-measured numbers.
+//!
+//! * [`simkit`] — deterministic discrete-event simulation kernel.
+//! * [`szip`] — the gzip stand-in (real streaming LZSS).
+//! * [`oskit`] — the simulated UNIX cluster (processes, sockets, ptys,
+//!   shared memory, filesystems, pid namespace).
+//! * [`mtcp`] — single-process checkpointing (image format, write/restore,
+//!   forked checkpointing).
+//! * [`dmtcp`] — the paper's contribution: coordinator, manager threads,
+//!   the 7-stage/6-barrier protocol, drain/refill, discovery-based restart,
+//!   pid virtualization, `dmtcpaware`.
+//! * [`simmpi`] — MPICH2/OpenMPI launch models, an MPI subset, TOP-C.
+//! * [`apps`] — the paper's workloads (NAS kernels, ParGeant4, iPython,
+//!   the 21 desktop applications, RunCMS, the Figure-6 memory hog).
+//!
+//! ```
+//! // The quickest possible tour: one process, one checkpoint, one restart.
+//! use dmtcp_repro::prelude::*;
+//!
+//! let mut reg = Registry::new();
+//! reg.register_snap::<apps::runcms::RunCms>("runcms");
+//! let mut w = World::new(HwSpec::desktop(), 1, reg);
+//! let mut sim = Sim::new();
+//! let session = Session::start(&mut w, &mut sim, Options::default());
+//! session.launch(&mut w, &mut sim, NodeId(0), "runCMS",
+//!                Box::new(apps::runcms::RunCms::new()));
+//! dmtcp::session::run_for(&mut w, &mut sim, Nanos::from_secs(60));
+//! let stat = session.checkpoint_and_wait(&mut w, &mut sim, 50_000_000);
+//! assert_eq!(stat.participants, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use apps;
+pub use dmtcp;
+pub use mtcp;
+pub use oskit;
+pub use simkit;
+pub use simmpi;
+pub use szip;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use dmtcp::{Options, Session};
+    pub use oskit::program::{Program, Registry, Step};
+    pub use oskit::world::{NodeId, OsSim, Pid, World};
+    pub use oskit::{Errno, Fd, HwSpec, Kernel};
+    pub use simkit::{Nanos, Sim, Snap};
+}
