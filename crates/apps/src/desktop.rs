@@ -49,27 +49,174 @@ pub enum Shape {
 /// mixes typical of each runtime (interpreters are text/code-heavy; MATLAB
 /// and Octave carry numeric arrays).
 pub const CATALOGUE: &[DesktopSpec] = &[
-    DesktopSpec { name: "bc", raw_mb: 2, zero_pct: 10, text_pct: 40, code_pct: 40, shape: Shape::Single },
-    DesktopSpec { name: "emacs", raw_mb: 32, zero_pct: 10, text_pct: 45, code_pct: 35, shape: Shape::Single },
-    DesktopSpec { name: "ghci", raw_mb: 43, zero_pct: 15, text_pct: 35, code_pct: 40, shape: Shape::Single },
-    DesktopSpec { name: "ghostscript", raw_mb: 11, zero_pct: 10, text_pct: 30, code_pct: 45, shape: Shape::Single },
-    DesktopSpec { name: "gnuplot", raw_mb: 8, zero_pct: 10, text_pct: 30, code_pct: 45, shape: Shape::Single },
-    DesktopSpec { name: "gst", raw_mb: 13, zero_pct: 10, text_pct: 40, code_pct: 40, shape: Shape::Single },
-    DesktopSpec { name: "lynx", raw_mb: 11, zero_pct: 10, text_pct: 50, code_pct: 30, shape: Shape::Single },
-    DesktopSpec { name: "macaulay2", raw_mb: 27, zero_pct: 10, text_pct: 35, code_pct: 40, shape: Shape::Single },
-    DesktopSpec { name: "matlab", raw_mb: 89, zero_pct: 10, text_pct: 25, code_pct: 35, shape: Shape::Single },
-    DesktopSpec { name: "mzscheme", raw_mb: 16, zero_pct: 10, text_pct: 40, code_pct: 40, shape: Shape::Single },
-    DesktopSpec { name: "ocaml", raw_mb: 7, zero_pct: 10, text_pct: 40, code_pct: 40, shape: Shape::Single },
-    DesktopSpec { name: "octave", raw_mb: 24, zero_pct: 10, text_pct: 30, code_pct: 40, shape: Shape::Single },
-    DesktopSpec { name: "perl", raw_mb: 19, zero_pct: 10, text_pct: 45, code_pct: 35, shape: Shape::Single },
-    DesktopSpec { name: "php", raw_mb: 16, zero_pct: 10, text_pct: 45, code_pct: 35, shape: Shape::Single },
-    DesktopSpec { name: "python", raw_mb: 21, zero_pct: 10, text_pct: 45, code_pct: 35, shape: Shape::Single },
-    DesktopSpec { name: "ruby", raw_mb: 19, zero_pct: 10, text_pct: 45, code_pct: 35, shape: Shape::Single },
-    DesktopSpec { name: "slsh", raw_mb: 8, zero_pct: 10, text_pct: 40, code_pct: 40, shape: Shape::Single },
-    DesktopSpec { name: "sqlite", raw_mb: 8, zero_pct: 10, text_pct: 35, code_pct: 40, shape: Shape::Single },
-    DesktopSpec { name: "tclsh", raw_mb: 4, zero_pct: 10, text_pct: 40, code_pct: 40, shape: Shape::Single },
-    DesktopSpec { name: "tightvnc+twm", raw_mb: 38, zero_pct: 15, text_pct: 30, code_pct: 40, shape: Shape::Vnc },
-    DesktopSpec { name: "vim/cscope", raw_mb: 13, zero_pct: 10, text_pct: 45, code_pct: 35, shape: Shape::VimCscope },
+    DesktopSpec {
+        name: "bc",
+        raw_mb: 2,
+        zero_pct: 10,
+        text_pct: 40,
+        code_pct: 40,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "emacs",
+        raw_mb: 32,
+        zero_pct: 10,
+        text_pct: 45,
+        code_pct: 35,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "ghci",
+        raw_mb: 43,
+        zero_pct: 15,
+        text_pct: 35,
+        code_pct: 40,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "ghostscript",
+        raw_mb: 11,
+        zero_pct: 10,
+        text_pct: 30,
+        code_pct: 45,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "gnuplot",
+        raw_mb: 8,
+        zero_pct: 10,
+        text_pct: 30,
+        code_pct: 45,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "gst",
+        raw_mb: 13,
+        zero_pct: 10,
+        text_pct: 40,
+        code_pct: 40,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "lynx",
+        raw_mb: 11,
+        zero_pct: 10,
+        text_pct: 50,
+        code_pct: 30,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "macaulay2",
+        raw_mb: 27,
+        zero_pct: 10,
+        text_pct: 35,
+        code_pct: 40,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "matlab",
+        raw_mb: 89,
+        zero_pct: 10,
+        text_pct: 25,
+        code_pct: 35,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "mzscheme",
+        raw_mb: 16,
+        zero_pct: 10,
+        text_pct: 40,
+        code_pct: 40,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "ocaml",
+        raw_mb: 7,
+        zero_pct: 10,
+        text_pct: 40,
+        code_pct: 40,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "octave",
+        raw_mb: 24,
+        zero_pct: 10,
+        text_pct: 30,
+        code_pct: 40,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "perl",
+        raw_mb: 19,
+        zero_pct: 10,
+        text_pct: 45,
+        code_pct: 35,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "php",
+        raw_mb: 16,
+        zero_pct: 10,
+        text_pct: 45,
+        code_pct: 35,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "python",
+        raw_mb: 21,
+        zero_pct: 10,
+        text_pct: 45,
+        code_pct: 35,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "ruby",
+        raw_mb: 19,
+        zero_pct: 10,
+        text_pct: 45,
+        code_pct: 35,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "slsh",
+        raw_mb: 8,
+        zero_pct: 10,
+        text_pct: 40,
+        code_pct: 40,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "sqlite",
+        raw_mb: 8,
+        zero_pct: 10,
+        text_pct: 35,
+        code_pct: 40,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "tclsh",
+        raw_mb: 4,
+        zero_pct: 10,
+        text_pct: 40,
+        code_pct: 40,
+        shape: Shape::Single,
+    },
+    DesktopSpec {
+        name: "tightvnc+twm",
+        raw_mb: 38,
+        zero_pct: 15,
+        text_pct: 30,
+        code_pct: 40,
+        shape: Shape::Vnc,
+    },
+    DesktopSpec {
+        name: "vim/cscope",
+        raw_mb: 13,
+        zero_pct: 10,
+        text_pct: 45,
+        code_pct: 35,
+        shape: Shape::VimCscope,
+    },
 ];
 
 /// Find a catalogue entry by name.
@@ -148,7 +295,11 @@ impl Program for Interactive {
             1 => {
                 // Interactive idle loop: touch the live heap occasionally.
                 self.ticks += 1;
-                k.mem_write(self.heap as usize, (self.ticks % 1024) * 8, &self.ticks.to_le_bytes());
+                k.mem_write(
+                    self.heap as usize,
+                    (self.ticks % 1024) * 8,
+                    &self.ticks.to_le_bytes(),
+                );
                 Step::Sleep(Nanos::from_millis(10))
             }
             _ => unreachable!(),
@@ -191,7 +342,11 @@ impl Program for VncServer {
                         "framebuffer",
                         (self.raw_mb / 2) << 20,
                         self.seed,
-                        FillProfile::Mixed { zero_pct: 25, text_pct: 10, code_pct: 30 },
+                        FillProfile::Mixed {
+                            zero_pct: 25,
+                            text_pct: 10,
+                            code_pct: 30,
+                        },
                     );
                     k.map_library("libvnc.so", (self.raw_mb / 4) << 20, self.seed ^ 7);
                     let (m, s) = k.openpty();
@@ -266,7 +421,11 @@ impl Program for XClient {
                         "client-data",
                         self.raw_mb << 20,
                         self.seed,
-                        FillProfile::Mixed { zero_pct: 15, text_pct: 30, code_pct: 40 },
+                        FillProfile::Mixed {
+                            zero_pct: 15,
+                            text_pct: 30,
+                            code_pct: 40,
+                        },
                     );
                     self.pc = 1;
                 }
@@ -344,7 +503,11 @@ impl Program for VimCscope {
                             "cscope-index",
                             (self.raw_mb / 3) << 20,
                             self.seed ^ 0xc5,
-                            FillProfile::Mixed { zero_pct: 5, text_pct: 60, code_pct: 25 },
+                            FillProfile::Mixed {
+                                zero_pct: 5,
+                                text_pct: 60,
+                                code_pct: 25,
+                            },
                         );
                         self.pc = 10;
                     }
@@ -354,7 +517,11 @@ impl Program for VimCscope {
                             "vim-buffers",
                             (self.raw_mb * 2 / 3) << 20,
                             self.seed,
-                            FillProfile::Mixed { zero_pct: 10, text_pct: 55, code_pct: 25 },
+                            FillProfile::Mixed {
+                                zero_pct: 10,
+                                text_pct: 55,
+                                code_pct: 25,
+                            },
                         );
                         self.pc = 20;
                     }
@@ -417,7 +584,12 @@ pub fn launch_desktop(
     };
     match spec.shape {
         Shape::Single => {
-            vec![spawn(w, sim, spec.name, Box::new(Interactive::from_spec(spec, seed)))]
+            vec![spawn(
+                w,
+                sim,
+                spec.name,
+                Box::new(Interactive::from_spec(spec, seed)),
+            )]
         }
         Shape::Vnc => {
             let server = spawn(
@@ -438,13 +610,25 @@ pub fn launch_desktop(
                 w,
                 sim,
                 "twm",
-                Box::new(XClient { raw_mb: spec.raw_mb / 6, seed: seed ^ 1, pc: 0, fd: -1, reqs: 0 }),
+                Box::new(XClient {
+                    raw_mb: spec.raw_mb / 6,
+                    seed: seed ^ 1,
+                    pc: 0,
+                    fd: -1,
+                    reqs: 0,
+                }),
             );
             let xterm = spawn(
                 w,
                 sim,
                 "xterm",
-                Box::new(XClient { raw_mb: spec.raw_mb / 6, seed: seed ^ 2, pc: 0, fd: -1, reqs: 0 }),
+                Box::new(XClient {
+                    raw_mb: spec.raw_mb / 6,
+                    seed: seed ^ 2,
+                    pc: 0,
+                    fd: -1,
+                    reqs: 0,
+                }),
             );
             vec![server, twm, xterm]
         }
@@ -453,7 +637,14 @@ pub fn launch_desktop(
                 w,
                 sim,
                 "vim",
-                Box::new(VimCscope { raw_mb: spec.raw_mb, seed, pc: 0, qfd: -1, rfd: -1, queries: 0 }),
+                Box::new(VimCscope {
+                    raw_mb: spec.raw_mb,
+                    seed,
+                    pc: 0,
+                    qfd: -1,
+                    rfd: -1,
+                    queries: 0,
+                }),
             )]
         }
     }
@@ -479,7 +670,11 @@ mod tests {
         assert!(spec_by_name("vim/cscope").map(|s| s.shape) == Some(Shape::VimCscope));
         // Mixes are valid percentages.
         for s in CATALOGUE {
-            assert!(s.zero_pct as u16 + s.text_pct as u16 + s.code_pct as u16 <= 100, "{}", s.name);
+            assert!(
+                s.zero_pct as u16 + s.text_pct as u16 + s.code_pct as u16 <= 100,
+                "{}",
+                s.name
+            );
             assert!(s.raw_mb >= 1);
         }
     }

@@ -80,9 +80,9 @@ impl Program for GeantRank {
                 }
                 // master
                 1 => {
-                    let done = self
-                        .master
-                        .poll(&mut self.rt, k, |t| (t as u64).wrapping_mul(0x9E3779B9).to_le_bytes().to_vec());
+                    let done = self.master.poll(&mut self.rt, k, |t| {
+                        (t as u64).wrapping_mul(0x9E3779B9).to_le_bytes().to_vec()
+                    });
                     if !done {
                         return Step::Block;
                     }

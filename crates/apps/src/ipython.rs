@@ -94,7 +94,11 @@ impl Program for IPyController {
                         "controller-heap",
                         24 << 20,
                         0x1b60,
-                        FillProfile::Mixed { zero_pct: 15, text_pct: 45, code_pct: 30 },
+                        FillProfile::Mixed {
+                            zero_pct: 15,
+                            text_pct: 45,
+                            code_pct: 30,
+                        },
                     );
                     let (fd, _) = k.listen_on(IPY_PORT).expect("controller port");
                     self.lfd = fd;
@@ -199,7 +203,11 @@ impl Program for IPyEngine {
                         "engine-heap",
                         30 << 20,
                         0x1b70,
-                        FillProfile::Mixed { zero_pct: 15, text_pct: 40, code_pct: 30 },
+                        FillProfile::Mixed {
+                            zero_pct: 15,
+                            text_pct: 40,
+                            code_pct: 30,
+                        },
                     );
                     self.pc = 1;
                 }
@@ -257,12 +265,13 @@ pub fn launch_demo(
     rounds: u32,
 ) -> Vec<Pid> {
     let controller_host = w.node(nodes[0]).hostname.clone();
-    let spawn = |w: &mut World, sim: &mut OsSim, node: NodeId, cmd: &str, prog: Box<dyn Program>| {
-        match session {
-            Some(s) => s.launch(w, sim, node, cmd, prog),
-            None => w.spawn(sim, node, cmd, prog, Pid(1), Default::default()),
-        }
-    };
+    let spawn =
+        |w: &mut World, sim: &mut OsSim, node: NodeId, cmd: &str, prog: Box<dyn Program>| {
+            match session {
+                Some(s) => s.launch(w, sim, node, cmd, prog),
+                None => w.spawn(sim, node, cmd, prog, Pid(1), Default::default()),
+            }
+        };
     let mut pids = vec![spawn(
         w,
         sim,

@@ -40,7 +40,17 @@ pub enum NasKernel {
     /// Block Tridiagonal (stencil-sweep engine).
     Bt,
 }
-simkit::impl_snap!(enum NasKernel { Ep, Is, Cg, Mg, Lu, Sp, Bt });
+simkit::impl_snap!(
+    enum NasKernel {
+        Ep,
+        Is,
+        Cg,
+        Mg,
+        Lu,
+        Sp,
+        Bt,
+    }
+);
 
 impl NasKernel {
     /// Kernel name as the figures label it.
@@ -267,42 +277,41 @@ impl NasRank {
 
     // ---- EP: Gaussian pairs via Marsaglia polar, annulus tallies ----
     fn run_ep(&mut self, k: &mut Kernel<'_>) -> Step {
-        loop {
-            if self.iter < self.iters {
-                // One batch of pairs.
-                for _ in 0..self.local_n {
-                    let x = 2.0 * self.rng.unit_f64() - 1.0;
-                    let y = 2.0 * self.rng.unit_f64() - 1.0;
-                    let t = x * x + y * y;
-                    if t <= 1.0 && t > 0.0 {
-                        let f = (-2.0 * t.ln() / t).sqrt();
-                        let (gx, gy) = (x * f, y * f);
-                        self.v0[0] += gx;
-                        self.v0[1] += gy;
-                        let l = gx.abs().max(gy.abs()) as usize;
-                        if l < 10 {
-                            self.v0[2 + l] += 1.0;
-                        }
+        if self.iter < self.iters {
+            // One batch of pairs.
+            for _ in 0..self.local_n {
+                let x = 2.0 * self.rng.unit_f64() - 1.0;
+                let y = 2.0 * self.rng.unit_f64() - 1.0;
+                let t = x * x + y * y;
+                if t <= 1.0 && t > 0.0 {
+                    let f = (-2.0 * t.ln() / t).sqrt();
+                    let (gx, gy) = (x * f, y * f);
+                    self.v0[0] += gx;
+                    self.v0[1] += gy;
+                    let l = gx.abs().max(gy.abs()) as usize;
+                    if l < 10 {
+                        self.v0[2 + l] += 1.0;
                     }
                 }
-                self.iter += 1;
-                return Step::Compute(self.local_n as u64 * 60);
             }
-            // Final allreduce of the tallies.
-            if self.scratch.is_empty() && self.coll == CollOp::default() {
-                self.coll = CollOp::begin(&mut self.rt);
-            }
-            let contrib = self.v0.clone();
-            let mut out = std::mem::take(&mut self.scratch);
-            let done = self.coll.allreduce_sum_f64(&mut self.rt, k, &contrib, &mut out);
-            self.scratch = out;
-            if !done {
-                return Step::Block;
-            }
-            let value = self.scratch[0] + self.scratch[1]
-                + self.scratch[2..].iter().sum::<f64>();
-            return self.finishing(k, value);
+            self.iter += 1;
+            return Step::Compute(self.local_n as u64 * 60);
         }
+        // Final allreduce of the tallies.
+        if self.scratch.is_empty() && self.coll == CollOp::default() {
+            self.coll = CollOp::begin(&mut self.rt);
+        }
+        let contrib = self.v0.clone();
+        let mut out = std::mem::take(&mut self.scratch);
+        let done = self
+            .coll
+            .allreduce_sum_f64(&mut self.rt, k, &contrib, &mut out);
+        self.scratch = out;
+        if !done {
+            return Step::Block;
+        }
+        let value = self.scratch[0] + self.scratch[1] + self.scratch[2..].iter().sum::<f64>();
+        self.finishing(k, value)
     }
 
     // ---- IS: distributed bucket sort with boundary verification ----
@@ -374,7 +383,9 @@ impl NasRank {
                     let local_sum: f64 = self.keys.iter().map(|&x| x as f64).sum();
                     let contrib = [local_sum, self.keys.len() as f64];
                     let mut out = std::mem::take(&mut self.scratch);
-                    let done = self.coll.allreduce_sum_f64(&mut self.rt, k, &contrib, &mut out);
+                    let done = self
+                        .coll
+                        .allreduce_sum_f64(&mut self.rt, k, &contrib, &mut out);
                     self.scratch = out;
                     if !done {
                         return Step::Block;
@@ -414,7 +425,9 @@ impl NasRank {
                 }
                 let local: f64 = self.v1.iter().map(|r| r * r).sum();
                 let mut out = std::mem::take(&mut self.scratch);
-                let done = self.coll.allreduce_sum_f64(&mut self.rt, k, &[local], &mut out);
+                let done = self
+                    .coll
+                    .allreduce_sum_f64(&mut self.rt, k, &[local], &mut out);
                 self.scratch = out;
                 if !done {
                     return Step::Block;
@@ -426,7 +439,8 @@ impl NasRank {
             match self.sub {
                 0 => {
                     if let Some(l) = self.left() {
-                        self.rt.send(l, TAG_HALO_L + self.iter, &self.v2[0].to_le_bytes());
+                        self.rt
+                            .send(l, TAG_HALO_L + self.iter, &self.v2[0].to_le_bytes());
                     }
                     if let Some(r) = self.right() {
                         self.rt
@@ -455,7 +469,7 @@ impl NasRank {
                         None => 0.0,
                     };
                     self.saved.push(v); // p_right
-                    // q is a pure function of (v2, saved); compute the dots.
+                                        // q is a pure function of (v2, saved); compute the dots.
                     let q = self.q_of_p();
                     let p_dot_q: f64 = self.v2.iter().zip(&q).map(|(p, q)| p * q).sum();
                     let r_dot_r: f64 = self.v1.iter().map(|r| r * r).sum();
@@ -468,7 +482,10 @@ impl NasRank {
                 3 => {
                     let contrib = [self.saved[2], self.saved[3]];
                     let mut out = Vec::new();
-                    if !self.coll.allreduce_sum_f64(&mut self.rt, k, &contrib, &mut out) {
+                    if !self
+                        .coll
+                        .allreduce_sum_f64(&mut self.rt, k, &contrib, &mut out)
+                    {
                         return Step::Block;
                     }
                     let (gpq, grr) = (out[0], out[1]);
@@ -490,9 +507,9 @@ impl NasRank {
                     }
                     let alpha = grr / gpq;
                     let q = self.q_of_p();
-                    for i in 0..n {
+                    for (i, qi) in q.iter().enumerate().take(n) {
                         self.v0[i] += alpha * self.v2[i];
-                        self.v1[i] -= alpha * q[i];
+                        self.v1[i] -= alpha * qi;
                     }
                     let new_rr_local: f64 = self.v1.iter().map(|r| r * r).sum();
                     self.saved.push(grr);
@@ -503,7 +520,10 @@ impl NasRank {
                 4 => {
                     let contrib = [self.saved[5]];
                     let mut out = Vec::new();
-                    if !self.coll.allreduce_sum_f64(&mut self.rt, k, &contrib, &mut out) {
+                    if !self
+                        .coll
+                        .allreduce_sum_f64(&mut self.rt, k, &contrib, &mut out)
+                    {
                         return Step::Block;
                     }
                     let grr = self.saved[4];
@@ -527,8 +547,16 @@ impl NasRank {
         let n = self.v2.len();
         (0..n)
             .map(|i| {
-                let left = if i == 0 { self.saved[0] } else { self.v2[i - 1] };
-                let right = if i + 1 == n { self.saved[1] } else { self.v2[i + 1] };
+                let left = if i == 0 {
+                    self.saved[0]
+                } else {
+                    self.v2[i - 1]
+                };
+                let right = if i + 1 == n {
+                    self.saved[1]
+                } else {
+                    self.v2[i + 1]
+                };
                 3.0 * self.v2[i] - left - right
             })
             .collect()
@@ -545,7 +573,9 @@ impl NasRank {
                 }
                 let local: f64 = self.v0.iter().sum();
                 let mut out = std::mem::take(&mut self.scratch);
-                let done = self.coll.allreduce_sum_f64(&mut self.rt, k, &[local], &mut out);
+                let done = self
+                    .coll
+                    .allreduce_sum_f64(&mut self.rt, k, &[local], &mut out);
                 self.scratch = out;
                 if !done {
                     return Step::Block;
@@ -610,7 +640,9 @@ impl NasRank {
 /// Rank factory for a kernel.
 pub fn nas_factory(kernel: NasKernel, iters: u32, local_n: u32) -> RankFactory {
     Rc::new(move |rank, size, hosts, port| {
-        Box::new(NasRank::new(kernel, rank, size, hosts, port, iters, local_n)) as Box<dyn Program>
+        Box::new(NasRank::new(
+            kernel, rank, size, hosts, port, iters, local_n,
+        )) as Box<dyn Program>
     })
 }
 
@@ -644,7 +676,11 @@ impl Program for BaselineRank {
                         "mpi-runtime",
                         2 << 20,
                         99,
-                        FillProfile::Mixed { zero_pct: 20, text_pct: 20, code_pct: 40 },
+                        FillProfile::Mixed {
+                            zero_pct: 20,
+                            text_pct: 20,
+                            code_pct: 40,
+                        },
                     );
                     self.coll = CollOp::begin(&mut self.rt);
                     self.pc = 1;

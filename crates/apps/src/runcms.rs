@@ -59,11 +59,7 @@ impl Program for RunCms {
                     let lib_bytes = ((RUNCMS_MB / 2) << 20) / RUNCMS_LIBS as u64;
                     for i in 0..batch {
                         let idx = self.libs_loaded + i;
-                        k.map_library(
-                            &format!("libCMS{idx:03}.so"),
-                            lib_bytes,
-                            0xc35 ^ idx as u64,
-                        );
+                        k.map_library(&format!("libCMS{idx:03}.so"), lib_bytes, 0xc35 ^ idx as u64);
                     }
                     self.libs_loaded += batch;
                     if self.libs_loaded >= RUNCMS_LIBS {

@@ -14,7 +14,10 @@ use simmpi::launch::{mpirun, Flavor, Launcher, MpiJob};
 const EV: u64 = 30_000_000;
 
 fn world(nodes: usize) -> (World, OsSim) {
-    (World::new(HwSpec::cluster(), nodes, full_registry()), Sim::new())
+    (
+        World::new(HwSpec::cluster(), nodes, full_registry()),
+        Sim::new(),
+    )
 }
 
 fn job(nodes: usize, ppn: usize, flavor: Flavor) -> MpiJob {
@@ -190,10 +193,7 @@ fn desktop_catalogue_images_scale_with_footprint() {
     assert_eq!(sizes.len(), 2);
     let max = sizes.iter().map(|(_, s)| *s).max().expect("two");
     let min = sizes.iter().map(|(_, s)| *s).min().expect("two");
-    assert!(
-        max > min * 10,
-        "matlab image must dwarf bc: {sizes:?}"
-    );
+    assert!(max > min * 10, "matlab image must dwarf bc: {sizes:?}");
     // And compression must have bitten: matlab raw is 89 MiB.
     assert!(max < 70 << 20, "compression applied: {max}");
 }

@@ -1,22 +1,80 @@
-//! Criterion micro-benchmarks of the reproduction's moving parts: the szip
-//! codec (the real compute cost of simulated checkpoints), image
-//! write/restore, the drain/refill protocol, and a whole small-cluster
-//! checkpoint cycle. These measure *host* time — how fast the simulator
-//! itself runs — complementing the fig*/table1 binaries, which report
-//! *virtual* (simulated) time.
+//! Micro-benchmarks of the reproduction's moving parts: the szip codec
+//! (the real compute cost of simulated checkpoints), image write/restore,
+//! and a whole small-cluster checkpoint cycle. These measure *host* time —
+//! how fast the simulator itself runs — complementing the fig*/table1
+//! binaries, which report *virtual* (simulated) time.
+//!
+//! Hand-rolled harness (`harness = false`): the workspace builds offline,
+//! so there is no criterion dependency. Run with
+//! `cargo bench -p dmtcp-bench` or filter: `cargo bench -p dmtcp-bench -- szip`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use dmtcp::session::run_for;
 use dmtcp::{Options, Session};
 use oskit::mem::FillProfile;
 use oskit::program::{Program, Registry, Step};
 use oskit::world::{NodeId, Pid, World};
 use oskit::{HwSpec, Kernel};
-use simkit::{Nanos, Sim, Snap};
+use simkit::{Nanos, Sim, Snap, Summary};
+use std::time::Instant;
 
-fn bench_szip(c: &mut Criterion) {
-    let mut g = c.benchmark_group("szip");
-    let len = 1 << 20;
+/// Measure `f` (with a fresh input from `setup` each iteration), printing
+/// mean/p50/p90 per-iteration wall time and optional throughput.
+fn bench<S, T, R>(name: &str, bytes: Option<u64>, mut setup: impl FnMut() -> S, mut f: T)
+where
+    T: FnMut(S) -> R,
+{
+    if !selected(name) {
+        return;
+    }
+    // Warm up, then time iterations until we have enough samples or budget.
+    for _ in 0..2 {
+        let s = setup();
+        std::hint::black_box(f(s));
+    }
+    let budget = std::time::Duration::from_millis(300);
+    let started = Instant::now();
+    let mut samples = Vec::new();
+    while samples.len() < 200 && (started.elapsed() < budget || samples.len() < 5) {
+        let s = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(f(s));
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    let sum = Summary::of(&samples);
+    let thr = bytes
+        .map(|b| format!("  {:8.1} MB/s", b as f64 / sum.mean / (1 << 20) as f64))
+        .unwrap_or_default();
+    println!(
+        "{name:<40} {:>5} iters  mean {:>11}  p50 {:>11}  p90 {:>11}{thr}",
+        samples.len(),
+        fmt_t(sum.mean),
+        fmt_t(sum.p50),
+        fmt_t(sum.p90),
+    );
+}
+
+fn fmt_t(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn selected(name: &str) -> bool {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
+}
+
+fn bench_szip() {
+    let len = 1usize << 20;
     for (name, profile) in [
         ("zeros", FillProfile::Zeros),
         ("text", FillProfile::Text),
@@ -24,24 +82,30 @@ fn bench_szip(c: &mut Criterion) {
         ("random", FillProfile::Random),
     ] {
         let data = profile.bytes(7, len);
-        g.throughput(Throughput::Bytes(len as u64));
-        g.bench_function(format!("compress/{name}"), |b| {
-            b.iter(|| szip::compress(&data))
-        });
+        bench(
+            &format!("szip/compress/{name}"),
+            Some(len as u64),
+            || (),
+            |_| szip::compress(&data),
+        );
         let comp = szip::compress(&data);
-        g.bench_function(format!("decompress/{name}"), |b| {
-            b.iter(|| szip::decompress(&comp).expect("valid"))
-        });
+        bench(
+            &format!("szip/decompress/{name}"),
+            Some(len as u64),
+            || (),
+            |_| szip::decompress(&comp).expect("valid"),
+        );
     }
-    g.finish();
 }
 
-fn bench_crc(c: &mut Criterion) {
+fn bench_crc() {
     let data = FillProfile::Code.bytes(3, 1 << 20);
-    let mut g = c.benchmark_group("crc32");
-    g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("1MiB", |b| b.iter(|| szip::crc32(&data)));
-    g.finish();
+    bench(
+        "crc32/1MiB",
+        Some(data.len() as u64),
+        || (),
+        |_| szip::crc32(&data),
+    );
 }
 
 struct Holder {
@@ -83,85 +147,76 @@ fn registry() -> Registry {
     r
 }
 
-fn bench_image_write(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mtcp");
-    g.sample_size(20);
-    g.bench_function("write_image/8MiB-compressed", |b| {
-        b.iter_batched(
-            || {
-                let mut w = World::new(HwSpec::desktop(), 1, registry());
-                let mut sim = Sim::new();
-                let pid = w.spawn(
-                    &mut sim,
-                    NodeId(0),
-                    "holder",
-                    Box::new(Holder { pc: 0, mb: 8 }),
-                    Pid(1),
-                    Default::default(),
-                );
-                sim.run_until(&mut w, Nanos::from_millis(2));
-                w.suspend_user_threads(&mut sim, pid);
-                (w, sim, pid)
-            },
-            |(mut w, sim, pid)| {
-                mtcp::write_image(
-                    &mut w,
-                    sim.now(),
-                    pid,
-                    "/img",
-                    mtcp::WriteMode::Compressed,
-                    pid.0,
-                    vec![],
-                )
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+fn bench_image_write() {
+    bench(
+        "mtcp/write_image/8MiB-compressed",
+        None,
+        || {
+            let mut w = World::new(HwSpec::desktop(), 1, registry());
+            let mut sim = Sim::new();
+            let pid = w.spawn(
+                &mut sim,
+                NodeId(0),
+                "holder",
+                Box::new(Holder { pc: 0, mb: 8 }),
+                Pid(1),
+                Default::default(),
+            );
+            sim.run_until(&mut w, Nanos::from_millis(2));
+            w.suspend_user_threads(&mut sim, pid);
+            (w, sim, pid)
+        },
+        |(mut w, sim, pid)| {
+            mtcp::write_image(
+                &mut w,
+                sim.now(),
+                pid,
+                "/img",
+                mtcp::WriteMode::Compressed,
+                pid.0,
+                vec![],
+            )
+        },
+    );
 }
 
-fn bench_full_checkpoint_cycle(c: &mut Criterion) {
+fn bench_full_checkpoint_cycle() {
     // Host time to simulate a full 2-node distributed checkpoint: measures
     // the DES + protocol machinery end to end.
-    let mut g = c.benchmark_group("protocol");
-    g.sample_size(10);
-    g.bench_function("cluster-checkpoint/2nodes-2procs", |b| {
-        b.iter_batched(
-            || {
-                let mut w = World::new(HwSpec::cluster(), 2, registry());
-                let mut sim = Sim::new();
-                let s = Session::start(
+    bench(
+        "protocol/cluster-checkpoint/2nodes-2procs",
+        None,
+        || {
+            let mut w = World::new(HwSpec::cluster(), 2, registry());
+            let mut sim = Sim::new();
+            let s = Session::start(
+                &mut w,
+                &mut sim,
+                Options {
+                    ckpt_dir: "/shared/ckpt".into(),
+                    ..Options::default()
+                },
+            );
+            for n in 0..2 {
+                s.launch(
                     &mut w,
                     &mut sim,
-                    Options {
-                        ckpt_dir: "/shared/ckpt".into(),
-                        ..Options::default()
-                    },
+                    NodeId(n),
+                    "holder",
+                    Box::new(Holder { pc: 0, mb: 4 }),
                 );
-                for n in 0..2 {
-                    s.launch(
-                        &mut w,
-                        &mut sim,
-                        NodeId(n),
-                        "holder",
-                        Box::new(Holder { pc: 0, mb: 4 }),
-                    );
-                }
-                run_for(&mut w, &mut sim, Nanos::from_millis(10));
-                (w, sim, s)
-            },
-            |(mut w, mut sim, s)| s.checkpoint_and_wait(&mut w, &mut sim, 10_000_000),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+            }
+            run_for(&mut w, &mut sim, Nanos::from_millis(10));
+            (w, sim, s)
+        },
+        |(mut w, mut sim, s)| s.checkpoint_and_wait(&mut w, &mut sim, 10_000_000),
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_szip,
-    bench_crc,
-    bench_image_write,
-    bench_full_checkpoint_cycle
-);
-criterion_main!(benches);
+fn main() {
+    println!("# host-time micro-benchmarks (hand-rolled harness)");
+    bench_szip();
+    bench_crc();
+    bench_image_write();
+    bench_full_checkpoint_cycle();
+}

@@ -14,7 +14,10 @@ use apps::nas::baseline_factory;
 use dmtcp::coord::stage;
 use dmtcp::session::run_for;
 use dmtcp::Session;
-use dmtcp_bench::{cluster_world, measure_checkpoints, options, run_parallel, EV};
+use dmtcp_bench::{
+    cluster_world, measure_checkpoints, options, run_parallel, write_jsonl_lines, EV,
+};
+use obs::json::JsonWriter;
 use oskit::mem::FillProfile;
 use oskit::program::{Program, Step};
 use oskit::world::NodeId;
@@ -66,7 +69,11 @@ fn pause_of(mb: u64, forked: bool) -> f64 {
         &mut sim,
         NodeId(0),
         "holder",
-        Box::new(Holder { pc: 0, mb, zero_pct: 20 }),
+        Box::new(Holder {
+            pc: 0,
+            mb,
+            zero_pct: 20,
+        }),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(20));
     let g = s.checkpoint_and_wait(&mut w, &mut sim, EV);
@@ -82,25 +89,32 @@ fn barrier_scaling(nodes: usize) -> (u32, f64) {
         procs_per_node: 4,
         base_port: 30_000,
     };
-    mpirun(&mut w, &mut sim, Launcher::Dmtcp(&s), &job, baseline_factory(0));
+    mpirun(
+        &mut w,
+        &mut sim,
+        Launcher::Dmtcp(&s),
+        &job,
+        baseline_factory(0),
+    );
     run_for(&mut w, &mut sim, Nanos::from_millis(400));
     let g = s.checkpoint_and_wait(&mut w, &mut sim, EV);
     // Pure coordination cost: everything except the image write.
-    let t =
-        (g.releases[&stage::DRAINED] - g.requested_at).as_secs_f64();
+    let t = (g.releases[&stage::DRAINED] - g.requested_at).as_secs_f64();
     (g.participants, t)
 }
 
 fn main() {
+    let mut lines: Vec<String> = Vec::new();
     println!("# Ablation 1: user-visible pause, in-line vs forked checkpointing\n");
-    println!("{:<10} {:>12} {:>12} {:>8}", "image", "inline", "forked", "ratio");
+    println!(
+        "{:<10} {:>12} {:>12} {:>8}",
+        "image", "inline", "forked", "ratio"
+    );
     let sizes = [16u64, 64, 256, 1024];
-    let jobs: Vec<Box<dyn FnOnce() -> (u64, f64, f64) + Send>> = sizes
+    type PauseJob = Box<dyn FnOnce() -> (u64, f64, f64) + Send>;
+    let jobs: Vec<PauseJob> = sizes
         .iter()
-        .map(|&mb| {
-            Box::new(move || (mb, pause_of(mb, false), pause_of(mb, true)))
-                as Box<dyn FnOnce() -> (u64, f64, f64) + Send>
-        })
+        .map(|&mb| Box::new(move || (mb, pause_of(mb, false), pause_of(mb, true))) as PauseJob)
         .collect();
     for (mb, inline, forked) in run_parallel(jobs) {
         println!(
@@ -110,6 +124,14 @@ fn main() {
             forked,
             inline / forked.max(1e-9)
         );
+        let mut j = JsonWriter::new();
+        j.obj_begin()
+            .field_str("ablation", "forked_vs_inline")
+            .field_u64("image_mb", mb)
+            .field_f64("inline_s", inline)
+            .field_f64("forked_s", forked)
+            .obj_end();
+        lines.push(j.into_string());
     }
 
     println!("\n# Ablation 2: coordination (suspend+elect+drain) cost vs process count");
@@ -120,6 +142,13 @@ fn main() {
         .collect();
     for (procs, t) in run_parallel(jobs) {
         println!("{procs:>4} procs   coordination {t:.4}s");
+        let mut j = JsonWriter::new();
+        j.obj_begin()
+            .field_str("ablation", "coordinator_scaling")
+            .field_u64("procs", procs as u64)
+            .field_f64("coordination_s", t)
+            .obj_end();
+        lines.push(j.into_string());
     }
 
     println!("\n# Ablation 3: compression crossover vs content compressibility\n");
@@ -133,7 +162,11 @@ fn main() {
                 &mut sim,
                 NodeId(0),
                 "holder",
-                Box::new(Holder { pc: 0, mb: 256, zero_pct }),
+                Box::new(Holder {
+                    pc: 0,
+                    mb: 256,
+                    zero_pct,
+                }),
             );
             run_for(&mut w, &mut sim, Nanos::from_millis(20));
             let (t, size, _) = measure_checkpoints(&mut w, &mut sim, &s, 1, Nanos::from_millis(10));
@@ -146,5 +179,19 @@ fn main() {
             s_raw as f64 / (1 << 20) as f64,
             s_gz as f64 / (1 << 20) as f64,
         );
+        let mut j = JsonWriter::new();
+        j.obj_begin()
+            .field_str("ablation", "compression_crossover")
+            .field_u64("zero_pct", zero_pct as u64)
+            .field_f64("raw_s", t_raw)
+            .field_u64("raw_bytes", s_raw)
+            .field_f64("gzip_s", t_gz)
+            .field_u64("gzip_bytes", s_gz)
+            .obj_end();
+        lines.push(j.into_string());
+    }
+    match write_jsonl_lines("ablation", lines) {
+        Ok(p) => println!("\n# wrote {p}"),
+        Err(e) => eprintln!("# jsonl write failed: {e}"),
     }
 }

@@ -8,7 +8,7 @@ use dmtcp::session::run_for;
 use dmtcp::Session;
 use dmtcp_bench::{
     desktop_world, kill_and_measure_restart, measure_checkpoints, options, reps, run_parallel,
-    ExpResult,
+    stage_breakdown, write_results_jsonl, ExpResult,
 };
 use oskit::world::NodeId;
 use simkit::{Nanos, Summary};
@@ -22,7 +22,7 @@ fn main() {
             Box::new(move || {
                 let (mut w, mut sim) = desktop_world();
                 let s = Session::start(&mut w, &mut sim, options(true, false, true));
-                launch_desktop(&mut w, &mut sim, Some(&s), NodeId(0), spec, 0xF16_3);
+                launch_desktop(&mut w, &mut sim, Some(&s), NodeId(0), spec, 0xF163);
                 run_for(&mut w, &mut sim, Nanos::from_millis(120));
                 let (times, size, parts) =
                     measure_checkpoints(&mut w, &mut sim, &s, reps(), Nanos::from_millis(50));
@@ -33,11 +33,17 @@ fn main() {
                     restart_s: Some(restart),
                     image_bytes: size,
                     participants: parts,
+                    stages: Some(stage_breakdown(&w, None)),
                 }
             }) as Box<dyn FnOnce() -> ExpResult + Send>
         })
         .collect();
-    for r in run_parallel(jobs) {
+    let results = run_parallel(jobs);
+    for r in &results {
         println!("{}", r.row());
+    }
+    match write_results_jsonl("fig3", &results) {
+        Ok(p) => println!("# wrote {p}"),
+        Err(e) => eprintln!("# jsonl write failed: {e}"),
     }
 }

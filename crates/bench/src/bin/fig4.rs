@@ -12,7 +12,7 @@ use dmtcp::session::run_for;
 use dmtcp::Session;
 use dmtcp_bench::{
     cluster_world, kill_and_measure_restart, measure_checkpoints, options, reps, run_parallel,
-    ExpResult,
+    stage_breakdown, write_results_jsonl, ExpResult,
 };
 use oskit::world::NodeId;
 use simkit::{Nanos, Summary};
@@ -93,6 +93,7 @@ fn run_one(label: &str, wl: Workload, compression: bool) -> ExpResult {
         restart_s: Some(restart),
         image_bytes: size,
         participants: parts,
+        stages: Some(stage_breakdown(&w, None)),
     }
 }
 
@@ -103,19 +104,54 @@ fn main() {
     let configs: Vec<(&str, Workload)> = vec![
         ("iPython/Shell[1]", Workload::IpyShell),
         ("iPython/Demo[1]", Workload::IpyDemo),
-        ("Baseline[2]", Workload::Mpi(Flavor::Mpich2, MpiApp::Baseline, NODES)),
-        ("ParGeant4[2]", Workload::Mpi(Flavor::Mpich2, MpiApp::ParGeant4, NODES)),
-        ("NAS/CG[2] (32p)", Workload::Mpi(Flavor::Mpich2, MpiApp::Nas(NasKernel::Cg), 8)),
-        ("Baseline[3]", Workload::Mpi(Flavor::OpenMpi, MpiApp::Baseline, NODES)),
-        ("NAS/EP[3]", Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Ep), NODES)),
-        ("NAS/LU[3]", Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Lu), NODES)),
-        ("NAS/SP[3]", Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Sp), 9)),
-        ("NAS/MG[3]", Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Mg), NODES)),
-        ("NAS/IS[3]", Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Is), NODES)),
-        ("NAS/BT[3]", Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Bt), 9)),
+        (
+            "Baseline[2]",
+            Workload::Mpi(Flavor::Mpich2, MpiApp::Baseline, NODES),
+        ),
+        (
+            "ParGeant4[2]",
+            Workload::Mpi(Flavor::Mpich2, MpiApp::ParGeant4, NODES),
+        ),
+        (
+            "NAS/CG[2] (32p)",
+            Workload::Mpi(Flavor::Mpich2, MpiApp::Nas(NasKernel::Cg), 8),
+        ),
+        (
+            "Baseline[3]",
+            Workload::Mpi(Flavor::OpenMpi, MpiApp::Baseline, NODES),
+        ),
+        (
+            "NAS/EP[3]",
+            Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Ep), NODES),
+        ),
+        (
+            "NAS/LU[3]",
+            Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Lu), NODES),
+        ),
+        (
+            "NAS/SP[3]",
+            Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Sp), 9),
+        ),
+        (
+            "NAS/MG[3]",
+            Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Mg), NODES),
+        ),
+        (
+            "NAS/IS[3]",
+            Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Is), NODES),
+        ),
+        (
+            "NAS/BT[3]",
+            Workload::Mpi(Flavor::OpenMpi, MpiApp::Nas(NasKernel::Bt), 9),
+        ),
     ];
-    let only: Option<usize> = std::env::var("DMTCP_FIG4_ONLY").ok().and_then(|v| v.parse().ok());
-    let mode: Option<usize> = std::env::var("DMTCP_FIG4_MODE").ok().and_then(|v| v.parse().ok());
+    let only: Option<usize> = std::env::var("DMTCP_FIG4_ONLY")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mode: Option<usize> = std::env::var("DMTCP_FIG4_MODE")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mut all = Vec::new();
     for compression in [false, true] {
         if let Some(m) = mode {
             if (m == 1) != compression {
@@ -124,7 +160,11 @@ fn main() {
         }
         println!(
             "\n== {} ==",
-            if compression { "compressed (gzip)" } else { "uncompressed" }
+            if compression {
+                "compressed (gzip)"
+            } else {
+                "uncompressed"
+            }
         );
         let jobs: Vec<Box<dyn FnOnce() -> ExpResult + Send>> = configs
             .iter()
@@ -135,8 +175,15 @@ fn main() {
                     as Box<dyn FnOnce() -> ExpResult + Send>
             })
             .collect();
-        for r in run_parallel(jobs) {
+        let mut results = run_parallel(jobs);
+        for r in &mut results {
+            r.label = format!("{} [{}]", r.label, if compression { "gz" } else { "raw" });
             println!("{}", r.row());
         }
+        all.extend(results);
+    }
+    match write_results_jsonl("fig4", &all) {
+        Ok(p) => println!("# wrote {p}"),
+        Err(e) => eprintln!("# jsonl write failed: {e}"),
     }
 }

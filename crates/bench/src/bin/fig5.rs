@@ -11,7 +11,7 @@ use dmtcp::session::run_for;
 use dmtcp::Session;
 use dmtcp_bench::{
     cluster_world, kill_and_measure_restart, measure_checkpoints, options, reps, run_parallel,
-    ExpResult,
+    stage_breakdown, write_results_jsonl, ExpResult,
 };
 use oskit::world::NodeId;
 use simkit::{Nanos, Summary};
@@ -56,6 +56,7 @@ fn run_point(nodes: usize, local_disk: bool, want_sync: bool) -> (ExpResult, Opt
             restart_s: Some(restart),
             image_bytes: size,
             participants: parts,
+            stages: Some(stage_breakdown(&w, None)),
         },
         sync_cost,
     )
@@ -65,25 +66,33 @@ fn main() {
     let want_sync = std::env::args().any(|a| a == "--sync");
     println!("# Figure 5: ParGeant4 under MPICH2, compression enabled");
     println!("# (compute processes = 4 per node; MPD daemons + console also checkpointed)\n");
+    let mut all = Vec::new();
     for (title, local) in [
         ("(a) checkpoints to local disk of each node", true),
-        ("(b) checkpoints to centralized storage (SAN x8 nodes, NFS rest)", false),
+        (
+            "(b) checkpoints to centralized storage (SAN x8 nodes, NFS rest)",
+            false,
+        ),
     ] {
         println!("== {title} ==");
         let points: Vec<usize> = vec![4, 8, 12, 16, 20, 24, 28, 32];
-        let jobs: Vec<Box<dyn FnOnce() -> (ExpResult, Option<f64>) + Send>> = points
+        type PointJob = Box<dyn FnOnce() -> (ExpResult, Option<f64>) + Send>;
+        let jobs: Vec<PointJob> = points
             .iter()
-            .map(|&n| {
-                Box::new(move || run_point(n, local, want_sync))
-                    as Box<dyn FnOnce() -> (ExpResult, Option<f64>) + Send>
-            })
+            .map(|&n| Box::new(move || run_point(n, local, want_sync)) as PointJob)
             .collect();
-        for (r, sync) in run_parallel(jobs) {
+        for (mut r, sync) in run_parallel(jobs) {
+            r.label = format!("{} [{}]", r.label, if local { "local" } else { "central" });
             match sync {
                 Some(s) => println!("{}   +sync {:.2}s", r.row(), s),
                 None => println!("{}", r.row()),
             }
+            all.push(r);
         }
         println!();
+    }
+    match write_results_jsonl("fig5", &all) {
+        Ok(p) => println!("# wrote {p}"),
+        Err(e) => eprintln!("# jsonl write failed: {e}"),
     }
 }

@@ -8,7 +8,8 @@ use apps::memhog::memhog_factory;
 use dmtcp::session::run_for;
 use dmtcp::Session;
 use dmtcp_bench::{
-    cluster_world, kill_and_measure_restart, measure_checkpoints, options, run_parallel, ExpResult,
+    cluster_world, kill_and_measure_restart, measure_checkpoints, options, run_parallel,
+    stage_breakdown, write_results_jsonl, ExpResult,
 };
 use oskit::world::NodeId;
 use simkit::{Nanos, Summary};
@@ -44,6 +45,7 @@ fn run_point(total_gb: u64) -> ExpResult {
         restart_s: Some(restart),
         image_bytes: size,
         participants: parts,
+        stages: Some(stage_breakdown(&w, None)),
     }
 }
 
@@ -55,7 +57,12 @@ fn main() {
         .iter()
         .map(|&gb| Box::new(move || run_point(gb)) as Box<dyn FnOnce() -> ExpResult + Send>)
         .collect();
-    for r in run_parallel(jobs) {
+    let results = run_parallel(jobs);
+    for r in &results {
         println!("{}", r.row());
+    }
+    match write_results_jsonl("fig6", &results) {
+        Ok(p) => println!("# wrote {p}"),
+        Err(e) => eprintln!("# jsonl write failed: {e}"),
     }
 }

@@ -6,7 +6,10 @@
 
 use dmtcp::session::run_for;
 use dmtcp::Session;
-use dmtcp_bench::{desktop_world, kill_and_measure_restart, measure_checkpoints, options};
+use dmtcp_bench::{
+    desktop_world, kill_and_measure_restart, measure_checkpoints, options, write_jsonl_lines,
+};
+use obs::json::JsonWriter;
 use oskit::world::NodeId;
 use simkit::Nanos;
 
@@ -31,11 +34,30 @@ fn main() {
     let (times, size, _) = measure_checkpoints(&mut w, &mut sim, &s, 1, Nanos::from_millis(100));
     let restart = kill_and_measure_restart(&mut w, &mut sim, &s);
     println!("dynamic libraries mapped : {libs}");
-    println!("in-memory image          : {:.0} MB", raw as f64 / (1 << 20) as f64);
-    println!("checkpoint time          : {:.1} s   (paper: 25.2 s)", times[0]);
+    println!(
+        "in-memory image          : {:.0} MB",
+        raw as f64 / (1 << 20) as f64
+    );
+    println!(
+        "checkpoint time          : {:.1} s   (paper: 25.2 s)",
+        times[0]
+    );
     println!("restart time             : {restart:.1} s   (paper: 18.4 s)");
     println!(
         "gzip'd image on disk     : {:.0} MB  (paper: 225 MB)",
         size as f64 / (1 << 20) as f64
     );
+    let mut j = JsonWriter::new();
+    j.obj_begin()
+        .field_str("label", "runCMS")
+        .field_u64("libraries", libs as u64)
+        .field_u64("raw_bytes", raw)
+        .field_f64("ckpt_s", times[0])
+        .field_f64("restart_s", restart)
+        .field_u64("image_bytes", size)
+        .obj_end();
+    match write_jsonl_lines("runcms", [j.into_string()]) {
+        Ok(p) => println!("# wrote {p}"),
+        Err(e) => eprintln!("# jsonl write failed: {e}"),
+    }
 }

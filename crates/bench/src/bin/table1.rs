@@ -3,60 +3,38 @@
 //! and forked-compressed modes. This is the calibration anchor for every
 //! other figure (see DESIGN.md §4).
 //!
+//! The stage breakdowns are read back out of the world's metrics registry
+//! (`core.stage.*` / `core.restart.*` histograms) — the same numbers the
+//! observability layer exports — rather than plumbed through ad-hoc
+//! sample vectors.
+//!
 //! Regenerate with: `cargo run --release -p dmtcp-bench --bin table1`
+//! Pass `--trace-out <file>` to also dump a Perfetto-loadable Chrome trace
+//! of the uncompressed mode's checkpoint generation.
 
 use apps::nas::{nas_factory, NasKernel};
-use dmtcp::coord::{coord_shared, RestartSample, StageSample};
 use dmtcp::session::run_for;
 use dmtcp::Session;
-use dmtcp_bench::{cluster_world, kill_and_measure_restart, options, EV};
+use dmtcp_bench::{
+    cluster_world, dump_trace, kill_and_measure_restart, options, restart_breakdown,
+    stage_breakdown, trace_out_arg, write_jsonl_lines, RestartBreakdown, StageBreakdown, EV,
+};
+use obs::json::JsonWriter;
 use oskit::world::NodeId;
 use simkit::Nanos;
 use simmpi::launch::{mpirun, Flavor, Launcher, MpiJob};
 
 const NODES: usize = 8;
 
-struct Breakdown {
-    suspend: f64,
-    elect: f64,
-    drain: f64,
-    write: f64,
-    refill: f64,
-}
-
-fn mean_stage(samples: &[StageSample]) -> Breakdown {
-    let n = samples.len() as f64;
-    let s = |f: &dyn Fn(&StageSample) -> Nanos| {
-        samples.iter().map(|x| f(x).as_secs_f64()).sum::<f64>() / n
-    };
-    Breakdown {
-        suspend: s(&|x| x.suspend),
-        elect: s(&|x| x.elect),
-        drain: s(&|x| x.drain),
-        write: s(&|x| x.write),
-        refill: s(&|x| x.refill),
-    }
-}
-
-struct RestartBreakdown {
-    files: f64,
-    sockets: f64,
-    memory: f64,
-    refill: f64,
-}
-
-fn mean_restart(samples: &[RestartSample]) -> RestartBreakdown {
-    let n = samples.len() as f64;
-    RestartBreakdown {
-        files: samples.iter().map(|x| x.files.as_secs_f64()).sum::<f64>() / n,
-        sockets: samples.iter().map(|x| x.sockets.as_secs_f64()).sum::<f64>() / n,
-        memory: samples.iter().map(|x| x.memory.as_secs_f64()).sum::<f64>() / n,
-        refill: samples.iter().map(|x| x.refill.as_secs_f64()).sum::<f64>() / n,
-    }
-}
-
-fn run_mode(compression: bool, forked: bool) -> (Breakdown, Option<RestartBreakdown>, f64) {
+fn run_mode(
+    compression: bool,
+    forked: bool,
+    trace: Option<&str>,
+) -> (StageBreakdown, Option<RestartBreakdown>, f64) {
     let (mut w, mut sim) = cluster_world(NODES);
+    if trace.is_some() {
+        w.obs.spans.set_enabled(true);
+    }
     let s = Session::start(&mut w, &mut sim, options(compression, forked, true));
     let job = MpiJob {
         flavor: Flavor::OpenMpi,
@@ -76,14 +54,13 @@ fn run_mode(compression: bool, forked: bool) -> (Breakdown, Option<RestartBreakd
     // Managers record their per-stage samples when they resume user
     // threads, shortly after the final barrier releases.
     run_for(&mut w, &mut sim, Nanos::from_millis(50));
-    let gen = g.gen;
-    let stages: Vec<StageSample> = coord_shared(&mut w)
-        .stage_samples
-        .iter()
-        .filter(|x| x.gen == gen)
-        .copied()
-        .collect();
-    let ckpt = mean_stage(&stages);
+    let ckpt = stage_breakdown(&w, Some(g.gen));
+    if let Some(path) = trace {
+        match dump_trace(&w, path) {
+            Ok(()) => println!("# wrote trace {path}"),
+            Err(e) => eprintln!("# trace write failed: {e}"),
+        }
+    }
     // Restart breakdown only makes sense for non-forked modes in the
     // paper's table; measure it anyway except for forked.
     let (restart_bd, total_restart) = if forked {
@@ -91,23 +68,59 @@ fn run_mode(compression: bool, forked: bool) -> (Breakdown, Option<RestartBreakd
     } else {
         let total = kill_and_measure_restart(&mut w, &mut sim, &s);
         run_for(&mut w, &mut sim, Nanos::from_millis(50));
-        let rs: Vec<RestartSample> = coord_shared(&mut w).restart_samples.clone();
-        (Some(mean_restart(&rs)), total)
+        (Some(restart_breakdown(&w, None)), total)
     };
     (ckpt, restart_bd, total_restart)
 }
 
+fn stages_obj(j: &mut JsonWriter, b: &StageBreakdown) {
+    j.obj_begin()
+        .field_f64("suspend_s", b.suspend)
+        .field_f64("elect_s", b.elect)
+        .field_f64("drain_s", b.drain)
+        .field_f64("write_s", b.write)
+        .field_f64("refill_s", b.refill)
+        .field_f64("total_s", b.total())
+        .obj_end();
+}
+
+fn mode_line(
+    mode: &str,
+    ckpt: &StageBreakdown,
+    restart: &Option<RestartBreakdown>,
+    total_restart: f64,
+) -> String {
+    let mut j = JsonWriter::new();
+    j.obj_begin().field_str("mode", mode);
+    j.key("ckpt");
+    stages_obj(&mut j, ckpt);
+    if let Some(r) = restart {
+        j.key("restart")
+            .obj_begin()
+            .field_f64("files_s", r.files)
+            .field_f64("sockets_s", r.sockets)
+            .field_f64("memory_s", r.memory)
+            .field_f64("refill_s", r.refill)
+            .field_f64("total_s", r.total())
+            .field_f64("measured_total_s", total_restart)
+            .obj_end();
+    }
+    j.obj_end();
+    j.into_string()
+}
+
 fn main() {
+    let trace = trace_out_arg();
     println!("# Table 1: stage breakdown for NAS/MG under OpenMPI, 8 nodes (seconds)");
     println!("# (a) checkpoint\n");
     println!(
         "{:<24} {:>12} {:>12} {:>12}",
         "Stage", "Uncompressed", "Compressed", "Fork Compr."
     );
-    let (un, un_restart, _un_total) = run_mode(false, false);
-    let (co, co_restart, _co_total) = run_mode(true, false);
-    let (fo, _, _) = run_mode(true, true);
-    let row = |name: &str, f: &dyn Fn(&Breakdown) -> f64| {
+    let (un, un_restart, un_total) = run_mode(false, false, trace.as_deref());
+    let (co, co_restart, co_total) = run_mode(true, false, None);
+    let (fo, _, _) = run_mode(true, true, None);
+    let row = |name: &str, f: &dyn Fn(&StageBreakdown) -> f64| {
         println!(
             "{:<24} {:>12.4} {:>12.4} {:>12.4}",
             name,
@@ -121,17 +134,19 @@ fn main() {
     row("Drain kernel buffers", &|b| b.drain);
     row("Write checkpoint", &|b| b.write);
     row("Refill kernel buffers", &|b| b.refill);
-    let total = |b: &Breakdown| b.suspend + b.elect + b.drain + b.write + b.refill;
     println!(
         "{:<24} {:>12.4} {:>12.4} {:>12.4}",
         "Total",
-        total(&un),
-        total(&co),
-        total(&fo)
+        un.total(),
+        co.total(),
+        fo.total()
     );
 
     println!("\n# (b) restart\n");
-    println!("{:<24} {:>12} {:>12}", "Stage", "Uncompressed", "Compressed");
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "Stage", "Uncompressed", "Compressed"
+    );
     let (ur, cr) = (un_restart.expect("measured"), co_restart.expect("measured"));
     let rrow = |name: &str, f: &dyn Fn(&RestartBreakdown) -> f64| {
         println!("{:<24} {:>12.4} {:>12.4}", name, f(&ur), f(&cr));
@@ -140,11 +155,15 @@ fn main() {
     rrow("Reconnect sockets", &|b| b.sockets);
     rrow("Restore memory/threads", &|b| b.memory);
     rrow("Refill kernel buffers", &|b| b.refill);
-    let rtotal = |b: &RestartBreakdown| b.files + b.sockets + b.memory + b.refill;
-    println!(
-        "{:<24} {:>12.4} {:>12.4}",
-        "Total",
-        rtotal(&ur),
-        rtotal(&cr)
-    );
+    println!("{:<24} {:>12.4} {:>12.4}", "Total", ur.total(), cr.total());
+
+    let lines = vec![
+        mode_line("uncompressed", &un, &Some(ur), un_total),
+        mode_line("compressed", &co, &Some(cr), co_total),
+        mode_line("forked", &fo, &None, 0.0),
+    ];
+    match write_jsonl_lines("table1", lines) {
+        Ok(p) => println!("\n# wrote {p}"),
+        Err(e) => eprintln!("# jsonl write failed: {e}"),
+    }
 }

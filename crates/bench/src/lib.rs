@@ -21,6 +21,85 @@ use simkit::{Nanos, Sim, Summary};
 /// Event budget per phase — generous; a hang is a bug.
 pub const EV: u64 = 400_000_000;
 
+/// Mean seconds per Figure-1 checkpoint stage, derived from the
+/// `core.stage.*` histograms the managers record into the world's metrics
+/// registry (one sample per process per generation).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Suspend user threads.
+    pub suspend: f64,
+    /// Elect fd leaders.
+    pub elect: f64,
+    /// Drain kernel buffers.
+    pub drain: f64,
+    /// Write checkpoint image.
+    pub write: f64,
+    /// Refill kernel buffers.
+    pub refill: f64,
+}
+
+impl StageBreakdown {
+    /// Sum of the stage means — the paper's "total" row.
+    pub fn total(&self) -> f64 {
+        self.suspend + self.elect + self.drain + self.write + self.refill
+    }
+}
+
+/// Mean seconds per Figure-2 restart step (`core.restart.*` histograms).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RestartBreakdown {
+    /// Restore files and ptys.
+    pub files: f64,
+    /// Recreate and reconnect sockets.
+    pub sockets: f64,
+    /// Restore memory and threads.
+    pub memory: f64,
+    /// Refill kernel buffers.
+    pub refill: f64,
+}
+
+impl RestartBreakdown {
+    /// Sum of the step means.
+    pub fn total(&self) -> f64 {
+        self.files + self.sockets + self.memory + self.refill
+    }
+}
+
+fn hist_mean_secs(w: &World, name: &'static str, gen: Option<u64>) -> f64 {
+    let h = match gen {
+        Some(g) => w.obs.metrics.hist(name, g).copied().unwrap_or_default(),
+        None => w.obs.metrics.hist_merged(name),
+    };
+    if h.count() == 0 {
+        0.0
+    } else {
+        h.sum() as f64 / h.count() as f64 / 1e9
+    }
+}
+
+/// Read the checkpoint stage breakdown back out of the metrics registry:
+/// the mean over every process sample of generation `gen`, or over all
+/// generations recorded in `w` when `None`.
+pub fn stage_breakdown(w: &World, gen: Option<u64>) -> StageBreakdown {
+    StageBreakdown {
+        suspend: hist_mean_secs(w, "core.stage.suspend", gen),
+        elect: hist_mean_secs(w, "core.stage.elect", gen),
+        drain: hist_mean_secs(w, "core.stage.drain", gen),
+        write: hist_mean_secs(w, "core.stage.write", gen),
+        refill: hist_mean_secs(w, "core.stage.refill", gen),
+    }
+}
+
+/// Read the restart step breakdown out of the metrics registry.
+pub fn restart_breakdown(w: &World, gen: Option<u64>) -> RestartBreakdown {
+    RestartBreakdown {
+        files: hist_mean_secs(w, "core.restart.files", gen),
+        sockets: hist_mean_secs(w, "core.restart.sockets", gen),
+        memory: hist_mean_secs(w, "core.restart.memory", gen),
+        refill: hist_mean_secs(w, "core.restart.refill", gen),
+    }
+}
+
 /// One experiment's measurements.
 #[derive(Debug, Clone)]
 pub struct ExpResult {
@@ -34,6 +113,8 @@ pub struct ExpResult {
     pub image_bytes: u64,
     /// Number of checkpointed processes.
     pub participants: u32,
+    /// Per-stage means from the metrics registry (when measured).
+    pub stages: Option<StageBreakdown>,
 }
 
 impl ExpResult {
@@ -51,6 +132,79 @@ impl ExpResult {
             self.participants,
         )
     }
+
+    /// One machine-readable JSON object (a `results/<name>.jsonl` line).
+    pub fn jsonl(&self) -> String {
+        let mut j = obs::json::JsonWriter::new();
+        j.obj_begin()
+            .field_str("label", &self.label)
+            .field_f64("ckpt_mean_s", self.ckpt_s.mean)
+            .field_f64("ckpt_stddev_s", self.ckpt_s.stddev)
+            .field_f64("ckpt_p50_s", self.ckpt_s.p50)
+            .field_f64("ckpt_p90_s", self.ckpt_s.p90)
+            .field_f64("ckpt_p99_s", self.ckpt_s.p99);
+        // NaN renders as null — restart_s is optional.
+        j.field_f64("restart_s", self.restart_s.unwrap_or(f64::NAN));
+        j.field_u64("image_bytes", self.image_bytes)
+            .field_u64("participants", self.participants as u64);
+        if let Some(s) = self.stages {
+            j.key("stages")
+                .obj_begin()
+                .field_f64("suspend_s", s.suspend)
+                .field_f64("elect_s", s.elect)
+                .field_f64("drain_s", s.drain)
+                .field_f64("write_s", s.write)
+                .field_f64("refill_s", s.refill)
+                .obj_end();
+        }
+        j.obj_end();
+        j.into_string()
+    }
+}
+
+/// Write one JSONL line per result to `results/<name>.jsonl`; returns the
+/// path written.
+pub fn write_results_jsonl(name: &str, results: &[ExpResult]) -> std::io::Result<String> {
+    write_jsonl_lines(name, results.iter().map(|r| r.jsonl()))
+}
+
+/// Write pre-rendered JSON lines to `results/<name>.jsonl`; returns the path
+/// written. For binaries whose rows aren't [`ExpResult`]s.
+pub fn write_jsonl_lines(
+    name: &str,
+    lines: impl IntoIterator<Item = String>,
+) -> std::io::Result<String> {
+    std::fs::create_dir_all("results")?;
+    let path = format!("results/{name}.jsonl");
+    let mut out = String::new();
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Parse an opt-in `--trace-out <file>` (or `--trace-out=<file>`) flag.
+/// When present, a figure binary enables span capture on one configuration
+/// and dumps a Perfetto-loadable Chrome trace there via [`dump_trace`].
+pub fn trace_out_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next();
+        }
+        if let Some(rest) = a.strip_prefix("--trace-out=") {
+            return Some(rest.to_string());
+        }
+    }
+    None
+}
+
+/// Dump the world's recorded spans as Chrome trace-event JSON (open with
+/// Perfetto / `chrome://tracing`).
+pub fn dump_trace(w: &World, path: &str) -> std::io::Result<()> {
+    std::fs::write(path, w.obs.chrome_trace())
 }
 
 /// A cluster world ready for experiments.
@@ -72,7 +226,11 @@ pub fn desktop_world() -> (World, OsSim) {
 /// Standard options: images to the shared store unless `local_disk`.
 pub fn options(compression: bool, forked: bool, local_disk: bool) -> Options {
     Options {
-        ckpt_dir: if local_disk { "/ckpt".into() } else { "/shared/ckpt".into() },
+        ckpt_dir: if local_disk {
+            "/ckpt".into()
+        } else {
+            "/shared/ckpt".into()
+        },
         compression,
         forked,
         ..Options::default()
@@ -148,7 +306,7 @@ pub fn kill_and_measure_restart(w: &mut World, sim: &mut OsSim, s: &Session) -> 
 /// input order in the output.
 pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
     let n = jobs.len();
-    let (tx, rx) = crossbeam::channel::unbounded();
+    let (tx, rx) = std::sync::mpsc::channel();
     std::thread::scope(|scope| {
         for (i, job) in jobs.into_iter().enumerate() {
             let tx = tx.clone();
@@ -163,7 +321,10 @@ pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T>
     for (i, out) in rx.iter() {
         slots[i] = Some(out);
     }
-    slots.into_iter().map(|s| s.expect("job finished")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("job finished"))
+        .collect()
 }
 
 /// Repetition count: figures use the paper's 10 unless `DMTCP_REPS` says
@@ -195,10 +356,33 @@ mod tests {
             restart_s: Some(2.5),
             image_bytes: 1536 << 20,
             participants: 131,
+            stages: None,
         };
         let row = r.row();
         assert!(row.contains("NAS/MG[3]"));
         assert!(row.contains("1536.0 MB"));
         assert!(row.contains("131 procs"));
+    }
+
+    #[test]
+    fn jsonl_line_is_valid_json() {
+        let r = ExpResult {
+            label: "desk\"top".into(),
+            ckpt_s: Summary::of(&[0.5, 0.7]),
+            restart_s: None,
+            image_bytes: 42,
+            participants: 2,
+            stages: Some(StageBreakdown {
+                suspend: 0.01,
+                elect: 0.001,
+                drain: 0.02,
+                write: 0.4,
+                refill: 0.002,
+            }),
+        };
+        let line = r.jsonl();
+        obs::json::validate(&line).expect("valid JSON");
+        assert!(line.contains("\"restart_s\":null"));
+        assert!(line.contains("\"write_s\":0.4"));
     }
 }

@@ -35,6 +35,20 @@ pub mod stage {
     pub const RESTORED: u8 = 11;
     /// Restart: kernel buffers refilled (Figure 2 step 6).
     pub const RESTART_REFILLED: u8 = 12;
+
+    /// Span name of a barrier-release instant (`obs` naming scheme).
+    pub fn release_name(stg: u8) -> &'static str {
+        match stg {
+            SUSPENDED => "release.suspended",
+            ELECTED => "release.elected",
+            DRAINED => "release.drained",
+            CHECKPOINTED => "release.checkpointed",
+            REFILLED => "release.refilled",
+            RESTORED => "release.restored",
+            RESTART_REFILLED => "release.restart_refilled",
+            _ => "release.unknown",
+        }
+    }
 }
 
 /// Barrier timing for one checkpoint generation (benchmark input).
@@ -68,42 +82,10 @@ impl GenStat {
     }
 }
 
-/// Per-process stage breakdown (Table 1a input), recorded by each manager.
-#[derive(Debug, Clone, Copy)]
-pub struct StageSample {
-    /// Generation.
-    pub gen: u64,
-    /// Process vpid.
-    pub vpid: u32,
-    /// Suspend user threads.
-    pub suspend: Nanos,
-    /// Elect fd leaders.
-    pub elect: Nanos,
-    /// Drain kernel buffers.
-    pub drain: Nanos,
-    /// Write checkpoint.
-    pub write: Nanos,
-    /// Refill kernel buffers.
-    pub refill: Nanos,
-}
-
-/// Per-process restart breakdown (Table 1b input).
-#[derive(Debug, Clone, Copy)]
-pub struct RestartSample {
-    /// Process vpid.
-    pub vpid: u32,
-    /// Restore files and ptys.
-    pub files: Nanos,
-    /// Recreate and reconnect sockets.
-    pub sockets: Nanos,
-    /// Restore memory and threads.
-    pub memory: Nanos,
-    /// Refill kernel buffers.
-    pub refill: Nanos,
-}
-
 /// Coordinator-side shared state (kept in the world's DMTCP singleton so
-/// benches can read it after the run).
+/// benches can read it after the run). Per-process stage breakdowns
+/// (Table 1 input) live in the world's metrics registry under
+/// `core.stage.*` / `core.restart.*` histograms, labeled by generation.
 #[derive(Debug, Default)]
 pub struct CoordShared {
     /// Trigger flag posted by `dmtcp command --checkpoint` / the interval
@@ -113,10 +95,6 @@ pub struct CoordShared {
     pub coord_pid: Option<Pid>,
     /// Barrier timing per generation.
     pub gen_stats: Vec<GenStat>,
-    /// Manager-reported checkpoint stage breakdowns.
-    pub stage_samples: Vec<StageSample>,
-    /// Restart stage breakdowns.
-    pub restart_samples: Vec<RestartSample>,
     /// Paths of every image written in the last completed generation,
     /// with their hostnames (drives the restart script).
     pub last_images: Vec<(String, String)>,
@@ -190,7 +168,15 @@ impl Coordinator {
         self.in_progress = true;
         self.expected = self.clients.len() as u32;
         self.requested_at = k.now();
-        k.trace("coord", format!("ckpt gen {} requested ({} procs)", self.gen, self.expected));
+        let (gen, expected) = (self.gen, self.expected);
+        k.trace_with("coord", || {
+            format!("ckpt gen {gen} requested ({expected} procs)")
+        });
+        k.obs().metrics.inc("core.ckpt.requests", 0);
+        let (at, track) = (k.now(), k.track());
+        k.obs()
+            .spans
+            .instant(at, track, "ckpt.request", "coord", vec![("gen", gen)]);
         coord_shared(k.w).gen_stats.push(GenStat {
             gen: self.gen,
             requested_at: self.requested_at,
@@ -266,7 +252,16 @@ impl Coordinator {
         {
             gs.releases.insert(stg, now);
         }
-        k.trace("barrier", format!("gen {gen} stage {stg} released"));
+        k.trace_with("barrier", || format!("gen {gen} stage {stg} released"));
+        k.obs().metrics.inc("core.barrier.releases", stg as u64);
+        let track = k.track();
+        k.obs().spans.instant(
+            now,
+            track,
+            stage::release_name(stg),
+            "coord",
+            vec![("gen", gen), ("stage", stg as u64)],
+        );
         self.broadcast(k, &Msg::BarrierRelease(gen, stg));
         if stg == stage::REFILLED || stg == stage::RESTART_REFILLED {
             self.in_progress = false;
@@ -311,9 +306,8 @@ impl Program for Coordinator {
             self.lfd = fd;
             self.port = port;
             coord_shared(k.w).coord_pid = Some(k.getpid_real());
-            if self.interval.is_some() {
+            if let Some(iv) = self.interval {
                 // Arm the first interval tick.
-                let iv = self.interval.expect("checked");
                 let pid = k.getpid_real();
                 k.sim.after(iv, move |w: &mut World, sim| {
                     coord_shared(w).ckpt_request_pending = true;

@@ -168,7 +168,13 @@ pub struct Hijack {
 
 impl Hijack {
     /// Fresh hijack state for a newly traced process.
-    pub fn new(vpid: u32, coord_host: String, coord_port: u16, ckpt_dir: String, mode: WriteMode) -> Self {
+    pub fn new(
+        vpid: u32,
+        coord_host: String,
+        coord_port: u16,
+        ckpt_dir: String,
+        mode: WriteMode,
+    ) -> Self {
         Hijack {
             vpid,
             coord_host,
@@ -202,10 +208,7 @@ pub fn hijack_of(w: &mut World, pid: Pid) -> Option<&mut Hijack> {
 
 /// Is `pid` running under DMTCP?
 pub fn is_traced(w: &World, pid: Pid) -> bool {
-    w.procs
-        .get(&pid)
-        .map(is_traced_proc)
-        .unwrap_or(false)
+    w.procs.get(&pid).map(is_traced_proc).unwrap_or(false)
 }
 
 /// Is this process running under DMTCP?
@@ -268,7 +271,13 @@ mod tests {
 
     #[test]
     fn image_path_is_per_vpid_and_generation() {
-        let h = Hijack::new(42, "node00".into(), 7779, "/shared/ckpt".into(), WriteMode::Compressed);
+        let h = Hijack::new(
+            42,
+            "node00".into(),
+            7779,
+            "/shared/ckpt".into(),
+            WriteMode::Compressed,
+        );
         assert_eq!(h.image_path(3), "/shared/ckpt/ckpt_42_gen3.dmtcp");
         assert_ne!(h.image_path(3), h.image_path(4));
     }

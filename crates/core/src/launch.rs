@@ -130,9 +130,10 @@ fn hijack_new_process(w: &mut World, sim: &mut OsSim, pid: Pid) -> Pid {
     loop {
         let conflict = {
             // Live traced vpids (excluding the fresh process itself).
-            let live_conflict = w.procs.iter().any(|(other, p)| {
-                *other != pid && p.alive() && p.virt_pid == Some(pid.0)
-            });
+            let live_conflict = w
+                .procs
+                .iter()
+                .any(|(other, p)| *other != pid && p.alive() && p.virt_pid == Some(pid.0));
             live_conflict || global(w).checkpointed_vpids.contains(&pid.0)
         };
         if !conflict {
@@ -154,7 +155,13 @@ fn hijack_new_process(w: &mut World, sim: &mut OsSim, pid: Pid) -> Pid {
             .collect()
     };
     for fd in protected {
-        if let Some(entry) = w.procs.get_mut(&pid).expect("process exists").fds.remove(fd) {
+        if let Some(entry) = w
+            .procs
+            .get_mut(&pid)
+            .expect("process exists")
+            .fds
+            .remove(fd)
+        {
             w.release_obj(sim, entry.obj);
         }
     }

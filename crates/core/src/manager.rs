@@ -25,7 +25,7 @@
 //! are frozen, and MTCP does not capture it in the image — a fresh one is
 //! built at restart, exactly as the real MTCP restart routine does.
 
-use crate::coord::{record_image, stage, StageSample};
+use crate::coord::{record_image, stage};
 use crate::gsid::{global, Gsid};
 use crate::hijack::{hijack_of, ConnTable, FdKindRec, FdRecord, PtyRecord};
 use crate::proto::{drain_token, frame, split_drain_token, FrameBuf, Msg};
@@ -185,17 +185,11 @@ impl Manager {
 
     /// Block until `BarrierRelease(cur_gen, stg)`; true when released.
     fn released(&mut self, k: &mut Kernel<'_>, stg: u8) -> bool {
-        loop {
-            match self.poll_coord(k) {
-                Ok(Some(Msg::BarrierRelease(g, s))) if g == self.cur_gen && s == stg => {
-                    return true;
-                }
-                Ok(Some(other)) => panic!(
-                    "manager vpid awaiting stage {stg}: unexpected {other:?}"
-                ),
-                Ok(None) => unreachable!(),
-                Err(()) => return false,
-            }
+        match self.poll_coord(k) {
+            Ok(Some(Msg::BarrierRelease(g, s))) if g == self.cur_gen && s == stg => true,
+            Ok(Some(other)) => panic!("manager vpid awaiting stage {stg}: unexpected {other:?}"),
+            Ok(None) => unreachable!(),
+            Err(()) => false,
         }
     }
 
@@ -373,6 +367,8 @@ impl Manager {
             .iter()
             .map(|j| (j.gsid, j.drained.clone()))
             .collect();
+        let total: u64 = drained.iter().map(|(_, d)| d.len() as u64).sum();
+        k.obs().metrics.add("core.drain.bytes", self.cur_gen, total);
         let table = self.build_conn_table(k);
         let h = hijack_of(k.w, pid).expect("traced");
         h.drained = drained;
@@ -453,24 +449,21 @@ impl Manager {
                         kind: FdKindRec::PtyMaster { gsid },
                     });
                     // Save pty state if we are the lowest-pid master holder.
-                    let lowest = k
-                        .w
-                        .procs
-                        .values()
-                        .filter(|p| p.node == my_node && p.alive())
-                        .filter(|p| {
-                            p.fds
-                                .iter()
-                                .any(|(_, e)| e.obj == FdObject::PtyMaster(ptid))
-                        })
-                        .map(|p| p.pid)
-                        .min();
+                    let lowest =
+                        k.w.procs
+                            .values()
+                            .filter(|p| p.node == my_node && p.alive())
+                            .filter(|p| {
+                                p.fds
+                                    .iter()
+                                    .any(|(_, e)| e.obj == FdObject::PtyMaster(ptid))
+                            })
+                            .map(|p| p.pid)
+                            .min();
                     if lowest == Some(pid) {
                         let p = &k.w.ptys[&ptid];
                         let controlling_vpid = p.controlling_pid.and_then(|cp| {
-                            k.w.procs
-                                .get(&cp)
-                                .map(|proc| proc.virt_pid.unwrap_or(cp.0))
+                            k.w.procs.get(&cp).map(|proc| proc.virt_pid.unwrap_or(cp.0))
                         });
                         ptys.push(PtyRecord {
                             gsid,
@@ -588,6 +581,15 @@ impl Manager {
     fn run_refill(&mut self, k: &mut Kernel<'_>) -> Result<bool, ()> {
         let mut all_done = true;
         let mut progressed = false;
+        // Bytes returned to kernel buffers, keyed by generation; the restart
+        // replay of stage 6 counts separately so per-generation
+        // drained == refilled holds for checkpoint generations.
+        let refill_metric = if self.phase == Phase::RestartRefillRun {
+            "core.restart_refill.bytes"
+        } else {
+            "core.refill.bytes"
+        };
+        let gen = self.cur_gen;
         for j in &mut self.jobs {
             if j.done_refill() {
                 continue;
@@ -615,8 +617,8 @@ impl Manager {
                 let need = if j.in_buf.len() < 4 {
                     4 - j.in_buf.len()
                 } else {
-                    let len = u32::from_le_bytes(j.in_buf[..4].try_into().expect("4 bytes"))
-                        as usize;
+                    let len =
+                        u32::from_le_bytes(j.in_buf[..4].try_into().expect("4 bytes")) as usize;
                     4 + len - j.in_buf.len()
                 };
                 if need == 0 {
@@ -653,6 +655,7 @@ impl Manager {
                     match k.write(j.fd, &j.resend[j.resend_off..]) {
                         Ok(n) => {
                             j.resend_off += n;
+                            k.obs().metrics.add(refill_metric, gen, n as u64);
                             progressed = true;
                         }
                         Err(Errno::WouldBlock) => break,
@@ -674,7 +677,7 @@ impl Manager {
             // Half-closed conns: push our drained bytes back directly.
             for j in &self.jobs {
                 if j.eof {
-                    self.privileged_refill(k, j.fd, j.gsid);
+                    self.privileged_refill(k, j.fd, j.gsid, refill_metric, gen);
                 }
             }
             Ok(true)
@@ -685,7 +688,14 @@ impl Manager {
         }
     }
 
-    fn privileged_refill(&self, k: &mut Kernel<'_>, fd: Fd, gsid: Gsid) {
+    fn privileged_refill(
+        &self,
+        k: &mut Kernel<'_>,
+        fd: Fd,
+        gsid: Gsid,
+        refill_metric: &'static str,
+        gen: u64,
+    ) {
         let pid = k.pid;
         let data = hijack_of(k.w, pid)
             .and_then(|h| h.drained.iter().find(|(g, _)| *g == gsid).cloned())
@@ -698,6 +708,7 @@ impl Manager {
             if let Some(conn) = k.w.conns.get_mut(&cid) {
                 let src = Conn::peer(end as usize);
                 conn.dirs[src].recv_buf.extend(data.iter().copied());
+                k.w.obs.metrics.add(refill_metric, gen, data.len() as u64);
             }
         }
     }
@@ -709,18 +720,51 @@ impl Manager {
         }
     }
 
+    /// Record this generation's Figure-1 stage breakdown into the metrics
+    /// registry (histograms labeled by generation — Table 1a derives its
+    /// means from these) and, when span capture is on, one complete span
+    /// per stage on this process's track.
     fn record_stats(&mut self, k: &mut Kernel<'_>) {
-        let vpid = self.vpid(k);
-        let s = StageSample {
-            gen: self.cur_gen,
-            vpid,
-            suspend: self.t_stage[2] - self.t_request,
-            elect: self.t_stage[3] - self.t_stage[2],
-            drain: self.t_stage[4] - self.t_stage[3],
-            write: self.t_stage[5] - self.t_stage[4],
-            refill: self.t_stage[6] - self.t_stage[5],
-        };
-        crate::coord::coord_shared(k.w).stage_samples.push(s);
+        let gen = self.cur_gen;
+        let stages: [(&'static str, &'static str, Nanos, Nanos); 5] = [
+            (
+                "core.stage.suspend",
+                "stage.suspend",
+                self.t_request,
+                self.t_stage[2],
+            ),
+            (
+                "core.stage.elect",
+                "stage.elect",
+                self.t_stage[2],
+                self.t_stage[3],
+            ),
+            (
+                "core.stage.drain",
+                "stage.drain",
+                self.t_stage[3],
+                self.t_stage[4],
+            ),
+            (
+                "core.stage.write",
+                "stage.write",
+                self.t_stage[4],
+                self.t_stage[5],
+            ),
+            (
+                "core.stage.refill",
+                "stage.refill",
+                self.t_stage[5],
+                self.t_stage[6],
+            ),
+        ];
+        let track = k.track();
+        let obs = k.obs();
+        for (metric, span, start, end) in stages {
+            obs.metrics.observe(metric, gen, (end - start).0);
+            obs.spans
+                .complete(track, span, "ckpt", start, end, vec![("gen", gen)]);
+        }
         let pid = k.pid;
         let h = hijack_of(k.w, pid).expect("traced");
         h.gen = self.cur_gen;
@@ -877,7 +921,8 @@ impl oskit::program::Program for Manager {
                     k.w.resume_user_threads(k.sim, pid);
                     self.record_stats(k);
                     self.phase = Phase::Idle;
-                    k.trace("manager", format!("gen {} complete", self.cur_gen));
+                    let gen = self.cur_gen;
+                    k.trace_with("manager", || format!("gen {gen} complete"));
                 }
                 // ---------------- restart path ----------------
                 Phase::RestartInit => match self.connect_coord(k) {
@@ -922,13 +967,23 @@ impl oskit::program::Program for Manager {
                     let pid = k.pid;
                     k.w.resume_user_threads(k.sim, pid);
                     let refill = k.now() - self.t_stage[5];
+                    let (now, track) = (k.now(), k.track());
+                    let gen = self.cur_gen;
+                    k.obs().spans.complete(
+                        track,
+                        "restart.refill",
+                        "restart",
+                        now - refill,
+                        now,
+                        vec![("gen", gen)],
+                    );
                     let (vpid, partial) = {
                         let h = hijack_of(k.w, pid).expect("traced");
                         h.restarts += 1;
                         (h.vpid, h.restart_partial.take())
                     };
                     if let Some(partial) = partial {
-                        crate::restart::record_restart_sample(k.w, vpid, partial, refill);
+                        crate::restart::record_restart_sample(k.w, vpid, gen, partial, refill);
                     }
                     self.phase = Phase::Idle;
                     k.trace("manager", "restart complete");

@@ -42,17 +42,19 @@ pub enum Msg {
     Refill(Vec<u8>),
 }
 
-impl_snap!(enum Msg {
-    Register(vpid, host),
-    CkptRequest(gen),
-    BarrierReached(gen, stage),
-    BarrierRelease(gen, stage),
-    Advertise(gsid, host, port),
-    Query(gsid),
-    QueryReply(gsid, host, port),
-    RestartPlan(n, gen),
-    Refill(data),
-});
+impl_snap!(
+    enum Msg {
+        Register(vpid, host),
+        CkptRequest(gen),
+        BarrierReached(gen, stage),
+        BarrierRelease(gen, stage),
+        Advertise(gsid, host, port),
+        Query(gsid),
+        QueryReply(gsid, host, port),
+        RestartPlan(n, gen),
+        Refill(data),
+    }
+);
 
 /// Encode a message as a length-prefixed frame.
 pub fn frame(msg: &Msg) -> Vec<u8> {

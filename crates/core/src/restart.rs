@@ -16,7 +16,6 @@
 //! handshakes on the gsid — loopback connections (both ends in one restart
 //! process) take the same path.
 
-use crate::coord::{coord_shared, RestartSample};
 use crate::gsid::{global, Gsid};
 use crate::hijack::{ConnTable, FdKindRec, Hijack, PtyRecord};
 use crate::launch::ENV_RESTART_CHILD;
@@ -141,8 +140,8 @@ impl RestartProc {
         for path in self.images.clone() {
             let img = mtcp::read_image(k.w, node, &path)
                 .unwrap_or_else(|e| panic!("restart: cannot read {path}: {e}"));
-            let table = ConnTable::from_snap_bytes(&img.dmtcp_meta)
-                .expect("connection table parses");
+            let table =
+                ConnTable::from_snap_bytes(&img.dmtcp_meta).expect("connection table parses");
             global(k.w).session_vpids.insert(table.vpid);
             self.loaded.push(Loaded { path, img, table });
         }
@@ -253,9 +252,7 @@ impl RestartProc {
     // ------------------------------------------------------------------
 
     fn connect_done(&self) -> bool {
-        self.want_connect.is_empty()
-            && self.temp_listeners.is_empty()
-            && self.handshakes.is_empty()
+        self.want_connect.is_empty() && self.temp_listeners.is_empty() && self.handshakes.is_empty()
     }
 
     fn do_connect(&mut self, k: &mut Kernel<'_>) -> Result<bool, ()> {
@@ -338,36 +335,33 @@ impl RestartProc {
             }
         }
         while let Some(msg) = self.fb.pop().expect("frames") {
-            match msg {
-                Msg::QueryReply(gsid, host, port) => {
-                    self.query_inflight.remove(&gsid);
-                    if host.is_empty() {
-                        // Not advertised yet; retry on the next pass.
+            // Barrier traffic for the restored computation may arrive on
+            // this shared coordinator connection; only QueryReply is ours.
+            if let Msg::QueryReply(gsid, host, port) = msg {
+                self.query_inflight.remove(&gsid);
+                if host.is_empty() {
+                    // Not advertised yet; retry on the next pass.
+                    continue;
+                }
+                let fd = match k.connect(&host, port) {
+                    Ok(fd) => fd,
+                    Err(Errno::ConnRefused) => {
+                        // Stale advertisement racing a coordinator
+                        // discovery reset; re-query.
                         continue;
                     }
-                    let fd = match k.connect(&host, port) {
-                        Ok(fd) => fd,
-                        Err(Errno::ConnRefused) => {
-                            // Stale advertisement racing a coordinator
-                            // discovery reset; re-query.
-                            continue;
-                        }
-                        Err(e) => panic!("restart reconnect {gsid:?}: {e:?}"),
-                    };
-                    let hello = gsid.0.to_le_bytes();
-                    let n = k.write(fd, &hello).expect("handshake send");
-                    assert_eq!(n, 8);
-                    let obj = k.fd_object(fd).expect("connected fd");
-                    if let FdObject::Sock(cid, _) = obj {
-                        global(k.w).bind_conn(cid, gsid);
-                    }
-                    self.sock_map.insert((gsid, 0), obj);
-                    self.want_connect.remove(&gsid);
-                    progressed = true;
+                    Err(e) => panic!("restart reconnect {gsid:?}: {e:?}"),
+                };
+                let hello = gsid.0.to_le_bytes();
+                let n = k.write(fd, &hello).expect("handshake send");
+                assert_eq!(n, 8);
+                let obj = k.fd_object(fd).expect("connected fd");
+                if let FdObject::Sock(cid, _) = obj {
+                    global(k.w).bind_conn(cid, gsid);
                 }
-                // Barrier traffic for the restored computation may arrive on
-                // this shared coordinator connection; it is not for us.
-                _ => {}
+                self.sock_map.insert((gsid, 0), obj);
+                self.want_connect.remove(&gsid);
+                progressed = true;
             }
         }
 
@@ -427,18 +421,12 @@ impl RestartProc {
             // Step 4: rearrange fds to the recorded numbers.
             for r in &l.table.records {
                 let obj = match &r.kind {
-                    FdKindRec::File {
-                        path,
-                        offset,
-                        ..
-                    } => self.file_map[&(path.clone(), *offset)],
+                    FdKindRec::File { path, offset, .. } => self.file_map[&(path.clone(), *offset)],
                     FdKindRec::Listener { port } => self.listener_map[port],
-                    FdKindRec::Sock { gsid, end, .. } => {
-                        *self
-                            .sock_map
-                            .get(&(*gsid, *end))
-                            .unwrap_or_else(|| panic!("socket {gsid:?} end {end} not restored"))
-                    }
+                    FdKindRec::Sock { gsid, end, .. } => *self
+                        .sock_map
+                        .get(&(*gsid, *end))
+                        .unwrap_or_else(|| panic!("socket {gsid:?} end {end} not restored")),
                     FdKindRec::PtyMaster { gsid } => FdObject::PtyMaster(self.pty_map[gsid]),
                     FdKindRec::PtySlave { gsid } => FdObject::PtySlave(self.pty_map[gsid]),
                 };
@@ -516,6 +504,37 @@ impl RestartProc {
                 t_sockets - self.t_files,
                 rep.done_at - t_sockets,
             ));
+            // Figure-2 step spans on the restored process's track (the
+            // refill span is added by its manager at restart-resume).
+            {
+                let track = obs::TrackId::new(node.0, l.table.vpid, 0);
+                let args = |g: u64| vec![("gen", g)];
+                let sp = &mut k.w.obs.spans;
+                sp.complete(
+                    track,
+                    "restart.files",
+                    "restart",
+                    self.t_start,
+                    self.t_files,
+                    args(h.gen),
+                );
+                sp.complete(
+                    track,
+                    "restart.sockets",
+                    "restart",
+                    self.t_files,
+                    t_sockets,
+                    args(h.gen),
+                );
+                sp.complete(
+                    track,
+                    "restart.memory",
+                    "restart",
+                    t_sockets,
+                    rep.done_at,
+                    args(h.gen),
+                );
+            }
             {
                 let p = k.w.procs.get_mut(&child).expect("child exists");
                 p.ext = Some(Box::new(h));
@@ -556,8 +575,7 @@ impl Program for RestartProc {
                         // Charge the syscall cost of reopening files and
                         // recreating ptys (Figure 2 step 1; Table 1b's
                         // "restore files and ptys" row).
-                        let nfds: usize =
-                            self.loaded.iter().map(|l| l.table.records.len()).sum();
+                        let nfds: usize = self.loaded.iter().map(|l| l.table.records.len()).sum();
                         let pause = Nanos::from_micros(500 + 30 * nfds as u64);
                         self.t_files = k.now() + pause;
                         return Step::Sleep(pause);
@@ -607,20 +625,23 @@ impl Program for RestartProc {
 }
 
 /// Record the restart stage breakdown once the manager finishes the refill
-/// (called by the manager at restart-resume time).
+/// (called by the manager at restart-resume time). Each Figure-2 step goes
+/// into a `core.restart.*` histogram labeled by generation; Table 1b
+/// derives its means from these.
 pub fn record_restart_sample(
     w: &mut oskit::world::World,
     vpid: u32,
+    gen: u64,
     partial: (Nanos, Nanos, Nanos),
     refill: Nanos,
 ) {
-    coord_shared(w).restart_samples.push(RestartSample {
-        vpid,
-        files: partial.0,
-        sockets: partial.1,
-        memory: partial.2,
-        refill,
-    });
+    let _ = vpid;
+    let m = &mut w.obs.metrics;
+    m.observe("core.restart.files", gen, partial.0 .0);
+    m.observe("core.restart.sockets", gen, partial.1 .0);
+    m.observe("core.restart.memory", gen, partial.2 .0);
+    m.observe("core.restart.refill", gen, refill.0);
+    m.inc("core.restart.completions", gen);
 }
 
 /// Fix up a restored process's pid-translation map once every process of

@@ -13,8 +13,8 @@
 use crate::coord::{coord_shared, stage, GenStat};
 use crate::launch::{launch_under_dmtcp, spawn_coordinator, Options};
 use crate::restart::RestartProc;
-use oskit::program::Program;
 use oskit::proc::sig;
+use oskit::program::Program;
 use oskit::world::{NodeId, OsSim, Pid, World};
 use simkit::Nanos;
 use std::collections::BTreeMap;
@@ -59,12 +59,7 @@ impl Session {
     ///
     /// Panics if the checkpoint does not finish within `max_events` — a
     /// hung barrier is a protocol bug the tests must see.
-    pub fn checkpoint_and_wait(
-        &self,
-        w: &mut World,
-        sim: &mut OsSim,
-        max_events: u64,
-    ) -> GenStat {
+    pub fn checkpoint_and_wait(&self, w: &mut World, sim: &mut OsSim, max_events: u64) -> GenStat {
         let before = coord_shared(w).gen_stats.len();
         self.request_checkpoint(w, sim);
         let fired_start = sim.events_fired();
@@ -75,7 +70,12 @@ impl Session {
             let done = {
                 let cs = coord_shared(w);
                 cs.gen_stats.len() > before
-                    && cs.gen_stats.last().expect("pushed").releases.contains_key(&stage::REFILLED)
+                    && cs
+                        .gen_stats
+                        .last()
+                        .expect("pushed")
+                        .releases
+                        .contains_key(&stage::REFILLED)
             };
             if done {
                 return coord_shared(w).gen_stats.last().expect("pushed").clone();
@@ -99,7 +99,13 @@ impl Session {
         let traced: Vec<Pid> = w
             .procs
             .iter()
-            .filter(|(_, p)| p.alive() && p.ext.as_ref().map(|e| e.is::<crate::hijack::Hijack>()).unwrap_or(false))
+            .filter(|(_, p)| {
+                p.alive()
+                    && p.ext
+                        .as_ref()
+                        .map(|e| e.is::<crate::hijack::Hijack>())
+                        .unwrap_or(false)
+            })
             .map(|(pid, _)| *pid)
             .collect();
         for pid in traced {

@@ -1,4 +1,5 @@
 //! Checkpointable test applications shared by the dmtcp integration tests.
+#![allow(dead_code)] // each test binary uses a different subset
 //!
 //! These are honest applications: they never mention DMTCP (except the
 //! `aware_*` variants), keep all state in snap-serializable structs, and
@@ -65,9 +66,8 @@ impl Program for EchoPlusOne {
                         Ok(b) => {
                             self.inbuf.extend_from_slice(&b);
                             if self.inbuf.len() == 8 {
-                                let v = u64::from_le_bytes(
-                                    self.inbuf[..].try_into().expect("8 bytes"),
-                                );
+                                let v =
+                                    u64::from_le_bytes(self.inbuf[..].try_into().expect("8 bytes"));
                                 self.inbuf.clear();
                                 self.rounds += 1;
                                 let reply = (v + 1).to_le_bytes();
@@ -267,7 +267,8 @@ impl Program for PipeChain {
                     Ok(b) if b.is_empty() => {
                         assert_eq!(self.progress, self.total, "short pipe stream");
                         let fd = k.open("/shared/pipe_result", true).expect("result");
-                        k.write(fd, self.checksum.to_string().as_bytes()).expect("w");
+                        k.write(fd, self.checksum.to_string().as_bytes())
+                            .expect("w");
                         self.pc = 21;
                     }
                     Ok(b) => {
@@ -278,10 +279,8 @@ impl Program for PipeChain {
                                 "pipe byte order broken at {}",
                                 self.progress
                             );
-                            self.checksum = self
-                                .checksum
-                                .wrapping_mul(31)
-                                .wrapping_add(byte as u64);
+                            self.checksum =
+                                self.checksum.wrapping_mul(31).wrapping_add(byte as u64);
                             self.progress += 1;
                         }
                     }
@@ -368,7 +367,8 @@ impl Program for TwinMain {
                     let flag = k.mem_read(self.heap as usize, 0, 8);
                     if u64::from_le_bytes(flag.try_into().expect("8")) == 1 {
                         let fd = k.open("/shared/twin_result", true).expect("result");
-                        k.write(fd, format!("{}", self.count * 2).as_bytes()).expect("w");
+                        k.write(fd, format!("{}", self.count * 2).as_bytes())
+                            .expect("w");
                         return Step::Exit(0);
                     }
                     return Step::Sleep(Nanos::from_millis(1));

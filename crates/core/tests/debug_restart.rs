@@ -23,7 +23,13 @@ fn restart_diagnosis() {
             ..Options::default()
         },
     );
-    s.launch(&mut w, &mut sim, NodeId(1), "server", Box::new(EchoPlusOne::new(9000)));
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(1),
+        "server",
+        Box::new(EchoPlusOne::new(9000)),
+    );
     s.launch(
         &mut w,
         &mut sim,
@@ -41,7 +47,13 @@ fn restart_diagnosis() {
         .iter()
         .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
         .collect();
-    let remap = move |h: &str| names.iter().find(|(n, _)| n == h).map(|(_, x)| *x).expect("host");
+    let remap = move |h: &str| {
+        names
+            .iter()
+            .find(|(n, _)| n == h)
+            .map(|(_, x)| *x)
+            .expect("host")
+    };
     s.restart_from_script(&mut w, &mut sim, &script, &remap, gen);
     Session::wait_restart_done(&mut w, &mut sim, gen, 5_000_000);
     let drained_ok = sim.run_bounded(&mut w, 5_000_000);
@@ -94,41 +106,116 @@ fn exact_copy_of_failing_test() {
     {
         let (mut w, mut sim) = cluster(2);
         use std::collections::BTreeMap;
-        w.spawn(&mut sim, NodeId(1), "server", Box::new(EchoPlusOne::new(9000)), oskit::world::Pid(1), BTreeMap::new());
-        w.spawn(&mut sim, NodeId(0), "client", Box::new(ChainClient::new("node01", 9000, rounds)), oskit::world::Pid(1), BTreeMap::new());
+        w.spawn(
+            &mut sim,
+            NodeId(1),
+            "server",
+            Box::new(EchoPlusOne::new(9000)),
+            oskit::world::Pid(1),
+            BTreeMap::new(),
+        );
+        w.spawn(
+            &mut sim,
+            NodeId(0),
+            "client",
+            Box::new(ChainClient::new("node01", 9000, rounds)),
+            oskit::world::Pid(1),
+            BTreeMap::new(),
+        );
         assert!(sim.run_bounded(&mut w, 5_000_000));
-        eprintln!("reference client = {:?}", shared_result(&w, "/shared/client_result"));
+        eprintln!(
+            "reference client = {:?}",
+            shared_result(&w, "/shared/client_result")
+        );
     }
     let (mut w, mut sim) = cluster(2);
-    let s = Session::start(&mut w, &mut sim, Options { ckpt_dir: "/shared/ckpt".into(), ..Options::default() });
-    s.launch(&mut w, &mut sim, NodeId(1), "server", Box::new(EchoPlusOne::new(9000)));
-    s.launch(&mut w, &mut sim, NodeId(0), "client", Box::new(ChainClient::new("node01", 9000, rounds)));
+    let s = Session::start(
+        &mut w,
+        &mut sim,
+        Options {
+            ckpt_dir: "/shared/ckpt".into(),
+            ..Options::default()
+        },
+    );
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(1),
+        "server",
+        Box::new(EchoPlusOne::new(9000)),
+    );
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(0),
+        "client",
+        Box::new(ChainClient::new("node01", 9000, rounds)),
+    );
     run_for(&mut w, &mut sim, Nanos::from_millis(40));
     let stat = s.checkpoint_and_wait(&mut w, &mut sim, 5_000_000);
     let gen = stat.gen;
     run_for(&mut w, &mut sim, Nanos::from_millis(20));
     s.kill_computation(&mut w, &mut sim);
     assert_eq!(w.live_procs(), 1);
-    assert!(shared_result(&w, "/shared/client_result").is_none(), "client finished before kill!");
+    assert!(
+        shared_result(&w, "/shared/client_result").is_none(),
+        "client finished before kill!"
+    );
     let script = Session::parse_restart_script(&w);
-    let names: Vec<(String, NodeId)> = script.iter().map(|(h, _)| (h.clone(), w.resolve(h).expect("host"))).collect();
-    let remap = move |h: &str| names.iter().find(|(n, _)| n == h).map(|(_, x)| *x).expect("host");
+    let names: Vec<(String, NodeId)> = script
+        .iter()
+        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
+        .collect();
+    let remap = move |h: &str| {
+        names
+            .iter()
+            .find(|(n, _)| n == h)
+            .map(|(_, x)| *x)
+            .expect("host")
+    };
     s.restart_from_script(&mut w, &mut sim, &script, &remap, gen);
     Session::wait_restart_done(&mut w, &mut sim, gen, 5_000_000);
     assert!(sim.run_bounded(&mut w, 5_000_000), "post-restart deadlock");
-    eprintln!("client_result = {:?}", shared_result(&w, "/shared/client_result"));
-    eprintln!("server_result = {:?}", shared_result(&w, "/shared/server_result"));
+    eprintln!(
+        "client_result = {:?}",
+        shared_result(&w, "/shared/client_result")
+    );
+    eprintln!(
+        "server_result = {:?}",
+        shared_result(&w, "/shared/server_result")
+    );
     if shared_result(&w, "/shared/server_result").is_none() {
         for (pid, p) in &w.procs {
-            eprintln!("pid {} cmd {} state {:?} suspended {}", pid.0, p.cmd, p.state, p.user_suspended);
+            eprintln!(
+                "pid {} cmd {} state {:?} suspended {}",
+                pid.0, p.cmd, p.state, p.user_suspended
+            );
             for t in &p.threads {
-                eprintln!("   tid {} user {} state {:?} pending {} prog {}", t.tid.0, t.user, t.state, t.dispatch_pending, t.program.tag());
+                eprintln!(
+                    "   tid {} user {} state {:?} pending {} prog {}",
+                    t.tid.0,
+                    t.user,
+                    t.state,
+                    t.dispatch_pending,
+                    t.program.tag()
+                );
             }
-            for (fd, e) in p.fds.iter() { eprintln!("   fd {fd} -> {:?}", e.obj); }
+            for (fd, e) in p.fds.iter() {
+                eprintln!("   fd {fd} -> {:?}", e.obj);
+            }
         }
         for (cid, c) in &w.conns {
-            eprintln!("conn {} kind {:?} refs {:?} closed {:?} d0(buf {} fly {}) d1(buf {} fly {})",
-              cid.0, c.kind, c.end_refs, c.closed, c.dirs[0].recv_buf.len(), c.dirs[0].in_flight, c.dirs[1].recv_buf.len(), c.dirs[1].in_flight);
+            eprintln!(
+                "conn {} kind {:?} refs {:?} closed {:?} d0(buf {} fly {}) d1(buf {} fly {})",
+                cid.0,
+                c.kind,
+                c.end_refs,
+                c.closed,
+                c.dirs[0].recv_buf.len(),
+                c.dirs[0].in_flight,
+                c.dirs[1].recv_buf.len(),
+                c.dirs[1].in_flight
+            );
         }
         panic!("server stalled");
     }
@@ -138,27 +225,64 @@ fn exact_copy_of_failing_test() {
 fn pipe_ckpt_diagnosis() {
     let (mut w, mut sim) = cluster(1);
     w.trace.set_enabled(true);
-    let s = Session::start(&mut w, &mut sim, Options { ckpt_dir: "/shared/ckpt".into(), ..Options::default() });
-    s.launch(&mut w, &mut sim, NodeId(0), "pipechain", Box::new(PipeChain::new(3_000_000)));
+    let s = Session::start(
+        &mut w,
+        &mut sim,
+        Options {
+            ckpt_dir: "/shared/ckpt".into(),
+            ..Options::default()
+        },
+    );
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(0),
+        "pipechain",
+        Box::new(PipeChain::new(3_000_000)),
+    );
     run_for(&mut w, &mut sim, Nanos::from_millis(30));
     s.request_checkpoint(&mut w, &mut sim);
     let done = sim.run_bounded(&mut w, 5_000_000);
     let stat = Session::last_gen_stat(&mut w);
-    let complete = stat.as_ref().map(|g| g.releases.contains_key(&6u8)).unwrap_or(false);
+    let complete = stat
+        .as_ref()
+        .map(|g| g.releases.contains_key(&6u8))
+        .unwrap_or(false);
     if !complete {
         eprintln!("drained={done} stat={stat:?}");
         for (pid, p) in &w.procs {
-            eprintln!("pid {} cmd {} state {:?} susp {}", pid.0, p.cmd, p.state, p.user_suspended);
+            eprintln!(
+                "pid {} cmd {} state {:?} susp {}",
+                pid.0, p.cmd, p.state, p.user_suspended
+            );
             for t in &p.threads {
-                eprintln!("   tid {} user {} st {:?} pend {} prog {}", t.tid.0, t.user, t.state, t.dispatch_pending, t.program.tag());
+                eprintln!(
+                    "   tid {} user {} st {:?} pend {} prog {}",
+                    t.tid.0,
+                    t.user,
+                    t.state,
+                    t.dispatch_pending,
+                    t.program.tag()
+                );
             }
-            for (fd, e) in p.fds.iter() { eprintln!("   fd {fd} -> {:?}", e.obj); }
+            for (fd, e) in p.fds.iter() {
+                eprintln!("   fd {fd} -> {:?}", e.obj);
+            }
         }
         for (cid, c) in &w.conns {
             eprintln!("conn {} kind {:?} refs {:?} closed {:?} owners {:?} d0(buf {} fly {}) d1(buf {} fly {})",
               cid.0, c.kind, c.end_refs, c.closed, c.owner_pid, c.dirs[0].recv_buf.len(), c.dirs[0].in_flight, c.dirs[1].recv_buf.len(), c.dirs[1].in_flight);
         }
-        for e in w.trace.events().iter().rev().take(30).collect::<Vec<_>>().iter().rev() {
+        for e in w
+            .trace
+            .events()
+            .iter()
+            .rev()
+            .take(30)
+            .collect::<Vec<_>>()
+            .iter()
+            .rev()
+        {
             eprintln!("{} [{}] {}", e.at, e.tag, e.detail);
         }
         panic!("pipe checkpoint stalled");

@@ -47,8 +47,19 @@ fn chain_reference(rounds: u64) -> (String, String) {
     )
 }
 
-fn launch_chain(w: &mut oskit::world::World, sim: &mut oskit::world::OsSim, s: &Session, rounds: u64) {
-    s.launch(w, sim, NodeId(1), "server", Box::new(EchoPlusOne::new(9000)));
+fn launch_chain(
+    w: &mut oskit::world::World,
+    sim: &mut oskit::world::OsSim,
+    s: &Session,
+    rounds: u64,
+) {
+    s.launch(
+        w,
+        sim,
+        NodeId(1),
+        "server",
+        Box::new(EchoPlusOne::new(9000)),
+    );
     s.launch(
         w,
         sim,
@@ -80,8 +91,14 @@ fn checkpoint_mid_stream_then_continue() {
 
     // The computation continues to the right answer.
     assert!(sim.run_bounded(&mut w, EV), "post-checkpoint deadlock");
-    assert_eq!(shared_result(&w, "/shared/client_result").as_deref(), Some(ref_client.as_str()));
-    assert_eq!(shared_result(&w, "/shared/server_result").as_deref(), Some(ref_server.as_str()));
+    assert_eq!(
+        shared_result(&w, "/shared/client_result").as_deref(),
+        Some(ref_client.as_str())
+    );
+    assert_eq!(
+        shared_result(&w, "/shared/server_result").as_deref(),
+        Some(ref_server.as_str())
+    );
 }
 
 #[test]
@@ -108,14 +125,10 @@ fn kill_and_restart_in_same_world() {
     let script = Session::parse_restart_script(&w);
     assert_eq!(script.len(), 2, "two hosts in script: {script:?}");
     let w_ref = &w;
-    let remap = move |h: &str| -> NodeId {
-        w_ref.resolve(h).expect("host exists")
-    };
+    let remap = move |h: &str| -> NodeId { w_ref.resolve(h).expect("host exists") };
     // (borrow juggling: precompute the mapping)
-    let mapping: Vec<(String, NodeId)> = script
-        .iter()
-        .map(|(h, _)| (h.clone(), remap(h)))
-        .collect();
+    let mapping: Vec<(String, NodeId)> =
+        script.iter().map(|(h, _)| (h.clone(), remap(h))).collect();
     let remap2 = move |h: &str| -> NodeId {
         mapping
             .iter()
@@ -128,8 +141,14 @@ fn kill_and_restart_in_same_world() {
 
     // The computation resumes and completes with the reference answers.
     assert!(sim.run_bounded(&mut w, EV), "post-restart deadlock");
-    assert_eq!(shared_result(&w, "/shared/client_result").as_deref(), Some(ref_client.as_str()));
-    assert_eq!(shared_result(&w, "/shared/server_result").as_deref(), Some(ref_server.as_str()));
+    assert_eq!(
+        shared_result(&w, "/shared/client_result").as_deref(),
+        Some(ref_client.as_str())
+    );
+    assert_eq!(
+        shared_result(&w, "/shared/server_result").as_deref(),
+        Some(ref_server.as_str())
+    );
 }
 
 #[test]
@@ -180,7 +199,13 @@ fn pipes_and_fork_survive_checkpoint_restart() {
     let total = 3_000_000; // ~45 windows of pipe data; runs well past the ckpt
     let (mut w, mut sim) = cluster(1);
     let s = Session::start(&mut w, &mut sim, opts_shared_dir());
-    s.launch(&mut w, &mut sim, NodeId(0), "pipechain", Box::new(PipeChain::new(total)));
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(0),
+        "pipechain",
+        Box::new(PipeChain::new(total)),
+    );
     run_for(&mut w, &mut sim, Nanos::from_millis(30));
     // Parent and forked child are both traced.
     let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
@@ -191,7 +216,10 @@ fn pipes_and_fork_survive_checkpoint_restart() {
     let to0 = |_h: &str| NodeId(0);
     s.restart_from_script(&mut w, &mut sim, &script, &to0, gen);
     Session::wait_restart_done(&mut w, &mut sim, gen, EV);
-    assert!(sim.run_bounded(&mut w, EV), "pipe chain deadlocked after restart");
+    assert!(
+        sim.run_bounded(&mut w, EV),
+        "pipe chain deadlocked after restart"
+    );
     // The reader's own assertions verified the byte stream; the checksum
     // must match an uninterrupted run.
     let got = shared_result(&w, "/shared/pipe_result").expect("finished");
@@ -234,7 +262,10 @@ fn multithreaded_process_restores_both_threads() {
     s.restart_from_script(&mut w, &mut sim, &script, &to0, gen);
     Session::wait_restart_done(&mut w, &mut sim, gen, EV);
     assert!(sim.run_bounded(&mut w, EV));
-    assert_eq!(shared_result(&w, "/shared/twin_result").as_deref(), Some("600"));
+    assert_eq!(
+        shared_result(&w, "/shared/twin_result").as_deref(),
+        Some("600")
+    );
 }
 
 #[test]
@@ -250,9 +281,15 @@ fn interval_checkpointing_produces_multiple_generations() {
         },
     );
     launch_chain(&mut w, &mut sim, &s, 1500);
-    assert!(sim.run_bounded(&mut w, 20_000_000), "interval run deadlocked");
+    assert!(
+        sim.run_bounded(&mut w, 20_000_000),
+        "interval run deadlocked"
+    );
     let gens = coord_shared(&mut w).gen_stats.len();
-    assert!(gens >= 3, "expected several interval checkpoints, got {gens}");
+    assert!(
+        gens >= 3,
+        "expected several interval checkpoints, got {gens}"
+    );
     for g in &coord_shared(&mut w).gen_stats {
         assert!(
             g.releases.contains_key(&stage::REFILLED),
@@ -262,7 +299,10 @@ fn interval_checkpointing_produces_multiple_generations() {
     }
     // And the app still finished correctly.
     let (ref_client, _) = chain_reference(1500);
-    assert_eq!(shared_result(&w, "/shared/client_result").as_deref(), Some(ref_client.as_str()));
+    assert_eq!(
+        shared_result(&w, "/shared/client_result").as_deref(),
+        Some(ref_client.as_str())
+    );
 }
 
 #[test]
@@ -283,7 +323,13 @@ fn second_checkpoint_after_restart_works() {
             .iter()
             .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
             .collect();
-        move |h: &str| names.iter().find(|(n, _)| n == h).map(|(_, x)| *x).expect("host")
+        move |h: &str| {
+            names
+                .iter()
+                .find(|(n, _)| n == h)
+                .map(|(_, x)| *x)
+                .expect("host")
+        }
     };
     s.restart_from_script(&mut w, &mut sim, &script1, &id, g1);
     Session::wait_restart_done(&mut w, &mut sim, g1, EV);
@@ -296,7 +342,10 @@ fn second_checkpoint_after_restart_works() {
     s.restart_from_script(&mut w, &mut sim, &script2, &id, stat2.gen);
     Session::wait_restart_done(&mut w, &mut sim, stat2.gen, EV);
     assert!(sim.run_bounded(&mut w, EV));
-    assert_eq!(shared_result(&w, "/shared/client_result").as_deref(), Some(ref_client.as_str()));
+    assert_eq!(
+        shared_result(&w, "/shared/client_result").as_deref(),
+        Some(ref_client.as_str())
+    );
 }
 
 #[test]
@@ -315,7 +364,13 @@ fn forked_checkpointing_shortens_the_pause() {
         );
         // A sizable image makes the write stage dominate, which is what
         // forked checkpointing optimizes (Table 1).
-        s.launch(&mut w, &mut sim, NodeId(1), "server", Box::new(EchoPlusOne::new(9000)));
+        s.launch(
+            &mut w,
+            &mut sim,
+            NodeId(1),
+            "server",
+            Box::new(EchoPlusOne::new(9000)),
+        );
         s.launch(
             &mut w,
             &mut sim,

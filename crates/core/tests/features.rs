@@ -9,7 +9,6 @@ use common::*;
 use dmtcp::gsid::global;
 use dmtcp::session::run_for;
 use dmtcp::{aware, Options, Session};
-use oskit::mem::FillProfile;
 use oskit::program::{Program, Registry, Step};
 use oskit::world::{NodeId, OsSim, Pid, World};
 use oskit::{Errno, Fd, HwSpec, Kernel};
@@ -24,12 +23,7 @@ fn opts() -> Options {
     }
 }
 
-fn full_cycle(
-    w: &mut World,
-    sim: &mut OsSim,
-    s: &Session,
-    ckpt_at: Nanos,
-) {
+fn full_cycle(w: &mut World, sim: &mut OsSim, s: &Session, ckpt_at: Nanos) {
     run_for(w, sim, ckpt_at);
     let stat = s.checkpoint_and_wait(w, sim, EV);
     let gen = stat.gen;
@@ -207,46 +201,45 @@ simkit::impl_snap!(struct AwareApp { pc, loops, start_gen });
 
 impl Program for AwareApp {
     fn step(&mut self, k: &mut Kernel<'_>) -> Step {
-        loop {
-            match self.pc {
-                0 => {
-                    assert!(aware::is_running_under_dmtcp(k));
-                    self.start_gen = aware::status(k).expect("status").generation;
-                    // Critical section: no checkpoint may land inside.
-                    aware::delay_checkpoints(k);
-                    self.pc = 1;
-                    // Application-requested checkpoint — must be held until
-                    // the critical section ends.
-                    assert!(aware::request_checkpoint(k));
-                    return Step::Compute(2_000_000); // 2 ms critical work
-                }
-                1 => {
-                    let st = aware::status(k).expect("status");
-                    assert_eq!(
-                        st.generation, self.start_gen,
-                        "checkpoint intruded into the delayed critical section"
-                    );
-                    assert!(st.delayed);
-                    aware::allow_checkpoints(k);
-                    self.pc = 2;
-                    return Step::Yield;
-                }
-                2 => {
-                    // Wait until the requested checkpoint completes.
-                    let st = aware::status(k).expect("status");
-                    if st.generation > self.start_gen {
-                        let fd = k.open("/shared/aware_result", true).expect("result");
-                        k.write(fd, format!("gen{}", st.generation).as_bytes()).expect("w");
-                        return Step::Exit(0);
-                    }
-                    if self.loops > 10_000 {
-                        panic!("requested checkpoint never happened");
-                    }
-                    self.loops += 1;
-                    return Step::Sleep(Nanos::from_micros(200));
-                }
-                _ => unreachable!(),
+        match self.pc {
+            0 => {
+                assert!(aware::is_running_under_dmtcp(k));
+                self.start_gen = aware::status(k).expect("status").generation;
+                // Critical section: no checkpoint may land inside.
+                aware::delay_checkpoints(k);
+                self.pc = 1;
+                // Application-requested checkpoint — must be held until
+                // the critical section ends.
+                assert!(aware::request_checkpoint(k));
+                Step::Compute(2_000_000) // 2 ms critical work
             }
+            1 => {
+                let st = aware::status(k).expect("status");
+                assert_eq!(
+                    st.generation, self.start_gen,
+                    "checkpoint intruded into the delayed critical section"
+                );
+                assert!(st.delayed);
+                aware::allow_checkpoints(k);
+                self.pc = 2;
+                Step::Yield
+            }
+            2 => {
+                // Wait until the requested checkpoint completes.
+                let st = aware::status(k).expect("status");
+                if st.generation > self.start_gen {
+                    let fd = k.open("/shared/aware_result", true).expect("result");
+                    k.write(fd, format!("gen{}", st.generation).as_bytes())
+                        .expect("w");
+                    return Step::Exit(0);
+                }
+                if self.loops > 10_000 {
+                    panic!("requested checkpoint never happened");
+                }
+                self.loops += 1;
+                Step::Sleep(Nanos::from_micros(200))
+            }
+            _ => unreachable!(),
         }
     }
     fn tag(&self) -> &'static str {
@@ -276,7 +269,10 @@ fn dmtcpaware_request_and_delay() {
         }),
     );
     assert!(sim.run_bounded(&mut w, EV), "aware app deadlocked");
-    assert_eq!(shared_result(&w, "/shared/aware_result").as_deref(), Some("gen1"));
+    assert_eq!(
+        shared_result(&w, "/shared/aware_result").as_deref(),
+        Some("gen1")
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -297,7 +293,9 @@ impl Program for Sleeper {
     }
 }
 struct SleeperSnap;
-simkit::impl_snap!(struct SleeperSnap {});
+simkit::impl_snap!(
+    struct SleeperSnap {}
+);
 impl Program for SleeperSnap {
     fn step(&mut self, k: &mut Kernel<'_>) -> Step {
         k.block_forever();
@@ -416,12 +414,19 @@ fn pid_virtualization_across_restart() {
     s.restart_from_script(&mut w, &mut sim, &script, &to0, gen);
     Session::wait_restart_done(&mut w, &mut sim, gen, EV);
     assert!(sim.run_bounded(&mut w, EV), "vpid app deadlocked");
-    assert_eq!(shared_result(&w, "/shared/vpid_result").as_deref(), Some("ok"));
+    assert_eq!(
+        shared_result(&w, "/shared/vpid_result").as_deref(),
+        Some("ok")
+    );
     // The restored process's real pid differs from its virtual pid.
-    let mismatch = w.procs.values().any(|p| {
-        p.virt_pid.map(|v| v != p.pid.0).unwrap_or(false)
-    });
-    assert!(mismatch, "expected at least one vpid ≠ real pid after restart");
+    let mismatch = w
+        .procs
+        .values()
+        .any(|p| p.virt_pid.map(|v| v != p.pid.0).unwrap_or(false));
+    assert!(
+        mismatch,
+        "expected at least one vpid ≠ real pid after restart"
+    );
 }
 
 #[test]
@@ -466,12 +471,21 @@ fn fork_wrapper_rekeys_conflicting_pids() {
         }))
     });
     let _ = reg_add; // this test never restores the spawner
-    s.launch(&mut w, &mut sim, NodeId(0), "spawner", Box::new(Spawner { n: 4 }));
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(0),
+        "spawner",
+        Box::new(Spawner { n: 4 }),
+    );
     assert!(sim.run_bounded(&mut w, EV));
     // The kernel wanted to hand out pids 4.. for the children; every one of
     // those collided with a restorable vpid and was re-forked.
     let retries = global(&mut w).fork_retries;
-    assert!(retries >= 4, "expected ≥4 pid-conflict re-forks, got {retries}");
+    assert!(
+        retries >= 4,
+        "expected ≥4 pid-conflict re-forks, got {retries}"
+    );
     // No traced process ended up on a reserved vpid.
     for p in w.procs.values() {
         if let Some(v) = p.virt_pid {
@@ -507,7 +521,8 @@ impl Program for ShmPing {
                     if self.turns == self.total {
                         if self.me == 0 {
                             // Verify the full alternating pattern.
-                            let data = k.mem_read(self.region as usize, 0, (self.total * 2) as usize);
+                            let data =
+                                k.mem_read(self.region as usize, 0, (self.total * 2) as usize);
                             for (i, &b) in data.iter().enumerate() {
                                 assert_eq!(b, (i % 2) as u8 + 1, "shm pattern broken at {i}");
                             }
@@ -556,7 +571,10 @@ fn shared_memory_restored_and_still_shared() {
         );
     }
     full_cycle(&mut w, &mut sim, &s, Nanos::from_millis(10));
-    assert_eq!(shared_result(&w, "/shared/shm_result").as_deref(), Some("shm-ok"));
+    assert_eq!(
+        shared_result(&w, "/shared/shm_result").as_deref(),
+        Some("shm-ok")
+    );
     // Restored segment is genuinely shared: exactly one live segment object.
     assert!(w.shm_segs.len() <= 2, "segments: {}", w.shm_segs.len());
 }
@@ -575,25 +593,23 @@ simkit::impl_snap!(struct FileReader { pc, fd, first, second });
 
 impl Program for FileReader {
     fn step(&mut self, k: &mut Kernel<'_>) -> Step {
-        loop {
-            match self.pc {
-                0 => {
-                    self.fd = k.open("/shared/input.dat", false).expect("input exists");
-                    self.first = k.read(self.fd, 10).expect("first half");
-                    assert_eq!(self.first, b"0123456789");
-                    self.pc = 1;
-                    return Step::Sleep(Nanos::from_millis(5)); // ckpt lands here
-                }
-                1 => {
-                    // After restart the shared offset must continue at 10.
-                    self.second = k.read(self.fd, 10).expect("second half");
-                    assert_eq!(self.second, b"abcdefghij", "file offset lost");
-                    let fd = k.open("/shared/file_result", true).expect("result");
-                    k.write(fd, b"offset-ok").expect("w");
-                    return Step::Exit(0);
-                }
-                _ => unreachable!(),
+        match self.pc {
+            0 => {
+                self.fd = k.open("/shared/input.dat", false).expect("input exists");
+                self.first = k.read(self.fd, 10).expect("first half");
+                assert_eq!(self.first, b"0123456789");
+                self.pc = 1;
+                Step::Sleep(Nanos::from_millis(5)) // ckpt lands here
             }
+            1 => {
+                // After restart the shared offset must continue at 10.
+                self.second = k.read(self.fd, 10).expect("second half");
+                assert_eq!(self.second, b"abcdefghij", "file offset lost");
+                let fd = k.open("/shared/file_result", true).expect("result");
+                k.write(fd, b"offset-ok").expect("w");
+                Step::Exit(0)
+            }
+            _ => unreachable!(),
         }
     }
     fn tag(&self) -> &'static str {
@@ -627,7 +643,10 @@ fn open_file_offsets_survive_restart() {
         }),
     );
     full_cycle(&mut w, &mut sim, &s, Nanos::from_millis(2));
-    assert_eq!(shared_result(&w, "/shared/file_result").as_deref(), Some("offset-ok"));
+    assert_eq!(
+        shared_result(&w, "/shared/file_result").as_deref(),
+        Some("offset-ok")
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -648,7 +667,13 @@ fn compression_shrinks_images_of_compressible_apps() {
                 ..Options::default()
             },
         );
-        s.launch(&mut w, &mut sim, NodeId(1), "server", Box::new(EchoPlusOne::new(9000)));
+        s.launch(
+            &mut w,
+            &mut sim,
+            NodeId(1),
+            "server",
+            Box::new(EchoPlusOne::new(9000)),
+        );
         s.launch(
             &mut w,
             &mut sim,
@@ -666,7 +691,10 @@ fn compression_shrinks_images_of_compressible_apps() {
     let raw = run(false);
     let gz = run(true);
     assert!(raw > 32 << 20, "ballast in image: {raw}");
-    assert!(gz < raw / 3, "text ballast should compress ≥3×: {gz} vs {raw}");
+    assert!(
+        gz < raw / 3,
+        "text ballast should compress ≥3×: {gz} vs {raw}"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -686,9 +714,17 @@ fn drain_preserves_exact_in_flight_bytes() {
     // sequence checks in every other test; here we assert the direct
     // property that a checkpoint in the middle of a heavy stream completes
     // and stream totals are conserved (refill re-sends, never loses).
-    let before_tx: u64 = w.conns.values().map(|c| c.dirs[0].tx_total + c.dirs[1].tx_total).sum();
+    let before_tx: u64 = w
+        .conns
+        .values()
+        .map(|c| c.dirs[0].tx_total + c.dirs[1].tx_total)
+        .sum();
     s.checkpoint_and_wait(&mut w, &mut sim, EV);
-    let after_tx: u64 = w.conns.values().map(|c| c.dirs[0].tx_total + c.dirs[1].tx_total).sum();
+    let after_tx: u64 = w
+        .conns
+        .values()
+        .map(|c| c.dirs[0].tx_total + c.dirs[1].tx_total)
+        .sum();
     // Only DMTCP's drain/refill traffic moved during the frozen window;
     // application bytes resumed after. The refill re-send means totals grow,
     // never shrink.
@@ -696,7 +732,13 @@ fn drain_preserves_exact_in_flight_bytes() {
 }
 
 fn launch_chain(w: &mut World, sim: &mut OsSim, s: &Session, rounds: u64) {
-    s.launch(w, sim, NodeId(1), "server", Box::new(EchoPlusOne::new(9000)));
+    s.launch(
+        w,
+        sim,
+        NodeId(1),
+        "server",
+        Box::new(EchoPlusOne::new(9000)),
+    );
     s.launch(
         w,
         sim,
@@ -873,7 +915,11 @@ fn untraced_viewer_between_checkpoints() {
         &mut sim,
         NodeId(0),
         "vncserver",
-        Box::new(MultiServe { pc: 0, lfd: -1, clients: Vec::new() }),
+        Box::new(MultiServe {
+            pc: 0,
+            lfd: -1,
+            clients: Vec::new(),
+        }),
     );
     // Plain spawn — no DMTCP env, so the hook leaves it alone.
     use std::collections::BTreeMap;
@@ -881,14 +927,21 @@ fn untraced_viewer_between_checkpoints() {
         &mut sim,
         NodeId(0),
         "vncviewer",
-        Box::new(Viewer { pc: 0, fd: -1, reqs: 0 }),
+        Box::new(Viewer {
+            pc: 0,
+            fd: -1,
+            reqs: 0,
+        }),
         Pid(1),
         BTreeMap::new(),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(30));
     // Viewer has finished and closed its socket.
     assert_eq!(
-        w.procs.values().filter(|p| p.alive() && p.cmd == "vncviewer").count(),
+        w.procs
+            .values()
+            .filter(|p| p.alive() && p.cmd == "vncviewer")
+            .count(),
         0,
         "viewer disconnected before the checkpoint"
     );
@@ -899,13 +952,20 @@ fn untraced_viewer_between_checkpoints() {
         &mut sim,
         NodeId(0),
         "vncviewer2",
-        Box::new(Viewer { pc: 0, fd: -1, reqs: 0 }),
+        Box::new(Viewer {
+            pc: 0,
+            fd: -1,
+            reqs: 0,
+        }),
         Pid(1),
         BTreeMap::new(),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(50));
     assert_eq!(
-        w.procs.values().filter(|p| p.alive() && p.cmd == "vncviewer2").count(),
+        w.procs
+            .values()
+            .filter(|p| p.alive() && p.cmd == "vncviewer2")
+            .count(),
         0,
         "second viewer served and gone"
     );

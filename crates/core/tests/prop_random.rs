@@ -1,8 +1,8 @@
 //! The strongest transparency property we can state: for *any* checkpoint
 //! instant and any kill delay, kill + restart must produce exactly the
-//! answer of an uninterrupted run. proptest drives the instant across the
-//! protocol's life (wiring, steady state, mid-drain of a previous
-//! generation's leftovers, near completion).
+//! answer of an uninterrupted run. A deterministic RNG drives the instant
+//! across the protocol's life (wiring, steady state, mid-drain of a
+//! previous generation's leftovers, near completion).
 
 mod common;
 
@@ -10,8 +10,7 @@ use common::*;
 use dmtcp::session::run_for;
 use dmtcp::{Options, Session};
 use oskit::world::NodeId;
-use proptest::prelude::*;
-use simkit::Nanos;
+use simkit::{DetRng, Nanos};
 
 const EV: u64 = 8_000_000;
 
@@ -48,7 +47,13 @@ fn ckpt_kill_restart_at(rounds: u64, ckpt_at_ms: u64, kill_delay_ms: u64, merge:
             ..Options::default()
         },
     );
-    s.launch(&mut w, &mut sim, NodeId(1), "server", Box::new(EchoPlusOne::new(9000)));
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(1),
+        "server",
+        Box::new(EchoPlusOne::new(9000)),
+    );
     s.launch(
         &mut w,
         &mut sim,
@@ -83,23 +88,21 @@ fn ckpt_kill_restart_at(rounds: u64, ckpt_at_ms: u64, kill_delay_ms: u64, merge:
     shared_result(&w, "/shared/client_result").expect("restored run finished")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn any_checkpoint_instant_is_transparent(
-        ckpt_at_ms in 3u64..68,
-        kill_delay_ms in 0u64..25,
-        merge in any::<bool>(),
-    ) {
-        // 400 rounds ≈ 80 ms of virtual runtime, so the instant sweeps
-        // wiring, steady state, and near-completion.
-        let rounds = 400;
-        let expect = reference(rounds);
+#[test]
+fn any_checkpoint_instant_is_transparent() {
+    // 400 rounds ≈ 80 ms of virtual runtime, so the instant sweeps
+    // wiring, steady state, and near-completion.
+    let rounds = 400;
+    let expect = reference(rounds);
+    let mut rng = DetRng::seed_from_u64(0x7A2A_5EED);
+    for case in 0..12 {
+        let ckpt_at_ms = rng.range(3, 68);
+        let kill_delay_ms = rng.below(25);
+        let merge = rng.chance(0.5);
         let got = ckpt_kill_restart_at(rounds, ckpt_at_ms, kill_delay_ms, merge);
-        prop_assert_eq!(got, expect);
+        assert_eq!(
+            got, expect,
+            "case {case}: ckpt_at {ckpt_at_ms}ms kill_delay {kill_delay_ms}ms merge {merge}"
+        );
     }
 }

@@ -116,7 +116,12 @@ pub fn restore_into(
                         region: rm.name.clone(),
                     });
                 }
-                new_mem.map(rm.name.clone(), rm.kind.clone(), rm.prot, Content::Real(Rc::new(raw)));
+                new_mem.map(
+                    rm.name.clone(),
+                    rm.kind.clone(),
+                    rm.prot,
+                    Content::Real(Rc::new(raw)),
+                );
             }
             StoredAs::Shared { backing, comp_len } => {
                 let stored = cursor
@@ -209,8 +214,18 @@ pub fn restore_into(
     } else {
         now + spec.memcpy_time(raw_bytes)
     };
+    let done_at = io_done.max(cpu_done);
+    w.obs.metrics.add("mtcp.restore.bytes", 0, image_bytes);
+    w.obs.spans.complete(
+        obs::TrackId::new(node.0, img.vpid, 0),
+        "mtcp.restore",
+        "mtcp",
+        now,
+        done_at,
+        vec![("image_bytes", image_bytes), ("raw_bytes", raw_bytes)],
+    );
     Ok(RestoreReport {
-        done_at: io_done.max(cpu_done),
+        done_at,
         image_bytes,
         raw_bytes,
     })

@@ -120,7 +120,10 @@ pub fn write_image(
                             true,
                         )
                     } else {
-                        (szip::compressed_len(&profile.bytes(*seed, *len as usize)), false)
+                        (
+                            szip::compressed_len(&profile.bytes(*seed, *len as usize)),
+                            false,
+                        )
                     };
                     let stored = StoredAs::Synthetic {
                         seed: *seed,
@@ -220,6 +223,41 @@ pub fn write_image(
         WriteMode::ForkedCompressed => now + fork_pause,
         _ => image_complete_at,
     };
+
+    // ---- Observability: per-segment sizes, compression totals, span. ----
+    {
+        let mut comp_in = 0u64;
+        let mut comp_out = 0u64;
+        for r in &header.regions {
+            let stored_len = match &r.stored {
+                StoredAs::Real { comp_len } => *comp_len,
+                StoredAs::Shared { comp_len, .. } => *comp_len,
+                StoredAs::Synthetic { comp_len, .. } => *comp_len,
+            };
+            w.obs.metrics.observe("mtcp.segment.bytes", 0, stored_len);
+            if mode.compressed() {
+                comp_in += r.raw_len;
+                comp_out += stored_len;
+            }
+        }
+        w.obs.metrics.add("mtcp.image.bytes", 0, image_bytes);
+        w.obs.metrics.add("mtcp.image.raw_bytes", 0, raw_bytes);
+        if comp_in > 0 {
+            w.obs.metrics.add("szip.bytes_in", 0, comp_in);
+            w.obs.metrics.add("szip.bytes_out", 0, comp_out);
+            w.obs
+                .metrics
+                .set_gauge("szip.ratio", vpid as u64, comp_out as f64 / comp_in as f64);
+        }
+        w.obs.spans.complete(
+            obs::TrackId::new(node.0, vpid, 0),
+            "mtcp.write",
+            "mtcp",
+            now,
+            image_complete_at,
+            vec![("image_bytes", image_bytes), ("raw_bytes", raw_bytes)],
+        );
+    }
 
     WriteReport {
         resume_at,

@@ -132,7 +132,11 @@ fn ckpt_kill_restore(mode: WriteMode) {
     );
     // Carry the image file (and nothing else) to a new world: the cluster
     // "crashed" and we restart elsewhere.
-    let image_file = w.nodes[0].fs.get("/ckpt.img").expect("image written").clone();
+    let image_file = w.nodes[0]
+        .fs
+        .get("/ckpt.img")
+        .expect("image written")
+        .clone();
     drop(w);
     drop(sim);
 
@@ -175,12 +179,19 @@ fn ckpt_kill_restore(mode: WriteMode) {
 
     // Memory must be bit-identical (digest compares real bytes / recipes).
     let digests_after = mem_digests(&w2, new_pid);
-    assert_eq!(digests_before, digests_after, "memory not restored identically");
+    assert_eq!(
+        digests_before, digests_after,
+        "memory not restored identically"
+    );
 
     // Resume and finish.
     w2.resume_user_threads(&mut sim2, new_pid);
     sim2.run(&mut w2);
-    assert_eq!(result_of(&w2).as_deref(), Some(reference.as_str()), "{mode:?}");
+    assert_eq!(
+        result_of(&w2).as_deref(),
+        Some(reference.as_str()),
+        "{mode:?}"
+    );
 }
 
 #[test]
@@ -205,15 +216,34 @@ fn compressed_image_is_smaller_and_slower_than_uncompressed() {
     sim.run_until(&mut w, Nanos::from_millis(5));
     w.suspend_user_threads(&mut sim, pid);
     let now = sim.now();
-    let un = write_image(&mut w, now, pid, "/u.img", WriteMode::Uncompressed, pid.0, vec![]);
-    let co = write_image(&mut w, now, pid, "/c.img", WriteMode::Compressed, pid.0, vec![]);
+    let un = write_image(
+        &mut w,
+        now,
+        pid,
+        "/u.img",
+        WriteMode::Uncompressed,
+        pid.0,
+        vec![],
+    );
+    let co = write_image(
+        &mut w,
+        now,
+        pid,
+        "/c.img",
+        WriteMode::Compressed,
+        pid.0,
+        vec![],
+    );
     assert!(
         co.image_bytes < un.image_bytes / 2,
         "text ballast should compress well: {} vs {}",
         co.image_bytes,
         un.image_bytes
     );
-    assert!(co.image_complete_at > un.image_complete_at, "gzip dominates");
+    assert!(
+        co.image_complete_at > un.image_complete_at,
+        "gzip dominates"
+    );
 }
 
 #[test]
@@ -246,7 +276,15 @@ fn corrupted_payload_is_rejected_by_crc() {
     let pid = spawn_counter(&mut w, &mut sim, 100);
     sim.run_until(&mut w, Nanos::from_millis(5));
     w.suspend_user_threads(&mut sim, pid);
-    write_image(&mut w, sim.now(), pid, "/x.img", WriteMode::Uncompressed, pid.0, vec![]);
+    write_image(
+        &mut w,
+        sim.now(),
+        pid,
+        "/x.img",
+        WriteMode::Uncompressed,
+        pid.0,
+        vec![],
+    );
 
     // Flip one byte of the heap payload (well past the header).
     let img = read_image(&w, NodeId(0), "/x.img").expect("parses");
@@ -311,7 +349,15 @@ fn synthetic_regions_are_virtual_in_the_file() {
     let pid = spawn_counter(&mut w, &mut sim, 100);
     sim.run_until(&mut w, Nanos::from_millis(5));
     w.suspend_user_threads(&mut sim, pid);
-    let rep = write_image(&mut w, sim.now(), pid, "/s.img", WriteMode::Compressed, pid.0, vec![]);
+    let rep = write_image(
+        &mut w,
+        sim.now(),
+        pid,
+        "/s.img",
+        WriteMode::Compressed,
+        pid.0,
+        vec![],
+    );
     let f = w.nodes[0].fs.get("/s.img").expect("image");
     let has_virtual = f
         .blob

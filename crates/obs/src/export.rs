@@ -1,0 +1,182 @@
+//! Exporters: Chrome trace-event JSON (open in Perfetto / `chrome://tracing`)
+//! and a JSONL metrics dump.
+
+use crate::json::JsonWriter;
+use crate::metrics::Registry;
+use crate::span::{Span, SpanKind};
+use std::collections::BTreeMap;
+
+fn micros(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+/// Render spans as a Chrome trace-event JSON document.
+///
+/// One track per simulated process: the virtual pid becomes the Chrome
+/// `pid`, the thread id the Chrome `tid`, and virtual time (µs since sim
+/// start) the clock. `names` maps `(node, pid)` to a human-readable process
+/// name for the Perfetto track header.
+pub fn chrome_trace_json(spans: &[Span], names: &BTreeMap<(u32, u32), String>) -> String {
+    let mut w = JsonWriter::new();
+    w.obj_begin();
+    w.key("displayTimeUnit").val_str("ms");
+    w.key("traceEvents").arr_begin();
+
+    // Metadata: name every process track that appears in the span set.
+    let mut seen: BTreeMap<(u32, u32), ()> = BTreeMap::new();
+    for s in spans {
+        seen.entry((s.track.node, s.track.pid)).or_insert(());
+    }
+    for &(node, pid) in seen.keys() {
+        let name = names
+            .get(&(node, pid))
+            .cloned()
+            .unwrap_or_else(|| format!("node{node} pid{pid}"));
+        w.obj_begin();
+        w.field_str("ph", "M");
+        w.field_str("name", "process_name");
+        w.field_u64("pid", pid as u64);
+        w.field_u64("tid", 0);
+        w.key("args").obj_begin().field_str("name", &name).obj_end();
+        w.obj_end();
+    }
+
+    for s in spans {
+        w.obj_begin();
+        w.field_str("name", s.name);
+        w.field_str("cat", s.cat);
+        w.field_u64("pid", s.track.pid as u64);
+        w.field_u64("tid", s.track.tid as u64);
+        w.field_f64("ts", micros(s.start.0));
+        match s.kind {
+            SpanKind::Complete => {
+                w.field_str("ph", "X");
+                w.field_f64("dur", micros(s.end.0 - s.start.0));
+            }
+            SpanKind::Instant => {
+                w.field_str("ph", "i");
+                // Process-wide scope so the marker renders on its track.
+                w.field_str("s", "p");
+            }
+        }
+        w.key("args").obj_begin();
+        w.field_u64("node", s.track.node as u64);
+        for &(k, v) in &s.args {
+            w.field_u64(k, v);
+        }
+        w.obj_end();
+        w.obj_end();
+    }
+
+    w.arr_end();
+    w.obj_end();
+    w.into_string()
+}
+
+/// Render the registry as JSONL: one self-describing record per line.
+///
+/// Counters: `{"type":"counter","name":…,"label":…,"value":…}`
+/// Gauges: `{"type":"gauge","name":…,"label":…,"value":…}`
+/// Histograms: exact count/sum/min/max/mean plus bucket-approximate
+/// p50/p90/p99 quantiles.
+pub fn metrics_jsonl(reg: &Registry) -> String {
+    let mut out = String::new();
+    for (k, v) in reg.counters() {
+        let mut w = JsonWriter::new();
+        w.obj_begin();
+        w.field_str("type", "counter");
+        w.field_str("name", k.name);
+        w.field_u64("label", k.label);
+        w.field_u64("value", v);
+        w.obj_end();
+        out.push_str(&w.into_string());
+        out.push('\n');
+    }
+    for (k, v) in reg.gauges() {
+        let mut w = JsonWriter::new();
+        w.obj_begin();
+        w.field_str("type", "gauge");
+        w.field_str("name", k.name);
+        w.field_u64("label", k.label);
+        w.field_f64("value", v);
+        w.obj_end();
+        out.push_str(&w.into_string());
+        out.push('\n');
+    }
+    for (k, h) in reg.hists() {
+        let mut w = JsonWriter::new();
+        w.obj_begin();
+        w.field_str("type", "hist");
+        w.field_str("name", k.name);
+        w.field_u64("label", k.label);
+        w.field_u64("count", h.count());
+        w.field_u64("sum", h.sum());
+        w.field_u64("min", h.min());
+        w.field_u64("max", h.max());
+        w.field_f64("mean", h.mean());
+        w.field_u64("p50", h.quantile(0.50));
+        w.field_u64("p90", h.quantile(0.90));
+        w.field_u64("p99", h.quantile(0.99));
+        w.obj_end();
+        out.push_str(&w.into_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use crate::span::{SpanRecorder, TrackId};
+    use simkit::Nanos;
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_events() {
+        let mut r = SpanRecorder::default();
+        r.set_enabled(true);
+        let t = TrackId::new(2, 7, 0);
+        r.complete(
+            t,
+            "stage.drain",
+            "ckpt",
+            Nanos(1_000),
+            Nanos(4_500),
+            vec![("gen", 1)],
+        );
+        r.instant(
+            Nanos(4_500),
+            t,
+            "barrier.release",
+            "coord",
+            vec![("stage", 4)],
+        );
+        let mut names = BTreeMap::new();
+        names.insert((2u32, 7u32), "node2:nas-mg".to_string());
+        let json = chrome_trace_json(r.spans(), &names);
+        validate(&json).unwrap();
+        assert!(json.contains(r#""ph":"M""#));
+        assert!(json.contains("node2:nas-mg"));
+        assert!(json.contains(
+            r#""name":"stage.drain","cat":"ckpt","pid":7,"tid":0,"ts":1,"ph":"X","dur":3.5"#
+        ));
+        assert!(json.contains(r#""ph":"i""#));
+    }
+
+    #[test]
+    fn metrics_jsonl_lines_are_each_valid() {
+        let mut reg = Registry::new();
+        reg.add("core.drain.bytes", 1, 4096);
+        reg.set_gauge("szip.image.ratio", 7, 0.37);
+        reg.observe("core.stage.write", 1, 500_000);
+        reg.observe("core.stage.write", 1, 700_000);
+        let dump = metrics_jsonl(&reg);
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            validate(line).unwrap();
+        }
+        assert!(lines[0].contains(r#""type":"counter""#));
+        assert!(dump.contains(r#""mean":600000"#));
+    }
+}

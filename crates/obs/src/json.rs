@@ -1,0 +1,356 @@
+//! A hand-rolled JSON writer (and a small validator for tests).
+//!
+//! The crate is deliberately std-only so the workspace builds in offline
+//! environments; this module is the entire serialization stack.
+
+use std::fmt::Write as _;
+
+/// Append `s` to `out` as a JSON string literal (with surrounding quotes).
+pub fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A streaming JSON writer with automatic comma placement.
+///
+/// Values written at the top of an object must be preceded by [`JsonWriter::key`];
+/// values inside arrays are written directly.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` once it has at least one element.
+    stack: Vec<bool>,
+    /// Set between `key()` and the value it introduces.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Finish and return the accumulated JSON text.
+    pub fn into_string(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed JSON container");
+        self.out
+    }
+
+    fn before_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some(has_elems) = self.stack.last_mut() {
+            if *has_elems {
+                self.out.push(',');
+            }
+            *has_elems = true;
+        }
+    }
+
+    pub fn obj_begin(&mut self) -> &mut Self {
+        self.before_value();
+        self.out.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    pub fn obj_end(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.out.push('}');
+        self
+    }
+
+    pub fn arr_begin(&mut self) -> &mut Self {
+        self.before_value();
+        self.out.push('[');
+        self.stack.push(false);
+        self
+    }
+
+    pub fn arr_end(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Write an object key; the next write is its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        if let Some(has_elems) = self.stack.last_mut() {
+            if *has_elems {
+                self.out.push(',');
+            }
+            *has_elems = true;
+        }
+        push_escaped(&mut self.out, k);
+        self.out.push(':');
+        self.pending_key = true;
+        self
+    }
+
+    pub fn val_str(&mut self, v: &str) -> &mut Self {
+        self.before_value();
+        push_escaped(&mut self.out, v);
+        self
+    }
+
+    pub fn val_u64(&mut self, v: u64) -> &mut Self {
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    pub fn val_i64(&mut self, v: i64) -> &mut Self {
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Finite floats print with shortest round-trip formatting; NaN and
+    /// infinities (illegal in JSON) degrade to `null`.
+    pub fn val_f64(&mut self, v: f64) -> &mut Self {
+        self.before_value();
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    pub fn val_bool(&mut self, v: bool) -> &mut Self {
+        self.before_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k).val_str(v)
+    }
+
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k).val_u64(v)
+    }
+
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k).val_f64(v)
+    }
+}
+
+/// Validate that `s` is one syntactically well-formed JSON value.
+///
+/// A recursive-descent checker used by tests (the workspace has no JSON
+/// parser dependency). Returns the byte offset of the first error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    parse_value(b, &mut i, 0)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing garbage at byte {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize, depth: usize) -> Result<(), String> {
+    if depth > 256 {
+        return Err("nesting too deep".into());
+    }
+    match b.get(*i) {
+        Some(b'{') => parse_obj(b, i, depth),
+        Some(b'[') => parse_arr(b, i, depth),
+        Some(b'"') => parse_string(b, i),
+        Some(b't') => parse_lit(b, i, "true"),
+        Some(b'f') => parse_lit(b, i, "false"),
+        Some(b'n') => parse_lit(b, i, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, i),
+        _ => Err(format!("expected value at byte {i}")),
+    }
+}
+
+fn parse_obj(b: &[u8], i: &mut usize, depth: usize) -> Result<(), String> {
+    *i += 1; // '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        parse_string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected ':' at byte {i}"));
+        }
+        *i += 1;
+        skip_ws(b, i);
+        parse_value(b, i, depth + 1)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], i: &mut usize, depth: usize) -> Result<(), String> {
+    *i += 1; // '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        parse_value(b, i, depth + 1)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {i}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at byte {i}"));
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                    Some(b'u') => {
+                        for k in 1..=4 {
+                            if !b.get(*i + k).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {i}"));
+                            }
+                        }
+                        *i += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control char in string at byte {i}")),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_lit(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {i}"))
+    }
+}
+
+fn parse_number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let digits = |b: &[u8], i: &mut usize| {
+        let s = *i;
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+        *i > s
+    };
+    if !digits(b, i) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        if !digits(b, i) {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        if !digits(b, i) {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_valid_json() {
+        let mut w = JsonWriter::new();
+        w.obj_begin();
+        w.field_str("name", "he said \"hi\"\n");
+        w.field_u64("count", 42);
+        w.key("xs").arr_begin();
+        w.val_f64(1.5)
+            .val_f64(f64::NAN)
+            .val_bool(true)
+            .val_str("t\tab");
+        w.arr_end();
+        w.key("nested").obj_begin().field_f64("pi", 3.25).obj_end();
+        w.obj_end();
+        let s = w.into_string();
+        validate(&s).unwrap();
+        assert!(s.contains("\\\"hi\\\""));
+        assert!(s.contains("null")); // NaN degraded
+        assert_eq!(
+            s,
+            r#"{"name":"he said \"hi\"\n","count":42,"xs":[1.5,null,true,"t\tab"],"nested":{"pi":3.25}}"#
+        );
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        validate(r#"{"a":[1,2.5,-3e2,"x",null,true,{}]}"#).unwrap();
+        validate("[]").unwrap();
+        assert!(validate(r#"{"a":1,}"#).is_err());
+        assert!(validate(r#"{"a" 1}"#).is_err());
+        assert!(validate("[1 2]").is_err());
+        assert!(validate("{\"a\":01e}").is_err());
+        assert!(validate("\"unterminated").is_err());
+        assert!(validate("[1] extra").is_err());
+    }
+}

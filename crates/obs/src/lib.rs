@@ -1,0 +1,96 @@
+//! # obs — virtual-time observability for the DMTCP reproduction
+//!
+//! The paper's whole evaluation is a stage-by-stage timing story (suspend /
+//! elect / drain / write / refill, Table 1 and Figures 3–6). This crate is
+//! the shared layer every part of the pipeline reports into:
+//!
+//! * **Spans** ([`span::SpanRecorder`]) — scoped or explicit `[start, end]`
+//!   intervals keyed to virtual [`simkit::Nanos`] with node/pid/tid
+//!   identity, recorded into a bounded ring. Off by default.
+//! * **Metrics** ([`metrics::Registry`]) — counters, gauges, and
+//!   log₂-bucketed histograms keyed by `(name, label)`. Always on; the
+//!   bench harness derives its stage breakdowns from these.
+//! * **Exporters** ([`export`]) — Chrome trace-event JSON (open the file in
+//!   [Perfetto](https://ui.perfetto.dev) via "Open trace file"; one track
+//!   per simulated process, virtual time as the clock) and a JSONL metrics
+//!   dump. JSON is hand-rolled ([`json`]); the crate depends only on
+//!   `simkit` and std, so the workspace builds where crates.io is
+//!   unreachable.
+//!
+//! Naming scheme (documented in DESIGN.md): metric and span names are
+//! `layer.subsystem.metric`, e.g. `core.drain.bytes`, `mtcp.image.bytes`,
+//! `szip.bytes_in`; span categories name the pipeline layer (`coord`,
+//! `ckpt`, `restart`, `mtcp`).
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{Histogram, MetricKey, Registry};
+pub use span::{Span, SpanGuard, SpanKind, SpanRecorder, TrackId};
+
+use std::collections::BTreeMap;
+
+/// The per-world observability hub: a span recorder, a metrics registry,
+/// and the process-name table the trace exporter labels tracks with.
+#[derive(Debug, Default)]
+pub struct Obs {
+    pub spans: SpanRecorder,
+    pub metrics: Registry,
+    names: BTreeMap<(u32, u32), String>,
+}
+
+impl Obs {
+    pub fn new() -> Self {
+        Obs::default()
+    }
+
+    /// Record the human-readable name of `(node, pid)` for trace export.
+    /// Later registrations win (exec replaces the image name).
+    pub fn set_process_name(&mut self, node: u32, pid: u32, name: impl Into<String>) {
+        self.names.insert((node, pid), name.into());
+    }
+
+    /// The registered process names.
+    pub fn process_names(&self) -> &BTreeMap<(u32, u32), String> {
+        &self.names
+    }
+
+    /// Export all finished spans as a Chrome trace-event JSON document.
+    pub fn chrome_trace(&self) -> String {
+        export::chrome_trace_json(self.spans.spans(), &self.names)
+    }
+
+    /// Export the metrics registry as JSONL.
+    pub fn metrics_jsonl(&self) -> String {
+        export::metrics_jsonl(&self.metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Nanos;
+
+    #[test]
+    fn obs_round_trip() {
+        let mut o = Obs::new();
+        o.set_process_name(0, 3, "coordinator");
+        o.spans.set_enabled(true);
+        o.spans.complete(
+            TrackId::new(0, 3, 0),
+            "generation",
+            "coord",
+            Nanos(0),
+            Nanos(10),
+            vec![],
+        );
+        o.metrics.add("core.drain.bytes", 1, 99);
+        let trace = o.chrome_trace();
+        json::validate(&trace).unwrap();
+        assert!(trace.contains("coordinator"));
+        let dump = o.metrics_jsonl();
+        assert!(dump.contains("core.drain.bytes"));
+    }
+}

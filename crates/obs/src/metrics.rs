@@ -1,0 +1,327 @@
+//! A cheap always-on metrics registry: counters, gauges, and log-bucketed
+//! histograms, keyed by `(name, label)`.
+//!
+//! `name` is a `&'static str` following the `layer.subsystem.metric` scheme
+//! (see DESIGN.md); `label` is a small integer distinguishing instances —
+//! by convention a checkpoint generation, virtual pid, or node index, with
+//! `0` meaning "global". Keeping labels numeric keeps updates allocation-free.
+
+use std::collections::BTreeMap;
+
+/// Registry key: metric name plus an instance label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    pub name: &'static str,
+    pub label: u64,
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i` (1 ≤ i ≤ 64)
+/// holds values in `[2^(i−1), 2^i)`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` observations.
+///
+/// Count/sum/min/max are exact (so means derived from a histogram are
+/// exact); quantiles are bucket-resolution approximations.
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile, `q` in [0, 1]: walks the cumulative bucket
+    /// counts and returns the geometric midpoint of the target bucket,
+    /// clamped to the observed min/max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = if i == 0 {
+                    0
+                } else {
+                    // Geometric-ish midpoint of [2^(i−1), 2^i).
+                    (1u64 << (i - 1)) + (1u64 << (i - 1)) / 2
+                };
+                return mid.clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Raw bucket counts (index per [`HIST_BUCKETS`] doc).
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+}
+
+/// The registry itself. Embedded in the simulated world; always on (updates
+/// are a map insert on cold paths and an increment on hot ones).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    hists: BTreeMap<MetricKey, Histogram>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Add `delta` to a counter.
+    pub fn add(&mut self, name: &'static str, label: u64, delta: u64) {
+        *self.counters.entry(MetricKey { name, label }).or_insert(0) += delta;
+    }
+
+    /// Increment a counter by one.
+    pub fn inc(&mut self, name: &'static str, label: u64) {
+        self.add(name, label, 1);
+    }
+
+    /// Current counter value (0 if never touched).
+    pub fn counter(&self, name: &'static str, label: u64) -> u64 {
+        self.counters
+            .get(&MetricKey { name, label })
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of a counter across all labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Labels under which `name` has a counter entry.
+    pub fn counter_labels(&self, name: &str) -> Vec<u64> {
+        self.counters
+            .keys()
+            .filter(|k| k.name == name)
+            .map(|k| k.label)
+            .collect()
+    }
+
+    /// Set a gauge to `v`.
+    pub fn set_gauge(&mut self, name: &'static str, label: u64, v: f64) {
+        self.gauges.insert(MetricKey { name, label }, v);
+    }
+
+    /// Current gauge value.
+    pub fn gauge(&self, name: &'static str, label: u64) -> Option<f64> {
+        self.gauges.get(&MetricKey { name, label }).copied()
+    }
+
+    /// Record an observation into a histogram.
+    pub fn observe(&mut self, name: &'static str, label: u64, v: u64) {
+        self.hists
+            .entry(MetricKey { name, label })
+            .or_default()
+            .observe(v);
+    }
+
+    /// The histogram for `(name, label)`, if any observation was recorded.
+    pub fn hist(&self, name: &'static str, label: u64) -> Option<&Histogram> {
+        self.hists.get(&MetricKey { name, label })
+    }
+
+    /// All histograms named `name` merged across labels.
+    pub fn hist_merged(&self, name: &str) -> Histogram {
+        let mut out = Histogram::default();
+        for (k, h) in &self.hists {
+            if k.name == name {
+                out.merge(h);
+            }
+        }
+        out
+    }
+
+    /// Labels under which `name` has a histogram.
+    pub fn hist_labels(&self, name: &str) -> Vec<u64> {
+        self.hists
+            .keys()
+            .filter(|k| k.name == name)
+            .map(|k| k.label)
+            .collect()
+    }
+
+    /// Iterate counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricKey, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Iterate gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&MetricKey, f64)> + '_ {
+        self.gauges.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Iterate histograms in key order.
+    pub fn hists(&self) -> impl Iterator<Item = (&MetricKey, &Histogram)> + '_ {
+        self.hists.iter()
+    }
+
+    /// Drop every metric.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.hists.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_labels() {
+        let mut r = Registry::new();
+        r.add("core.drain.bytes", 1, 100);
+        r.add("core.drain.bytes", 1, 50);
+        r.add("core.drain.bytes", 2, 7);
+        r.inc("core.ckpt.generations", 0);
+        assert_eq!(r.counter("core.drain.bytes", 1), 150);
+        assert_eq!(r.counter("core.drain.bytes", 2), 7);
+        assert_eq!(r.counter("core.drain.bytes", 3), 0);
+        assert_eq!(r.counter_total("core.drain.bytes"), 157);
+        assert_eq!(r.counter_labels("core.drain.bytes"), vec![1, 2]);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = Registry::new();
+        r.set_gauge("szip.ratio", 5, 0.4);
+        r.set_gauge("szip.ratio", 5, 0.6);
+        assert_eq!(r.gauge("szip.ratio", 5), Some(0.6));
+        assert_eq!(r.gauge("szip.ratio", 6), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_exact_moments() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 1000, 1_000_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1_001_010);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1_000_000);
+        assert!((h.mean() - 1_001_010.0 / 7.0).abs() < 1e-9);
+        // v=0 → bucket 0; v=1 → bucket 1; 2,3 → bucket 2; 4 → bucket 3.
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[2], 2);
+        assert_eq!(h.buckets()[3], 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_resolution() {
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(100);
+        }
+        for _ in 0..10 {
+            h.observe(100_000);
+        }
+        let p50 = h.quantile(0.5);
+        // 100 lives in [64, 128); the midpoint estimate must stay in-bucket.
+        assert!((64..128).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 > 10_000, "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 100_000);
+        assert_eq!(Histogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_histograms_merge_across_labels() {
+        let mut r = Registry::new();
+        r.observe("core.stage.drain", 1, 10);
+        r.observe("core.stage.drain", 1, 20);
+        r.observe("core.stage.drain", 2, 30);
+        assert_eq!(r.hist("core.stage.drain", 1).unwrap().count(), 2);
+        let m = r.hist_merged("core.stage.drain");
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.sum(), 60);
+        assert_eq!(r.hist_labels("core.stage.drain"), vec![1, 2]);
+    }
+}

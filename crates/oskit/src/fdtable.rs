@@ -171,6 +171,12 @@ mod tests {
         );
         let cloned = t.clone_entries();
         assert_eq!(cloned.len(), 2);
-        assert!(cloned.contains(&(7, FdEntry { obj: FdObject::Sock(ConnId(4), 1), cloexec: true })));
+        assert!(cloned.contains(&(
+            7,
+            FdEntry {
+                obj: FdObject::Sock(ConnId(4), 1),
+                cloexec: true
+            }
+        )));
     }
 }

@@ -160,7 +160,10 @@ impl<'a> Kernel<'a> {
     }
 
     fn proc_mut(&mut self) -> &mut crate::proc::Process {
-        self.w.procs.get_mut(&self.pid).expect("calling process exists")
+        self.w
+            .procs
+            .get_mut(&self.pid)
+            .expect("calling process exists")
     }
 
     /// Declare an intentional indefinite block (no waker). Rare; used by
@@ -216,9 +219,7 @@ impl<'a> Kernel<'a> {
     /// The fork return register: `Some(0)` in a forked child, `Some(pid)`
     /// in the parent right after `fork_snapshot`, `None` otherwise.
     pub fn fork_ret(&self) -> Option<u32> {
-        self.proc_ref()
-            .thread(self.tid)
-            .and_then(|t| t.fork_ret)
+        self.proc_ref().thread(self.tid).and_then(|t| t.fork_ret)
     }
 
     /// Clear the fork register once consumed.
@@ -246,6 +247,7 @@ impl<'a> Kernel<'a> {
         self.fx.exec_to = Some(prog);
         // Re-run the injection hook: a real exec re-applies LD_PRELOAD.
         self.w.run_spawn_hook(self.sim, self.pid);
+        self.w.obs_note_process(self.pid);
     }
 
     /// Create an additional thread in this process.
@@ -378,12 +380,20 @@ impl<'a> Kernel<'a> {
 
     /// Look up what an fd refers to.
     pub fn fd_object(&self, fd: Fd) -> Result<FdObject, Errno> {
-        self.proc_ref().fds.get(fd).map(|e| e.obj).ok_or(Errno::BadFd)
+        self.proc_ref()
+            .fds
+            .get(fd)
+            .map(|e| e.obj)
+            .ok_or(Errno::BadFd)
     }
 
     /// All open fds of the calling process.
     pub fn list_fds(&self) -> Vec<(Fd, FdObject)> {
-        self.proc_ref().fds.iter().map(|(fd, e)| (fd, e.obj)).collect()
+        self.proc_ref()
+            .fds
+            .iter()
+            .map(|(fd, e)| (fd, e.obj))
+            .collect()
     }
 
     /// Write bytes through an fd (file append / socket send / pty write).
@@ -404,7 +414,8 @@ impl<'a> Kernel<'a> {
                     fs.size(&path).expect("file exists")
                 };
                 self.w.open_files.get_mut(&id).expect("open file").offset = len;
-                self.w.charge_storage_write(self.sim.now(), node, &path, bytes.len() as u64);
+                self.w
+                    .charge_storage_write(self.sim.now(), node, &path, bytes.len() as u64);
                 Ok(bytes.len())
             }
             FdObject::Sock(cid, end) => self.send_on(cid, end as usize, bytes),
@@ -451,7 +462,8 @@ impl<'a> Kernel<'a> {
                 let start = (offset as usize).min(data.len());
                 let end = (start + max).min(data.len());
                 self.w.open_files.get_mut(&id).expect("open file").offset = end as u64;
-                self.w.charge_storage_read(self.sim.now(), node, &path, (end - start) as u64);
+                self.w
+                    .charge_storage_read(self.sim.now(), node, &path, (end - start) as u64);
                 Ok(data[start..end].to_vec())
             }
             FdObject::Sock(cid, end) => self.recv_on(cid, end as usize, max),
@@ -509,7 +521,11 @@ impl<'a> Kernel<'a> {
     /// Bind + listen on `port` (0 = ephemeral). Returns the listener fd.
     pub fn listen_on(&mut self, port: u16) -> Result<(Fd, u16), Errno> {
         let node = self.node();
-        let port = if port == 0 { self.w.alloc_port(node) } else { port };
+        let port = if port == 0 {
+            self.w.alloc_port(node)
+        } else {
+            port
+        };
         if self
             .w
             .listeners
@@ -550,7 +566,11 @@ impl<'a> Kernel<'a> {
             .map(|l| l.id)
             .ok_or(Errno::ConnRefused)?;
         let cid = self.w.alloc_conn_id();
-        let kind = if my_node == peer_node { ConnKind::Unix } else { ConnKind::Tcp };
+        let kind = if my_node == peer_node {
+            ConnKind::Unix
+        } else {
+            ConnKind::Tcp
+        };
         let mut conn = Conn::new(cid, kind, my_node, peer_node);
         conn.end_refs = [1, 1]; // end 1 held by the listener backlog until accept
         self.w.conns.insert(cid, conn);
@@ -638,6 +658,10 @@ impl<'a> Kernel<'a> {
         let take = (room as usize).min(bytes.len());
         let chunk = bytes[..take].to_vec();
         self.w.conn_transmit(self.sim, cid, end, chunk);
+        self.w
+            .obs
+            .metrics
+            .add("oskit.sock.tx_bytes", 0, take as u64);
         Ok(take)
     }
 
@@ -658,6 +682,10 @@ impl<'a> Kernel<'a> {
         let out: Vec<u8> = dir.recv_buf.drain(..take).collect();
         let writers = std::mem::take(&mut dir.write_waiters);
         self.w.wake_all(self.sim, writers);
+        self.w
+            .obs
+            .metrics
+            .add("oskit.sock.rx_bytes", 0, out.len() as u64);
         Ok(out)
     }
 
@@ -671,10 +699,16 @@ impl<'a> Kernel<'a> {
                 self.w.conns.get_mut(&cid).ok_or(Errno::BadFd)?.owner_pid[end as usize] = owner.0;
             }
             FdObject::Listener(lid) => {
-                self.w.listeners.get_mut(&lid).ok_or(Errno::BadFd)?.owner_pid = owner.0;
+                self.w
+                    .listeners
+                    .get_mut(&lid)
+                    .ok_or(Errno::BadFd)?
+                    .owner_pid = owner.0;
             }
             FdObject::PtyMaster(_) | FdObject::PtySlave(_) => return Err(Errno::Inval),
         }
+        // F_SETOWN is how the checkpoint layer elects an fd leader.
+        self.w.obs.metrics.inc("oskit.fd.setown_elections", 0);
         Ok(())
     }
 
@@ -753,7 +787,11 @@ impl<'a> Kernel<'a> {
     pub fn set_ctty(&mut self, fd: Fd) -> Result<(), Errno> {
         let id = self.pty_of(fd)?;
         let pid = self.pid;
-        self.w.ptys.get_mut(&id).expect("pty exists").controlling_pid = Some(pid);
+        self.w
+            .ptys
+            .get_mut(&id)
+            .expect("pty exists")
+            .controlling_pid = Some(pid);
         self.proc_mut().ctty = Some(id);
         Ok(())
     }
@@ -771,6 +809,7 @@ impl<'a> Kernel<'a> {
 
     /// Map real zeroed memory.
     pub fn mmap_anon(&mut self, name: &str, len: usize) -> RegionId {
+        self.note_mmap(len as u64);
         self.proc_mut().mem.map(
             name,
             RegionKind::Anon,
@@ -780,7 +819,14 @@ impl<'a> Kernel<'a> {
     }
 
     /// Map synthetic ballast (immutable, generated content).
-    pub fn mmap_synthetic(&mut self, name: &str, len: u64, seed: u64, profile: FillProfile) -> RegionId {
+    pub fn mmap_synthetic(
+        &mut self,
+        name: &str,
+        len: u64,
+        seed: u64,
+        profile: FillProfile,
+    ) -> RegionId {
+        self.note_mmap(len);
         self.proc_mut().mem.map(
             name,
             RegionKind::Anon,
@@ -791,6 +837,7 @@ impl<'a> Kernel<'a> {
 
     /// Map a "library" (read-only code-like synthetic region).
     pub fn map_library(&mut self, name: &str, len: u64, seed: u64) -> RegionId {
+        self.note_mmap(len);
         self.proc_mut().mem.map(
             name,
             RegionKind::Lib,
@@ -832,6 +879,7 @@ impl<'a> Kernel<'a> {
                 seg
             }
         };
+        self.note_mmap(len as u64);
         Ok(self.proc_mut().mem.map(
             path,
             RegionKind::Shm {
@@ -840,6 +888,11 @@ impl<'a> Kernel<'a> {
             PROT_R | PROT_W,
             Content::Shared(seg),
         ))
+    }
+
+    fn note_mmap(&mut self, len: u64) {
+        self.w.obs.metrics.inc("oskit.mem.mmap_regions", 0);
+        self.w.obs.metrics.add("oskit.mem.mmap_bytes", 0, len);
     }
 
     /// Unmap a region.
@@ -864,6 +917,40 @@ impl<'a> Kernel<'a> {
     /// Emit a protocol trace event.
     pub fn trace(&mut self, tag: &'static str, detail: impl Into<String>) {
         self.w.trace.emit(self.sim.now(), tag, detail);
+    }
+
+    /// Emit a protocol trace event, building the detail string only when
+    /// tracing is enabled (use instead of `trace` + eager `format!`).
+    pub fn trace_with(&mut self, tag: &'static str, f: impl FnOnce() -> String) {
+        self.w.trace.emit_with(self.sim.now(), tag, f);
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// The world's observability layer (spans + metrics registry).
+    pub fn obs(&mut self) -> &mut obs::Obs {
+        &mut self.w.obs
+    }
+
+    /// This thread's span track identity: (node, virtual pid, tid) — the
+    /// coordinates its spans render under in a Perfetto trace.
+    pub fn track(&self) -> obs::TrackId {
+        obs::TrackId::new(self.node().0, self.getpid().0, self.tid.0)
+    }
+
+    /// Open a span on this thread's track starting now.
+    pub fn span_begin(&mut self, name: &'static str, cat: &'static str) -> obs::SpanGuard {
+        let at = self.sim.now();
+        let track = self.track();
+        self.w.obs.spans.begin(at, track, name, cat)
+    }
+
+    /// Close a span opened with [`Kernel::span_begin`] at the current time.
+    pub fn span_end(&mut self, guard: obs::SpanGuard) {
+        let at = self.sim.now();
+        self.w.obs.spans.end(at, guard);
     }
 }
 

@@ -76,8 +76,22 @@ impl_snap!(enum FillProfile { Zeros, Random, Text, Code, Mixed { zero_pct, text_
 
 const PAGE: u64 = 4096;
 const WORDS: [&str; 16] = [
-    "checkpoint ", "restart ", "the ", "of ", "distributed ", "process ", "socket ", "memory ",
-    "thread ", "cluster ", "barrier ", "kernel ", "image ", "buffer ", "transparent ", "data ",
+    "checkpoint ",
+    "restart ",
+    "the ",
+    "of ",
+    "distributed ",
+    "process ",
+    "socket ",
+    "memory ",
+    "thread ",
+    "cluster ",
+    "barrier ",
+    "kernel ",
+    "image ",
+    "buffer ",
+    "transparent ",
+    "data ",
 ];
 
 impl FillProfile {
@@ -299,11 +313,17 @@ impl AddressSpace {
     }
 
     /// Map a new region; returns its id.
-    pub fn map(&mut self, name: impl Into<String>, kind: RegionKind, prot: u8, content: Content) -> RegionId {
+    pub fn map(
+        &mut self,
+        name: impl Into<String>,
+        kind: RegionKind,
+        prot: u8,
+        content: Content,
+    ) -> RegionId {
         let len = content.len();
         let start = self.next_addr;
         // Keep a guard gap and page alignment for realism.
-        self.next_addr += (len + PAGE - 1) / PAGE * PAGE + PAGE;
+        self.next_addr += len.div_ceil(PAGE) * PAGE + PAGE;
         self.regions.push(Some(Region {
             start,
             name: name.into(),
@@ -559,8 +579,18 @@ mod tests {
     #[test]
     fn unmap_removes_from_iteration_and_totals() {
         let mut a = AddressSpace::new();
-        let id1 = a.map("x", RegionKind::Anon, PROT_R, Content::Real(Rc::new(vec![0; 10])));
-        let _id2 = a.map("y", RegionKind::Anon, PROT_R, Content::Real(Rc::new(vec![0; 20])));
+        let id1 = a.map(
+            "x",
+            RegionKind::Anon,
+            PROT_R,
+            Content::Real(Rc::new(vec![0; 10])),
+        );
+        let _id2 = a.map(
+            "y",
+            RegionKind::Anon,
+            PROT_R,
+            Content::Real(Rc::new(vec![0; 20])),
+        );
         assert_eq!(a.total_bytes(), 30);
         a.unmap(id1);
         assert_eq!(a.total_bytes(), 20);
@@ -589,8 +619,18 @@ mod tests {
     #[test]
     fn addresses_are_page_aligned_and_disjoint() {
         let mut a = AddressSpace::new();
-        let id1 = a.map("x", RegionKind::Anon, PROT_R, Content::Real(Rc::new(vec![0; 5000])));
-        let id2 = a.map("y", RegionKind::Anon, PROT_R, Content::Real(Rc::new(vec![0; 100])));
+        let id1 = a.map(
+            "x",
+            RegionKind::Anon,
+            PROT_R,
+            Content::Real(Rc::new(vec![0; 5000])),
+        );
+        let id2 = a.map(
+            "y",
+            RegionKind::Anon,
+            PROT_R,
+            Content::Real(Rc::new(vec![0; 100])),
+        );
         let r1 = a.region(id1).unwrap();
         let r2 = a.region(id2).unwrap();
         assert_eq!(r1.start % 4096, 0);

@@ -44,7 +44,13 @@ pub enum SigAction {
     Handler,
 }
 
-simkit::impl_snap!(enum SigAction { Default, Ignore, Handler });
+simkit::impl_snap!(
+    enum SigAction {
+        Default,
+        Ignore,
+        Handler,
+    }
+);
 
 /// A simulated thread.
 pub struct Thread {
@@ -142,7 +148,13 @@ impl std::fmt::Debug for Process {
 
 impl Process {
     /// A new single-threaded process running `main_prog`.
-    pub fn new(pid: Pid, ppid: Pid, node: NodeId, cmd: String, main_prog: Box<dyn Program>) -> Self {
+    pub fn new(
+        pid: Pid,
+        ppid: Pid,
+        node: NodeId,
+        cmd: String,
+        main_prog: Box<dyn Program>,
+    ) -> Self {
         let mut p = Process {
             pid,
             ppid,

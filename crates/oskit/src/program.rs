@@ -183,7 +183,10 @@ mod tests {
         let mut reg = Registry::new();
         reg.register_snap::<Null>("null");
         assert!(matches!(
-            reg.load("null", &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff]),
+            reg.load(
+                "null",
+                &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff]
+            ),
             Err(RegistryError::Corrupt(_))
         ));
     }

@@ -41,7 +41,9 @@ impl simkit::Snap for Pid {
         w.put_varint(self.0 as u64);
     }
     fn load(r: &mut simkit::SnapReader<'_>) -> Result<Self, simkit::SnapError> {
-        Ok(Pid(u32::try_from(r.get_varint()?).map_err(|_| simkit::SnapError::Eof)?))
+        Ok(Pid(
+            u32::try_from(r.get_varint()?).map_err(|_| simkit::SnapError::Eof)?
+        ))
     }
 }
 
@@ -50,7 +52,9 @@ impl simkit::Snap for NodeId {
         w.put_varint(self.0 as u64);
     }
     fn load(r: &mut simkit::SnapReader<'_>) -> Result<Self, simkit::SnapError> {
-        Ok(NodeId(u32::try_from(r.get_varint()?).map_err(|_| simkit::SnapError::Eof)?))
+        Ok(NodeId(
+            u32::try_from(r.get_varint()?).map_err(|_| simkit::SnapError::Eof)?,
+        ))
     }
 }
 
@@ -113,6 +117,10 @@ pub struct World {
     pub registry: Registry,
     /// Protocol trace for tests.
     pub trace: Trace,
+    /// Observability layer: virtual-time spans and a metrics registry.
+    /// Metrics are always recorded; span capture is opt-in
+    /// (`obs.spans.set_enabled(true)`).
+    pub obs: obs::Obs,
     /// World-level deterministic RNG.
     pub rng: DetRng,
     /// Process-creation hook (checkpoint-layer injection).
@@ -159,6 +167,7 @@ impl World {
             shm_segs: BTreeMap::new(),
             registry,
             trace: Trace::disabled(),
+            obs: obs::Obs::new(),
             rng: DetRng::seed_from_u64(0xD317C9),
             spawn_hook: None,
             ext_slots: BTreeMap::new(),
@@ -227,8 +236,20 @@ impl World {
         p.env = env;
         self.procs.insert(pid, p);
         let pid = self.run_spawn_hook(sim, pid);
+        self.obs_note_process(pid);
         self.schedule_dispatch(sim, pid, Tid(0));
         pid
+    }
+
+    /// (Re-)register a process's display name with the observability layer,
+    /// keyed by (node, virtual pid) — the identity Perfetto tracks use.
+    pub fn obs_note_process(&mut self, pid: Pid) {
+        let Some(p) = self.procs.get(&pid) else {
+            return;
+        };
+        let vpid = p.virt_pid.unwrap_or(p.pid.0);
+        let name = format!("{} {}", self.nodes[p.node.0 as usize].hostname, p.cmd);
+        self.obs.set_process_name(p.node.0, vpid, name);
     }
 
     /// Invoke the checkpoint layer's injection hook for a new process;
@@ -276,10 +297,16 @@ impl World {
                 p.pid_map.clone(),
             )
         };
-        let mut child = Process::new(pid, parent, node, {
-            let p = &self.procs[&parent];
-            p.cmd.clone()
-        }, child_main);
+        let mut child = Process::new(
+            pid,
+            parent,
+            node,
+            {
+                let p = &self.procs[&parent];
+                p.cmd.clone()
+            },
+            child_main,
+        );
         child.mem = mem;
         child.env = env;
         child.ctty = ctty;
@@ -291,6 +318,7 @@ impl World {
         }
         self.procs.insert(pid, child);
         let pid = self.run_spawn_hook(sim, pid);
+        self.obs_note_process(pid);
         self.schedule_dispatch(sim, pid, Tid(0));
         pid
     }
@@ -453,19 +481,34 @@ impl World {
     pub fn retain_obj(&mut self, obj: FdObject) {
         match obj {
             FdObject::File(id) => {
-                self.open_files.get_mut(&id).expect("dangling file ref").refs += 1;
+                self.open_files
+                    .get_mut(&id)
+                    .expect("dangling file ref")
+                    .refs += 1;
             }
             FdObject::Sock(cid, end) => {
-                self.conns.get_mut(&cid).expect("dangling conn ref").end_refs[end as usize] += 1;
+                self.conns
+                    .get_mut(&cid)
+                    .expect("dangling conn ref")
+                    .end_refs[end as usize] += 1;
             }
             FdObject::Listener(lid) => {
-                self.listeners.get_mut(&lid).expect("dangling listener ref").refs += 1;
+                self.listeners
+                    .get_mut(&lid)
+                    .expect("dangling listener ref")
+                    .refs += 1;
             }
             FdObject::PtyMaster(pid) => {
-                self.ptys.get_mut(&pid).expect("dangling pty ref").master_refs += 1;
+                self.ptys
+                    .get_mut(&pid)
+                    .expect("dangling pty ref")
+                    .master_refs += 1;
             }
             FdObject::PtySlave(pid) => {
-                self.ptys.get_mut(&pid).expect("dangling pty ref").slave_refs += 1;
+                self.ptys
+                    .get_mut(&pid)
+                    .expect("dangling pty ref")
+                    .slave_refs += 1;
             }
         }
     }
@@ -596,6 +639,7 @@ impl World {
         let conn = self.conns.get_mut(&cid).expect("transmit on dead conn");
         conn.dirs[e].in_flight += n;
         conn.dirs[e].tx_total += n;
+        self.obs.metrics.add("oskit.net.tx_bytes", 0, n);
         let _ = cross;
         sim.at(arrival, move |w: &mut World, sim| {
             let Some(conn) = w.conns.get_mut(&cid) else {
@@ -614,7 +658,16 @@ impl World {
     /// returns the completion time. `/shared/...` routes to the SAN for
     /// SAN-attached nodes and to the NFS server (plus the sender NIC) for
     /// the rest; anything else is the node-local cached disk.
-    pub fn charge_storage_write(&mut self, now: Nanos, node: NodeId, path: &str, bytes: u64) -> Nanos {
+    pub fn charge_storage_write(
+        &mut self,
+        now: Nanos,
+        node: NodeId,
+        path: &str,
+        bytes: u64,
+    ) -> Nanos {
+        self.obs
+            .metrics
+            .add("oskit.storage.write_bytes", node.0 as u64, bytes);
         if path.starts_with(SHARED_MOUNT) {
             if (node.0 as usize) < self.spec.san_nodes {
                 self.san.transfer(now, bytes)
@@ -628,7 +681,16 @@ impl World {
     }
 
     /// Charge a read; same routing as writes.
-    pub fn charge_storage_read(&mut self, now: Nanos, node: NodeId, path: &str, bytes: u64) -> Nanos {
+    pub fn charge_storage_read(
+        &mut self,
+        now: Nanos,
+        node: NodeId,
+        path: &str,
+        bytes: u64,
+    ) -> Nanos {
+        self.obs
+            .metrics
+            .add("oskit.storage.read_bytes", node.0 as u64, bytes);
         if path.starts_with(SHARED_MOUNT) {
             if (node.0 as usize) < self.spec.san_nodes {
                 self.san.transfer(now, bytes)
@@ -671,9 +733,21 @@ impl World {
             use std::fmt::Write;
             let prot = format!(
                 "{}{}{}",
-                if r.prot & crate::mem::PROT_R != 0 { "r" } else { "-" },
-                if r.prot & crate::mem::PROT_W != 0 { "w" } else { "-" },
-                if r.prot & crate::mem::PROT_X != 0 { "x" } else { "-" },
+                if r.prot & crate::mem::PROT_R != 0 {
+                    "r"
+                } else {
+                    "-"
+                },
+                if r.prot & crate::mem::PROT_W != 0 {
+                    "w"
+                } else {
+                    "-"
+                },
+                if r.prot & crate::mem::PROT_X != 0 {
+                    "x"
+                } else {
+                    "-"
+                },
             );
             writeln!(
                 out,
@@ -813,7 +887,10 @@ mod tests {
     }
 
     fn world() -> (World, OsSim) {
-        (World::new(HwSpec::default(), 2, Registry::new()), Sim::new())
+        (
+            World::new(HwSpec::default(), 2, Registry::new()),
+            Sim::new(),
+        )
     }
 
     #[test]
@@ -823,7 +900,10 @@ mod tests {
             &mut sim,
             NodeId(0),
             "count",
-            Box::new(CountDown { left: 5, done_flag: 42 }),
+            Box::new(CountDown {
+                left: 5,
+                done_flag: 42,
+            }),
             Pid(1),
             BTreeMap::new(),
         );
@@ -831,7 +911,11 @@ mod tests {
         let p = &w.procs[&pid];
         assert_eq!(p.state, ProcState::Zombie(42));
         // 5 compute steps of 1 ms each.
-        assert!((sim.now().as_secs_f64() - 0.005).abs() < 1e-4, "now {:?}", sim.now());
+        assert!(
+            (sim.now().as_secs_f64() - 0.005).abs() < 1e-4,
+            "now {:?}",
+            sim.now()
+        );
         assert_eq!(w.reap(pid), Some(42));
         assert!(w.procs.is_empty());
     }
@@ -845,7 +929,10 @@ mod tests {
                 &mut sim,
                 NodeId(0),
                 "burn",
-                Box::new(CountDown { left: 10, done_flag: 0 }),
+                Box::new(CountDown {
+                    left: 10,
+                    done_flag: 0,
+                }),
                 Pid(1),
                 BTreeMap::new(),
             );
@@ -863,7 +950,10 @@ mod tests {
             &mut sim,
             NodeId(0),
             "count",
-            Box::new(CountDown { left: 100, done_flag: 7 }),
+            Box::new(CountDown {
+                left: 100,
+                done_flag: 7,
+            }),
             Pid(1),
             BTreeMap::new(),
         );
@@ -882,8 +972,10 @@ mod tests {
 
     #[test]
     fn pid_allocation_wraps_and_skips_live() {
-        let mut spec = HwSpec::default();
-        spec.pid_max = 6; // pids 2..5
+        let spec = HwSpec {
+            pid_max: 6, // pids 2..5
+            ..HwSpec::default()
+        };
         let mut w = World::new(spec, 1, Registry::new());
         let a = w.alloc_pid();
         assert_eq!(a, Pid(2));
@@ -893,7 +985,10 @@ mod tests {
             &mut sim,
             NodeId(0),
             "x",
-            Box::new(CountDown { left: u64::MAX, done_flag: 0 }),
+            Box::new(CountDown {
+                left: u64::MAX,
+                done_flag: 0,
+            }),
             Pid(1),
             BTreeMap::new(),
         );
@@ -934,7 +1029,11 @@ mod tests {
             Pid(1),
             BTreeMap::new(),
         );
-        w.procs.get_mut(&pid).unwrap().sig_actions.insert(sig::SIGUSR1, SigAction::Handler);
+        w.procs
+            .get_mut(&pid)
+            .unwrap()
+            .sig_actions
+            .insert(sig::SIGUSR1, SigAction::Handler);
         sim.run(&mut w);
         w.signal(&mut sim, pid, sig::SIGUSR1);
         sim.run(&mut w);
@@ -952,7 +1051,10 @@ mod tests {
             &mut sim,
             NodeId(0),
             "m",
-            Box::new(CountDown { left: 0, done_flag: 0 }),
+            Box::new(CountDown {
+                left: 0,
+                done_flag: 0,
+            }),
             Pid(1),
             BTreeMap::new(),
         );

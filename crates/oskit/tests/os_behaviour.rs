@@ -563,7 +563,10 @@ fn shared_memory_aliases_between_processes() {
         &mut sim,
         0,
         "r",
-        Box::new(ShmReader { pc: 0, ok: ok.clone() }),
+        Box::new(ShmReader {
+            pc: 0,
+            ok: ok.clone(),
+        }),
     );
     assert!(sim.run_bounded(&mut w, 100_000));
     assert!(*ok.borrow());
@@ -619,7 +622,10 @@ fn ssh_spawn_starts_remote_process_after_setup_delay() {
     );
     assert!(sim.run_bounded(&mut w, 10_000));
     let t = done.borrow().expect("remote ran");
-    assert!(t >= Nanos::from_millis(40), "ssh setup delay applied: {t:?}");
+    assert!(
+        t >= Nanos::from_millis(40),
+        "ssh setup delay applied: {t:?}"
+    );
 }
 
 // ---------------------------------------------------------------------

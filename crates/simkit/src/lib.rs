@@ -37,3 +37,4 @@ pub use rng::DetRng;
 pub use snap::{Snap, SnapError, SnapReader, SnapWriter};
 pub use stats::Summary;
 pub use time::Nanos;
+pub use trace::{Ring, Trace, TraceEvent};

@@ -269,7 +269,11 @@ mod tests {
         assert!(t1.as_secs_f64() < 0.2);
         // Writeback starts after the dirty timer; sync waits it out.
         let s = d.sync(t1);
-        assert!((s.as_secs_f64() - 3.0).abs() < 0.05, "got {}", s.as_secs_f64());
+        assert!(
+            (s.as_secs_f64() - 3.0).abs() < 0.05,
+            "got {}",
+            s.as_secs_f64()
+        );
     }
 
     #[test]

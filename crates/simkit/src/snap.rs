@@ -540,7 +540,13 @@ mod tests {
             B(u32),
             C(String, bool),
         }
-        impl_snap!(enum E { A, B(x), C(x, y) });
+        impl_snap!(
+            enum E {
+                A,
+                B(x),
+                C(x, y),
+            }
+        );
         roundtrip(E::A);
         roundtrip(E::B(42));
         roundtrip(E::C("hi".into(), false));
@@ -579,7 +585,12 @@ mod tests {
             A,
             B,
         }
-        impl_snap!(enum E { A, B });
+        impl_snap!(
+            enum E {
+                A,
+                B,
+            }
+        );
         let mut w = SnapWriter::new();
         w.put_varint(9);
         assert_eq!(
@@ -594,8 +605,7 @@ mod tests {
         for _ in 0..37 {
             r.next_u64();
         }
-        let mut copy =
-            crate::rng::DetRng::from_snap_bytes(&r.to_snap_bytes()).unwrap();
+        let mut copy = crate::rng::DetRng::from_snap_bytes(&r.to_snap_bytes()).unwrap();
         for _ in 0..100 {
             assert_eq!(copy.next_u64(), r.next_u64());
         }

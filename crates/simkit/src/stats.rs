@@ -17,6 +17,12 @@ pub struct Summary {
     pub min: f64,
     /// Largest observation.
     pub max: f64,
+    /// Median (nearest-rank 50th percentile).
+    pub p50: f64,
+    /// Nearest-rank 90th percentile.
+    pub p90: f64,
+    /// Nearest-rank 99th percentile.
+    pub p99: f64,
 }
 
 impl Summary {
@@ -41,14 +47,36 @@ impl Summary {
         } else {
             0.0
         };
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
         Summary {
             n,
             mean,
             stddev,
             min,
             max,
+            p50: percentile_sorted(&sorted, 50.0),
+            p90: percentile_sorted(&sorted, 90.0),
+            p99: percentile_sorted(&sorted, 99.0),
         }
     }
+
+    /// Nearest-rank percentile of the original sample, `p` in (0, 100].
+    pub fn percentile_of(xs: &[f64], p: f64) -> f64 {
+        assert!(!xs.is_empty(), "percentile of empty sample");
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+        percentile_sorted(&sorted, p)
+    }
+}
+
+/// Nearest-rank percentile on an already-sorted sample: the smallest
+/// observation such that at least `p`% of the sample is ≤ it.
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 /// Render a byte count the way the paper's axes do (MB = 2^20).
@@ -78,6 +106,33 @@ mod tests {
         assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
         assert_eq!(s.min, 2.0);
         assert_eq!(s.max, 9.0);
+        // Nearest-rank percentiles of the sorted set [2,4,4,4,5,5,7,9]:
+        // p50 → rank ceil(0.5·8)=4 → 4; p90 → rank ceil(0.9·8)=8 → 9.
+        assert_eq!(s.p50, 4.0);
+        assert_eq!(s.p90, 9.0);
+        assert_eq!(s.p99, 9.0);
+    }
+
+    #[test]
+    fn percentiles_on_known_datasets() {
+        // 1..=100: nearest-rank pXX of 100 items is exactly XX.
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p99, 99.0);
+        // Order must not matter.
+        let mut rev = xs.clone();
+        rev.reverse();
+        assert_eq!(Summary::of(&rev).p90, 90.0);
+        // Single observation: every percentile is that observation.
+        let one = Summary::of(&[7.5]);
+        assert_eq!((one.p50, one.p90, one.p99), (7.5, 7.5, 7.5));
+        // Small sample: [10, 20]: p50 is the first element, p90/p99 the last.
+        let two = Summary::of(&[20.0, 10.0]);
+        assert_eq!((two.p50, two.p90, two.p99), (10.0, 20.0, 20.0));
+        assert_eq!(Summary::percentile_of(&xs, 1.0), 1.0);
+        assert_eq!(Summary::percentile_of(&xs, 100.0), 100.0);
     }
 
     #[test]

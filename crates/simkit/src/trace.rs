@@ -5,8 +5,100 @@
 //! by default so the hot path costs one branch; tests switch them on to
 //! assert protocol *order* (e.g. "no process writes its image before every
 //! process passed the drain barrier").
+//!
+//! Storage is a bounded [`Ring`]: an enabled trace on a long simulation
+//! retains only the newest `capacity` events instead of growing without
+//! limit. The same ring type backs the span recorder in the `obs` crate.
 
 use crate::time::Nanos;
+
+/// Default number of events a [`Trace`] retains before evicting the oldest.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// A bounded buffer that keeps the newest `capacity` items.
+///
+/// Backed by a `Vec` whose contents stay contiguous (so readers get plain
+/// slices); overflow evicts the oldest half in one block, which amortizes to
+/// O(1) per push while guaranteeing `len() <= capacity()` after every push.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    cap: usize,
+    buf: Vec<T>,
+    evicted: u64,
+}
+
+impl<T> Ring<T> {
+    /// A ring retaining at most `capacity` items (clamped to at least 2).
+    pub fn new(capacity: usize) -> Self {
+        Ring {
+            cap: capacity.max(2),
+            buf: Vec::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Append an item, evicting the oldest items if the ring is full.
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() >= self.cap {
+            let drop_n = (self.cap / 2).max(1);
+            self.buf.drain(..drop_n);
+            self.evicted += drop_n as u64;
+        }
+        self.buf.push(item);
+    }
+
+    /// The retained items, oldest first.
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf
+    }
+
+    /// Iterate the retained items, oldest first.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.buf.iter()
+    }
+
+    /// Number of retained items.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Change the retention bound (evicts oldest items if shrinking).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.cap = capacity.max(2);
+        if self.buf.len() > self.cap {
+            let drop_n = self.buf.len() - self.cap;
+            self.buf.drain(..drop_n);
+            self.evicted += drop_n as u64;
+        }
+    }
+
+    /// How many items have been evicted since the last [`Ring::clear`].
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Drop everything (also resets the eviction counter).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.evicted = 0;
+    }
+}
+
+impl<T> Default for Ring<T> {
+    fn default() -> Self {
+        Ring::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
 
 /// One recorded trace event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,11 +111,12 @@ pub struct TraceEvent {
     pub detail: String,
 }
 
-/// An in-memory event trace.
+/// An in-memory event trace, bounded to [`DEFAULT_TRACE_CAPACITY`] events
+/// unless configured otherwise with [`Trace::with_capacity`].
 #[derive(Debug, Default)]
 pub struct Trace {
     enabled: bool,
-    events: Vec<TraceEvent>,
+    events: Ring<TraceEvent>,
 }
 
 impl Trace {
@@ -32,11 +125,19 @@ impl Trace {
         Trace::default()
     }
 
-    /// An enabled trace that records everything.
+    /// An enabled trace that records everything (up to the default bound).
     pub fn enabled() -> Self {
         Trace {
             enabled: true,
-            events: Vec::new(),
+            events: Ring::default(),
+        }
+    }
+
+    /// A disabled trace retaining at most `capacity` events once enabled.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            enabled: false,
+            events: Ring::new(capacity),
         }
     }
 
@@ -48,6 +149,21 @@ impl Trace {
     /// Turn recording on/off.
     pub fn set_enabled(&mut self, on: bool) {
         self.enabled = on;
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.events.capacity()
+    }
+
+    /// Change the retention bound (evicts oldest events if shrinking).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.events.set_capacity(capacity);
+    }
+
+    /// How many events the bound has evicted so far.
+    pub fn evicted(&self) -> u64 {
+        self.events.evicted()
     }
 
     /// Record an event (cheap no-op when disabled). `detail` is only
@@ -70,9 +186,9 @@ impl Trace {
         }
     }
 
-    /// All recorded events in emission order.
+    /// All retained events in emission order (oldest may have been evicted).
     pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+        self.events.as_slice()
     }
 
     /// Events with a given tag, in order.
@@ -80,9 +196,11 @@ impl Trace {
         self.events.iter().filter(move |e| e.tag == tag)
     }
 
-    /// Index of the first event with `tag` whose detail contains `needle`.
+    /// Index of the first retained event with `tag` whose detail contains
+    /// `needle`.
     pub fn position(&self, tag: &str, needle: &str) -> Option<usize> {
         self.events
+            .as_slice()
             .iter()
             .position(|e| e.tag == tag && e.detail.contains(needle))
     }
@@ -126,5 +244,38 @@ mod tests {
         assert_eq!(tags, vec!["first", "third"]);
         assert_eq!(t.position("b", "sec"), Some(1));
         assert_eq!(t.position("b", "zzz"), None);
+    }
+
+    #[test]
+    fn bounded_trace_keeps_newest() {
+        let mut t = Trace::with_capacity(8);
+        t.set_enabled(true);
+        for i in 0..100u64 {
+            t.emit(Nanos(i), "n", i.to_string());
+        }
+        assert!(t.events().len() <= 8);
+        assert_eq!(t.events().last().unwrap().detail, "99");
+        assert_eq!(t.evicted() as usize + t.events().len(), 100);
+        // Retained events stay in emission order.
+        let ats: Vec<u64> = t.events().iter().map(|e| e.at.0).collect();
+        let mut sorted = ats.clone();
+        sorted.sort_unstable();
+        assert_eq!(ats, sorted);
+    }
+
+    #[test]
+    fn ring_eviction_is_block_wise_and_counted() {
+        let mut r: Ring<u32> = Ring::new(4);
+        for i in 0..6 {
+            r.push(i);
+        }
+        // Overflow at the 5th push evicted the oldest half (0, 1).
+        assert_eq!(r.as_slice(), &[2, 3, 4, 5]);
+        assert_eq!(r.evicted(), 2);
+        r.set_capacity(2);
+        assert_eq!(r.as_slice(), &[4, 5]);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.evicted(), 0);
     }
 }

@@ -1,12 +1,18 @@
-//! Property-based tests for the simulation kernel.
+//! Randomized property tests for the simulation kernel, driven by the
+//! kernel's own deterministic RNG (the workspace builds offline, so there
+//! is no proptest dependency — seeds are fixed and failures reproducible).
 
-use proptest::prelude::*;
-use simkit::{Nanos, Sim, Snap};
+use simkit::{DetRng, Nanos, Sim, Snap};
 
-proptest! {
-    /// Any schedule of (time, id) pairs fires in (time, insertion) order.
-    #[test]
-    fn events_fire_in_time_then_insertion_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+const CASES: u64 = 64;
+
+/// Any schedule of (time, id) pairs fires in (time, insertion) order.
+#[test]
+fn events_fire_in_time_then_insertion_order() {
+    let mut rng = DetRng::seed_from_u64(0xE1E1);
+    for case in 0..CASES {
+        let n = rng.range(1, 200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.below(1_000_000)).collect();
         let mut sim: Sim<Vec<(u64, usize)>> = Sim::new();
         let mut fired = Vec::new();
         for (i, &t) in times.iter().enumerate() {
@@ -16,61 +22,116 @@ proptest! {
 
         let mut expect: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
         expect.sort_by_key(|&(t, i)| (t, i));
-        prop_assert_eq!(fired, expect);
+        assert_eq!(fired, expect, "case {case}");
     }
+}
 
-    /// Varints roundtrip for arbitrary u64 values.
-    #[test]
-    fn varint_roundtrip(v in any::<u64>()) {
-        prop_assert_eq!(u64::from_snap_bytes(&v.to_snap_bytes()).unwrap(), v);
+/// Varints roundtrip for arbitrary u64 values (and the edge cases).
+#[test]
+fn varint_roundtrip() {
+    let mut rng = DetRng::seed_from_u64(0xA11);
+    let mut vals = vec![0u64, 1, 127, 128, u64::MAX, u64::MAX - 1];
+    vals.extend((0..256).map(|_| rng.next_u64()));
+    vals.extend((0..64).map(|b| 1u64 << b));
+    for v in vals {
+        assert_eq!(u64::from_snap_bytes(&v.to_snap_bytes()).unwrap(), v);
     }
+}
 
-    /// Zig-zag signed encoding roundtrips.
-    #[test]
-    fn signed_roundtrip(v in any::<i64>()) {
-        prop_assert_eq!(i64::from_snap_bytes(&v.to_snap_bytes()).unwrap(), v);
+/// Zig-zag signed encoding roundtrips.
+#[test]
+fn signed_roundtrip() {
+    let mut rng = DetRng::seed_from_u64(0x516);
+    let mut vals = vec![0i64, 1, -1, i64::MIN, i64::MAX];
+    vals.extend((0..256).map(|_| rng.next_u64() as i64));
+    for v in vals {
+        assert_eq!(i64::from_snap_bytes(&v.to_snap_bytes()).unwrap(), v);
     }
+}
 
-    /// Nested containers roundtrip.
-    #[test]
-    fn nested_roundtrip(v in proptest::collection::vec(
-        (any::<u32>(), proptest::option::of(".*"), proptest::collection::vec(any::<i32>(), 0..8)),
-        0..32,
-    )) {
-        let v: Vec<(u32, Option<String>, Vec<i32>)> = v;
+fn rand_string(rng: &mut DetRng) -> String {
+    let n = rng.below(12) as usize;
+    (0..n)
+        .map(|_| char::from_u32(rng.range(32, 0x2FF) as u32).unwrap_or('?'))
+        .collect()
+}
+
+/// Nested containers roundtrip.
+#[test]
+fn nested_roundtrip() {
+    let mut rng = DetRng::seed_from_u64(0xB0B);
+    for case in 0..CASES {
+        let n = rng.below(32) as usize;
+        let v: Vec<(u32, Option<String>, Vec<i32>)> = (0..n)
+            .map(|_| {
+                let opt = if rng.chance(0.5) {
+                    Some(rand_string(&mut rng))
+                } else {
+                    None
+                };
+                let inner: Vec<i32> = (0..rng.below(8)).map(|_| rng.next_u32() as i32).collect();
+                (rng.next_u32(), opt, inner)
+            })
+            .collect();
         let bytes = v.to_snap_bytes();
-        prop_assert_eq!(<Vec<(u32, Option<String>, Vec<i32>)>>::from_snap_bytes(&bytes).unwrap(), v);
+        assert_eq!(
+            <Vec<(u32, Option<String>, Vec<i32>)>>::from_snap_bytes(&bytes).unwrap(),
+            v,
+            "case {case}"
+        );
     }
+}
 
-    /// Arbitrary byte garbage never panics the decoder.
-    #[test]
-    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// Arbitrary byte garbage never panics the decoder.
+#[test]
+fn decoder_is_total() {
+    let mut rng = DetRng::seed_from_u64(0xDEC0);
+    for _ in 0..512 {
+        let n = rng.below(256) as usize;
+        let mut bytes = vec![0u8; n];
+        rng.fill_bytes(&mut bytes);
         let _ = <Vec<(u32, String)>>::from_snap_bytes(&bytes);
         let _ = <Option<Vec<u64>>>::from_snap_bytes(&bytes);
         let _ = String::from_snap_bytes(&bytes);
     }
+}
 
-    /// The FIFO pipe never completes a later request before an earlier one,
-    /// and total busy time equals bytes/rate.
-    #[test]
-    fn pipe_is_fifo_and_work_conserving(sizes in proptest::collection::vec(1u64..10_000_000, 1..50)) {
+/// The FIFO pipe never completes a later request before an earlier one,
+/// and total busy time equals bytes/rate.
+#[test]
+fn pipe_is_fifo_and_work_conserving() {
+    let mut rng = DetRng::seed_from_u64(0xF1F0);
+    for case in 0..CASES {
+        let sizes: Vec<u64> = (0..rng.range(1, 50))
+            .map(|_| rng.range(1, 10_000_000))
+            .collect();
         let rate = 1_000_000.0; // 1 MB/s
         let mut pipe = simkit::resource::Pipe::new(rate);
         let mut last = Nanos::ZERO;
         for &s in &sizes {
             let end = pipe.transfer(Nanos::ZERO, s);
-            prop_assert!(end >= last);
+            assert!(end >= last, "case {case}: FIFO violated");
             last = end;
         }
         let total: u64 = sizes.iter().sum();
         let expect = total as f64 / rate;
-        prop_assert!((last.as_secs_f64() - expect).abs() < 1e-3 * sizes.len() as f64);
+        assert!(
+            (last.as_secs_f64() - expect).abs() < 1e-3 * sizes.len() as f64,
+            "case {case}: not work-conserving"
+        );
     }
+}
 
-    /// CorePool with one core equals a FIFO queue; with many cores, makespan
-    /// is never worse than one core and never better than critical path.
-    #[test]
-    fn core_pool_bounds(durs in proptest::collection::vec(1u64..1_000_000u64, 1..40), cores in 1usize..8) {
+/// CorePool with one core equals a FIFO queue; with many cores, makespan
+/// is never worse than one core and never better than critical path.
+#[test]
+fn core_pool_bounds() {
+    let mut rng = DetRng::seed_from_u64(0xC0DE);
+    for case in 0..CASES {
+        let durs: Vec<u64> = (0..rng.range(1, 40))
+            .map(|_| rng.range(1, 1_000_000))
+            .collect();
+        let cores = rng.range(1, 8) as usize;
         let mut pool = simkit::resource::CorePool::new(cores);
         let mut makespan = Nanos::ZERO;
         for &d in &durs {
@@ -79,8 +140,8 @@ proptest! {
         }
         let total: u64 = durs.iter().sum();
         let longest = *durs.iter().max().unwrap();
-        prop_assert!(makespan.0 >= total / cores as u64);
-        prop_assert!(makespan.0 >= longest);
-        prop_assert!(makespan.0 <= total);
+        assert!(makespan.0 >= total / cores as u64, "case {case}");
+        assert!(makespan.0 >= longest, "case {case}");
+        assert!(makespan.0 <= total, "case {case}");
     }
 }

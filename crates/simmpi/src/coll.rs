@@ -76,16 +76,19 @@ impl CollOp {
                 rt.send(0, tag, b"");
                 self.sent = true;
             }
-            match rt.recv_or_block(k, 0, tag) {
-                Some(_) => true,
-                None => false,
-            }
+            rt.recv_or_block(k, 0, tag).is_some()
         }
     }
 
     /// Broadcast `data` from `root`; non-roots receive into `data`.
     /// True when complete.
-    pub fn bcast(&mut self, rt: &mut MpiRt, k: &mut Kernel<'_>, root: u32, data: &mut Vec<u8>) -> bool {
+    pub fn bcast(
+        &mut self,
+        rt: &mut MpiRt,
+        k: &mut Kernel<'_>,
+        root: u32,
+        data: &mut Vec<u8>,
+    ) -> bool {
         let tag = tag_for(KIND_BCAST, self.seq);
         if rt.rank == root {
             if !self.sent {

@@ -74,9 +74,7 @@ pub fn mpirun(
     let rank_hosts: Vec<String> = job
         .nodes
         .iter()
-        .flat_map(|n| {
-            std::iter::repeat_n(w.node(*n).hostname.clone(), job.procs_per_node)
-        })
+        .flat_map(|n| std::iter::repeat_n(w.node(*n).hostname.clone(), job.procs_per_node))
         .collect();
     let daemon_hosts: Vec<String> = job
         .nodes
@@ -96,7 +94,14 @@ pub fn mpirun(
         Flavor::OpenMpi => "orterun",
     };
     match launcher {
-        Launcher::Raw => w.spawn(sim, job.nodes[0], cmd, Box::new(console), Pid(1), BTreeMap::new()),
+        Launcher::Raw => w.spawn(
+            sim,
+            job.nodes[0],
+            cmd,
+            Box::new(console),
+            Pid(1),
+            BTreeMap::new(),
+        ),
         Launcher::Dmtcp(s) => s.launch(w, sim, job.nodes[0], cmd, Box::new(console)),
     }
 }

@@ -58,7 +58,13 @@ pub enum InitPhase {
     /// Fully connected.
     Ready,
 }
-impl_snap!(enum InitPhase { Fresh, Wiring, Ready });
+impl_snap!(
+    enum InitPhase {
+        Fresh,
+        Wiring,
+        Ready,
+    }
+);
 
 /// The embedded MPI runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -325,7 +331,12 @@ mod tests {
 
     #[test]
     fn rt_state_snap_roundtrips_mid_flight() {
-        let mut rt = MpiRt::new(1, 4, 30_000, vec!["a".into(), "b".into(), "c".into(), "d".into()]);
+        let mut rt = MpiRt::new(
+            1,
+            4,
+            30_000,
+            vec!["a".into(), "b".into(), "c".into(), "d".into()],
+        );
         rt.send(0, 7, b"hello");
         rt.inbox[2].push(MpiMsg {
             tag: 9,
@@ -340,9 +351,18 @@ mod tests {
     #[test]
     fn try_recv_matches_tag_in_fifo_order() {
         let mut rt = MpiRt::new(0, 2, 30_000, vec!["a".into(), "b".into()]);
-        rt.inbox[1].push(MpiMsg { tag: 1, data: vec![1] });
-        rt.inbox[1].push(MpiMsg { tag: 2, data: vec![2] });
-        rt.inbox[1].push(MpiMsg { tag: 1, data: vec![3] });
+        rt.inbox[1].push(MpiMsg {
+            tag: 1,
+            data: vec![1],
+        });
+        rt.inbox[1].push(MpiMsg {
+            tag: 2,
+            data: vec![2],
+        });
+        rt.inbox[1].push(MpiMsg {
+            tag: 1,
+            data: vec![3],
+        });
         assert_eq!(rt.try_recv(1, 2), Some(vec![2]));
         assert_eq!(rt.try_recv(1, 1), Some(vec![1]));
         assert_eq!(rt.try_recv(1, 1), Some(vec![3]));

@@ -69,7 +69,9 @@ impl Program for IterRank {
                 2 => {
                     let contrib = [self.local];
                     let mut out = std::mem::take(&mut self.global);
-                    let done = self.coll.allreduce_sum_f64(&mut self.rt, k, &contrib, &mut out);
+                    let done = self
+                        .coll
+                        .allreduce_sum_f64(&mut self.rt, k, &contrib, &mut out);
                     self.global = out;
                     if !done {
                         return Step::Block;
@@ -129,7 +131,13 @@ fn world(nodes: usize) -> (World, OsSim) {
 
 fn mpi_reference(nodes: usize, ppn: usize, iters: u32, flavor: Flavor) -> String {
     let (mut w, mut sim) = world(nodes);
-    mpirun(&mut w, &mut sim, Launcher::Raw, &job(nodes, ppn, flavor), iter_factory(iters));
+    mpirun(
+        &mut w,
+        &mut sim,
+        Launcher::Raw,
+        &job(nodes, ppn, flavor),
+        iter_factory(iters),
+    );
     assert!(sim.run_bounded(&mut w, EV), "reference MPI run deadlocked");
     String::from_utf8(w.shared_fs.read_all("/shared/mpi_result").expect("result")).expect("utf8")
 }
@@ -147,7 +155,13 @@ fn allreduce_converges_identically_for_both_flavors() {
 #[test]
 fn management_processes_exist_and_tear_down() {
     let (mut w, mut sim) = world(3);
-    mpirun(&mut w, &mut sim, Launcher::Raw, &job(3, 2, Flavor::Mpich2), iter_factory(1000));
+    mpirun(
+        &mut w,
+        &mut sim,
+        Launcher::Raw,
+        &job(3, 2, Flavor::Mpich2),
+        iter_factory(1000),
+    );
     // Mid-run: console + 3 daemons + 6 ranks alive.
     sim.run_until(&mut w, Nanos::from_millis(60));
     let alive = w.live_procs();
@@ -180,7 +194,10 @@ fn mpi_job_checkpoint_kill_restart_same_answer() {
     run_for(&mut w, &mut sim, Nanos::from_millis(150)); // mid-iterations
     let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
     // console + 2 daemons + 4 ranks = 7 traced processes.
-    assert_eq!(stat.participants, 7, "management processes are checkpointed too");
+    assert_eq!(
+        stat.participants, 7,
+        "management processes are checkpointed too"
+    );
     let gen = stat.gen;
     s.kill_computation(&mut w, &mut sim);
     let _ = w.shared_fs.remove("/shared/mpi_result");
@@ -243,9 +260,8 @@ impl Program for GeantRank {
                     rs.sort_by_key(|(t, _, _)| *t);
                     let mut acc = 0u64;
                     for (_, _, payload) in rs {
-                        acc = acc.wrapping_add(u64::from_le_bytes(
-                            payload[..8].try_into().expect("8"),
-                        ));
+                        acc = acc
+                            .wrapping_add(u64::from_le_bytes(payload[..8].try_into().expect("8")));
                     }
                     let fd = k.open("/shared/topc_result", true).expect("result");
                     k.write(fd, format!("{acc}").as_bytes()).expect("w");
@@ -307,7 +323,13 @@ fn geant_factory(tasks: u32) -> simmpi::launch::RankFactory {
 
 fn topc_reference(tasks: u32) -> String {
     let (mut w, mut sim) = world(2);
-    mpirun(&mut w, &mut sim, Launcher::Raw, &job(2, 2, Flavor::Mpich2), geant_factory(tasks));
+    mpirun(
+        &mut w,
+        &mut sim,
+        Launcher::Raw,
+        &job(2, 2, Flavor::Mpich2),
+        geant_factory(tasks),
+    );
     assert!(sim.run_bounded(&mut w, EV));
     String::from_utf8(w.shared_fs.read_all("/shared/topc_result").expect("result")).expect("utf8")
 }

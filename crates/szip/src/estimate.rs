@@ -86,7 +86,11 @@ mod tests {
         let exact = crate::compressed_len(&data);
         let e = SizeEstimator::default();
         let sample = &data[..e.sample_len as usize];
-        let est = e.extrapolate(data.len() as u64, sample.len() as u64, crate::compressed_len(sample));
+        let est = e.extrapolate(
+            data.len() as u64,
+            sample.len() as u64,
+            crate::compressed_len(sample),
+        );
         let err = (est as f64 - exact as f64).abs() / exact as f64;
         assert!(err < 0.05, "estimate off by {:.1}%", err * 100.0);
     }

@@ -220,7 +220,11 @@ pub enum BlockError {
 }
 
 /// Decompress one block; `raw_len` is the declared decompressed size.
-pub fn decompress_block(payload: &[u8], raw_len: usize, out: &mut Vec<u8>) -> Result<(), BlockError> {
+pub fn decompress_block(
+    payload: &[u8],
+    raw_len: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), BlockError> {
     let base = out.len();
     let target = base + raw_len;
     let mut i = 0usize;

@@ -328,7 +328,10 @@ mod tests {
 
     #[test]
     fn bad_magic_detected() {
-        assert_eq!(crate::decompress(b"GZIP....").unwrap_err(), SzipError::BadMagic);
+        assert_eq!(
+            crate::decompress(b"GZIP....").unwrap_err(),
+            SzipError::BadMagic
+        );
     }
 
     #[test]

@@ -1,70 +1,120 @@
-//! Property tests: szip must be a lossless codec for arbitrary inputs and a
-//! total function over arbitrary compressed garbage.
+//! Randomized tests: szip must be a lossless codec for arbitrary inputs and
+//! a total function over arbitrary compressed garbage. Driven by simkit's
+//! deterministic RNG (fixed seeds, offline-friendly — no proptest).
 
-use proptest::prelude::*;
+use simkit::DetRng;
 
-fn arb_input() -> impl Strategy<Value = Vec<u8>> {
-    prop_oneof![
-        // fully arbitrary bytes
-        proptest::collection::vec(any::<u8>(), 0..20_000),
-        // runs of a single byte (stress overlapping matches)
-        (any::<u8>(), 0usize..200_000).prop_map(|(b, n)| vec![b; n]),
-        // repeated phrases (stress long-range matches within a block)
-        (proptest::collection::vec(any::<u8>(), 1..64), 1usize..2_000)
-            .prop_map(|(unit, reps)| unit.iter().copied().cycle().take(unit.len() * reps).collect()),
-        // block-boundary straddlers
-        (any::<u8>(), (szip::stream::BLOCK - 3)..(szip::stream::BLOCK + 3))
-            .prop_map(|(b, n)| (0..n).map(|i| b.wrapping_add((i % 7) as u8)).collect()),
-    ]
+/// One input per adversarial family, sized by `rng`:
+/// arbitrary bytes, single-byte runs (overlapping matches), repeated
+/// phrases (long-range in-block matches), and block-boundary straddlers.
+fn gen_input(rng: &mut DetRng) -> Vec<u8> {
+    match rng.below(4) {
+        0 => {
+            let mut v = vec![0u8; rng.below(20_000) as usize];
+            rng.fill_bytes(&mut v);
+            v
+        }
+        1 => vec![rng.next_u32() as u8; rng.below(200_000) as usize],
+        2 => {
+            let unit: Vec<u8> = {
+                let mut u = vec![0u8; rng.range(1, 64) as usize];
+                rng.fill_bytes(&mut u);
+                u
+            };
+            let reps = rng.range(1, 2_000) as usize;
+            unit.iter()
+                .copied()
+                .cycle()
+                .take(unit.len() * reps)
+                .collect()
+        }
+        _ => {
+            let b = rng.next_u32() as u8;
+            let n = rng.range(
+                (szip::stream::BLOCK - 3) as u64,
+                (szip::stream::BLOCK + 3) as u64,
+            );
+            (0..n).map(|i| b.wrapping_add((i % 7) as u8)).collect()
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn roundtrip(input in arb_input()) {
+#[test]
+fn roundtrip() {
+    let mut rng = DetRng::seed_from_u64(0x5A1F_0001);
+    for case in 0..CASES {
+        let input = gen_input(&mut rng);
         let comp = szip::compress(&input);
-        prop_assert_eq!(szip::decompress(&comp).unwrap(), input);
+        assert_eq!(szip::decompress(&comp).unwrap(), input, "case {case}");
     }
+}
 
-    #[test]
-    fn counting_matches_materializing(input in arb_input()) {
-        prop_assert_eq!(szip::compressed_len(&input), szip::compress(&input).len() as u64);
+#[test]
+fn counting_matches_materializing() {
+    let mut rng = DetRng::seed_from_u64(0x5A1F_0002);
+    for case in 0..CASES {
+        let input = gen_input(&mut rng);
+        assert_eq!(
+            szip::compressed_len(&input),
+            szip::compress(&input).len() as u64,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn chunking_is_invisible(input in arb_input(), chunk in 1usize..10_000) {
+#[test]
+fn chunking_is_invisible() {
+    let mut rng = DetRng::seed_from_u64(0x5A1F_0003);
+    for case in 0..CASES {
+        let input = gen_input(&mut rng);
+        let chunk = rng.range(1, 10_000) as usize;
         let whole = szip::compress(&input);
         let mut c = szip::Compressor::new();
         for part in input.chunks(chunk) {
             c.write(part);
         }
-        prop_assert_eq!(c.finish(), whole);
+        assert_eq!(c.finish(), whole, "case {case} (chunk {chunk})");
     }
+}
 
-    #[test]
-    fn decompressor_never_panics_on_garbage(mut garbage in proptest::collection::vec(any::<u8>(), 0..4096)) {
+#[test]
+fn decompressor_never_panics_on_garbage() {
+    let mut rng = DetRng::seed_from_u64(0x5A1F_0004);
+    for _ in 0..256 {
+        let mut garbage = vec![0u8; rng.below(4096) as usize];
+        rng.fill_bytes(&mut garbage);
         let _ = szip::decompress(&garbage);
         // Also with a valid magic prepended.
         let mut with_magic = szip::stream::MAGIC.to_vec();
         with_magic.append(&mut garbage);
         let _ = szip::decompress(&with_magic);
     }
+}
 
-    #[test]
-    fn corrupting_one_byte_never_yields_wrong_data_silently(input in proptest::collection::vec(any::<u8>(), 64..4096), flip in any::<(usize, u8)>()) {
+#[test]
+fn corrupting_one_byte_never_yields_wrong_data_silently() {
+    let mut rng = DetRng::seed_from_u64(0x5A1F_0005);
+    for case in 0..CASES {
+        let mut input = vec![0u8; rng.range(64, 4096) as usize];
+        rng.fill_bytes(&mut input);
         // Either decode fails, or it succeeds; if it succeeds with different
         // bytes than the original, the CRC the image layer stores alongside
         // must catch it. Emulate that contract here.
         let comp = szip::compress(&input);
         let crc = szip::crc32(&input);
         let mut bad = comp.clone();
-        let idx = flip.0 % bad.len();
-        let delta = if flip.1 == 0 { 1 } else { flip.1 };
+        let idx = rng.below(bad.len() as u64) as usize;
+        let delta = (rng.range(1, 256)) as u8;
         bad[idx] ^= delta;
         if let Ok(out) = szip::decompress(&bad) {
             if out != input {
-                prop_assert_ne!(szip::crc32(&out), crc, "corruption escaped CRC");
+                assert_ne!(
+                    szip::crc32(&out),
+                    crc,
+                    "case {case}: corruption escaped CRC"
+                );
             }
         }
     }

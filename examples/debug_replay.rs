@@ -31,9 +31,12 @@ impl Program for Buggy {
             }
             1 => {
                 self.iter += 1;
-                self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(self.iter);
+                self.state = self
+                    .state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(self.iter);
                 // Record a heartbeat so the "developer" can see progress.
-                if self.iter % 100 == 0 {
+                if self.iter.is_multiple_of(100) {
                     let fd = k.open("/shared/heartbeat", true).expect("hb");
                     k.write(fd, format!("{}:{}", self.iter, self.state).as_bytes())
                         .expect("w");
@@ -70,7 +73,11 @@ fn main() {
         &mut sim,
         NodeId(0),
         "simulation",
-        Box::new(Buggy { pc: 0, iter: 0, state: 1 }),
+        Box::new(Buggy {
+            pc: 0,
+            iter: 0,
+            state: 1,
+        }),
     );
 
     // Checkpoint just before the bug (iteration ≈ 690 of 750).

@@ -67,7 +67,10 @@ fn main() {
     let everything_here = |_host: &str| NodeId(0);
     session2.restart_from_script(&mut laptop, &mut sim2, &script, &everything_here, stat.gen);
     Session::wait_restart_done(&mut laptop, &mut sim2, stat.gen, EV);
-    println!("laptop: all {} processes restored on one machine", stat.participants);
+    println!(
+        "laptop: all {} processes restored on one machine",
+        stat.participants
+    );
 
     assert!(sim2.run_bounded(&mut laptop, EV), "laptop run deadlocked");
     let residual = String::from_utf8(

@@ -7,7 +7,7 @@
 use dmtcp::session::run_for;
 use dmtcp::{Options, Session};
 use oskit::program::{Program, Registry, Step};
-use oskit::world::{NodeId, Pid, World};
+use oskit::world::{NodeId, World};
 use oskit::{Errno, Fd, HwSpec, Kernel};
 use simkit::{Nanos, Sim, Snap};
 
@@ -82,7 +82,8 @@ impl Program for Logger {
                 2 => match k.read(self.cfd, 8 - self.buf.len()) {
                     Ok(b) if b.is_empty() => {
                         let fd = k.open("/shared/final_count", true).expect("result");
-                        k.write(fd, self.last.to_string().as_bytes()).expect("write");
+                        k.write(fd, self.last.to_string().as_bytes())
+                            .expect("write");
                         return Step::Exit(0);
                     }
                     Ok(b) => {
@@ -126,12 +127,31 @@ fn main() {
             ..Options::default()
         },
     );
-    session.launch(&mut w, &mut sim, NodeId(1), "logger", Box::new(Logger {
-        pc: 0, lfd: -1, cfd: -1, last: 0, buf: Vec::new(),
-    }));
-    session.launch(&mut w, &mut sim, NodeId(0), "counter", Box::new(Counter {
-        pc: 0, fd: -1, n: 0, target: 500,
-    }));
+    session.launch(
+        &mut w,
+        &mut sim,
+        NodeId(1),
+        "logger",
+        Box::new(Logger {
+            pc: 0,
+            lfd: -1,
+            cfd: -1,
+            last: 0,
+            buf: Vec::new(),
+        }),
+    );
+    session.launch(
+        &mut w,
+        &mut sim,
+        NodeId(0),
+        "counter",
+        Box::new(Counter {
+            pc: 0,
+            fd: -1,
+            n: 0,
+            target: 500,
+        }),
+    );
 
     // Let it run a while, then checkpoint (dmtcp_command --checkpoint).
     run_for(&mut w, &mut sim, Nanos::from_millis(100));
@@ -146,7 +166,10 @@ fn main() {
     // Disaster strikes.
     run_for(&mut w, &mut sim, Nanos::from_millis(30));
     session.kill_computation(&mut w, &mut sim);
-    println!("killed the computation; {} process(es) left", w.live_procs());
+    println!(
+        "killed the computation; {} process(es) left",
+        w.live_procs()
+    );
 
     // dmtcp_restart_script.sh
     let script = Session::parse_restart_script(&w);
@@ -154,13 +177,22 @@ fn main() {
         .iter()
         .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
         .collect();
-    let remap = move |h: &str| hosts.iter().find(|(n, _)| n == h).map(|(_, x)| *x).expect("host");
+    let remap = move |h: &str| {
+        hosts
+            .iter()
+            .find(|(n, _)| n == h)
+            .map(|(_, x)| *x)
+            .expect("host")
+    };
     session.restart_from_script(&mut w, &mut sim, &script, &remap, stat.gen);
     Session::wait_restart_done(&mut w, &mut sim, stat.gen, 10_000_000);
     println!("restarted; computation resumes from the checkpoint");
 
     // Run to completion and verify.
-    assert!(sim.run_bounded(&mut w, 10_000_000), "deadlock after restart");
+    assert!(
+        sim.run_bounded(&mut w, 10_000_000),
+        "deadlock after restart"
+    );
     let result = String::from_utf8(w.shared_fs.read_all("/shared/final_count").expect("result"))
         .expect("utf8");
     println!("final count: {result} (expected 500)");

@@ -105,7 +105,11 @@ fn revert_to_an_earlier_generation() {
     let spec = apps::desktop::spec_by_name("python").expect("python");
     apps::desktop::launch_desktop(&mut w, &mut sim, Some(&s), NodeId(0), spec, 5);
     run_for(&mut w, &mut sim, Nanos::from_secs(4));
-    let gens: Vec<u64> = coord_shared(&mut w).gen_stats.iter().map(|g| g.gen).collect();
+    let gens: Vec<u64> = coord_shared(&mut w)
+        .gen_stats
+        .iter()
+        .map(|g| g.gen)
+        .collect();
     assert!(gens.len() >= 3, "interval checkpoints: {gens:?}");
     // Images for every generation exist on disk.
     for g in &gens {
