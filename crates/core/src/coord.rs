@@ -11,10 +11,10 @@
 use crate::gsid::{global, Gsid};
 use crate::proto::{frame, FrameBuf, Msg};
 use oskit::program::{Program, Step};
-use oskit::world::{Pid, Tid, World};
+use oskit::world::{NodeId, Pid, Tid, World};
 use oskit::{Errno, Fd, Kernel};
 use simkit::Nanos;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Default coordinator port (the real default is 7779).
 pub const COORD_PORT: u16 = 7779;
@@ -62,6 +62,10 @@ pub struct GenStat {
     pub releases: BTreeMap<u8, Nanos>,
     /// Number of participating processes.
     pub participants: u32,
+    /// The generation was abandoned (a participant died mid-protocol); its
+    /// images, if any, must not be trusted and no restart script was
+    /// written for it.
+    pub aborted: bool,
 }
 
 impl GenStat {
@@ -127,10 +131,25 @@ pub struct Coordinator {
     gen: u64,
     in_progress: bool,
     expected: u32,
-    barrier_counts: BTreeMap<(u64, u8), u32>,
+    /// Virtual pids that reached each pending barrier (set, not count, so
+    /// retransmitted `BarrierReached` messages are idempotent).
+    barrier_counts: BTreeMap<(u64, u8), BTreeSet<u32>>,
+    /// Barriers already released; a late `BarrierReached` for one of these
+    /// means our release may have been lost — re-send it to that client.
+    released: BTreeSet<(u64, u8)>,
+    /// Generations abandoned mid-protocol; stale messages for them are
+    /// dropped silently.
+    aborted_gens: BTreeSet<u64>,
     discovery: BTreeMap<Gsid, (String, u16)>,
     requested_at: Nanos,
+    /// Retransmit deadline for the in-flight `CkptRequest` (the one
+    /// coordinator message with no manager-side retry).
+    retry_at: Option<Nanos>,
+    retry_backoff: Nanos,
 }
+
+/// Initial `CkptRequest` retransmit timeout (doubles on each retry).
+const CKPT_RETRY_INITIAL: Nanos = Nanos(50_000_000); // 50 ms
 
 impl Coordinator {
     /// A coordinator listening on `port`, checkpointing every `interval`
@@ -145,19 +164,38 @@ impl Coordinator {
             in_progress: false,
             expected: 0,
             barrier_counts: BTreeMap::new(),
+            released: BTreeSet::new(),
+            aborted_gens: BTreeSet::new(),
             discovery: BTreeMap::new(),
             requested_at: Nanos::ZERO,
+            retry_at: None,
+            retry_backoff: CKPT_RETRY_INITIAL,
+        }
+    }
+
+    fn send_to(&self, k: &mut Kernel<'_>, fd: Fd, msg: &Msg) {
+        let bytes = frame(msg);
+        match k.write(fd, &bytes) {
+            Ok(n) => assert_eq!(n, bytes.len(), "coordinator socket full"),
+            // The client died; EOF reaping will remove it shortly.
+            Err(Errno::Pipe) | Err(Errno::BadFd) => {}
+            Err(e) => panic!("coordinator send: {e:?}"),
         }
     }
 
     fn broadcast(&mut self, k: &mut Kernel<'_>, msg: &Msg) {
-        let bytes = frame(msg);
-        for c in &self.clients {
-            // Coordinator frames are tiny; a full window here means a hung
-            // client, which the simulation treats as fatal.
-            let n = k.write(c.fd, &bytes).expect("coordinator broadcast");
-            assert_eq!(n, bytes.len(), "coordinator socket full");
+        let fds: Vec<Fd> = self.clients.iter().map(|c| c.fd).collect();
+        for fd in fds {
+            self.send_to(k, fd, msg);
         }
+    }
+
+    /// Arm a wake-up for this process `dt` from now.
+    fn arm_timer(&self, k: &mut Kernel<'_>, dt: Nanos) {
+        let pid = k.getpid_real();
+        k.sim.after(dt, move |w: &mut World, sim| {
+            w.wake(sim, (pid, Tid(0)));
+        });
     }
 
     fn start_checkpoint(&mut self, k: &mut Kernel<'_>) {
@@ -182,9 +220,60 @@ impl Coordinator {
             requested_at: self.requested_at,
             releases: BTreeMap::new(),
             participants: self.expected,
+            aborted: false,
         });
         coord_shared(k.w).last_images.clear();
+        // Generation numbers can be reused after a restart rolled the
+        // counter back; drop any stale barrier state for this one.
+        self.aborted_gens.remove(&gen);
+        self.barrier_counts.retain(|(g, _), _| *g != gen);
+        self.released.retain(|(g, _)| *g != gen);
         self.broadcast(k, &Msg::CkptRequest(self.gen));
+        // The request is the one coordinator message with no manager-side
+        // retransmission; arm a retry in case the network eats it.
+        self.retry_backoff = CKPT_RETRY_INITIAL;
+        self.retry_at = Some(k.now() + self.retry_backoff);
+        self.arm_timer(k, self.retry_backoff);
+        let candidates = traced_candidates(k);
+        let coord_node = k.node();
+        faultkit::checkpoint_requested(k.w, k.sim, gen, stage::SUSPENDED, &candidates, coord_node);
+    }
+
+    /// Abandon the in-flight generation: a participant died mid-protocol.
+    /// Survivors are told to roll back and resume computing; the
+    /// generation's images (if any) are never listed in a restart script.
+    fn abort_generation(&mut self, k: &mut Kernel<'_>) {
+        if !self.in_progress {
+            return;
+        }
+        let gen = self.gen;
+        self.in_progress = false;
+        self.retry_at = None;
+        self.aborted_gens.insert(gen);
+        self.barrier_counts.retain(|(g, _), _| *g != gen);
+        self.released.retain(|(g, _)| *g != gen);
+        if let Some(gs) = coord_shared(k.w)
+            .gen_stats
+            .iter_mut()
+            .rev()
+            .find(|g| g.gen == gen)
+        {
+            gs.aborted = true;
+        }
+        k.trace_with("coord", || format!("ckpt gen {gen} ABORTED"));
+        k.obs().metrics.inc("core.ckpt.aborts", 0);
+        let (at, track) = (k.now(), k.track());
+        k.obs()
+            .spans
+            .instant(at, track, "ckpt.abort", "coord", vec![("gen", gen)]);
+        self.broadcast(k, &Msg::CkptAbort(gen));
+        if let Some(iv) = self.interval {
+            let pid = k.getpid_real();
+            k.sim.after(iv, move |w: &mut World, sim| {
+                coord_shared(w).ckpt_request_pending = true;
+                w.wake(sim, (pid, Tid(0)));
+            });
+        }
     }
 
     fn handle(&mut self, k: &mut Kernel<'_>, from: usize, msg: Msg) {
@@ -193,8 +282,22 @@ impl Coordinator {
                 self.clients[from].vpid = vpid;
             }
             Msg::BarrierReached(gen, stg) => {
-                let count = self.barrier_counts.entry((gen, stg)).or_insert(0);
-                *count += 1;
+                if self.aborted_gens.contains(&gen) {
+                    // Stale retransmission from an abandoned attempt.
+                    return;
+                }
+                if self.released.contains(&(gen, stg)) {
+                    // Our release may have been lost; re-send it to this
+                    // client only.
+                    let fd = self.clients[from].fd;
+                    self.send_to(k, fd, &Msg::BarrierRelease(gen, stg));
+                    return;
+                }
+                let vpid = self.clients[from].vpid;
+                let reached = self.barrier_counts.entry((gen, stg)).or_default();
+                if !reached.insert(vpid) {
+                    return; // duplicate (retransmitted) arrival
+                }
                 self.check_release(k, gen, stg);
             }
             Msg::Advertise(gsid, host, port) => {
@@ -205,10 +308,8 @@ impl Coordinator {
                     Some((h, p)) => Msg::QueryReply(gsid, h.clone(), *p),
                     None => Msg::QueryReply(gsid, String::new(), 0),
                 };
-                let bytes = frame(&reply);
                 let fd = self.clients[from].fd;
-                let n = k.write(fd, &bytes).expect("query reply");
-                assert_eq!(n, bytes.len());
+                self.send_to(k, fd, &reply);
             }
             Msg::RestartPlan(n, gen) => {
                 // A restart driver re-arms barrier accounting for the
@@ -217,13 +318,18 @@ impl Coordinator {
                 self.in_progress = true;
                 self.gen = gen;
                 self.requested_at = k.now();
-                // Advertisements from any previous restart are stale.
+                // Advertisements from any previous restart are stale, and a
+                // restored generation number sheds any aborted-attempt
+                // state it may have carried before the rollback.
                 self.discovery.clear();
+                self.aborted_gens.clear();
+                self.released.retain(|(g, _)| *g != gen);
                 coord_shared(k.w).gen_stats.push(GenStat {
                     gen,
                     requested_at: self.requested_at,
                     releases: BTreeMap::new(),
                     participants: n,
+                    aborted: false,
                 });
                 // Managers may have raced their barrier messages ahead of
                 // the plan; re-check every pending barrier.
@@ -238,11 +344,16 @@ impl Coordinator {
 
     /// Release a barrier once every expected participant reached it.
     fn check_release(&mut self, k: &mut Kernel<'_>, gen: u64, stg: u8) {
-        let count = self.barrier_counts.get(&(gen, stg)).copied().unwrap_or(0);
+        let count = self
+            .barrier_counts
+            .get(&(gen, stg))
+            .map(|s| s.len() as u32)
+            .unwrap_or(0);
         if self.expected == 0 || count != self.expected {
             return;
         }
         self.barrier_counts.remove(&(gen, stg));
+        self.released.insert((gen, stg));
         let now = k.now();
         if let Some(gs) = coord_shared(k.w)
             .gen_stats
@@ -265,6 +376,7 @@ impl Coordinator {
         self.broadcast(k, &Msg::BarrierRelease(gen, stg));
         if stg == stage::REFILLED || stg == stage::RESTART_REFILLED {
             self.in_progress = false;
+            self.retry_at = None;
             self.write_restart_script(k);
             if let Some(iv) = self.interval {
                 let pid = k.getpid_real();
@@ -274,6 +386,9 @@ impl Coordinator {
                 });
             }
         }
+        let candidates = traced_candidates(k);
+        let coord_node = k.node();
+        faultkit::stage_released(k.w, k.sim, gen, stg, &candidates, coord_node);
     }
 
     /// Generate `dmtcp_restart_script.sh` listing every image of the last
@@ -334,7 +449,8 @@ impl Program for Coordinator {
                 }
             }
             // Drain every client socket; clients whose process exited
-            // (EOF) leave the computation.
+            // (EOF) leave the computation. A client speaking garbage
+            // (corrupted frames) is treated the same as a dead one.
             let mut dead = Vec::new();
             for i in 0..self.clients.len() {
                 loop {
@@ -348,17 +464,42 @@ impl Program for Coordinator {
                             progressed = true;
                         }
                         Err(Errno::WouldBlock) => break,
+                        Err(Errno::BadFd) => {
+                            dead.push(i);
+                            break;
+                        }
                         Err(e) => panic!("coordinator read: {e:?}"),
                     }
                 }
-                while let Some(msg) = self.clients[i].fb.pop().expect("well-formed frames") {
-                    self.handle(k, i, msg);
-                    progressed = true;
+                loop {
+                    match self.clients[i].fb.pop() {
+                        Ok(Some(msg)) => {
+                            self.handle(k, i, msg);
+                            progressed = true;
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            if !dead.contains(&i) {
+                                dead.push(i);
+                            }
+                            break;
+                        }
+                    }
                 }
             }
+            // Only *registered* clients are protocol participants; restart
+            // processes and command-line tools connect without registering
+            // and may hang up freely (e.g. after forking the children).
+            let lost_participant = dead.iter().any(|&i| self.clients[i].vpid != 0);
             for i in dead.into_iter().rev() {
                 let c = self.clients.remove(i);
                 let _ = k.close(c.fd);
+                progressed = true;
+            }
+            if lost_participant && self.in_progress {
+                // A participant vanished mid-protocol; the barrier can
+                // never be reached. Abort and let the survivors resume.
+                self.abort_generation(k);
                 progressed = true;
             }
             // Mailbox: `dmtcp command --checkpoint`, interval timer, or the
@@ -367,6 +508,23 @@ impl Program for Coordinator {
                 coord_shared(k.w).ckpt_request_pending = false;
                 self.start_checkpoint(k);
                 progressed = true;
+            }
+        }
+        // Retransmit the checkpoint request if the first barrier has not
+        // been released by the deadline (the broadcast may have been lost).
+        if let Some(at) = self.retry_at {
+            if k.now() >= at {
+                if self.in_progress && !self.released.contains(&(self.gen, stage::SUSPENDED)) {
+                    k.obs().metrics.inc("core.ckpt.request_retries", 0);
+                    let gen = self.gen;
+                    k.trace_with("coord", || format!("ckpt gen {gen} request retransmitted"));
+                    self.broadcast(k, &Msg::CkptRequest(gen));
+                    self.retry_backoff = self.retry_backoff + self.retry_backoff;
+                    self.retry_at = Some(k.now() + self.retry_backoff);
+                    self.arm_timer(k, self.retry_backoff);
+                } else {
+                    self.retry_at = None;
+                }
             }
         }
         Step::Block
@@ -379,6 +537,16 @@ impl Program for Coordinator {
     fn save(&self) -> Vec<u8> {
         unreachable!("the coordinator is never checkpointed (as in real DMTCP)")
     }
+}
+
+/// Every live DMTCP-traced process, with its node — the fault injector's
+/// candidate victims for process/node kills at barrier instants.
+fn traced_candidates(k: &Kernel<'_>) -> Vec<(Pid, NodeId)> {
+    k.w.procs
+        .iter()
+        .filter(|(_, p)| crate::hijack::is_traced_proc(p) && p.alive())
+        .map(|(pid, p)| (*pid, p.node))
+        .collect()
 }
 
 /// Record an image written by a manager so the restart script includes it.

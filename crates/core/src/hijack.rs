@@ -39,6 +39,9 @@ pub enum FdKindRec {
         leader: bool,
         /// Original kind (0 tcp, 1 unix, 2 socketpair, 3 pipe).
         kind_byte: u8,
+        /// Write side was shut down (`shutdown(SHUT_WR)`) at checkpoint
+        /// time; restart re-applies the half-close.
+        shut_wr: bool,
     },
     /// Listening socket: re-`listen` on `port`.
     Listener {
@@ -59,7 +62,7 @@ pub enum FdKindRec {
 
 impl_snap!(enum FdKindRec {
     File { path, offset, writable },
-    Sock { gsid, end, peer_seen, leader, kind_byte },
+    Sock { gsid, end, peer_seen, leader, kind_byte, shut_wr },
     Listener { port },
     PtyMaster { gsid },
     PtySlave { gsid },
@@ -236,6 +239,7 @@ mod tests {
                         peer_seen: true,
                         leader: true,
                         kind_byte: 0,
+                        shut_wr: true,
                     },
                 },
                 FdRecord {

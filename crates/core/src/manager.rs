@@ -34,7 +34,7 @@ use oskit::fdtable::FdObject;
 use oskit::net::Conn;
 use oskit::world::Pid;
 use oskit::{Errno, Fd, Kernel};
-use simkit::Nanos;
+use simkit::{mix2, DetRng, Nanos};
 use std::collections::BTreeSet;
 
 /// Manager operating mode at creation.
@@ -99,6 +99,21 @@ impl XferJob {
     }
 }
 
+/// What [`Manager::released`] observed while awaiting a barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    /// The awaited barrier was released.
+    Released,
+    /// Nothing decisive arrived; block (a retransmit timer is armed).
+    Blocked,
+    /// The coordinator abandoned the generation; roll back and resume.
+    Aborted,
+}
+
+/// Initial barrier-retransmit timeout (doubles on every resend; a seeded
+/// per-process jitter keeps retransmissions from synchronizing).
+const BARRIER_RETRY_INITIAL: Nanos = Nanos::from_millis(30);
+
 /// The checkpoint-manager thread program.
 pub struct Manager {
     phase: Phase,
@@ -111,6 +126,13 @@ pub struct Manager {
     t_request: Nanos,
     t_stage: [Nanos; 7],
     write_resume_at: Nanos,
+    /// Retransmit deadline for the in-flight `BarrierReached` (armed while
+    /// awaiting a release; the network may have eaten either direction).
+    deadline: Option<Nanos>,
+    backoff: Nanos,
+    /// Jitter source, seeded from the vpid so retries are deterministic
+    /// per process without consuming the world's RNG.
+    rng: Option<DetRng>,
 }
 
 impl Manager {
@@ -129,6 +151,9 @@ impl Manager {
             t_request: Nanos::ZERO,
             t_stage: [Nanos::ZERO; 7],
             write_resume_at: Nanos::ZERO,
+            deadline: None,
+            backoff: BARRIER_RETRY_INITIAL,
+            rng: None,
         }
     }
 
@@ -150,6 +175,9 @@ impl Manager {
                 // and must never be elected, drained, or inherited.
                 if let Ok(FdObject::Sock(cid, _)) = k.fd_object(fd) {
                     global(k.w).protected_conns.insert(cid);
+                    // Tell the fault injector this is a coordinator-protocol
+                    // connection (message faults target only these).
+                    faultkit::note_protocol_conn(k.w, cid);
                 }
                 let msg = frame(&Msg::Register(vpid, k.hostname()));
                 let n = k.write(fd, &msg).expect("register");
@@ -183,14 +211,78 @@ impl Manager {
         assert_eq!(n, msg.len());
     }
 
-    /// Block until `BarrierRelease(cur_gen, stg)`; true when released.
-    fn released(&mut self, k: &mut Kernel<'_>, stg: u8) -> bool {
-        match self.poll_coord(k) {
-            Ok(Some(Msg::BarrierRelease(g, s))) if g == self.cur_gen && s == stg => true,
-            Ok(Some(other)) => panic!("manager vpid awaiting stage {stg}: unexpected {other:?}"),
-            Ok(None) => unreachable!(),
-            Err(()) => false,
+    /// Poll for `BarrierRelease(cur_gen, stg)`. Stale retransmissions
+    /// (releases of earlier stages or generations, duplicate checkpoint
+    /// requests) are skipped; `CkptAbort` of the current generation
+    /// surfaces as [`Verdict::Aborted`]. On [`Verdict::Blocked`] a
+    /// retransmit timer is armed: if the release does not arrive by the
+    /// deadline the `BarrierReached` is re-sent (the coordinator treats
+    /// duplicates as idempotent and re-sends a lost release).
+    fn released(&mut self, k: &mut Kernel<'_>, stg: u8) -> Verdict {
+        loop {
+            match self.poll_coord(k) {
+                Ok(Some(Msg::BarrierRelease(g, s))) if g == self.cur_gen && s == stg => {
+                    self.deadline = None;
+                    return Verdict::Released;
+                }
+                // A duplicate release of a stage we already passed, or one
+                // from a previous generation: harmless retransmission.
+                Ok(Some(Msg::BarrierRelease(g, s))) if g < self.cur_gen || s < stg => continue,
+                // The coordinator retransmitted the request that started
+                // this generation; we are already past it.
+                Ok(Some(Msg::CkptRequest(g))) if g <= self.cur_gen => continue,
+                Ok(Some(Msg::CkptAbort(g))) => {
+                    if g == self.cur_gen {
+                        self.deadline = None;
+                        return Verdict::Aborted;
+                    }
+                    continue; // stale abort of an older attempt
+                }
+                Ok(Some(other)) => panic!("manager awaiting stage {stg}: unexpected {other:?}"),
+                Ok(None) => unreachable!(),
+                Err(()) => {
+                    self.arm_or_resend(k, stg);
+                    return Verdict::Blocked;
+                }
+            }
         }
+    }
+
+    /// Arm the barrier-retransmit timer, or — past the deadline — re-send
+    /// `BarrierReached` and back off (doubling, with seeded jitter).
+    fn arm_or_resend(&mut self, k: &mut Kernel<'_>, stg: u8) {
+        let now = k.now();
+        match self.deadline {
+            None => self.backoff = BARRIER_RETRY_INITIAL,
+            // A timer for this deadline is already scheduled and has not
+            // expired: this is a spurious wake (e.g. a retransmitted
+            // coordinator request made the fd readable). Re-arming here
+            // would push the deadline forward on every wake — with two
+            // wake sources in flight the resend would never become due.
+            Some(d) if now < d => return,
+            Some(_) => {
+                k.obs().metrics.inc("core.barrier.retries", stg as u64);
+                self.send_barrier(k, stg);
+                // Exponential backoff, capped: a barrier legitimately takes
+                // as long as its slowest participant (restarts can be
+                // seconds).
+                self.backoff = (self.backoff + self.backoff).min(Nanos::from_millis(2_000));
+            }
+        }
+        if self.rng.is_none() {
+            let vpid = self.vpid(k);
+            self.rng = Some(DetRng::seed_from_u64(mix2(
+                0x0062_6172_7269_6572,
+                vpid as u64,
+            )));
+        }
+        let jitter = Nanos(self.rng.as_mut().expect("seeded").range(0, 15_000_000));
+        let dt = self.backoff + jitter;
+        self.deadline = Some(now + dt);
+        let (pid, tid) = (k.pid, k.tid);
+        k.sim.after(dt, move |w, sim| {
+            w.wake(sim, (pid, tid));
+        });
     }
 
     // ------------------------------------------------------------------
@@ -307,10 +399,23 @@ impl Manager {
                     }
                     Err(Errno::WouldBlock) => break,
                     Err(Errno::Pipe) => {
-                        // Peer end fully closed before the checkpoint: no
-                        // token will come back either.
+                        // Our token cannot go out: either the peer fully
+                        // closed (nothing will come back) or this end was
+                        // half-closed with `shutdown` (the peer can still
+                        // talk, so keep reading for its token normally).
                         j.out_off = j.out.len();
-                        j.eof = true;
+                        let peer_gone = match k.fd_object(j.fd) {
+                            Ok(FdObject::Sock(cid, end)) => {
+                                k.w.conns
+                                    .get(&cid)
+                                    .map(|c| c.closed[Conn::peer(end as usize)])
+                                    .unwrap_or(true)
+                            }
+                            _ => true,
+                        };
+                        if peer_gone {
+                            j.eof = true;
+                        }
                         progressed = true;
                     }
                     Err(e) => panic!("drain token send: {e:?}"),
@@ -417,6 +522,11 @@ impl Manager {
                         Some(oskit::net::ConnKind::Pipe) => 3,
                         None => 0,
                     };
+                    let shut_wr =
+                        k.w.conns
+                            .get(&cid)
+                            .map(|c| c.wr_closed[end as usize])
+                            .unwrap_or(false);
                     let gsid = global(k.w).conn(cid);
                     records.push(FdRecord {
                         fd,
@@ -430,6 +540,7 @@ impl Manager {
                                 .any(|j| j.gsid == gsid && j.peer_gsid.is_some()),
                             leader: led.contains(&fd),
                             kind_byte,
+                            shut_wr,
                         },
                     });
                 }
@@ -720,6 +831,28 @@ impl Manager {
         }
     }
 
+    /// Roll back an aborted generation and resume the user threads. What
+    /// must be undone depends on how far the protocol got:
+    /// after the drain (but before the refill ran) the drained bytes are
+    /// pushed straight back into our own kernel receive buffers — the
+    /// in-band refill exchange cannot run, since peers may be dead.
+    fn do_abort(&mut self, k: &mut Kernel<'_>, reinject: bool) {
+        let gen = self.cur_gen;
+        if reinject {
+            for i in 0..self.jobs.len() {
+                let (fd, gsid) = (self.jobs[i].fd, self.jobs[i].gsid);
+                self.privileged_refill(k, fd, gsid, "core.abort_reinject.bytes", gen);
+            }
+        }
+        self.jobs.clear();
+        self.restore_owners(k);
+        let pid = k.pid;
+        k.w.resume_user_threads(k.sim, pid);
+        k.obs().metrics.inc("core.ckpt.manager_aborts", 0);
+        k.trace_with("manager", || format!("gen {gen} aborted; rolled back"));
+        self.phase = Phase::Idle;
+    }
+
     /// Record this generation's Figure-1 stage breakdown into the metrics
     /// registry (histograms labeled by generation — Table 1a derives its
     /// means from these) and, when span capture is on, one complete span
@@ -781,11 +914,17 @@ impl oskit::program::Program for Manager {
                     Err(step) => return step,
                 },
                 Phase::Idle => match self.poll_coord(k) {
-                    Ok(Some(Msg::CkptRequest(gen))) => {
+                    Ok(Some(Msg::CkptRequest(gen))) if gen > self.cur_gen => {
                         self.cur_gen = gen;
                         self.t_request = k.now();
                         self.phase = Phase::DelayGate;
                     }
+                    // Stale retransmissions: a duplicate request for a
+                    // generation we already ran (or saw aborted), a late
+                    // release, or a late abort. All harmless.
+                    Ok(Some(Msg::CkptRequest(_)))
+                    | Ok(Some(Msg::BarrierRelease(..)))
+                    | Ok(Some(Msg::CkptAbort(_))) => {}
                     Ok(Some(other)) => panic!("manager idle: unexpected {other:?}"),
                     Ok(None) => unreachable!(),
                     Err(()) => return Step::Block,
@@ -812,32 +951,34 @@ impl oskit::program::Program for Manager {
                     self.send_barrier(k, stage::SUSPENDED);
                     self.phase = Phase::AwaitSuspended;
                 }
-                Phase::AwaitSuspended => {
-                    if !self.released(k, stage::SUSPENDED) {
-                        return Step::Block;
+                Phase::AwaitSuspended => match self.released(k, stage::SUSPENDED) {
+                    Verdict::Released => {
+                        self.t_stage[2] = k.now();
+                        self.phase = Phase::Elect;
                     }
-                    self.t_stage[2] = k.now();
-                    self.phase = Phase::Elect;
-                }
+                    Verdict::Aborted => self.do_abort(k, false),
+                    Verdict::Blocked => return Step::Block,
+                },
                 Phase::Elect => {
                     self.do_elect(k);
                     self.send_barrier(k, stage::ELECTED);
                     self.phase = Phase::AwaitElected;
                 }
-                Phase::AwaitElected => {
-                    if !self.released(k, stage::ELECTED) {
-                        return Step::Block;
+                Phase::AwaitElected => match self.released(k, stage::ELECTED) {
+                    Verdict::Released => {
+                        self.t_stage[3] = k.now();
+                        self.build_drain_jobs(k);
+                        self.phase = Phase::DrainRun;
+                        // Per-socket drain overhead (handshakes, fcntl probes).
+                        let d = k.w.spec.drain_overhead;
+                        let n = self.jobs.len() as u32;
+                        if n > 0 {
+                            return Step::Sleep(Nanos(d.0 * n as u64));
+                        }
                     }
-                    self.t_stage[3] = k.now();
-                    self.build_drain_jobs(k);
-                    self.phase = Phase::DrainRun;
-                    // Per-socket drain overhead (handshakes, fcntl probes).
-                    let d = k.w.spec.drain_overhead;
-                    let n = self.jobs.len() as u32;
-                    if n > 0 {
-                        return Step::Sleep(Nanos(d.0 * n as u64));
-                    }
-                }
+                    Verdict::Aborted => self.do_abort(k, false),
+                    Verdict::Blocked => return Step::Block,
+                },
                 Phase::DrainRun => match self.run_drain(k) {
                     Ok(true) => {
                         self.finish_drain(k);
@@ -847,13 +988,14 @@ impl oskit::program::Program for Manager {
                     Ok(false) => return Step::Yield,
                     Err(()) => return Step::Block,
                 },
-                Phase::AwaitDrained => {
-                    if !self.released(k, stage::DRAINED) {
-                        return Step::Block;
+                Phase::AwaitDrained => match self.released(k, stage::DRAINED) {
+                    Verdict::Released => {
+                        self.t_stage[4] = k.now();
+                        self.phase = Phase::WriteImage;
                     }
-                    self.t_stage[4] = k.now();
-                    self.phase = Phase::WriteImage;
-                }
+                    Verdict::Aborted => self.do_abort(k, true),
+                    Verdict::Blocked => return Step::Block,
+                },
                 Phase::WriteImage => {
                     let resume_at = self.do_write(k);
                     self.phase = Phase::WriteDone;
@@ -892,14 +1034,15 @@ impl oskit::program::Program for Manager {
                         return Step::Sleep(wait);
                     }
                 }
-                Phase::AwaitCheckpointed => {
-                    if !self.released(k, stage::CHECKPOINTED) {
-                        return Step::Block;
+                Phase::AwaitCheckpointed => match self.released(k, stage::CHECKPOINTED) {
+                    Verdict::Released => {
+                        self.t_stage[5] = k.now();
+                        self.build_refill_jobs(k);
+                        self.phase = Phase::RefillRun;
                     }
-                    self.t_stage[5] = k.now();
-                    self.build_refill_jobs(k);
-                    self.phase = Phase::RefillRun;
-                }
+                    Verdict::Aborted => self.do_abort(k, true),
+                    Verdict::Blocked => return Step::Block,
+                },
                 Phase::RefillRun => match self.run_refill(k) {
                     Ok(true) => {
                         self.restore_owners(k);
@@ -909,13 +1052,16 @@ impl oskit::program::Program for Manager {
                     Ok(false) => return Step::Yield,
                     Err(()) => return Step::Block,
                 },
-                Phase::AwaitRefilled => {
-                    if !self.released(k, stage::REFILLED) {
-                        return Step::Block;
+                Phase::AwaitRefilled => match self.released(k, stage::REFILLED) {
+                    Verdict::Released => {
+                        self.t_stage[6] = k.now();
+                        self.phase = Phase::Resume;
                     }
-                    self.t_stage[6] = k.now();
-                    self.phase = Phase::Resume;
-                }
+                    // The refill already ran (our buffers hold the drained
+                    // bytes again); nothing further to re-inject.
+                    Verdict::Aborted => self.do_abort(k, false),
+                    Verdict::Blocked => return Step::Block,
+                },
                 Phase::Resume => {
                     let pid = k.pid;
                     k.w.resume_user_threads(k.sim, pid);
@@ -938,8 +1084,10 @@ impl oskit::program::Program for Manager {
                     Err(step) => return step,
                 },
                 Phase::AwaitRestored => {
-                    if !self.released(k, stage::RESTORED) {
-                        return Step::Block;
+                    match self.released(k, stage::RESTORED) {
+                        Verdict::Released => {}
+                        Verdict::Aborted => panic!("checkpoint abort during restart"),
+                        Verdict::Blocked => return Step::Block,
                     }
                     // Every process of the computation exists again: rewire
                     // the pid-virtualization map to the new real pids.
@@ -958,8 +1106,10 @@ impl oskit::program::Program for Manager {
                     Err(()) => return Step::Block,
                 },
                 Phase::AwaitRestartRefilled => {
-                    if !self.released(k, stage::RESTART_REFILLED) {
-                        return Step::Block;
+                    match self.released(k, stage::RESTART_REFILLED) {
+                        Verdict::Released => {}
+                        Verdict::Aborted => panic!("checkpoint abort during restart"),
+                        Verdict::Blocked => return Step::Block,
                     }
                     self.phase = Phase::RestartResume;
                 }

@@ -40,6 +40,9 @@ pub enum Msg {
     /// In-band refill frame: bytes the receiver drained and is returning to
     /// the sender for retransmission (§4.3 stage 6).
     Refill(Vec<u8>),
+    /// Coordinator → managers: abandon checkpoint generation `gen` (a
+    /// participant died mid-protocol); roll back and resume computing.
+    CkptAbort(u64),
 }
 
 impl_snap!(
@@ -53,6 +56,7 @@ impl_snap!(
         QueryReply(gsid, host, port),
         RestartPlan(n, gen),
         Refill(data),
+        CkptAbort(gen),
     }
 );
 

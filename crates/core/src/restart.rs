@@ -423,10 +423,24 @@ impl RestartProc {
                 let obj = match &r.kind {
                     FdKindRec::File { path, offset, .. } => self.file_map[&(path.clone(), *offset)],
                     FdKindRec::Listener { port } => self.listener_map[port],
-                    FdKindRec::Sock { gsid, end, .. } => *self
-                        .sock_map
-                        .get(&(*gsid, *end))
-                        .unwrap_or_else(|| panic!("socket {gsid:?} end {end} not restored")),
+                    FdKindRec::Sock {
+                        gsid, end, shut_wr, ..
+                    } => {
+                        let obj = *self
+                            .sock_map
+                            .get(&(*gsid, *end))
+                            .unwrap_or_else(|| panic!("socket {gsid:?} end {end} not restored"));
+                        // Re-apply a pre-checkpoint `shutdown(SHUT_WR)` so
+                        // the peer still reads EOF after the restart.
+                        if *shut_wr {
+                            if let FdObject::Sock(cid, se) = obj {
+                                if let Some(conn) = k.w.conns.get_mut(&cid) {
+                                    conn.wr_closed[se as usize] = true;
+                                }
+                            }
+                        }
+                        obj
+                    }
                     FdKindRec::PtyMaster { gsid } => FdObject::PtyMaster(self.pty_map[gsid]),
                     FdKindRec::PtySlave { gsid } => FdObject::PtySlave(self.pty_map[gsid]),
                 };
@@ -558,7 +572,7 @@ impl RestartProc {
 }
 
 /// Parse `…_gen<N>.dmtcp` out of an image path.
-fn parse_gen(path: &str) -> Option<u64> {
+pub fn parse_gen(path: &str) -> Option<u64> {
     let idx = path.rfind("_gen")?;
     let rest = &path[idx + 4..];
     let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();

@@ -88,6 +88,51 @@ impl Session {
         panic!("event queue drained before the checkpoint completed");
     }
 
+    /// Request a checkpoint and run the simulation until it *settles*:
+    /// either the stage-6 barrier is released (completed) or the
+    /// coordinator abandons the generation because a participant died
+    /// (aborted). Unlike [`Session::checkpoint_and_wait`], an abort is a
+    /// reportable outcome here, not a hang.
+    pub fn checkpoint_until_settled(
+        &self,
+        w: &mut World,
+        sim: &mut OsSim,
+        max_events: u64,
+    ) -> CkptOutcome {
+        let before = coord_shared(w).gen_stats.len();
+        self.request_checkpoint(w, sim);
+        let fired_start = sim.events_fired();
+        loop {
+            assert!(
+                sim.step(w),
+                "event queue drained before the checkpoint settled"
+            );
+            let settled = {
+                let cs = coord_shared(w);
+                cs.gen_stats.len() > before
+                    && cs
+                        .gen_stats
+                        .last()
+                        .map(|g| g.aborted || g.releases.contains_key(&stage::REFILLED))
+                        .unwrap_or(false)
+            };
+            if settled {
+                let gs = coord_shared(w).gen_stats.last().expect("pushed").clone();
+                return if gs.aborted {
+                    CkptOutcome::Aborted(gs)
+                } else {
+                    CkptOutcome::Completed(gs)
+                };
+            }
+            assert!(
+                sim.events_fired() - fired_start < max_events,
+                "checkpoint neither completed nor aborted within {max_events} events \
+                 (virtual time now {:?})",
+                sim.now()
+            );
+        }
+    }
+
     /// The most recent generation stats.
     pub fn last_gen_stat(w: &mut World) -> Option<GenStat> {
         coord_shared(w).gen_stats.last().cloned()
@@ -177,6 +222,64 @@ impl Session {
         restart_pids
     }
 
+    /// Restart with whole-generation fallback: validate every image of the
+    /// newest generation named by the restart script (header magic/CRC plus
+    /// every region payload); if *any* image of that generation fails
+    /// validation — torn write, bit rot, missing file — fall back to the
+    /// previous generation, down to generation 1. Returns which generation
+    /// was actually restarted plus every rejected image with its reason, or
+    /// a typed error when no complete generation survives on storage.
+    pub fn restart_resilient(
+        &self,
+        w: &mut World,
+        sim: &mut OsSim,
+        remap: &dyn Fn(&str) -> NodeId,
+    ) -> Result<RestartOutcome, RestartError> {
+        let script = Self::parse_restart_script(w);
+        if script.is_empty() {
+            return Err(RestartError::NoScript);
+        }
+        let top = script
+            .iter()
+            .flat_map(|(_, imgs)| imgs.iter())
+            .filter_map(|p| crate::restart::parse_gen(p))
+            .max()
+            .unwrap_or(1);
+        let mut rejected = Vec::new();
+        for gen in (1..=top).rev() {
+            let candidate: Vec<(String, Vec<String>)> = script
+                .iter()
+                .map(|(h, imgs)| {
+                    (
+                        h.clone(),
+                        imgs.iter().map(|p| rewrite_gen(p, gen)).collect(),
+                    )
+                })
+                .collect();
+            let mut complete = true;
+            for (host, imgs) in &candidate {
+                let node = remap(host);
+                for p in imgs {
+                    if let Err(e) = mtcp::verify_image(w, node, p) {
+                        w.obs.metrics.inc("core.restart.rejected_images", gen);
+                        rejected.push((p.clone(), e.to_string()));
+                        complete = false;
+                    }
+                }
+            }
+            if !complete {
+                continue;
+            }
+            let pids = self.restart_from_script(w, sim, &candidate, remap, gen);
+            return Ok(RestartOutcome {
+                gen,
+                pids,
+                rejected,
+            });
+        }
+        Err(RestartError::NoUsableGeneration { rejected })
+    }
+
     /// Run the simulation until the restart completes (restart-refill
     /// barrier released for `gen`).
     pub fn wait_restart_done(w: &mut World, sim: &mut OsSim, gen: u64, max_events: u64) {
@@ -198,6 +301,72 @@ impl Session {
                 "restart did not complete within {max_events} events"
             );
         }
+    }
+}
+
+/// How a requested checkpoint settled (see
+/// [`Session::checkpoint_until_settled`]).
+#[derive(Debug, Clone)]
+pub enum CkptOutcome {
+    /// The stage-6 barrier released; the generation's images are on disk.
+    Completed(GenStat),
+    /// A participant died mid-protocol; the coordinator rolled the
+    /// survivors back and the generation's images must not be trusted.
+    Aborted(GenStat),
+}
+
+/// A successful [`Session::restart_resilient`].
+#[derive(Debug, Clone)]
+pub struct RestartOutcome {
+    /// The generation actually restarted (may be older than the newest).
+    pub gen: u64,
+    /// Restart process pids.
+    pub pids: Vec<Pid>,
+    /// Images rejected along the way, with the validation error.
+    pub rejected: Vec<(String, String)>,
+}
+
+/// Why [`Session::restart_resilient`] could not restart anything.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestartError {
+    /// No restart script exists (no generation ever completed).
+    NoScript,
+    /// Every candidate generation had at least one invalid image.
+    NoUsableGeneration {
+        /// Each rejected image with its validation error.
+        rejected: Vec<(String, String)>,
+    },
+}
+
+impl std::fmt::Display for RestartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestartError::NoScript => write!(f, "no restart script on shared storage"),
+            RestartError::NoUsableGeneration { rejected } => write!(
+                f,
+                "no complete checkpoint generation on storage ({} images rejected)",
+                rejected.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestartError {}
+
+/// Rewrite the generation number embedded in an image path
+/// (`…_gen<N>.dmtcp`) — the restart script names the newest generation,
+/// fallback retargets the same images one generation back.
+fn rewrite_gen(path: &str, gen: u64) -> String {
+    match path.rfind("_gen") {
+        Some(idx) => {
+            let digits_start = idx + 4;
+            let digits_end = path[digits_start..]
+                .find(|c: char| !c.is_ascii_digit())
+                .map(|off| digits_start + off)
+                .unwrap_or(path.len());
+            format!("{}{}{}", &path[..digits_start], gen, &path[digits_end..])
+        }
+        None => path.to_string(),
     }
 }
 

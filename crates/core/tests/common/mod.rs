@@ -385,6 +385,195 @@ impl Program for TwinMain {
     }
 }
 
+/// Like [`ChainClient`], but fault-tolerant: when the server dies mid-run
+/// (fault-injection cells kill processes at protocol stages) the client
+/// exits with a nonzero status *without* writing its result file. A faulted
+/// run may therefore produce no answer — never a wrong one.
+pub struct FtChainClient {
+    pub inner: ChainClient,
+}
+simkit::impl_snap!(struct FtChainClient { inner });
+
+impl FtChainClient {
+    pub fn new(server: &str, port: u16, rounds: u64) -> Self {
+        FtChainClient {
+            inner: ChainClient::new(server, port, rounds),
+        }
+    }
+}
+
+impl Program for FtChainClient {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        let c = &mut self.inner;
+        loop {
+            match c.pc {
+                0 => match k.connect(&c.server, c.port) {
+                    Ok(fd) => {
+                        c.fd = fd;
+                        c.pc = 1;
+                    }
+                    Err(Errno::ConnRefused) => return Step::Sleep(Nanos::from_millis(2)),
+                    Err(e) => panic!("ft client connect: {e:?}"),
+                },
+                1 => {
+                    if c.sent == c.rounds {
+                        let _ = k.close(c.fd);
+                        let fd = k.open("/shared/client_result", true).expect("result");
+                        k.write(fd, c.value.to_string().as_bytes()).expect("w");
+                        return Step::Exit(0);
+                    }
+                    match k.write(c.fd, &c.value.to_le_bytes()) {
+                        Ok(n) => {
+                            assert_eq!(n, 8);
+                            c.sent += 1;
+                            c.pc = 2;
+                            return Step::Compute(200_000);
+                        }
+                        Err(Errno::WouldBlock) => return Step::Block,
+                        // Server killed by a fault: die without an answer.
+                        Err(Errno::Pipe) => return Step::Exit(1),
+                        Err(e) => panic!("ft client send: {e:?}"),
+                    }
+                }
+                2 => match k.read(c.fd, 8 - c.inbuf.len()) {
+                    // Server hung up mid-round: tolerated, but no result.
+                    Ok(b) if b.is_empty() => return Step::Exit(1),
+                    Ok(b) => {
+                        c.inbuf.extend_from_slice(&b);
+                        if c.inbuf.len() == 8 {
+                            let v = u64::from_le_bytes(c.inbuf[..].try_into().expect("8"));
+                            assert_eq!(v, c.value + 1, "stream corrupted");
+                            c.value = v;
+                            c.inbuf.clear();
+                            c.pc = 1;
+                        }
+                    }
+                    Err(Errno::WouldBlock) => return Step::Block,
+                    Err(e) => panic!("ft client read: {e:?}"),
+                },
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "ft-chain-client"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+/// Like [`PipeChain`], but fault-tolerant: if the writer child is killed
+/// the reader sees a short stream and exits nonzero without a result; if
+/// the reader dies the writer's EPIPE is likewise a clean exit. Used by the
+/// fault matrix, where a kill mid-protocol must never yield a wrong answer.
+pub struct FtPipeChain {
+    pub inner: PipeChain,
+}
+simkit::impl_snap!(struct FtPipeChain { inner });
+
+impl FtPipeChain {
+    pub fn new(total: u64) -> Self {
+        FtPipeChain {
+            inner: PipeChain::new(total),
+        }
+    }
+}
+
+impl Program for FtPipeChain {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        loop {
+            // `fork_snapshot` needs `self` whole, so re-borrow per iteration.
+            if self.inner.pc == 0 {
+                let (r, w) = k.pipe();
+                self.inner.rfd = r;
+                self.inner.wfd = w;
+                self.inner.pc = 1;
+                let child = k.fork_snapshot(self).expect("fork");
+                self.inner.child = child.0;
+                continue;
+            }
+            let c = &mut self.inner;
+            match c.pc {
+                1 => match k.fork_ret() {
+                    Some(0) => {
+                        k.clear_fork_ret();
+                        k.close(c.rfd).expect("child closes read end");
+                        c.pc = 10;
+                    }
+                    _ => {
+                        k.clear_fork_ret();
+                        k.close(c.wfd).expect("parent closes write end");
+                        c.pc = 20;
+                    }
+                },
+                // ---- child: writer ----
+                10 => {
+                    if c.progress >= c.total {
+                        let _ = k.close(c.wfd);
+                        return Step::Exit(0);
+                    }
+                    let n = (c.total - c.progress).min(2048) as usize;
+                    let chunk: Vec<u8> = (c.progress..c.progress + n as u64)
+                        .map(|i| (i % 251) as u8)
+                        .collect();
+                    match k.write(c.wfd, &chunk) {
+                        Ok(sent) => {
+                            c.progress += sent as u64;
+                            return Step::Compute(50_000);
+                        }
+                        Err(Errno::WouldBlock) => return Step::Block,
+                        // Reader killed by a fault: die without an answer.
+                        Err(Errno::Pipe) => return Step::Exit(1),
+                        Err(e) => panic!("ft pipe write: {e:?}"),
+                    }
+                }
+                // ---- parent: reader ----
+                20 => match k.read(c.rfd, 4096) {
+                    Ok(b) if b.is_empty() => {
+                        if c.progress != c.total {
+                            // Writer killed mid-stream: no result.
+                            return Step::Exit(1);
+                        }
+                        let fd = k.open("/shared/pipe_result", true).expect("result");
+                        k.write(fd, c.checksum.to_string().as_bytes()).expect("w");
+                        c.pc = 21;
+                    }
+                    Ok(b) => {
+                        for &byte in &b {
+                            assert_eq!(
+                                byte,
+                                (c.progress % 251) as u8,
+                                "pipe byte order broken at {}",
+                                c.progress
+                            );
+                            c.checksum = c.checksum.wrapping_mul(31).wrapping_add(byte as u64);
+                            c.progress += 1;
+                        }
+                    }
+                    Err(Errno::WouldBlock) => return Step::Block,
+                    Err(e) => panic!("ft pipe read: {e:?}"),
+                },
+                21 => match k.waitpid(oskit::world::Pid(c.child)) {
+                    // The child may have been SIGKILLed *after* it finished
+                    // writing — the stream was complete, so any exit code
+                    // is acceptable here.
+                    Ok(_) => return Step::Exit(0),
+                    Err(Errno::WouldBlock) => return Step::Block,
+                    Err(e) => panic!("ft waitpid: {e:?}"),
+                },
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "ft-pipe-chain"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
 /// Registry with every test application.
 pub fn test_registry() -> Registry {
     let mut r = Registry::new();
@@ -393,6 +582,8 @@ pub fn test_registry() -> Registry {
     r.register_snap::<PipeChain>("pipe-chain");
     r.register_snap::<TwinMain>("twin-main");
     r.register_snap::<TwinWorker>("twin-worker");
+    r.register_snap::<FtChainClient>("ft-chain-client");
+    r.register_snap::<FtPipeChain>("ft-pipe-chain");
     r
 }
 
@@ -402,6 +593,19 @@ pub fn cluster(nodes: usize) -> (World, OsSim) {
         World::new(HwSpec::cluster(), nodes, test_registry()),
         Sim::new(),
     )
+}
+
+/// Event budget for bounded simulation runs.
+///
+/// Defaults to 8 million events; override with `DMTCP_TEST_EV_BUDGET` when a
+/// slow machine or an unusually deep workload needs more headroom. Tests use
+/// this through `Sim::run_budgeted` so that an exhausted budget is reported
+/// distinctly from a genuine deadlock (drained queue, unfinished app).
+pub fn run_budget() -> u64 {
+    std::env::var("DMTCP_TEST_EV_BUDGET")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(8_000_000)
 }
 
 /// Read a /shared result file as a string.

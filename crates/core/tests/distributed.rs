@@ -395,6 +395,519 @@ fn forked_checkpointing_shortens_the_pause() {
     );
 }
 
+/// Byte `j` of the stream sent by peer `role` (self-verifying pattern).
+fn flood_pat(j: u64, role: u8) -> u8 {
+    ((j * 7 + role as u64) % 251) as u8
+}
+
+/// One of a symmetric pair: fills its send direction to exactly the kernel
+/// buffer capacity while the peer does the same, sleeps (so the checkpoint
+/// lands with both directions full), then drains and verifies the peer's
+/// stream.
+struct FloodPeer {
+    pc: u8,
+    role: u8, // 0 = listener, 1 = connector
+    lfd: oskit::Fd,
+    fd: oskit::Fd,
+    port: u16,
+    server: String,
+    sent: u64,
+    rcvd: u64,
+    target: u64,
+}
+simkit::impl_snap!(struct FloodPeer { pc, role, lfd, fd, port, server, sent, rcvd, target });
+
+impl FloodPeer {
+    fn listener(port: u16, target: u64) -> Self {
+        FloodPeer {
+            pc: 0,
+            role: 0,
+            lfd: -1,
+            fd: -1,
+            port,
+            server: String::new(),
+            sent: 0,
+            rcvd: 0,
+            target,
+        }
+    }
+    fn connector(server: &str, port: u16, target: u64) -> Self {
+        FloodPeer {
+            pc: 0,
+            role: 1,
+            lfd: -1,
+            fd: -1,
+            port,
+            server: server.to_string(),
+            sent: 0,
+            rcvd: 0,
+            target,
+        }
+    }
+    fn result_path(&self) -> &'static str {
+        if self.role == 0 {
+            "/shared/flood_a"
+        } else {
+            "/shared/flood_b"
+        }
+    }
+}
+
+impl oskit::program::Program for FloodPeer {
+    fn step(&mut self, k: &mut oskit::Kernel<'_>) -> oskit::program::Step {
+        use oskit::program::Step;
+        use oskit::Errno;
+        loop {
+            match self.pc {
+                0 => {
+                    if self.role == 0 {
+                        let (fd, _) = k.listen_on(self.port).expect("flood listen");
+                        self.lfd = fd;
+                        self.pc = 1;
+                    } else {
+                        match k.connect(&self.server, self.port) {
+                            Ok(fd) => {
+                                self.fd = fd;
+                                self.pc = 2;
+                            }
+                            Err(Errno::ConnRefused) => return Step::Sleep(Nanos::from_millis(2)),
+                            Err(e) => panic!("flood connect: {e:?}"),
+                        }
+                    }
+                }
+                1 => match k.accept(self.lfd) {
+                    Ok(fd) => {
+                        self.fd = fd;
+                        self.pc = 2;
+                    }
+                    Err(Errno::WouldBlock) => return Step::Block,
+                    Err(e) => panic!("flood accept: {e:?}"),
+                },
+                // Fill: write exactly `target` bytes without reading a thing.
+                2 => {
+                    if self.sent == self.target {
+                        self.pc = 3;
+                        // Think time with both directions brimful — the
+                        // checkpoint is taken inside this window.
+                        return Step::Sleep(Nanos::from_millis(25));
+                    }
+                    let n = (self.target - self.sent).min(2048) as usize;
+                    let chunk: Vec<u8> = (self.sent..self.sent + n as u64)
+                        .map(|j| flood_pat(j, self.role))
+                        .collect();
+                    match k.write(self.fd, &chunk) {
+                        Ok(sent) => self.sent += sent as u64,
+                        Err(Errno::WouldBlock) => return Step::Block,
+                        Err(e) => panic!("flood write: {e:?}"),
+                    }
+                }
+                // Drain: read and verify the peer's full stream.
+                3 => match k.read(self.fd, 4096) {
+                    Ok(b) if b.is_empty() => panic!("flood peer hung up early"),
+                    Ok(b) => {
+                        for &byte in &b {
+                            assert_eq!(
+                                byte,
+                                flood_pat(self.rcvd, 1 - self.role),
+                                "flood stream corrupted at byte {}",
+                                self.rcvd
+                            );
+                            self.rcvd += 1;
+                        }
+                        if self.rcvd == self.target {
+                            let fd = k.open(self.result_path(), true).expect("result");
+                            k.write(fd, format!("ok:{}", self.rcvd).as_bytes())
+                                .expect("w");
+                            return Step::Exit(0);
+                        }
+                    }
+                    Err(Errno::WouldBlock) => return Step::Block,
+                    Err(e) => panic!("flood read: {e:?}"),
+                },
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "flood-peer"
+    }
+    fn save(&self) -> Vec<u8> {
+        use simkit::Snap as _;
+        self.to_snap_bytes()
+    }
+}
+
+#[test]
+fn checkpoint_with_kernel_buffers_full_both_directions() {
+    let target = oskit::net::CONN_CAPACITY;
+    let mut reg = test_registry();
+    reg.register_snap::<FloodPeer>("flood-peer");
+    let mut w = oskit::World::new(oskit::HwSpec::cluster(), 2, reg);
+    let mut sim = simkit::Sim::new();
+    let s = Session::start(&mut w, &mut sim, opts_shared_dir());
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(1),
+        "flood-a",
+        Box::new(FloodPeer::listener(9100, target)),
+    );
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(0),
+        "flood-b",
+        Box::new(FloodPeer::connector("node01", 9100, target)),
+    );
+    run_for(&mut w, &mut sim, Nanos::from_millis(8));
+
+    // Both peers are asleep with the connection saturated in BOTH
+    // directions — the checkpoint drain has to move 2×64 KiB with no help
+    // from the applications.
+    let full = w.conns.values().any(|c| {
+        c.dirs[0].recv_buf.len() as u64 + c.dirs[0].in_flight == target
+            && c.dirs[1].recv_buf.len() as u64 + c.dirs[1].in_flight == target
+    });
+    assert!(full, "setup failed: no connection is full both ways");
+
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    assert_eq!(stat.participants, 2);
+    let gen = stat.gen;
+    s.kill_computation(&mut w, &mut sim);
+    assert!(shared_result(&w, "/shared/flood_a").is_none());
+
+    let script = Session::parse_restart_script(&w);
+    let names: Vec<(String, NodeId)> = script
+        .iter()
+        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
+        .collect();
+    let remap = move |h: &str| {
+        names
+            .iter()
+            .find(|(n, _)| n == h)
+            .map(|(_, x)| *x)
+            .expect("host")
+    };
+    s.restart_from_script(&mut w, &mut sim, &script, &remap, gen);
+    Session::wait_restart_done(&mut w, &mut sim, gen, EV);
+    assert!(
+        sim.run_bounded(&mut w, EV),
+        "flood deadlocked after restart"
+    );
+
+    // Each peer verified every byte of the other's stream itself; the
+    // results just confirm both got all the way through.
+    let want = format!("ok:{target}");
+    assert_eq!(
+        shared_result(&w, "/shared/flood_a").as_deref(),
+        Some(want.as_str())
+    );
+    assert_eq!(
+        shared_result(&w, "/shared/flood_b").as_deref(),
+        Some(want.as_str())
+    );
+}
+
+/// Echo server that takes its time: one reply per compute quantum, so a
+/// half-closed client connection stays half-closed across a long window.
+struct SlowEcho {
+    pc: u8,
+    lfd: oskit::Fd,
+    cfd: oskit::Fd,
+    port: u16,
+    rounds: u64,
+    inbuf: Vec<u8>,
+}
+simkit::impl_snap!(struct SlowEcho { pc, lfd, cfd, port, rounds, inbuf });
+
+impl oskit::program::Program for SlowEcho {
+    fn step(&mut self, k: &mut oskit::Kernel<'_>) -> oskit::program::Step {
+        use oskit::program::Step;
+        use oskit::Errno;
+        loop {
+            match self.pc {
+                0 => {
+                    let (fd, _) = k.listen_on(self.port).expect("slow-echo listen");
+                    self.lfd = fd;
+                    self.pc = 1;
+                }
+                1 => match k.accept(self.lfd) {
+                    Ok(fd) => {
+                        self.cfd = fd;
+                        self.pc = 2;
+                    }
+                    Err(Errno::WouldBlock) => return Step::Block,
+                    Err(e) => panic!("slow-echo accept: {e:?}"),
+                },
+                2 => match k.read(self.cfd, 8 - self.inbuf.len()) {
+                    Ok(b) if b.is_empty() => {
+                        // Client's write side closed and all requests served.
+                        let fd = k.open("/shared/server_result", true).expect("result");
+                        k.write(fd, self.rounds.to_string().as_bytes()).expect("w");
+                        return Step::Exit(0);
+                    }
+                    Ok(b) => {
+                        self.inbuf.extend_from_slice(&b);
+                        if self.inbuf.len() == 8 {
+                            let v = u64::from_le_bytes(self.inbuf[..].try_into().expect("8"));
+                            self.inbuf.clear();
+                            self.rounds += 1;
+                            let n = k.write(self.cfd, &(v + 1).to_le_bytes()).expect("reply");
+                            assert_eq!(n, 8);
+                            return Step::Compute(200_000);
+                        }
+                    }
+                    Err(Errno::WouldBlock) => return Step::Block,
+                    Err(e) => panic!("slow-echo read: {e:?}"),
+                },
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "slow-echo"
+    }
+    fn save(&self) -> Vec<u8> {
+        use simkit::Snap as _;
+        self.to_snap_bytes()
+    }
+}
+
+/// Sends all its requests up front, then `shutdown`s its write side and
+/// consumes the replies through the half-closed socket. Verifies the
+/// half-close itself survives checkpoint/restart (a write must still fail
+/// with EPIPE afterwards).
+struct HalfCloseClient {
+    pc: u8,
+    fd: oskit::Fd,
+    server: String,
+    port: u16,
+    rounds: u64,
+    sent: u64,
+    got: u64,
+    sum: u64,
+    inbuf: Vec<u8>,
+    probed: bool,
+}
+simkit::impl_snap!(struct HalfCloseClient { pc, fd, server, port, rounds, sent, got, sum, inbuf, probed });
+
+impl oskit::program::Program for HalfCloseClient {
+    fn step(&mut self, k: &mut oskit::Kernel<'_>) -> oskit::program::Step {
+        use oskit::program::Step;
+        use oskit::Errno;
+        loop {
+            match self.pc {
+                0 => match k.connect(&self.server, self.port) {
+                    Ok(fd) => {
+                        self.fd = fd;
+                        self.pc = 1;
+                    }
+                    Err(Errno::ConnRefused) => return Step::Sleep(Nanos::from_millis(2)),
+                    Err(e) => panic!("half-close connect: {e:?}"),
+                },
+                1 => {
+                    while self.sent < self.rounds {
+                        let v = self.sent + 1;
+                        let n = k.write(self.fd, &v.to_le_bytes()).expect("request");
+                        assert_eq!(n, 8);
+                        self.sent += 1;
+                    }
+                    k.shutdown_write(self.fd).expect("shutdown(SHUT_WR)");
+                    self.pc = 2;
+                }
+                2 => {
+                    if !self.probed && self.got == self.rounds / 2 {
+                        // Mid-drain (before or after restart, whichever side
+                        // the checkpoint landed on): the write side must
+                        // still be closed.
+                        self.probed = true;
+                        assert!(
+                            matches!(k.write(self.fd, b"x"), Err(Errno::Pipe)),
+                            "write after shutdown must fail with EPIPE"
+                        );
+                    }
+                    match k.read(self.fd, 8 - self.inbuf.len()) {
+                        Ok(b) if b.is_empty() => {
+                            assert_eq!(self.got, self.rounds, "replies lost on half-closed conn");
+                            let fd = k.open("/shared/client_result", true).expect("result");
+                            k.write(fd, self.sum.to_string().as_bytes()).expect("w");
+                            return Step::Exit(0);
+                        }
+                        Ok(b) => {
+                            self.inbuf.extend_from_slice(&b);
+                            if self.inbuf.len() == 8 {
+                                let v = u64::from_le_bytes(self.inbuf[..].try_into().expect("8"));
+                                self.inbuf.clear();
+                                assert_eq!(v, self.got + 2, "reply out of order");
+                                self.got += 1;
+                                self.sum = self.sum.wrapping_add(v);
+                            }
+                        }
+                        Err(Errno::WouldBlock) => return Step::Block,
+                        Err(e) => panic!("half-close read: {e:?}"),
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "half-close-client"
+    }
+    fn save(&self) -> Vec<u8> {
+        use simkit::Snap as _;
+        self.to_snap_bytes()
+    }
+}
+
+fn half_close_registry() -> oskit::program::Registry {
+    let mut reg = test_registry();
+    reg.register_snap::<SlowEcho>("slow-echo");
+    reg.register_snap::<HalfCloseClient>("half-close-client");
+    reg
+}
+
+fn half_close_world() -> (oskit::World, oskit::world::OsSim) {
+    (
+        oskit::World::new(oskit::HwSpec::cluster(), 2, half_close_registry()),
+        simkit::Sim::new(),
+    )
+}
+
+fn spawn_half_close(w: &mut oskit::World, sim: &mut oskit::world::OsSim, rounds: u64) {
+    use std::collections::BTreeMap;
+    w.spawn(
+        sim,
+        NodeId(1),
+        "server",
+        Box::new(SlowEcho {
+            pc: 0,
+            lfd: -1,
+            cfd: -1,
+            port: 9200,
+            rounds: 0,
+            inbuf: Vec::new(),
+        }),
+        oskit::world::Pid(1),
+        BTreeMap::new(),
+    );
+    w.spawn(
+        sim,
+        NodeId(0),
+        "client",
+        Box::new(HalfCloseClient {
+            pc: 0,
+            fd: -1,
+            server: "node01".into(),
+            port: 9200,
+            rounds,
+            sent: 0,
+            got: 0,
+            sum: 0,
+            inbuf: Vec::new(),
+            probed: false,
+        }),
+        oskit::world::Pid(1),
+        BTreeMap::new(),
+    );
+}
+
+#[test]
+fn checkpoint_with_half_closed_connection() {
+    let rounds = 100;
+
+    // Uninterrupted reference.
+    let (ref_client, ref_server) = {
+        let (mut w, mut sim) = half_close_world();
+        spawn_half_close(&mut w, &mut sim, rounds);
+        assert!(sim.run_bounded(&mut w, EV), "reference deadlocked");
+        (
+            shared_result(&w, "/shared/client_result").expect("client"),
+            shared_result(&w, "/shared/server_result").expect("server"),
+        )
+    };
+
+    let (mut w, mut sim) = half_close_world();
+    let s = Session::start(&mut w, &mut sim, opts_shared_dir());
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(1),
+        "server",
+        Box::new(SlowEcho {
+            pc: 0,
+            lfd: -1,
+            cfd: -1,
+            port: 9200,
+            rounds: 0,
+            inbuf: Vec::new(),
+        }),
+    );
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(0),
+        "client",
+        Box::new(HalfCloseClient {
+            pc: 0,
+            fd: -1,
+            server: "node01".into(),
+            port: 9200,
+            rounds,
+            sent: 0,
+            got: 0,
+            sum: 0,
+            inbuf: Vec::new(),
+            probed: false,
+        }),
+    );
+    // The client sends everything and shuts down its write side within the
+    // first millisecond; the slow server is mid-backlog at 8 ms, so the
+    // checkpointed connection is genuinely half-closed with data pending
+    // both ways.
+    run_for(&mut w, &mut sim, Nanos::from_millis(8));
+    let half_closed = w
+        .conns
+        .values()
+        .any(|c| c.wr_closed.iter().filter(|&&x| x).count() == 1);
+    assert!(half_closed, "setup failed: no half-closed connection");
+
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    assert_eq!(stat.participants, 2);
+    let gen = stat.gen;
+    s.kill_computation(&mut w, &mut sim);
+    let _ = w.shared_fs.remove("/shared/client_result");
+    let _ = w.shared_fs.remove("/shared/server_result");
+
+    let script = Session::parse_restart_script(&w);
+    let names: Vec<(String, NodeId)> = script
+        .iter()
+        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
+        .collect();
+    let remap = move |h: &str| {
+        names
+            .iter()
+            .find(|(n, _)| n == h)
+            .map(|(_, x)| *x)
+            .expect("host")
+    };
+    s.restart_from_script(&mut w, &mut sim, &script, &remap, gen);
+    Session::wait_restart_done(&mut w, &mut sim, gen, EV);
+    assert!(
+        sim.run_bounded(&mut w, EV),
+        "half-close deadlocked after restart"
+    );
+
+    assert_eq!(
+        shared_result(&w, "/shared/client_result").as_deref(),
+        Some(ref_client.as_str())
+    );
+    assert_eq!(
+        shared_result(&w, "/shared/server_result").as_deref(),
+        Some(ref_server.as_str())
+    );
+}
+
 #[test]
 fn zombie_free_teardown_and_coordinator_client_tracking() {
     let (mut w, mut sim) = cluster(2);

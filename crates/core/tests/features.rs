@@ -188,6 +188,105 @@ fn pty_session_survives_checkpoint_and_restart() {
     );
 }
 
+/// Raw-mode pty with bytes pending in *both* queues at checkpoint time.
+///
+/// The PtySession test above exercises canonical mode with an empty pipeline
+/// at the instant of the checkpoint; this one freezes mid-flight: canonical,
+/// echo and onlcr are all switched off, unread bytes sit in the keyboard
+/// (to-slave) and display (to-master) directions, and both the raw termios
+/// and the pending bytes must come back byte-exact after restart.
+struct RawPty {
+    pc: u8,
+    master: Fd,
+    slave: Fd,
+}
+simkit::impl_snap!(struct RawPty { pc, master, slave });
+
+impl Program for RawPty {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        match self.pc {
+            0 => {
+                let (m, sfd) = k.openpty();
+                self.master = m;
+                self.slave = sfd;
+                let mut t = k.tcgetattr(m).expect("termios");
+                t.canonical = false;
+                t.echo = false;
+                t.onlcr = false;
+                t.rows = 10;
+                t.cols = 33;
+                k.tcsetattr(m, t).expect("set raw");
+                // Leave bytes pending in both directions across the
+                // checkpoint. echo=false: the master write must NOT be
+                // reflected back; onlcr=false: the slave's \n must NOT
+                // become \r\n.
+                k.write(self.master, b"pend-in").expect("keyboard bytes");
+                k.write(self.slave, b"pend-out\n").expect("display bytes");
+                self.pc = 1;
+                Step::Sleep(Nanos::from_millis(10)) // ckpt lands here
+            }
+            1 => {
+                let t = k.tcgetattr(self.master).expect("termios");
+                assert!(!t.canonical, "canonical flag reset by restart");
+                assert!(!t.echo, "echo flag reset by restart");
+                assert!(!t.onlcr, "onlcr flag reset by restart");
+                assert_eq!((t.rows, t.cols), (10, 33), "winsize lost");
+                let inb = k.read(self.slave, 64).expect("slave read");
+                assert_eq!(inb, b"pend-in", "keyboard-direction bytes lost");
+                let outb = k.read(self.master, 64).expect("master read");
+                assert_eq!(
+                    outb, b"pend-out\n",
+                    "display-direction bytes lost or onlcr-mangled"
+                );
+                let fd = k.open("/shared/raw_pty_result", true).expect("result");
+                k.write(fd, b"raw-ok").expect("w");
+                Step::Exit(0)
+            }
+            _ => unreachable!(),
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "raw-pty"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+#[test]
+fn raw_mode_pty_with_pending_bytes_survives_restart() {
+    let mut reg = test_registry();
+    reg.register_snap::<RawPty>("raw-pty");
+    let mut w = World::new(HwSpec::cluster(), 1, reg);
+    let mut sim = Sim::new();
+    let s = Session::start(&mut w, &mut sim, opts());
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(0),
+        "raw-pty",
+        Box::new(RawPty {
+            pc: 0,
+            master: -1,
+            slave: -1,
+        }),
+    );
+    run_for(&mut w, &mut sim, Nanos::from_millis(2));
+    // Precondition: the checkpoint really does land with bytes queued in
+    // both directions.
+    assert!(
+        w.ptys
+            .values()
+            .any(|p| !p.to_slave.is_empty() && !p.to_master.is_empty()),
+        "expected pending bytes in both pty directions before checkpoint"
+    );
+    full_cycle(&mut w, &mut sim, &s, Nanos::from_millis(1));
+    assert_eq!(
+        shared_result(&w, "/shared/raw_pty_result").as_deref(),
+        Some("raw-ok")
+    );
+}
+
 // ---------------------------------------------------------------------
 // dmtcpaware
 // ---------------------------------------------------------------------

@@ -3,16 +3,44 @@
 //! answer of an uninterrupted run. A deterministic RNG drives the instant
 //! across the protocol's life (wiring, steady state, mid-drain of a
 //! previous generation's leftovers, near completion).
+//!
+//! The event budget is shared tooling: `common::run_budget()` reads
+//! `DMTCP_TEST_EV_BUDGET` (default 8M events). When a run exhausts it we
+//! say so explicitly — "budget exhausted" means the simulation was still
+//! making progress and the budget may simply be too small for the
+//! workload, which is a different failure from a deadlock (event queue
+//! drained with the result file never written).
 
 mod common;
 
 use common::*;
 use dmtcp::session::run_for;
 use dmtcp::{Options, Session};
-use oskit::world::NodeId;
-use simkit::{DetRng, Nanos};
+use oskit::world::{NodeId, OsSim, World};
+use simkit::{DetRng, Nanos, RunOutcome};
 
-const EV: u64 = 8_000_000;
+/// Drive the sim to quiescence within the configured budget, then return
+/// the result file — distinguishing "budget exhausted" (raise
+/// `DMTCP_TEST_EV_BUDGET`) from a genuine deadlock or missing result.
+fn finish(w: &mut World, sim: &mut OsSim, what: &str) -> String {
+    let budget = run_budget();
+    match sim.run_budgeted(w, budget) {
+        RunOutcome::BudgetExhausted => panic!(
+            "{what}: budget exhausted after {budget} events \
+             (virtual time {:?}) — still progressing, not deadlocked; \
+             raise DMTCP_TEST_EV_BUDGET to give it more room",
+            sim.now()
+        ),
+        RunOutcome::Quiescent | RunOutcome::Halted => shared_result(w, "/shared/client_result")
+            .unwrap_or_else(|| {
+                panic!(
+                    "{what}: deadlock — event queue drained at virtual time {:?} \
+                     with no /shared/client_result written",
+                    sim.now()
+                )
+            }),
+    }
+}
 
 fn reference(rounds: u64) -> String {
     let (mut w, mut sim) = cluster(2);
@@ -33,8 +61,7 @@ fn reference(rounds: u64) -> String {
         oskit::world::Pid(1),
         BTreeMap::new(),
     );
-    assert!(sim.run_bounded(&mut w, EV));
-    shared_result(&w, "/shared/client_result").expect("reference")
+    finish(&mut w, &mut sim, "reference run")
 }
 
 fn ckpt_kill_restart_at(rounds: u64, ckpt_at_ms: u64, kill_delay_ms: u64, merge: bool) -> String {
@@ -62,7 +89,7 @@ fn ckpt_kill_restart_at(rounds: u64, ckpt_at_ms: u64, kill_delay_ms: u64, merge:
         Box::new(ChainClient::new("node01", 9000, rounds)),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(ckpt_at_ms));
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, run_budget());
     run_for(&mut w, &mut sim, Nanos::from_millis(kill_delay_ms));
     s.kill_computation(&mut w, &mut sim);
     let _ = w.shared_fs.remove("/shared/client_result");
@@ -83,9 +110,8 @@ fn ckpt_kill_restart_at(rounds: u64, ckpt_at_ms: u64, kill_delay_ms: u64, merge:
         }
     };
     s.restart_from_script(&mut w, &mut sim, &script, &remap, stat.gen);
-    Session::wait_restart_done(&mut w, &mut sim, stat.gen, EV);
-    assert!(sim.run_bounded(&mut w, EV), "post-restart deadlock");
-    shared_result(&w, "/shared/client_result").expect("restored run finished")
+    Session::wait_restart_done(&mut w, &mut sim, stat.gen, run_budget());
+    finish(&mut w, &mut sim, "post-restart run")
 }
 
 #[test]

@@ -23,6 +23,6 @@ pub mod image;
 pub mod reader;
 pub mod writer;
 
-pub use image::{CkptImage, RegionMeta, StoredAs, IMAGE_MAGIC};
-pub use reader::{read_image, restore_into, RestoreReport};
+pub use image::{CkptImage, HeaderError, RegionMeta, StoredAs, IMAGE_MAGIC};
+pub use reader::{read_image, restore_into, verify_image, ImageError, RestoreError, RestoreReport};
 pub use writer::{write_image, WriteMode, WriteReport};

@@ -6,7 +6,7 @@
 //! shell, restores fds/sockets around it, and then calls down into MTCP,
 //! matching Figure 2 step 5 ("restore memory and threads").
 
-use crate::image::{CkptImage, StoredAs};
+use crate::image::{CkptImage, HeaderError, StoredAs};
 use oskit::fs::Chunk;
 use oskit::mem::{Content, RegionKind};
 use oskit::proc::ThreadState;
@@ -20,9 +20,10 @@ use std::rc::Rc;
 pub enum RestoreError {
     /// The image file does not exist.
     NotFound,
-    /// The file is not an MTCP image or its header is corrupt.
-    BadHeader,
-    /// A payload failed to decompress.
+    /// The file is not an MTCP image or its header is truncated/corrupt
+    /// (the inner [`HeaderError`] says which).
+    BadHeader(HeaderError),
+    /// A region payload is truncated or failed to decompress.
     BadPayload(String),
     /// A restored region's bytes do not match the recorded CRC.
     CrcMismatch {
@@ -33,11 +34,15 @@ pub enum RestoreError {
     UnknownProgram(String),
 }
 
+/// The satellite-facing name: errors from validating/reading an image file
+/// (truncated, bad magic, bad CRC, …).
+pub type ImageError = RestoreError;
+
 impl std::fmt::Display for RestoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RestoreError::NotFound => write!(f, "image file not found"),
-            RestoreError::BadHeader => write!(f, "not a valid MTCP image"),
+            RestoreError::BadHeader(e) => write!(f, "not a valid MTCP image: {e}"),
             RestoreError::BadPayload(r) => write!(f, "corrupt payload for region {r}"),
             RestoreError::CrcMismatch { region } => {
                 write!(f, "CRC mismatch restoring region {region}")
@@ -67,9 +72,48 @@ pub fn read_image(w: &World, node: NodeId, path: &str) -> Result<CkptImage, Rest
     // The header always lives at the front of the first real chunk.
     let head = match file.blob.chunks().first() {
         Some(Chunk::Real(bytes)) => bytes,
-        _ => return Err(RestoreError::BadHeader),
+        _ => return Err(RestoreError::BadHeader(HeaderError::Truncated)),
     };
-    let (img, _) = CkptImage::decode_header(head).map_err(|_| RestoreError::BadHeader)?;
+    let (img, _) = CkptImage::decode_header(head).map_err(RestoreError::BadHeader)?;
+    Ok(img)
+}
+
+/// Fully validate an image without restoring it: header magic/CRC, then
+/// every region payload walked, length-checked, decompressed, and verified
+/// against its recorded CRC. This is what the restart path runs before
+/// trusting an image — a torn or bit-flipped generation is rejected here
+/// with a typed error so restart can fall back to an older one.
+pub fn verify_image(w: &World, node: NodeId, path: &str) -> Result<CkptImage, ImageError> {
+    let fs = w.fs_for(node, path);
+    let file = fs.get(path).ok_or(RestoreError::NotFound)?;
+    let chunks = file.blob.chunks();
+    let mut cursor = BlobCursor::new(chunks);
+    let head = cursor
+        .peek_real()
+        .ok_or(RestoreError::BadHeader(HeaderError::Truncated))?;
+    let (img, header_len) = CkptImage::decode_header(head).map_err(RestoreError::BadHeader)?;
+    cursor.skip_real(header_len);
+    for rm in &img.regions {
+        match &rm.stored {
+            StoredAs::Real { comp_len } | StoredAs::Shared { comp_len, .. } => {
+                let stored = cursor
+                    .take_real(*comp_len as usize)
+                    .ok_or_else(|| RestoreError::BadPayload(rm.name.clone()))?;
+                let raw = unpack_real(&stored, img.compressed)
+                    .map_err(|_| RestoreError::BadPayload(rm.name.clone()))?;
+                if szip::crc32(&raw) != rm.crc {
+                    return Err(RestoreError::CrcMismatch {
+                        region: rm.name.clone(),
+                    });
+                }
+            }
+            StoredAs::Synthetic { comp_len, .. } => {
+                cursor
+                    .take_virtual(*comp_len)
+                    .ok_or_else(|| RestoreError::BadPayload(rm.name.clone()))?;
+            }
+        }
+    }
     Ok(img)
 }
 
@@ -96,8 +140,10 @@ pub fn restore_into(
     };
     let mut cursor = BlobCursor::new(&payload_owned);
     // Skip the header bytes within the first chunk.
-    let head = cursor.peek_real().ok_or(RestoreError::BadHeader)?;
-    let (_, header_len) = CkptImage::decode_header(head).map_err(|_| RestoreError::BadHeader)?;
+    let head = cursor
+        .peek_real()
+        .ok_or(RestoreError::BadHeader(HeaderError::Truncated))?;
+    let (_, header_len) = CkptImage::decode_header(head).map_err(RestoreError::BadHeader)?;
     cursor.skip_real(header_len);
 
     let mut new_mem = oskit::mem::AddressSpace::new();

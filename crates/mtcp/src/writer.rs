@@ -190,6 +190,10 @@ pub fn write_image(
             Payload::Virtual { len, meta } => blob.append_virtual(*len, meta.clone()),
         }
     }
+    // Fault-injection hook: a torn write truncates or bit-flips the blob
+    // between "bytes produced" and "file committed" — the CRC/length checks
+    // on the read side must catch whatever happens here.
+    w.apply_image_fault(path, &mut blob);
     let image_bytes = blob.len();
     {
         let fs = w.fs_for_mut(node, path);

@@ -1,0 +1,175 @@
+//! Typed image-validation errors: every way an image file can be damaged —
+//! missing, truncated inside the header, bad magic, header-CRC mismatch,
+//! truncated payload, bit-flipped payload — must surface as the matching
+//! [`ImageError`] variant, never a panic or a silently-wrong restore. This
+//! is the contract the restart path's fall-back-to-older-generation logic
+//! (and the fault matrix's torn-image cells) relies on.
+
+use mtcp::{verify_image, write_image, CkptImage, HeaderError, ImageError, WriteMode};
+use oskit::program::{Program, Registry, Step};
+use oskit::world::{NodeId, OsSim, Pid, World};
+use oskit::{HwSpec, Kernel};
+use simkit::{Nanos, Sim, Snap};
+use std::collections::BTreeMap;
+
+/// Minimal checkpointable program: a snap-able counter with one heap region,
+/// so the image has a header, a thread record, and real payload bytes.
+struct Ticker {
+    pc: u8,
+    heap: u64,
+    ticks: u32,
+}
+simkit::impl_snap!(struct Ticker { pc, heap, ticks });
+
+impl Program for Ticker {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        if self.pc == 0 {
+            self.heap = k.mmap_anon("ticker-heap", 4096) as u64;
+            self.pc = 1;
+        }
+        self.ticks += 1;
+        k.mem_write(self.heap as usize, 0, &self.ticks.to_le_bytes());
+        Step::Compute(100_000)
+    }
+    fn tag(&self) -> &'static str {
+        "ticker"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+const IMG: &str = "/img";
+
+/// A world holding a freshly written, valid image at [`IMG`]. Also returns
+/// the encoded header length so tests can aim their damage precisely at the
+/// header, the header CRC, or the payload.
+fn world_with_image() -> (World, OsSim, usize) {
+    let mut reg = Registry::new();
+    reg.register_snap::<Ticker>("ticker");
+    let mut w = World::new(HwSpec::desktop(), 1, reg);
+    let mut sim: OsSim = Sim::new();
+    let pid = w.spawn(
+        &mut sim,
+        NodeId(0),
+        "ticker",
+        Box::new(Ticker {
+            pc: 0,
+            heap: 0,
+            ticks: 0,
+        }),
+        Pid(1),
+        BTreeMap::new(),
+    );
+    sim.run_until(&mut w, Nanos::from_millis(3));
+    w.suspend_user_threads(&mut sim, pid);
+    write_image(
+        &mut w,
+        sim.now(),
+        pid,
+        IMG,
+        WriteMode::Uncompressed,
+        pid.0,
+        vec![],
+    );
+    let head = {
+        let f = w.nodes[0].fs.get(IMG).expect("image written");
+        match f.blob.chunks().first() {
+            Some(oskit::fs::Chunk::Real(b)) => b.clone(),
+            _ => panic!("header chunk must be real"),
+        }
+    };
+    let (_, header_len) = CkptImage::decode_header(&head).expect("fresh image parses");
+    (w, sim, header_len)
+}
+
+fn damage(w: &mut World, f: impl FnOnce(&mut oskit::fs::Blob)) {
+    f(&mut w.nodes[0].fs.get_mut(IMG).expect("image").blob);
+}
+
+#[test]
+fn intact_image_verifies_clean() {
+    let (w, _sim, _) = world_with_image();
+    let img = verify_image(&w, NodeId(0), IMG).expect("valid image verifies");
+    assert_eq!(img.cmd, "ticker");
+    assert_eq!(img.threads.len(), 1);
+    assert!(!img.regions.is_empty());
+}
+
+#[test]
+fn missing_image_is_not_found() {
+    let (w, _sim, _) = world_with_image();
+    assert_eq!(
+        verify_image(&w, NodeId(0), "/no/such.img"),
+        Err(ImageError::NotFound)
+    );
+}
+
+#[test]
+fn truncated_header_is_typed_truncated() {
+    let (mut w, _sim, _) = world_with_image();
+    // Cut inside the 8-byte magic: not even the magic survives.
+    damage(&mut w, |b| b.truncate(4));
+    assert_eq!(
+        verify_image(&w, NodeId(0), IMG),
+        Err(ImageError::BadHeader(HeaderError::Truncated))
+    );
+}
+
+#[test]
+fn truncated_header_body_is_typed_truncated() {
+    let (mut w, _sim, header_len) = world_with_image();
+    // Magic intact, header body cut short.
+    damage(&mut w, |b| b.truncate(header_len as u64 / 2));
+    assert_eq!(
+        verify_image(&w, NodeId(0), IMG),
+        Err(ImageError::BadHeader(HeaderError::Truncated))
+    );
+}
+
+#[test]
+fn flipped_magic_is_bad_magic() {
+    let (mut w, _sim, _) = world_with_image();
+    damage(&mut w, |b| assert!(b.flip_bit(0, 3)));
+    assert_eq!(
+        verify_image(&w, NodeId(0), IMG),
+        Err(ImageError::BadHeader(HeaderError::BadMagic))
+    );
+}
+
+#[test]
+fn flipped_header_body_is_bad_crc() {
+    let (mut w, _sim, header_len) = world_with_image();
+    // Last byte of the snap-encoded body, just before the 4-byte header CRC.
+    damage(&mut w, |b| {
+        assert!(b.flip_bit(header_len as u64 - 5, 0));
+    });
+    assert_eq!(
+        verify_image(&w, NodeId(0), IMG),
+        Err(ImageError::BadHeader(HeaderError::BadCrc))
+    );
+}
+
+#[test]
+fn truncated_payload_is_bad_payload() {
+    let (mut w, _sim, header_len) = world_with_image();
+    // Header intact, first region payload cut mid-way.
+    damage(&mut w, |b| b.truncate(header_len as u64 + 10));
+    match verify_image(&w, NodeId(0), IMG) {
+        Err(ImageError::BadPayload(region)) => assert!(!region.is_empty()),
+        other => panic!("expected BadPayload, got {other:?}"),
+    }
+}
+
+#[test]
+fn flipped_payload_bit_is_crc_mismatch() {
+    let (mut w, _sim, header_len) = world_with_image();
+    // Well past the header: inside the first region's stored bytes.
+    damage(&mut w, |b| {
+        assert!(b.flip_bit(header_len as u64 + 100, 5));
+    });
+    match verify_image(&w, NodeId(0), IMG) {
+        Err(ImageError::CrcMismatch { region }) => assert!(!region.is_empty()),
+        other => panic!("expected CrcMismatch, got {other:?}"),
+    }
+}

@@ -122,6 +122,74 @@ impl Blob {
         self.chunks.clear();
         self.len = 0;
     }
+
+    /// Truncate to `new_len` bytes, slicing through whatever chunk the cut
+    /// lands in (a virtual chunk keeps its meta but shrinks — models a torn
+    /// write that stopped partway through a sized extent).
+    pub fn truncate(&mut self, new_len: u64) {
+        if new_len >= self.len {
+            return;
+        }
+        let mut kept = 0u64;
+        let mut out = Vec::new();
+        for c in self.chunks.drain(..) {
+            if kept >= new_len {
+                break;
+            }
+            let room = new_len - kept;
+            let clen = c.len();
+            if clen <= room {
+                kept += clen;
+                out.push(c);
+                continue;
+            }
+            match c {
+                Chunk::Real(mut b) => {
+                    b.truncate(room as usize);
+                    if !b.is_empty() {
+                        out.push(Chunk::Real(b));
+                    }
+                }
+                Chunk::Virtual { meta, .. } => {
+                    if room > 0 {
+                        out.push(Chunk::Virtual { len: room, meta });
+                    }
+                }
+            }
+            kept = new_len;
+        }
+        self.chunks = out;
+        self.len = new_len;
+    }
+
+    /// Flip one bit at byte offset `off` within the blob's *real* bytes,
+    /// where `off` indexes the concatenation of real chunks only (virtual
+    /// extents have no bytes to corrupt). Returns `false` if the blob has
+    /// fewer than `off + 1` real bytes.
+    pub fn flip_bit(&mut self, off: u64, bit: u8) -> bool {
+        let mut skip = off;
+        for c in &mut self.chunks {
+            if let Chunk::Real(b) = c {
+                if skip < b.len() as u64 {
+                    b[skip as usize] ^= 1 << (bit & 7);
+                    return true;
+                }
+                skip -= b.len() as u64;
+            }
+        }
+        false
+    }
+
+    /// Total number of real (materialized) bytes in the blob.
+    pub fn real_len(&self) -> u64 {
+        self.chunks
+            .iter()
+            .map(|c| match c {
+                Chunk::Real(b) => b.len() as u64,
+                Chunk::Virtual { .. } => 0,
+            })
+            .sum()
+    }
 }
 
 /// A file.
@@ -288,6 +356,51 @@ mod tests {
         assert_eq!(b.len(), 3 + (1 << 30));
         assert!(b.read_all().is_none());
         assert_eq!(b.chunks().len(), 2);
+    }
+
+    #[test]
+    fn truncate_slices_through_chunks() {
+        let mut b = Blob::new();
+        b.append_bytes(b"0123456789");
+        b.append_virtual(100, vec![7]);
+        b.append_bytes(b"tail");
+
+        let mut t = b.clone();
+        t.truncate(4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.read_all().unwrap(), b"0123");
+
+        let mut t = b.clone();
+        t.truncate(60); // lands inside the virtual extent
+        assert_eq!(t.len(), 60);
+        assert_eq!(t.chunks().len(), 2);
+        assert_eq!(t.chunks()[1].len(), 50);
+
+        let mut t = b.clone();
+        t.truncate(10_000); // no-op beyond the end
+        assert_eq!(t.len(), 114);
+
+        let mut t = b.clone();
+        t.truncate(0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn flip_bit_targets_real_bytes_only() {
+        let mut b = Blob::new();
+        b.append_bytes(b"ab");
+        b.append_virtual(1000, vec![]);
+        b.append_bytes(b"cd");
+        assert_eq!(b.real_len(), 4);
+        assert!(b.flip_bit(2, 0)); // 'c' -> 'b'
+        let mut bytes = Vec::new();
+        for c in b.chunks() {
+            if let Chunk::Real(r) = c {
+                bytes.extend_from_slice(r);
+            }
+        }
+        assert_eq!(bytes, b"abbd");
+        assert!(!b.flip_bit(4, 0), "offset past real bytes");
     }
 
     #[test]

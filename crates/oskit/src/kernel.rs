@@ -643,10 +643,29 @@ impl<'a> Kernel<'a> {
         (r, w)
     }
 
+    /// `shutdown(fd, SHUT_WR)` — half-close the write side of a socket:
+    /// further sends from this end fail with EPIPE and the peer sees EOF
+    /// once buffered bytes drain, but reads on this end keep working.
+    pub fn shutdown_write(&mut self, fd: Fd) -> Result<(), Errno> {
+        let FdObject::Sock(cid, end) = self.fd_object(fd)? else {
+            return Err(Errno::NotSock);
+        };
+        let end = end as usize;
+        let conn = self.w.conns.get_mut(&cid).ok_or(Errno::BadFd)?;
+        if conn.wr_closed[end] {
+            return Ok(());
+        }
+        conn.wr_closed[end] = true;
+        // Peer readers blocked on this direction must wake to observe EOF.
+        let readers = std::mem::take(&mut conn.dirs[end].read_waiters);
+        self.w.wake_all(self.sim, readers);
+        Ok(())
+    }
+
     fn send_on(&mut self, cid: ConnId, end: usize, bytes: &[u8]) -> Result<usize, Errno> {
         let me = self.me();
         let conn = self.w.conns.get_mut(&cid).ok_or(Errno::BadFd)?;
-        if conn.closed[Conn::peer(end)] {
+        if conn.closed[Conn::peer(end)] || conn.wr_closed[end] {
             return Err(Errno::Pipe);
         }
         let room = conn.send_room(end);
@@ -671,7 +690,7 @@ impl<'a> Kernel<'a> {
         let conn = self.w.conns.get_mut(&cid).ok_or(Errno::BadFd)?;
         let dir = &mut conn.dirs[src];
         if dir.recv_buf.is_empty() {
-            if conn.closed[src] && conn.dirs[src].in_flight == 0 {
+            if (conn.closed[src] || conn.wr_closed[src]) && conn.dirs[src].in_flight == 0 {
                 return Ok(Vec::new()); // EOF
             }
             conn.dirs[src].read_waiters.push(me);

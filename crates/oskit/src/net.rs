@@ -81,6 +81,9 @@ pub struct Conn {
     pub capacity: u64,
     /// An end that was `close`d for good (EOF for the peer).
     pub closed: [bool; 2],
+    /// An end whose write side was shut down (`shutdown(SHUT_WR)`): the end
+    /// can still read, the peer sees EOF once in-flight bytes drain.
+    pub wr_closed: [bool; 2],
 }
 
 impl Conn {
@@ -95,6 +98,7 @@ impl Conn {
             owner_pid: [0, 0],
             capacity: CONN_CAPACITY,
             closed: [false, false],
+            wr_closed: [false, false],
         }
     }
 

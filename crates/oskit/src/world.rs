@@ -88,6 +88,49 @@ pub struct Node {
 /// wrapper of §4.5) and must return the pid the process ended up with.
 pub type SpawnHook = Rc<dyn Fn(&mut World, &mut OsSim, Pid) -> Pid>;
 
+/// A network transmission about to be scheduled, as seen by a fault hook.
+/// Borrowed snapshot only — the hook cannot touch the world, which keeps
+/// the interposition point re-entrancy-free.
+pub struct NetPacket<'a> {
+    /// Connection carrying the bytes.
+    pub cid: ConnId,
+    /// Sending end (0 or 1).
+    pub end: usize,
+    /// Payload being transmitted.
+    pub bytes: &'a [u8],
+    /// Virtual time of the send.
+    pub now: Nanos,
+    /// Arrival time the kernel computed (NIC + latency).
+    pub arrival: Nanos,
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+}
+
+/// Verdict a network fault hook returns for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Deliver normally at the computed arrival time.
+    Deliver,
+    /// Deliver, but no earlier than the given instant (delay / reorder /
+    /// partition faults). Clamped to `max(arrival, now)`.
+    DeliverAt(Nanos),
+    /// Silently lose the packet (the bytes were consumed from the sender's
+    /// buffer, exactly like a lost TCP segment before the ack).
+    Drop,
+}
+
+/// Hook consulted on every [`World::conn_transmit`] call. Installed by
+/// fault-injection layers (see `crates/faultkit`); `None` means the network
+/// is perfectly reliable, which is the default.
+pub type NetFaultHook = Box<dyn FnMut(&NetPacket<'_>) -> NetFault>;
+
+/// Hook consulted when a checkpoint image blob is about to be committed to
+/// the filesystem. May mutate the blob (truncate, flip bits) to model a
+/// torn write; returns `true` if it injected a fault.
+pub type ImageFaultHook = Box<dyn FnMut(&str, &mut crate::fs::Blob) -> bool>;
+
 /// The simulated cluster.
 pub struct World {
     /// Hardware calibration.
@@ -125,6 +168,10 @@ pub struct World {
     pub rng: DetRng,
     /// Process-creation hook (checkpoint-layer injection).
     pub spawn_hook: Option<SpawnHook>,
+    /// Network fault-injection hook (see [`NetFaultHook`]).
+    pub net_fault: Option<NetFaultHook>,
+    /// Checkpoint-image fault-injection hook (see [`ImageFaultHook`]).
+    pub image_fault: Option<ImageFaultHook>,
     /// Named extension slots for layers built on top of the kernel (the
     /// DMTCP crate keeps its wrapper side tables here). Opaque to oskit.
     pub ext_slots: BTreeMap<String, Box<dyn std::any::Any>>,
@@ -170,6 +217,8 @@ impl World {
             obs: obs::Obs::new(),
             rng: DetRng::seed_from_u64(0xD317C9),
             spawn_hook: None,
+            net_fault: None,
+            image_fault: None,
             ext_slots: BTreeMap::new(),
             next_pid: 2,
             next_conn: 1,
@@ -623,7 +672,7 @@ impl World {
     pub fn conn_transmit(&mut self, sim: &mut OsSim, cid: ConnId, e: usize, bytes: Vec<u8>) {
         let now = sim.now();
         let n = bytes.len() as u64;
-        let (arrival, cross) = {
+        let (mut arrival, cross) = {
             let conn = self.conns.get(&cid).expect("transmit on dead conn");
             let cross = conn.cross_node();
             let src = conn.node[e];
@@ -636,11 +685,46 @@ impl World {
             };
             (t, cross)
         };
+        let mut dropped = false;
+        if let Some(mut hook) = self.net_fault.take() {
+            let verdict = {
+                let conn = self.conns.get(&cid).expect("transmit on dead conn");
+                let pkt = NetPacket {
+                    cid,
+                    end: e,
+                    bytes: &bytes,
+                    now,
+                    arrival,
+                    src: conn.node[e],
+                    dst: conn.node[Conn::peer(e)],
+                };
+                hook(&pkt)
+            };
+            self.net_fault = Some(hook);
+            match verdict {
+                NetFault::Deliver => {}
+                NetFault::DeliverAt(t) => arrival = arrival.max(t).max(now),
+                NetFault::Drop => dropped = true,
+            }
+        }
         let conn = self.conns.get_mut(&cid).expect("transmit on dead conn");
         conn.dirs[e].in_flight += n;
         conn.dirs[e].tx_total += n;
         self.obs.metrics.add("oskit.net.tx_bytes", 0, n);
         let _ = cross;
+        if dropped {
+            self.obs.metrics.add("oskit.net.fault_dropped_bytes", 0, n);
+            // The sender's bytes are gone (consumed from its buffer, like a
+            // segment lost before the ack); only the in-flight accounting
+            // unwinds at what would have been the arrival instant.
+            sim.at(arrival, move |w: &mut World, _| {
+                let Some(conn) = w.conns.get_mut(&cid) else {
+                    return;
+                };
+                conn.dirs[e].in_flight -= n;
+            });
+            return;
+        }
         sim.at(arrival, move |w: &mut World, sim| {
             let Some(conn) = w.conns.get_mut(&cid) else {
                 return; // both ends closed mid-flight
@@ -652,6 +736,21 @@ impl World {
             let readers = std::mem::take(&mut conn.dirs[e].read_waiters);
             w.wake_all(sim, readers);
         });
+    }
+
+    /// Give the installed image fault hook (if any) a chance to corrupt a
+    /// checkpoint image blob before it is committed to the filesystem.
+    /// Returns `true` if a fault was injected.
+    pub fn apply_image_fault(&mut self, path: &str, blob: &mut crate::fs::Blob) -> bool {
+        let Some(mut hook) = self.image_fault.take() else {
+            return false;
+        };
+        let hit = hook(path, blob);
+        self.image_fault = Some(hook);
+        if hit {
+            self.obs.metrics.inc("oskit.fs.image_fault", 0);
+        }
+        hit
     }
 
     /// Charge a write of `bytes` to storage serving `path` on `node`;

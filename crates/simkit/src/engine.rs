@@ -164,18 +164,42 @@ impl<W> Sim<W> {
     /// non-terminating protocols in tests. Returns `true` if the queue
     /// drained within the budget.
     pub fn run_bounded(&mut self, world: &mut W, max_events: u64) -> bool {
+        matches!(
+            self.run_budgeted(world, max_events),
+            RunOutcome::Quiescent | RunOutcome::Halted
+        )
+    }
+
+    /// Like [`Sim::run_bounded`], but reports *why* the loop stopped so
+    /// callers can distinguish "budget exhausted" (raise the budget) from a
+    /// genuinely drained queue or an explicit halt.
+    pub fn run_budgeted(&mut self, world: &mut W, max_events: u64) -> RunOutcome {
         self.halted = false;
         let start = self.fired;
-        while !self.halted {
+        loop {
+            if self.halted {
+                return RunOutcome::Halted;
+            }
             if self.fired - start >= max_events {
-                return false;
+                return RunOutcome::BudgetExhausted;
             }
             if !self.step(world) {
-                return true;
+                return RunOutcome::Quiescent;
             }
         }
-        true
     }
+}
+
+/// Why a budgeted run loop stopped (see [`Sim::run_budgeted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Quiescent,
+    /// [`Sim::halt`] was called by an event.
+    Halted,
+    /// The event budget ran out with events still pending — either a
+    /// livelock/deadlock in the model or a budget set too low.
+    BudgetExhausted,
 }
 
 #[cfg(test)]
@@ -241,6 +265,25 @@ mod tests {
         // Resuming picks the remaining event back up.
         sim.run(&mut w);
         assert_eq!(w, 101);
+    }
+
+    #[test]
+    fn run_budgeted_reports_stop_reason() {
+        fn rearm(_: &mut (), sim: &mut Sim<()>) {
+            sim.after(Nanos::from_micros(1), rearm);
+        }
+        let mut sim: Sim<()> = Sim::new();
+        sim.soon(rearm);
+        assert_eq!(sim.run_budgeted(&mut (), 100), RunOutcome::BudgetExhausted);
+
+        let mut quiet: Sim<u32> = Sim::new();
+        let mut w = 0u32;
+        quiet.at(Nanos::from_secs(1), |w: &mut u32, _| *w += 1);
+        assert_eq!(quiet.run_budgeted(&mut w, 100), RunOutcome::Quiescent);
+
+        let mut halting: Sim<u32> = Sim::new();
+        halting.at(Nanos::from_secs(1), |_: &mut u32, sim| sim.halt());
+        assert_eq!(halting.run_budgeted(&mut w, 100), RunOutcome::Halted);
     }
 
     #[test]

@@ -32,8 +32,8 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::Sim;
-pub use rng::DetRng;
+pub use engine::{RunOutcome, Sim};
+pub use rng::{mix2, splitmix64, DetRng};
 pub use snap::{Snap, SnapError, SnapReader, SnapWriter};
 pub use stats::Summary;
 pub use time::Nanos;

@@ -1,6 +1,19 @@
 #!/usr/bin/env bash
 # Tier-1 gate: everything a PR must keep green.
 # Usage: scripts/tier1.sh
+#
+# Fault-matrix knobs (crates/core/tests/faults.rs):
+#   DMTCP_FAULT_ROTATING=N  run the matrix with N extra date-derived base
+#                           seeds on top of the fixed ones (default here: 2),
+#                           so CI gradually sweeps fresh fault schedules
+#                           while staying reproducible — a failing cell
+#                           prints the exact DMTCP_FAULT_SEEDS value to
+#                           replay it. Set to 0 for fixed seeds only.
+#   DMTCP_FAULT_SEEDS       comma-separated explicit base seeds (hex or
+#                           decimal) — replaces the fixed defaults; use the
+#                           value printed by a failing run to reproduce it.
+#   DMTCP_TEST_EV_BUDGET    per-run simulation event budget for the heavier
+#                           integration tests (default 8000000).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,6 +22,9 @@ cargo build --release --workspace
 
 echo "== cargo test =="
 cargo test -q --workspace
+
+echo "== fault matrix (fixed + rotating seeds) =="
+DMTCP_FAULT_ROTATING="${DMTCP_FAULT_ROTATING:-2}" cargo test -q -p dmtcp --test faults
 
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
