@@ -1,0 +1,174 @@
+//! Incremental-vs-full checkpoint storage over N generations.
+//!
+//! The paper writes every generation as a full compressed image (§5.3); the
+//! `ckptstore` crate replaces that with content-addressed chunks so an
+//! unchanged process pays only its churn. This bench runs N checkpoint
+//! generations of the NAS/MG MPI job and of RunCMS, once with plain files
+//! and once through the store, and reports per-generation *physical* bytes
+//! (from the `mtcp.image.bytes` / `ckptstore.bytes_written` counters — the
+//! store never materializes plain files, so file sizes would be
+//! meaningless) together with checkpoint latency.
+//!
+//! Regenerate with: `cargo run --release -p dmtcp-bench --bin ckptstore`
+//! Pass `--smoke` for the cheap 3-generation variant tier-1 runs.
+
+use apps::nas::{nas_factory, NasKernel};
+use dmtcp::session::run_for;
+use dmtcp::Session;
+use dmtcp_bench::{ckpt_seconds, cluster_world, desktop_world, options, write_jsonl_lines, EV};
+use obs::json::JsonWriter;
+use oskit::world::{NodeId, OsSim, World};
+use simkit::Nanos;
+use simmpi::launch::{mpirun, Flavor, Launcher, MpiJob};
+
+struct GenRow {
+    gen: u64,
+    ckpt_s: f64,
+    logical: u64,
+    physical: u64,
+}
+
+/// Checkpoint `gens` times, recording logical image bytes and physical
+/// stored bytes per generation from the world's counters.
+fn measure_gens(
+    w: &mut World,
+    sim: &mut OsSim,
+    s: &Session,
+    store: bool,
+    gens: u32,
+    gap: Nanos,
+) -> Vec<GenRow> {
+    let mut rows = Vec::new();
+    let mut logical0 = 0u64;
+    let mut physical0 = 0u64;
+    for _ in 0..gens {
+        let g = s.checkpoint_and_wait(w, sim, EV);
+        let logical = w.obs.metrics.counter_total("mtcp.image.bytes");
+        let physical = if store {
+            w.obs.metrics.counter_total("ckptstore.bytes_written")
+        } else {
+            logical
+        };
+        rows.push(GenRow {
+            gen: g.gen,
+            ckpt_s: ckpt_seconds(&g),
+            logical: logical - logical0,
+            physical: physical - physical0,
+        });
+        logical0 = logical;
+        physical0 = physical;
+        run_for(w, sim, gap);
+    }
+    rows
+}
+
+fn nas_rows(kernel: NasKernel, store: bool, gens: u32) -> Vec<GenRow> {
+    const NODES: usize = 4;
+    let (mut w, mut sim) = cluster_world(NODES);
+    if store {
+        ckptstore::install(&mut w, ckptstore::Config::default());
+    }
+    let s = Session::start(&mut w, &mut sim, options(true, false, true));
+    let job = MpiJob {
+        flavor: Flavor::OpenMpi,
+        nodes: (0..NODES as u32).map(NodeId).collect(),
+        procs_per_node: 2,
+        base_port: 30_000,
+    };
+    mpirun(
+        &mut w,
+        &mut sim,
+        Launcher::Dmtcp(&s),
+        &job,
+        nas_factory(kernel, 1_000_000, 1024),
+    );
+    run_for(&mut w, &mut sim, Nanos::from_millis(400));
+    measure_gens(&mut w, &mut sim, &s, store, gens, Nanos::from_millis(50))
+}
+
+fn runcms_rows(store: bool, gens: u32) -> Vec<GenRow> {
+    let (mut w, mut sim) = desktop_world();
+    if store {
+        ckptstore::install(&mut w, ckptstore::Config::default());
+    }
+    let s = Session::start(&mut w, &mut sim, options(true, false, false));
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(0),
+        "runCMS",
+        Box::new(apps::runcms::RunCms::new()),
+    );
+    run_for(&mut w, &mut sim, Nanos::from_secs(60));
+    measure_gens(&mut w, &mut sim, &s, store, gens, Nanos::from_secs(1))
+}
+
+fn report(label: &str, full: &[GenRow], inc: &[GenRow], out: &mut Vec<String>) {
+    println!("\n{label}: full-image vs ckptstore, per generation");
+    println!("  gen   full MB   store MB   saved   full s   store s");
+    for (f, i) in full.iter().zip(inc.iter()) {
+        let mb = |b: u64| b as f64 / (1 << 20) as f64;
+        let saved = 1.0 - i.physical as f64 / f.physical.max(1) as f64;
+        println!(
+            "  {:>3}   {:>7.1}   {:>8.1}   {:>4.0}%   {:>6.2}   {:>7.2}",
+            f.gen,
+            mb(f.physical),
+            mb(i.physical),
+            saved * 100.0,
+            f.ckpt_s,
+            i.ckpt_s
+        );
+        let mut j = JsonWriter::new();
+        j.obj_begin()
+            .field_str("workload", label)
+            .field_u64("gen", f.gen)
+            .field_u64("full_bytes", f.physical)
+            .field_u64("store_bytes", i.physical)
+            .field_u64("logical_bytes", i.logical)
+            .field_f64("full_ckpt_s", f.ckpt_s)
+            .field_f64("store_ckpt_s", i.ckpt_s)
+            .obj_end();
+        out.push(j.into_string());
+    }
+    let steady: Vec<&GenRow> = inc.iter().skip(1).collect();
+    if !steady.is_empty() {
+        let phys: u64 = steady.iter().map(|r| r.physical).sum();
+        let logi: u64 = steady.iter().map(|r| r.logical).sum();
+        println!(
+            "  steady-state dedup (gen ≥ 2): {:.1}% of logical bytes stored",
+            100.0 * phys as f64 / logi.max(1) as f64
+        );
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let gens: u32 = if smoke { 3 } else { 6 };
+    println!("# ckptstore: {gens} generations, NAS/MG + NAS/IS (4 nodes x 2) + RunCMS");
+
+    let mut lines = Vec::new();
+    report(
+        "NAS/MG",
+        &nas_rows(NasKernel::Mg, false, gens),
+        &nas_rows(NasKernel::Mg, true, gens),
+        &mut lines,
+    );
+    if !smoke {
+        report(
+            "NAS/IS",
+            &nas_rows(NasKernel::Is, false, gens),
+            &nas_rows(NasKernel::Is, true, gens),
+            &mut lines,
+        );
+        report(
+            "RunCMS",
+            &runcms_rows(false, gens),
+            &runcms_rows(true, gens),
+            &mut lines,
+        );
+    }
+    match write_jsonl_lines("ckptstore", lines) {
+        Ok(p) => println!("# wrote {p}"),
+        Err(e) => eprintln!("# jsonl write failed: {e}"),
+    }
+}

@@ -1,0 +1,178 @@
+//! Manifest and path scheme of the content-addressed store.
+//!
+//! Each node's store lives under [`oskit::fs::STORE_ROOT`] in its *local*
+//! filesystem:
+//!
+//! ```text
+//! /ckptstore/chunks/<id>            one file per unique chunk
+//! /ckptstore/manifests/<image-key>  one file per checkpoint generation
+//! ```
+//!
+//! A chunk id is `r<crc32>-<len>` for literal bytes and `v<crc32>-<len>`
+//! for a virtual (accounted-but-unmaterialized) extent, with the CRC taken
+//! over the extent's recipe metadata. The manifest is an ordered list of
+//! chunk refs — concatenating the chunks in order reproduces the image blob
+//! byte for byte. It is plain text so a human (or a test) can read it back.
+
+use oskit::fs::STORE_ROOT;
+
+/// First token of every manifest file.
+pub const MANIFEST_MAGIC: &str = "CKPTMAN1";
+
+/// One entry in a manifest: a chunk the image is assembled from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRef {
+    /// Content-addressed chunk id (`r`/`v` prefix, CRC-32, length).
+    pub id: String,
+    /// Bytes this chunk contributes to the image.
+    pub len: u64,
+}
+
+/// A checkpoint generation: the ordered chunk list for one image file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Checkpoint generation number parsed from the image path.
+    pub gen: u32,
+    /// Total image size in bytes (sum of chunk lens).
+    pub logical_len: u64,
+    /// The logical image path this manifest stands in for.
+    pub src: String,
+    /// Ordered chunk references.
+    pub chunks: Vec<ChunkRef>,
+}
+
+impl Manifest {
+    /// Serialize to the text format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = format!(
+            "{} gen={} len={} src={}\n",
+            MANIFEST_MAGIC, self.gen, self.logical_len, self.src
+        );
+        for c in &self.chunks {
+            out.push_str(&format!("{} {}\n", c.id, c.len));
+        }
+        out.into_bytes()
+    }
+
+    /// Parse the text format; `None` on any malformation.
+    pub fn decode(bytes: &[u8]) -> Option<Manifest> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let mut lines = text.lines();
+        let head = lines.next()?;
+        let mut fields = head.split(' ');
+        if fields.next()? != MANIFEST_MAGIC {
+            return None;
+        }
+        let mut gen = None;
+        let mut logical_len = None;
+        let mut src = None;
+        for f in fields {
+            let (k, v) = f.split_once('=')?;
+            match k {
+                "gen" => gen = Some(v.parse().ok()?),
+                "len" => logical_len = Some(v.parse().ok()?),
+                "src" => src = Some(v.to_string()),
+                _ => return None,
+            }
+        }
+        let mut chunks = Vec::new();
+        for line in lines {
+            let (id, len) = line.split_once(' ')?;
+            chunks.push(ChunkRef {
+                id: id.to_string(),
+                len: len.parse().ok()?,
+            });
+        }
+        Some(Manifest {
+            gen: gen?,
+            logical_len: logical_len?,
+            src: src?,
+            chunks,
+        })
+    }
+}
+
+/// Store path of a chunk file.
+pub fn chunk_path(id: &str) -> String {
+    format!("{STORE_ROOT}/chunks/{id}")
+}
+
+/// Prefix under which all chunk files live.
+pub fn chunks_prefix() -> String {
+    format!("{STORE_ROOT}/chunks/")
+}
+
+/// Store path of the manifest standing in for a logical image path.
+pub fn manifest_path(logical: &str) -> String {
+    format!("{STORE_ROOT}/manifests/{}", logical.replace('/', "_"))
+}
+
+/// Prefix under which all manifests live.
+pub fn manifests_prefix() -> String {
+    format!("{STORE_ROOT}/manifests/")
+}
+
+/// Generation number embedded in an image path (`..._gen<N>.dmtcp`).
+pub fn parse_gen(path: &str) -> Option<u32> {
+    let at = path.rfind("_gen")?;
+    let digits: String = path[at + 4..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// The same logical path pointed at a different generation.
+pub fn with_gen(path: &str, gen: u32) -> Option<String> {
+    let cur = parse_gen(path)?;
+    Some(path.replace(&format!("_gen{cur}"), &format!("_gen{gen}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = Manifest {
+            gen: 3,
+            logical_len: 1234,
+            src: "/shared/ckpt/ckpt_40001_gen3.dmtcp".into(),
+            chunks: vec![
+                ChunkRef {
+                    id: "rdeadbeef-1000".into(),
+                    len: 1000,
+                },
+                ChunkRef {
+                    id: "v00c0ffee-234".into(),
+                    len: 234,
+                },
+            ],
+        };
+        assert_eq!(Manifest::decode(&m.encode()), Some(m));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Manifest::decode(b"not a manifest"), None);
+        assert_eq!(Manifest::decode(b"CKPTMAN1 gen=x len=1 src=/a\n"), None);
+        assert_eq!(Manifest::decode(&[0xff, 0xfe]), None);
+    }
+
+    #[test]
+    fn gen_parsing_and_rewrite() {
+        let p = "/ckpt/ckpt_40001_gen12.dmtcp";
+        assert_eq!(parse_gen(p), Some(12));
+        assert_eq!(
+            with_gen(p, 3).as_deref(),
+            Some("/ckpt/ckpt_40001_gen3.dmtcp")
+        );
+        assert_eq!(parse_gen("/ckpt/no-generation"), None);
+    }
+
+    #[test]
+    fn paths_are_node_local() {
+        assert!(manifest_path("/shared/ckpt/a_gen1.dmtcp").starts_with("/ckptstore/manifests/"));
+        assert!(!chunk_path("rff-1").starts_with(oskit::fs::SHARED_MOUNT));
+    }
+}

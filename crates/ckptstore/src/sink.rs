@@ -1,0 +1,402 @@
+//! Commit path: chunk an image blob, dedup against the node's store, write
+//! the manifest, replicate to peers, and garbage-collect expired
+//! generations.
+
+use crate::manifest::{
+    chunk_path, chunks_prefix, manifest_path, manifests_prefix, parse_gen, with_gen, ChunkRef,
+    Manifest,
+};
+use crate::Config;
+use mtcp::SinkCommit;
+use oskit::fs::{Blob, Chunk, Fs};
+use oskit::world::{NodeId, World};
+use simkit::Nanos;
+use std::collections::BTreeSet;
+
+/// A chunk cut out of an image blob, ready to store.
+struct PChunk {
+    id: String,
+    len: u64,
+    data: ChunkData,
+}
+
+enum ChunkData {
+    Real(Vec<u8>),
+    Virtual { len: u64, meta: Vec<u8> },
+}
+
+/// 64-bit FNV-1a. The chunk identity needs a second hash that is *not*
+/// linear over GF(2): checkpoint images end with their own CRC-32 trailer,
+/// and for such self-checksummed content the contribution of the bytes to
+/// any CRC-family hash of the whole cancels out (the CRC residue property),
+/// so distinct header-only images of equal length all share one CRC-32.
+/// FNV's multiplicative mixing has no such degeneracy.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cut an image blob into content-addressed chunks: real byte runs split at
+/// `chunk_size` boundaries, virtual extents kept whole (identified by their
+/// recipe metadata — two generations of the same synthetic region share one
+/// chunk without either ever being materialized). Identity is the CRC-32 of
+/// the content joined with its FNV-1a 64 and the length; dedup additionally
+/// verifies bytes, so a colliding id can never alias different content.
+fn chunk_blob(blob: &Blob, chunk_size: u64) -> Vec<PChunk> {
+    let mut out = Vec::new();
+    for c in blob.chunks() {
+        match c {
+            Chunk::Real(bytes) => {
+                for piece in bytes.chunks(chunk_size.max(1) as usize) {
+                    out.push(PChunk {
+                        id: format!(
+                            "r{:08x}{:016x}-{}",
+                            szip::crc32(piece),
+                            fnv1a64(piece),
+                            piece.len()
+                        ),
+                        len: piece.len() as u64,
+                        data: ChunkData::Real(piece.to_vec()),
+                    });
+                }
+            }
+            Chunk::Virtual { len, meta } => {
+                out.push(PChunk {
+                    id: format!("v{:08x}{:016x}-{}", szip::crc32(meta), fnv1a64(meta), len),
+                    len: *len,
+                    data: ChunkData::Virtual {
+                        len: *len,
+                        meta: meta.clone(),
+                    },
+                });
+            }
+        }
+    }
+    out
+}
+
+enum Put {
+    /// Chunk already present in full: nothing written.
+    Deduped,
+    /// Chunk written (the count is the bytes that went to storage — the
+    /// whole chunk, or just the missing tail when resuming a torn upload).
+    Wrote(u64),
+}
+
+/// Idempotently store one chunk. A file that already exists at its full
+/// length with the same bytes is a dedup hit; a *shorter* file with a
+/// matching prefix is a torn upload from an interrupted replication — for
+/// real chunks only the missing tail is re-sent, which is exactly why
+/// [`Fs::append`] and `Blob::truncate` report byte counts. A same-id file
+/// with *different* content is an id collision: content-addressing with a
+/// non-cryptographic hash must verify before trusting the address, and a
+/// collision here would silently resurrect another image's bytes on
+/// restart, so it is a hard error.
+fn put_chunk(fs: &mut Fs, path: &str, chunk: &PChunk) -> Put {
+    if let Some(have) = fs.size(path) {
+        if have == chunk.len {
+            let same = match (&chunk.data, fs.get(path)) {
+                (ChunkData::Real(bytes), Some(f)) => {
+                    f.blob.read_all().as_deref() == Some(bytes.as_slice())
+                }
+                (ChunkData::Virtual { len, meta }, Some(f)) => matches!(
+                    f.blob.chunks().first(),
+                    Some(Chunk::Virtual { len: l, meta: m }) if l == len && m == meta
+                ),
+                (_, None) => false,
+            };
+            assert!(
+                same,
+                "chunk id collision at {path}: same id, different content"
+            );
+            return Put::Deduped;
+        }
+        if let ChunkData::Real(bytes) = &chunk.data {
+            let resumable = have < chunk.len
+                && fs.get(path).map(|f| f.blob.real_len()) == Some(have)
+                && fs
+                    .get(path)
+                    .and_then(|f| f.blob.read_all())
+                    .is_some_and(|stored| stored == bytes[..have as usize]);
+            if resumable {
+                let written = fs
+                    .append(path, &bytes[have as usize..])
+                    .expect("store dir writable");
+                return Put::Wrote(written);
+            }
+        }
+        // Wrong length and not resumable: rewrite from scratch.
+    }
+    fs.create(path).expect("store dir writable");
+    let written = match &chunk.data {
+        ChunkData::Real(bytes) => fs.append(path, bytes),
+        ChunkData::Virtual { len, meta } => fs.append_virtual(path, *len, meta.clone()),
+    }
+    .expect("store dir writable");
+    Put::Wrote(written)
+}
+
+/// Commit an image into the store on `node` and return what `mtcp` needs:
+/// physical bytes stored and when the image (including replicas) is durable.
+pub(crate) fn commit(
+    cfg: &Config,
+    w: &mut World,
+    now: Nanos,
+    node: NodeId,
+    path: &str,
+    blob: &Blob,
+) -> SinkCommit {
+    let pieces = chunk_blob(blob, cfg.chunk_size);
+    let gen = parse_gen(path).unwrap_or(0);
+    let ni = node.0 as usize;
+
+    // ---- Local store: new chunks, then the manifest. ----
+    let mut new_bytes = 0u64;
+    let mut deduped_bytes = 0u64;
+    let mut io_done = now;
+    let mut new_ids: BTreeSet<String> = BTreeSet::new();
+    for p in &pieces {
+        let cpath = chunk_path(&p.id);
+        match put_chunk(&mut w.nodes[ni].fs, &cpath, p) {
+            Put::Deduped => deduped_bytes += p.len,
+            Put::Wrote(n) => {
+                new_bytes += n;
+                new_ids.insert(p.id.clone());
+                io_done = io_done.max(w.charge_storage_write(now, node, &cpath, n));
+            }
+        }
+    }
+    let man = Manifest {
+        gen,
+        logical_len: blob.len(),
+        src: path.to_string(),
+        chunks: pieces
+            .iter()
+            .map(|p| ChunkRef {
+                id: p.id.clone(),
+                len: p.len,
+            })
+            .collect(),
+    };
+    let man_bytes = man.encode();
+    let mpath = manifest_path(path);
+    let man_len = w.nodes[ni]
+        .fs
+        .write_all(&mpath, &man_bytes)
+        .expect("store dir writable");
+    new_bytes += man_len;
+    io_done = io_done.max(w.charge_storage_write(now, node, &mpath, man_len));
+
+    // ---- Delta against the previous generation, if it exists. ----
+    if gen > 1 {
+        if let Some(prev_path) = with_gen(path, gen - 1) {
+            if let Ok(prev) = w.nodes[ni].fs.read_all(&manifest_path(&prev_path)) {
+                if let Some(prev_man) = Manifest::decode(&prev) {
+                    let prev_ids: BTreeSet<&str> =
+                        prev_man.chunks.iter().map(|c| c.id.as_str()).collect();
+                    let delta: u64 = man
+                        .chunks
+                        .iter()
+                        .filter(|c| !prev_ids.contains(c.id.as_str()))
+                        .map(|c| c.len)
+                        .sum();
+                    let ratio = delta as f64 / man.logical_len.max(1) as f64;
+                    w.obs.metrics.add("ckptstore.delta_bytes", 0, delta);
+                    w.obs
+                        .metrics
+                        .set_gauge("ckptstore.delta_ratio", node.0 as u64, ratio);
+                }
+            }
+        }
+    }
+
+    // ---- Replication: copy the manifest and its missing chunks to R
+    // peers (ring order), so restart can proceed when this node's disk is
+    // gone. Charged as one NIC transfer from the primary plus the peer's
+    // own storage write; the checkpoint is not declared durable until the
+    // slowest replica has it. ----
+    let n_nodes = w.nodes.len();
+    let r = cfg.replicas.min(n_nodes.saturating_sub(1));
+    let mut rep_done = io_done;
+    for k in 1..=r {
+        let peer = (ni + k) % n_nodes;
+        let mut sent = 0u64;
+        for p in &pieces {
+            let cpath = chunk_path(&p.id);
+            match put_chunk(&mut w.nodes[peer].fs, &cpath, p) {
+                Put::Deduped => {}
+                Put::Wrote(n) => sent += n,
+            }
+        }
+        w.nodes[peer]
+            .fs
+            .write_all(&mpath, &man_bytes)
+            .expect("store dir writable");
+        sent += man_len;
+        let tx_done = w.nodes[ni].nic_tx.transfer(io_done, sent) + w.spec.net_latency;
+        let peer_done = w.charge_storage_write(tx_done, NodeId(peer as u32), &mpath, sent);
+        rep_done = rep_done.max(peer_done);
+        w.obs
+            .metrics
+            .add("ckptstore.replication_bytes", peer as u64, sent);
+        gc(w, peer, path, gen, cfg.retention);
+    }
+    let lag = rep_done.saturating_sub(io_done);
+    w.obs
+        .metrics
+        .observe("ckptstore.replication_lag_ns", node.0 as u64, lag.0);
+
+    gc(w, ni, path, gen, cfg.retention);
+
+    w.obs
+        .metrics
+        .add("ckptstore.bytes_written", node.0 as u64, new_bytes);
+    w.obs
+        .metrics
+        .add("ckptstore.bytes_deduped", node.0 as u64, deduped_bytes);
+    w.obs.metrics.add(
+        "ckptstore.chunks_written",
+        node.0 as u64,
+        new_ids.len() as u64,
+    );
+
+    SinkCommit {
+        stored_bytes: new_bytes,
+        io_done: rep_done,
+    }
+}
+
+/// Retention + mark-and-sweep on one node's store: drop this image's
+/// manifests older than `retention` generations, then delete any chunk no
+/// remaining manifest references.
+fn gc(w: &mut World, node_idx: usize, path: &str, gen: u32, retention: u32) {
+    let fs = &mut w.nodes[node_idx].fs;
+    if gen > retention {
+        for old in 1..=(gen - retention) {
+            if let Some(old_path) = with_gen(path, old) {
+                fs.remove(&manifest_path(&old_path)).ok();
+            }
+        }
+    }
+    // Mark: every chunk referenced by any surviving manifest.
+    let mut live: BTreeSet<String> = BTreeSet::new();
+    let manifest_files: Vec<String> = fs
+        .list_prefix(&manifests_prefix())
+        .map(|s| s.to_string())
+        .collect();
+    for mf in &manifest_files {
+        if let Ok(bytes) = fs.read_all(mf) {
+            if let Some(m) = Manifest::decode(&bytes) {
+                live.extend(m.chunks.into_iter().map(|c| c.id));
+            }
+        }
+    }
+    // Sweep: unreferenced chunk files.
+    let prefix = chunks_prefix();
+    let dead: Vec<(String, u64)> = fs
+        .list_prefix(&prefix)
+        .filter(|p| {
+            !live.contains(
+                p.strip_prefix(prefix.as_str())
+                    .expect("listed under prefix"),
+            )
+        })
+        .map(|p| (p.to_string(), fs.size(p).unwrap_or(0)))
+        .collect();
+    let mut reclaimed = 0u64;
+    for (p, sz) in dead {
+        fs.remove(&p).ok();
+        reclaimed += sz;
+    }
+    if reclaimed > 0 {
+        w.obs
+            .metrics
+            .add("ckptstore.gc_reclaimed", node_idx as u64, reclaimed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_splits_real_runs_and_keeps_virtual_whole() {
+        let mut b = Blob::new();
+        b.append_bytes(&vec![7u8; 600]);
+        b.append_virtual(1 << 30, vec![1, 2, 3]);
+        b.append_bytes(b"tail");
+        let pieces = chunk_blob(&b, 256);
+        assert_eq!(pieces.len(), 3 + 1 + 1, "600 B at 256 → 3 pieces");
+        assert_eq!(pieces[0].len, 256);
+        assert_eq!(pieces[2].len, 88);
+        assert!(pieces[3].id.starts_with('v'));
+        assert_eq!(pieces[3].len, 1 << 30);
+        assert_eq!(pieces[0].id, pieces[1].id, "identical content, same id");
+        let total: u64 = pieces.iter().map(|p| p.len).sum();
+        assert_eq!(total, b.len());
+    }
+
+    #[test]
+    fn put_chunk_dedups_and_resumes_torn_uploads() {
+        let mut fs = Fs::new();
+        let bytes = vec![9u8; 1000];
+        let chunk = PChunk {
+            id: "r0-1000".into(),
+            len: 1000,
+            data: ChunkData::Real(bytes.clone()),
+        };
+        let p = chunk_path(&chunk.id);
+        assert!(matches!(put_chunk(&mut fs, &p, &chunk), Put::Wrote(1000)));
+        assert!(matches!(put_chunk(&mut fs, &p, &chunk), Put::Deduped));
+        // Tear the upload: only the missing tail goes back out.
+        let torn = fs.get_mut(&p).expect("chunk exists");
+        assert_eq!(torn.blob.truncate(300), 300);
+        assert!(matches!(put_chunk(&mut fs, &p, &chunk), Put::Wrote(700)));
+        assert_eq!(fs.read_all(&p).unwrap(), bytes);
+    }
+
+    /// Checkpoint images end with their own CRC-32; by the CRC residue
+    /// property every such buffer of one length has the *same* CRC-32, so a
+    /// CRC-only identity deduped distinct images into one chunk (restart
+    /// then resurrected another generation's state). The FNV half of the id
+    /// must keep them apart.
+    #[test]
+    fn self_checksummed_content_gets_distinct_ids() {
+        let image = |fill: u8| {
+            let mut m = vec![fill; 64];
+            let c = szip::crc32(&m);
+            m.extend_from_slice(&c.to_le_bytes());
+            m
+        };
+        let (a, b) = (image(1), image(2));
+        assert_eq!(
+            szip::crc32(&a),
+            szip::crc32(&b),
+            "residue property: self-checksummed buffers share a CRC"
+        );
+        let id_of = |bytes: &[u8]| {
+            let mut bl = Blob::new();
+            bl.append_bytes(bytes);
+            chunk_blob(&bl, 1 << 20).remove(0).id
+        };
+        assert_ne!(id_of(&a), id_of(&b), "ids must still differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk id collision")]
+    fn colliding_id_with_different_content_is_refused() {
+        let mut fs = Fs::new();
+        let mk = |fill: u8| PChunk {
+            id: "r0-4".into(),
+            len: 4,
+            data: ChunkData::Real(vec![fill; 4]),
+        };
+        let p = chunk_path("r0-4");
+        assert!(matches!(put_chunk(&mut fs, &p, &mk(1)), Put::Wrote(4)));
+        put_chunk(&mut fs, &p, &mk(2));
+    }
+}

@@ -1,0 +1,83 @@
+//! Resolution path: reassemble an image blob from a manifest and its
+//! chunks — from the reader's own store when it survived, otherwise from
+//! the first peer node whose store holds a complete replica.
+
+use crate::manifest::{chunk_path, manifest_path, Manifest};
+use mtcp::ResolvedImage;
+use oskit::fs::{Blob, Chunk, Fs};
+use oskit::world::{NodeId, World};
+
+/// Reassemble `logical` from one store, or `None` when the manifest is
+/// missing or any chunk is absent/torn (a partial replica must not be
+/// trusted — the caller falls through to the next node).
+fn assemble(fs: &Fs, logical: &str) -> Option<Blob> {
+    let bytes = fs.read_all(&manifest_path(logical)).ok()?;
+    let man = Manifest::decode(&bytes)?;
+    let mut blob = Blob::new();
+    for c in &man.chunks {
+        let f = fs.get(&chunk_path(&c.id))?;
+        if f.blob.len() != c.len {
+            return None; // torn upload never completed
+        }
+        for ch in f.blob.chunks() {
+            match ch {
+                Chunk::Real(b) => blob.append_bytes(b),
+                Chunk::Virtual { len, meta } => blob.append_virtual(*len, meta.clone()),
+            }
+        }
+    }
+    (blob.len() == man.logical_len).then_some(blob)
+}
+
+/// Resolve an image for a reader on `node`: local store first, then every
+/// other node in index order (deterministic, so restart picks the same
+/// replica on every run).
+pub(crate) fn resolve(w: &World, node: NodeId, path: &str) -> Option<ResolvedImage> {
+    let ni = node.0 as usize;
+    if let Some(blob) = assemble(&w.nodes[ni].fs, path) {
+        return Some(ResolvedImage {
+            blob,
+            fetched_from: None,
+        });
+    }
+    for (i, n) in w.nodes.iter().enumerate() {
+        if i == ni {
+            continue;
+        }
+        if let Some(blob) = assemble(&n.fs, path) {
+            return Some(ResolvedImage {
+                blob,
+                fetched_from: Some(NodeId(i as u32)),
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::ChunkRef;
+
+    #[test]
+    fn assemble_rejects_missing_and_torn_chunks() {
+        let mut fs = Fs::new();
+        let man = Manifest {
+            gen: 1,
+            logical_len: 10,
+            src: "/ckpt/a_gen1.dmtcp".into(),
+            chunks: vec![ChunkRef {
+                id: "rab-10".into(),
+                len: 10,
+            }],
+        };
+        fs.write_all(&manifest_path(&man.src), &man.encode())
+            .unwrap();
+        assert!(assemble(&fs, &man.src).is_none(), "chunk missing");
+        fs.write_all(&chunk_path("rab-10"), &[1u8; 10]).unwrap();
+        let got = assemble(&fs, &man.src).expect("complete store assembles");
+        assert_eq!(got.read_all().unwrap(), vec![1u8; 10]);
+        fs.get_mut(&chunk_path("rab-10")).unwrap().blob.truncate(4);
+        assert!(assemble(&fs, &man.src).is_none(), "torn chunk rejected");
+    }
+}

@@ -641,6 +641,8 @@ impl Manager {
         let report = mtcp::write_image(k.w, now, pid, &path, mode, vpid, meta);
         global(k.w).checkpointed_vpids.insert(vpid);
         let host = k.hostname();
+        let node = k.node();
+        faultkit::image_written(k.w, self.cur_gen, node, &path);
         record_image(k.w, path, host);
         self.write_resume_at = report.resume_at;
         report.resume_at

@@ -4,8 +4,10 @@
 //! experiment: take a clean generation-1 checkpoint, then request a second
 //! checkpoint with a seeded fault armed against it — a dropped / delayed /
 //! reordered coordinator message, a process or node kill at a barrier-stage
-//! release, a bounded network partition, or a torn (truncated / bit-flipped)
-//! image write. The transparency invariant asserted for every cell:
+//! release, a bounded network partition, a torn (truncated / bit-flipped)
+//! image write, or node-local disk loss that deletes a just-written primary
+//! image (restart must proceed from a `ckptstore` replica). The transparency
+//! invariant asserted for every cell:
 //!
 //! * either the faulted generation completes and the cluster restarts from
 //!   it, or it aborts cleanly / fails validation and the restart falls back
@@ -112,7 +114,8 @@ impl Cell {
 
 /// Enumerate the full matrix for the given base seeds. Per base: 6 live
 /// fault kinds × 5 protocol stages × 2 workloads, plus 2 torn-write kinds
-/// × 2 workloads × 4 seeded variants — 76 cells, 152 with the two default
+/// × 2 workloads × 4 seeded variants, plus the image-delete kind × 2
+/// workloads × 2 seeded variants — 80 cells, 160 with the two default
 /// bases.
 fn cells(bases: &[u64]) -> Vec<Cell> {
     const STAGES: [u8; 5] = [
@@ -160,6 +163,20 @@ fn cells(bases: &[u64]) -> Vec<Cell> {
                         variant,
                     });
                 }
+            }
+        }
+        for &wl in &Workload::ALL {
+            for variant in 0..2 {
+                // Image-delete fires at the CHECKPOINTED release, after
+                // every image of the generation has been written; the
+                // variant seeds a different victim image.
+                out.push(Cell {
+                    kind: FaultKind::ImageDelete,
+                    stage: stage::CHECKPOINTED,
+                    wl,
+                    base,
+                    variant,
+                });
             }
         }
     }
@@ -263,6 +280,13 @@ fn run_cell(cell: &Cell, reference: &[(&'static str, String)], budget: u64) {
             ..Options::default()
         },
     );
+    // Image-delete cells model node-local disk loss: the primary copy of a
+    // just-written image vanishes, and restart must proceed from the chunk
+    // store's replica on the peer node. The store stays installed through
+    // restart — the reader resolves images through it.
+    if cell.kind == FaultKind::ImageDelete {
+        ckptstore::install(&mut w, ckptstore::Config::default());
+    }
     // Install before launch: the per-process managers register their
     // coordinator connections at connect time, and message faults only see
     // connections registered that way. Generation numbering is
@@ -333,6 +357,15 @@ fn run_cell(cell: &Cell, reference: &[(&'static str, String)], budget: u64) {
                  completes (injected: {injected:?})"
             );
         }
+        FaultKind::ImageDelete => {
+            // Disk loss after the CHECKPOINTED barrier kills no participant
+            // and the generation is already durable on the replica.
+            assert!(
+                matches!(outcome, CkptOutcome::Completed(_)),
+                "image-delete faults kill no participant; the protocol \
+                 completes (injected: {injected:?})"
+            );
+        }
         FaultKind::KillProc | FaultKind::KillNode => {
             // A kill at the final barrier lands after the generation is
             // already complete; at any earlier stage the coordinator must
@@ -372,6 +405,22 @@ fn run_cell(cell: &Cell, reference: &[(&'static str, String)], budget: u64) {
         .restart_resilient(&mut w, &mut sim, &remap)
         .expect("gen 1 completed cleanly, so a usable generation exists");
 
+    if cell.kind == FaultKind::ImageDelete {
+        assert!(
+            !injected.is_empty(),
+            "image-delete fault armed for gen 2 never fired"
+        );
+        assert!(
+            restored.rejected.is_empty(),
+            "every image must resolve from a replica, none rejected: {:?}",
+            restored.rejected
+        );
+        assert_eq!(
+            restored.gen, 2,
+            "the faulted generation is durable on the replica and must be \
+             the one restarted (injected: {injected:?})"
+        );
+    }
     if matches!(cell.kind, FaultKind::TornTruncate | FaultKind::TornBitFlip) {
         assert!(
             !injected.is_empty(),
@@ -471,7 +520,7 @@ fn crash_consistency_matrix() {
     );
 }
 
-/// The matrix floor promised by the test plan: ≥ 4 fault kinds (we field 8),
+/// The matrix floor promised by the test plan: ≥ 4 fault kinds (we field 9),
 /// ≥ 5 protocol stages, ≥ 2 workloads, ≥ 150 seeded cells — all with the
 /// default deterministic seed set, independent of environment knobs.
 #[test]

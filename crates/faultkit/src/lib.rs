@@ -69,11 +69,15 @@ pub enum FaultKind {
     TornTruncate,
     /// Flip one bit in one checkpoint image mid-write.
     TornBitFlip,
+    /// Delete one primary checkpoint image after the checkpoint completes —
+    /// the plain file *and* the writing node's local chunk store — modeling
+    /// node-local disk loss. Restart must proceed from a replica.
+    ImageDelete,
 }
 
 impl FaultKind {
     /// All kinds, in matrix order.
-    pub const ALL: [FaultKind; 8] = [
+    pub const ALL: [FaultKind; 9] = [
         FaultKind::DropMsg,
         FaultKind::DelayMsg,
         FaultKind::ReorderMsg,
@@ -82,6 +86,7 @@ impl FaultKind {
         FaultKind::Partition,
         FaultKind::TornTruncate,
         FaultKind::TornBitFlip,
+        FaultKind::ImageDelete,
     ];
 
     /// Short stable name (seed reports, logs).
@@ -95,6 +100,7 @@ impl FaultKind {
             FaultKind::Partition => "partition",
             FaultKind::TornTruncate => "torn-truncate",
             FaultKind::TornBitFlip => "torn-bitflip",
+            FaultKind::ImageDelete => "image-delete",
         }
     }
 }
@@ -138,6 +144,9 @@ pub struct FaultState {
     torn_armed: bool,
     torn_skip_writes: u64,
     killed: bool,
+    image_deleted: bool,
+    /// Images reported written this generation: (gen, writer node, path).
+    images: Vec<(u64, NodeId, String)>,
     injected: Vec<String>,
 }
 
@@ -158,6 +167,8 @@ impl FaultState {
             torn_armed: false,
             torn_skip_writes,
             killed: false,
+            image_deleted: false,
+            images: Vec::new(),
             injected: Vec::new(),
         }
     }
@@ -385,6 +396,15 @@ pub fn note_protocol_conn(w: &mut World, cid: ConnId) {
     }
 }
 
+/// Notification: a checkpoint manager finished writing `path` on `node`
+/// for generation `gen` (called by the DMTCP layer after `write_image`).
+/// Image-delete faults pick their victim from these records.
+pub fn image_written(w: &mut World, gen: u64, node: NodeId, path: &str) {
+    if let Some(st) = state(w) {
+        st.borrow_mut().images.push((gen, node, path.to_string()));
+    }
+}
+
 /// Notification: the coordinator just broadcast a checkpoint request for
 /// `gen`. Arms torn-write faults for this generation and, for faults
 /// targeting the first barrier stage, the message/partition window.
@@ -438,6 +458,23 @@ pub fn stage_released(
     }
     if stg == s.plan.stage {
         s.disarm_window();
+        if s.plan.kind == FaultKind::ImageDelete && !s.image_deleted {
+            let victims: Vec<(NodeId, String)> = s
+                .images
+                .iter()
+                .filter(|(g, _, _)| *g == gen)
+                .map(|(_, n, p)| (*n, p.clone()))
+                .collect();
+            if !victims.is_empty() {
+                s.image_deleted = true;
+                let (node, path) = victims[s.rng.below(victims.len() as u64) as usize].clone();
+                s.injected
+                    .push(format!("image-delete node{} {}", node.0, path));
+                drop(s);
+                delete_primary_image(w, node, &path);
+                return;
+            }
+        }
         if matches!(s.plan.kind, FaultKind::KillProc | FaultKind::KillNode) && !s.killed {
             s.killed = true;
             let victims = s.victims(candidates, coord_node);
@@ -452,6 +489,23 @@ pub fn stage_released(
             }
         }
     }
+}
+
+/// Node-local disk loss for one image: remove the plain file (when the
+/// image was written as one) and wipe the writer node's entire local chunk
+/// store, so nothing of the primary copy survives. Replicas on other nodes
+/// are untouched — that is what restart falls back to.
+fn delete_primary_image(w: &mut World, node: NodeId, path: &str) {
+    w.fs_for_mut(node, path).remove(path).ok();
+    let doomed: Vec<String> = w.nodes[node.0 as usize]
+        .fs
+        .list_prefix(oskit::fs::STORE_ROOT)
+        .map(|s| s.to_string())
+        .collect();
+    for p in doomed {
+        w.nodes[node.0 as usize].fs.remove(&p).ok();
+    }
+    w.obs.metrics.inc("faultkit.image_delete", node.0 as u64);
 }
 
 #[cfg(test)]
@@ -588,6 +642,49 @@ mod tests {
         // After the window, traffic flows normally.
         let v = verdict(&st, &pkt(7, 0, 2_000_000, 2_000_500));
         assert_eq!(v, NetFault::Deliver);
+    }
+
+    #[test]
+    fn image_delete_wipes_plain_file_and_node_store() {
+        use oskit::program::Registry;
+        use oskit::HwSpec;
+        let mut w = World::new(HwSpec::cluster(), 2, Registry::new());
+        let mut sim: OsSim = simkit::Sim::new();
+        install(
+            &mut w,
+            FaultPlan {
+                seed: 0x5EED,
+                kind: FaultKind::ImageDelete,
+                stage: 5,
+                target_gen: 2,
+            },
+        );
+        // Primary copies on node 0, a replica manifest on node 1.
+        w.nodes[0]
+            .fs
+            .write_all("/ckpt/a_gen2.dmtcp", b"img")
+            .unwrap();
+        w.nodes[0]
+            .fs
+            .write_all("/ckptstore/manifests/a_gen2.dmtcp", b"m")
+            .unwrap();
+        w.nodes[1]
+            .fs
+            .write_all("/ckptstore/manifests/a_gen2.dmtcp", b"m")
+            .unwrap();
+        image_written(&mut w, 2, NodeId(0), "/ckpt/a_gen2.dmtcp");
+        stage_released(&mut w, &mut sim, 2, 5, &[], NodeId(0));
+        assert!(!w.nodes[0].fs.exists("/ckpt/a_gen2.dmtcp"));
+        assert!(!w.nodes[0].fs.exists("/ckptstore/manifests/a_gen2.dmtcp"));
+        assert!(
+            w.nodes[1].fs.exists("/ckptstore/manifests/a_gen2.dmtcp"),
+            "replicas must survive"
+        );
+        let st = state(&w).unwrap();
+        assert_eq!(st.borrow().injected().len(), 1);
+        // Fires at most once.
+        stage_released(&mut w, &mut sim, 2, 5, &[], NodeId(0));
+        assert_eq!(st.borrow().injected().len(), 1);
     }
 
     #[test]

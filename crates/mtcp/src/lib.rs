@@ -21,8 +21,10 @@
 
 pub mod image;
 pub mod reader;
+pub mod store;
 pub mod writer;
 
 pub use image::{CkptImage, HeaderError, RegionMeta, StoredAs, IMAGE_MAGIC};
 pub use reader::{read_image, restore_into, verify_image, ImageError, RestoreError, RestoreReport};
+pub use store::{ImageSink, ImageSource, ResolvedImage, SinkCommit, StoreHooks};
 pub use writer::{write_image, WriteMode, WriteReport};

@@ -7,7 +7,7 @@
 //! matching Figure 2 step 5 ("restore memory and threads").
 
 use crate::image::{CkptImage, HeaderError, StoredAs};
-use oskit::fs::Chunk;
+use oskit::fs::{Blob, Chunk};
 use oskit::mem::{Content, RegionKind};
 use oskit::proc::ThreadState;
 use oskit::world::{NodeId, Pid, World};
@@ -29,6 +29,10 @@ pub enum RestoreError {
     CrcMismatch {
         /// Region name.
         region: String,
+        /// Index of the region in the image's region table.
+        index: usize,
+        /// Byte offset of the region's payload within the image file.
+        offset: u64,
     },
     /// A thread's program tag has no loader in the registry.
     UnknownProgram(String),
@@ -44,8 +48,15 @@ impl std::fmt::Display for RestoreError {
             RestoreError::NotFound => write!(f, "image file not found"),
             RestoreError::BadHeader(e) => write!(f, "not a valid MTCP image: {e}"),
             RestoreError::BadPayload(r) => write!(f, "corrupt payload for region {r}"),
-            RestoreError::CrcMismatch { region } => {
-                write!(f, "CRC mismatch restoring region {region}")
+            RestoreError::CrcMismatch {
+                region,
+                index,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "CRC mismatch restoring region {region} (index {index}, payload at byte {offset})"
+                )
             }
             RestoreError::UnknownProgram(t) => write!(f, "no program loader for tag {t}"),
         }
@@ -65,12 +76,33 @@ pub struct RestoreReport {
     pub raw_bytes: u64,
 }
 
-/// Parse the image header from `path` on `node`'s view of the filesystem.
+/// Resolve the blob behind an image path: the plain file when present,
+/// otherwise whatever an installed store source can reassemble — from the
+/// reader's own store or a replica node's. Returns the blob plus the remote
+/// node that served it, if any, so callers can charge the network fetch.
+fn resolve_blob(
+    w: &World,
+    node: NodeId,
+    path: &str,
+) -> Result<(Blob, Option<NodeId>), RestoreError> {
+    if let Some(f) = w.fs_for(node, path).get(path) {
+        return Ok((f.blob.clone(), None));
+    }
+    if let Some(hooks) = crate::store::hooks(w) {
+        if let Some(r) = (hooks.source)(w, node, path) {
+            let remote = r.fetched_from.filter(|n| *n != node);
+            return Ok((r.blob, remote));
+        }
+    }
+    Err(RestoreError::NotFound)
+}
+
+/// Parse the image header from `path` on `node`'s view of the filesystem
+/// (or from an installed store, when the plain file is gone).
 pub fn read_image(w: &World, node: NodeId, path: &str) -> Result<CkptImage, RestoreError> {
-    let fs = w.fs_for(node, path);
-    let file = fs.get(path).ok_or(RestoreError::NotFound)?;
+    let (blob, _) = resolve_blob(w, node, path)?;
     // The header always lives at the front of the first real chunk.
-    let head = match file.blob.chunks().first() {
+    let head = match blob.chunks().first() {
         Some(Chunk::Real(bytes)) => bytes,
         _ => return Err(RestoreError::BadHeader(HeaderError::Truncated)),
     };
@@ -84,16 +116,15 @@ pub fn read_image(w: &World, node: NodeId, path: &str) -> Result<CkptImage, Rest
 /// trusting an image — a torn or bit-flipped generation is rejected here
 /// with a typed error so restart can fall back to an older one.
 pub fn verify_image(w: &World, node: NodeId, path: &str) -> Result<CkptImage, ImageError> {
-    let fs = w.fs_for(node, path);
-    let file = fs.get(path).ok_or(RestoreError::NotFound)?;
-    let chunks = file.blob.chunks();
-    let mut cursor = BlobCursor::new(chunks);
+    let (blob, _) = resolve_blob(w, node, path)?;
+    let mut cursor = BlobCursor::new(blob.chunks());
     let head = cursor
         .peek_real()
         .ok_or(RestoreError::BadHeader(HeaderError::Truncated))?;
     let (img, header_len) = CkptImage::decode_header(head).map_err(RestoreError::BadHeader)?;
     cursor.skip_real(header_len);
-    for rm in &img.regions {
+    let mut payload_off = header_len as u64;
+    for (index, rm) in img.regions.iter().enumerate() {
         match &rm.stored {
             StoredAs::Real { comp_len } | StoredAs::Shared { comp_len, .. } => {
                 let stored = cursor
@@ -104,13 +135,17 @@ pub fn verify_image(w: &World, node: NodeId, path: &str) -> Result<CkptImage, Im
                 if szip::crc32(&raw) != rm.crc {
                     return Err(RestoreError::CrcMismatch {
                         region: rm.name.clone(),
+                        index,
+                        offset: payload_off,
                     });
                 }
+                payload_off += *comp_len;
             }
             StoredAs::Synthetic { comp_len, .. } => {
                 cursor
                     .take_virtual(*comp_len)
                     .ok_or_else(|| RestoreError::BadPayload(rm.name.clone()))?;
+                payload_off += *comp_len;
             }
         }
     }
@@ -133,11 +168,9 @@ pub fn restore_into(
     img: &CkptImage,
 ) -> Result<RestoreReport, RestoreError> {
     // Walk payload chunks in lockstep with the region table.
-    let (payload_owned, image_bytes) = {
-        let fs = w.fs_for(node, path);
-        let file = fs.get(path).ok_or(RestoreError::NotFound)?;
-        (file.blob.chunks().to_vec(), file.blob.len())
-    };
+    let (blob, fetched_from) = resolve_blob(w, node, path)?;
+    let image_bytes = blob.len();
+    let payload_owned = blob.chunks().to_vec();
     let mut cursor = BlobCursor::new(&payload_owned);
     // Skip the header bytes within the first chunk.
     let head = cursor
@@ -148,8 +181,15 @@ pub fn restore_into(
 
     let mut new_mem = oskit::mem::AddressSpace::new();
     let mut raw_bytes = 0u64;
-    for rm in &img.regions {
+    let mut payload_off = header_len as u64;
+    for (index, rm) in img.regions.iter().enumerate() {
         raw_bytes += rm.raw_len;
+        let region_off = payload_off;
+        payload_off += match &rm.stored {
+            StoredAs::Real { comp_len } => *comp_len,
+            StoredAs::Shared { comp_len, .. } => *comp_len,
+            StoredAs::Synthetic { comp_len, .. } => *comp_len,
+        };
         match &rm.stored {
             StoredAs::Real { comp_len } => {
                 let stored = cursor
@@ -160,6 +200,8 @@ pub fn restore_into(
                 if szip::crc32(&raw) != rm.crc {
                     return Err(RestoreError::CrcMismatch {
                         region: rm.name.clone(),
+                        index,
+                        offset: region_off,
                     });
                 }
                 new_mem.map(
@@ -178,6 +220,8 @@ pub fn restore_into(
                 if szip::crc32(&raw) != rm.crc {
                     return Err(RestoreError::CrcMismatch {
                         region: rm.name.clone(),
+                        index,
+                        offset: region_off,
                     });
                 }
                 let seg = restore_shared_segment(w, node, backing, raw);
@@ -249,9 +293,19 @@ pub fn restore_into(
         }
     }
 
-    // Charge time: read the image, decompress, copy into place.
+    // Charge time: read the image, decompress, copy into place. When a
+    // store source pulled the bytes off a replica node, the fetch also
+    // crosses the network: the replica's NIC plus one propagation delay.
     let spec = w.spec.clone();
-    let io_done = w.charge_storage_read(now, node, path, image_bytes);
+    let mut io_done = w.charge_storage_read(now, node, path, image_bytes);
+    if let Some(remote) = fetched_from {
+        let net_done =
+            w.nodes[remote.0 as usize].nic_tx.transfer(now, image_bytes) + spec.net_latency;
+        io_done = io_done.max(net_done);
+        w.obs
+            .metrics
+            .add("ckptstore.replica_fetch_bytes", node.0 as u64, image_bytes);
+    }
     let cpu_done = if img.compressed {
         let (_s, e) = w.nodes[node.0 as usize]
             .cpu

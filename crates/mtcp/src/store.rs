@@ -1,0 +1,79 @@
+//! Pluggable image sink/source.
+//!
+//! By default MTCP commits images as plain files in the target filesystem
+//! and resolves them back by path. A storage subsystem (the `ckptstore`
+//! crate) can interpose here: the *sink* receives every fully built image
+//! blob (fault hooks already applied) and persists it however it likes —
+//! chunked, deduplicated, replicated — reporting the physical bytes written
+//! and when the image is durable; the *source* resolves an image path back
+//! to a blob, possibly assembling it from chunks held by a peer node when
+//! the primary copy is gone.
+//!
+//! The hooks live in a `World` ext slot so neither `mtcp` nor `core` needs
+//! a dependency on the store implementation; with no hooks installed the
+//! behavior is byte-identical to the plain-file path.
+
+use oskit::fs::Blob;
+use oskit::world::{NodeId, World};
+use simkit::Nanos;
+use std::rc::Rc;
+
+/// `World::ext_slots` key holding the installed [`StoreHooks`].
+pub const SLOT: &str = "mtcp-image-store";
+
+/// What a sink reports after committing an image.
+#[derive(Debug, Clone, Copy)]
+pub struct SinkCommit {
+    /// Physical bytes that actually reached storage (after dedup; excludes
+    /// replica copies, which the sink accounts separately).
+    pub stored_bytes: u64,
+    /// When the image — manifest, new chunks, and any synchronous replica
+    /// traffic — is durable and the checkpoint may be declared complete.
+    pub io_done: Nanos,
+}
+
+/// Consumes a built image blob at `work_start` on `node` under the logical
+/// image `path` and persists it, charging its own storage/network time.
+pub type ImageSink = Rc<dyn Fn(&mut World, Nanos, NodeId, &str, &Blob) -> SinkCommit>;
+
+/// An image blob resolved by a source.
+#[derive(Debug, Clone)]
+pub struct ResolvedImage {
+    /// The reassembled image, byte-equal to what the sink was given.
+    pub blob: Blob,
+    /// The node whose store supplied the bytes, when it was not the reader
+    /// itself — the reader charges a network fetch on top of the local read.
+    pub fetched_from: Option<NodeId>,
+}
+
+/// Resolves a logical image path for a reader on `node`, returning `None`
+/// when no store (local or replica) holds the image.
+pub type ImageSource = Rc<dyn Fn(&World, NodeId, &str) -> Option<ResolvedImage>>;
+
+/// The pair of hooks a store installs.
+#[derive(Clone)]
+pub struct StoreHooks {
+    /// Image commit path.
+    pub sink: ImageSink,
+    /// Image resolution path.
+    pub source: ImageSource,
+}
+
+/// Install store hooks (replacing any previous ones).
+pub fn install(w: &mut World, hooks: StoreHooks) {
+    w.ext_slots.insert(SLOT.to_string(), Box::new(hooks));
+}
+
+/// Remove the store hooks; MTCP reverts to plain-file images.
+pub fn uninstall(w: &mut World) {
+    w.ext_slots.remove(SLOT);
+}
+
+/// The installed hooks, if any (cloned out so callers can use them while
+/// mutating the world).
+pub fn hooks(w: &World) -> Option<StoreHooks> {
+    w.ext_slots
+        .get(SLOT)
+        .and_then(|b| b.downcast_ref::<StoreHooks>())
+        .cloned()
+}

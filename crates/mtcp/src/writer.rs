@@ -195,14 +195,8 @@ pub fn write_image(
     // on the read side must catch whatever happens here.
     w.apply_image_fault(path, &mut blob);
     let image_bytes = blob.len();
-    {
-        let fs = w.fs_for_mut(node, path);
-        fs.create(path).expect("checkpoint directory writable");
-        let f = fs.get_mut(path).expect("file just created");
-        f.blob = blob;
-    }
 
-    // ---- Phase 4: charge time. ----
+    // ---- Phase 4: commit and charge time. ----
     let spec = w.spec.clone();
     let fork_cost = spec.fork_time(raw_bytes);
     let (work_start, fork_pause) = match mode {
@@ -218,10 +212,23 @@ pub fn write_image(
     } else {
         work_start + spec.memcpy_time(raw_bytes)
     };
-    // The file goes out behind the compressor; model the pipeline as
+    // Commit goes through the pluggable sink when a store is installed
+    // (content-addressed, deduplicated, replicated) and charges only its
+    // physical traffic; otherwise the blob lands as a plain file. Either
+    // way the file goes out behind the compressor; model the pipeline as
     // overlap: I/O completes no earlier than compression, charged from
     // work_start so disk contention with other processes is respected.
-    let io_done = w.charge_storage_write(work_start, node, path, image_bytes);
+    let io_done = if let Some(hooks) = crate::store::hooks(w) {
+        (hooks.sink)(w, work_start, node, path, &blob).io_done
+    } else {
+        {
+            let fs = w.fs_for_mut(node, path);
+            fs.create(path).expect("checkpoint directory writable");
+            let f = fs.get_mut(path).expect("file just created");
+            f.blob = blob;
+        }
+        w.charge_storage_write(work_start, node, path, image_bytes)
+    };
     let image_complete_at = cpu_done.max(io_done);
     let resume_at = match mode {
         WriteMode::ForkedCompressed => now + fork_pause,

@@ -109,7 +109,9 @@ fn missing_image_is_not_found() {
 fn truncated_header_is_typed_truncated() {
     let (mut w, _sim, _) = world_with_image();
     // Cut inside the 8-byte magic: not even the magic survives.
-    damage(&mut w, |b| b.truncate(4));
+    damage(&mut w, |b| {
+        b.truncate(4);
+    });
     assert_eq!(
         verify_image(&w, NodeId(0), IMG),
         Err(ImageError::BadHeader(HeaderError::Truncated))
@@ -120,7 +122,9 @@ fn truncated_header_is_typed_truncated() {
 fn truncated_header_body_is_typed_truncated() {
     let (mut w, _sim, header_len) = world_with_image();
     // Magic intact, header body cut short.
-    damage(&mut w, |b| b.truncate(header_len as u64 / 2));
+    damage(&mut w, |b| {
+        b.truncate(header_len as u64 / 2);
+    });
     assert_eq!(
         verify_image(&w, NodeId(0), IMG),
         Err(ImageError::BadHeader(HeaderError::Truncated))
@@ -154,7 +158,9 @@ fn flipped_header_body_is_bad_crc() {
 fn truncated_payload_is_bad_payload() {
     let (mut w, _sim, header_len) = world_with_image();
     // Header intact, first region payload cut mid-way.
-    damage(&mut w, |b| b.truncate(header_len as u64 + 10));
+    damage(&mut w, |b| {
+        b.truncate(header_len as u64 + 10);
+    });
     match verify_image(&w, NodeId(0), IMG) {
         Err(ImageError::BadPayload(region)) => assert!(!region.is_empty()),
         other => panic!("expected BadPayload, got {other:?}"),
@@ -169,7 +175,91 @@ fn flipped_payload_bit_is_crc_mismatch() {
         assert!(b.flip_bit(header_len as u64 + 100, 5));
     });
     match verify_image(&w, NodeId(0), IMG) {
-        Err(ImageError::CrcMismatch { region }) => assert!(!region.is_empty()),
+        Err(ImageError::CrcMismatch { region, .. }) => assert!(!region.is_empty()),
+        other => panic!("expected CrcMismatch, got {other:?}"),
+    }
+}
+
+/// Several heap regions so damage can target one in the *middle* of the
+/// region table.
+struct MultiMapper {
+    pc: u8,
+}
+simkit::impl_snap!(struct MultiMapper { pc });
+
+impl Program for MultiMapper {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        if self.pc == 0 {
+            for (i, name) in ["seg-a", "seg-b", "seg-c"].iter().enumerate() {
+                let id = k.mmap_anon(name, 2048);
+                k.mem_write(id, 0, &[i as u8 + 1; 64]);
+            }
+            self.pc = 1;
+        }
+        Step::Compute(100_000)
+    }
+    fn tag(&self) -> &'static str {
+        "multi-mapper"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+#[test]
+fn crc_mismatch_reports_region_index_and_offset() {
+    let mut reg = Registry::new();
+    reg.register_snap::<MultiMapper>("multi-mapper");
+    let mut w = World::new(HwSpec::desktop(), 1, reg);
+    let mut sim: OsSim = Sim::new();
+    let pid = w.spawn(
+        &mut sim,
+        NodeId(0),
+        "multi-mapper",
+        Box::new(MultiMapper { pc: 0 }),
+        Pid(1),
+        BTreeMap::new(),
+    );
+    sim.run_until(&mut w, Nanos::from_millis(3));
+    w.suspend_user_threads(&mut sim, pid);
+    write_image(
+        &mut w,
+        sim.now(),
+        pid,
+        IMG,
+        WriteMode::Uncompressed,
+        pid.0,
+        vec![],
+    );
+    let img = verify_image(&w, NodeId(0), IMG).expect("fresh image verifies");
+    assert!(img.regions.len() >= 3, "need a middle region to corrupt");
+    let head = {
+        let f = w.nodes[0].fs.get(IMG).expect("image written");
+        match f.blob.chunks().first() {
+            Some(oskit::fs::Chunk::Real(b)) => b.clone(),
+            _ => panic!("header chunk must be real"),
+        }
+    };
+    let (_, header_len) = CkptImage::decode_header(&head).expect("header parses");
+    // Expected payload offset of region 1: header, then region 0's bytes.
+    let stored_len = |r: &mtcp::RegionMeta| match &r.stored {
+        mtcp::StoredAs::Real { comp_len } => *comp_len,
+        mtcp::StoredAs::Shared { comp_len, .. } => *comp_len,
+        mtcp::StoredAs::Synthetic { comp_len, .. } => *comp_len,
+    };
+    let target_off = header_len as u64 + stored_len(&img.regions[0]);
+    // Single-bit flip a few bytes into the middle region's payload.
+    damage(&mut w, |b| assert!(b.flip_bit(target_off + 7, 2)));
+    match verify_image(&w, NodeId(0), IMG) {
+        Err(ImageError::CrcMismatch {
+            region,
+            index,
+            offset,
+        }) => {
+            assert_eq!(index, 1, "the corrupted region is index 1");
+            assert_eq!(offset, target_off, "offset points at its payload");
+            assert_eq!(region, img.regions[1].name);
+        }
         other => panic!("expected CrcMismatch, got {other:?}"),
     }
 }

@@ -18,6 +18,12 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Mount point of the cluster-shared filesystem.
 pub const SHARED_MOUNT: &str = "/shared";
 
+/// Root directory of a node's content-addressed checkpoint store. Kept here
+/// (rather than in the store crate) so low-level layers — fault injection,
+/// storage accounting — can recognize store traffic without a dependency on
+/// the store itself.
+pub const STORE_ROOT: &str = "/ckptstore";
+
 /// One extent of file content.
 #[derive(Debug, Clone)]
 pub enum Chunk {
@@ -126,11 +132,17 @@ impl Blob {
     /// Truncate to `new_len` bytes, slicing through whatever chunk the cut
     /// lands in (a virtual chunk keeps its meta but shrinks — models a torn
     /// write that stopped partway through a sized extent).
-    pub fn truncate(&mut self, new_len: u64) {
+    ///
+    /// Returns how many bytes of the extent the cut landed in survived the
+    /// tear — 0 when the cut falls exactly on a chunk boundary (or beyond the
+    /// end). Callers resuming an interrupted upload use this to know how much
+    /// of the in-flight extent actually reached the file.
+    pub fn truncate(&mut self, new_len: u64) -> u64 {
         if new_len >= self.len {
-            return;
+            return 0;
         }
         let mut kept = 0u64;
+        let mut torn_written = 0u64;
         let mut out = Vec::new();
         for c in self.chunks.drain(..) {
             if kept >= new_len {
@@ -143,6 +155,7 @@ impl Blob {
                 out.push(c);
                 continue;
             }
+            torn_written = room;
             match c {
                 Chunk::Real(mut b) => {
                     b.truncate(room as usize);
@@ -160,6 +173,7 @@ impl Blob {
         }
         self.chunks = out;
         self.len = new_len;
+        torn_written
     }
 
     /// Flip one bit at byte offset `off` within the blob's *real* bytes,
@@ -266,28 +280,31 @@ impl Fs {
         Ok(())
     }
 
-    /// Append bytes to an existing file.
-    pub fn append(&mut self, path: &str, bytes: &[u8]) -> Result<(), FsError> {
+    /// Append bytes to an existing file. Returns the bytes written, so a
+    /// caller whose write was torn (truncated by a fault) can compare against
+    /// the file's eventual size and resume the interrupted extent.
+    pub fn append(&mut self, path: &str, bytes: &[u8]) -> Result<u64, FsError> {
         let f = self.files.get_mut(path).ok_or(FsError::NotFound)?;
         if !f.writable {
             return Err(FsError::ReadOnly);
         }
         f.blob.append_bytes(bytes);
-        Ok(())
+        Ok(bytes.len() as u64)
     }
 
-    /// Append a virtual extent to an existing file.
-    pub fn append_virtual(&mut self, path: &str, len: u64, meta: Vec<u8>) -> Result<(), FsError> {
+    /// Append a virtual extent to an existing file. Returns the extent size
+    /// written (see [`Fs::append`]).
+    pub fn append_virtual(&mut self, path: &str, len: u64, meta: Vec<u8>) -> Result<u64, FsError> {
         let f = self.files.get_mut(path).ok_or(FsError::NotFound)?;
         if !f.writable {
             return Err(FsError::ReadOnly);
         }
         f.blob.append_virtual(len, meta);
-        Ok(())
+        Ok(len)
     }
 
-    /// Write a whole file in one call.
-    pub fn write_all(&mut self, path: &str, bytes: &[u8]) -> Result<(), FsError> {
+    /// Write a whole file in one call. Returns the bytes written.
+    pub fn write_all(&mut self, path: &str, bytes: &[u8]) -> Result<u64, FsError> {
         self.create(path)?;
         self.append(path, bytes)
     }
@@ -366,23 +383,27 @@ mod tests {
         b.append_bytes(b"tail");
 
         let mut t = b.clone();
-        t.truncate(4);
+        assert_eq!(t.truncate(4), 4, "cut inside the first real chunk");
         assert_eq!(t.len(), 4);
         assert_eq!(t.read_all().unwrap(), b"0123");
 
         let mut t = b.clone();
-        t.truncate(60); // lands inside the virtual extent
+        assert_eq!(t.truncate(60), 50, "cut inside the virtual extent");
         assert_eq!(t.len(), 60);
         assert_eq!(t.chunks().len(), 2);
         assert_eq!(t.chunks()[1].len(), 50);
 
         let mut t = b.clone();
-        t.truncate(10_000); // no-op beyond the end
+        assert_eq!(t.truncate(10_000), 0, "no-op beyond the end");
         assert_eq!(t.len(), 114);
 
         let mut t = b.clone();
-        t.truncate(0);
+        assert_eq!(t.truncate(0), 0, "cut on a chunk boundary");
         assert!(t.is_empty());
+
+        let mut t = b.clone();
+        assert_eq!(t.truncate(10), 0, "cut exactly between real and virtual");
+        assert_eq!(t.len(), 10);
     }
 
     #[test]

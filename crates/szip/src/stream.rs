@@ -344,6 +344,72 @@ mod tests {
     }
 
     #[test]
+    fn random_chunk_boundaries_round_trip() {
+        // Property test: feed a mixed compressible/incompressible stream
+        // through Compressor/Decompressor with random write-chunk sizes from
+        // 1 B up to 600 KiB (spanning many BLOCK boundaries), and check that
+        // (a) the result matches the one-shot encoder bit for bit and
+        // (b) the round trip reproduces the input. The input alternates
+        // runs of repeats with xorshift noise so both the stored and the
+        // lzss block kinds are exercised.
+        let mut x: u64 = 0xDEC0_DE00;
+        let mut rng = move |bound: u64| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % bound
+        };
+        let mut input = Vec::new();
+        while input.len() < 3_000_000 {
+            if rng(2) == 0 {
+                let byte = rng(256) as u8;
+                let run = 1 + rng(200_000) as usize;
+                input.extend(std::iter::repeat_n(byte, run));
+            } else {
+                let run = 1 + rng(200_000) as usize;
+                input.extend((0..run).map(|_| rng(256) as u8));
+            }
+        }
+        let whole = crate::compress(&input);
+
+        let mut c = Compressor::new();
+        let mut fed = 0usize;
+        while fed < input.len() {
+            let take = (1 + rng(600 * 1024) as usize).min(input.len() - fed);
+            c.write(&input[fed..fed + take]);
+            fed += take;
+        }
+        let streamed = c.finish();
+        assert_eq!(streamed, whole, "chunking changed the encoding");
+        let kinds: std::collections::BTreeSet<u8> = {
+            // Walk the container to confirm both block kinds occur.
+            let mut ks = std::collections::BTreeSet::new();
+            let mut p = MAGIC.len();
+            while p < whole.len() {
+                let (_, p1) = read_varint(&whole, p).unwrap();
+                ks.insert(whole[p1]);
+                let (plen, p2) = read_varint(&whole, p1 + 1).unwrap();
+                p = p2 + plen as usize;
+            }
+            ks
+        };
+        assert_eq!(
+            kinds.len(),
+            2,
+            "input should produce both stored and lzss blocks, got {kinds:?}"
+        );
+
+        let mut d = Decompressor::new();
+        let mut fed = 0usize;
+        while fed < streamed.len() {
+            let take = (1 + rng(600 * 1024) as usize).min(streamed.len() - fed);
+            d.write(&streamed[fed..fed + take]).unwrap();
+            fed += take;
+        }
+        assert_eq!(d.finish().unwrap(), input, "round trip mismatch");
+    }
+
+    #[test]
     fn incompressible_blocks_are_stored() {
         // A stream with essentially no 3-byte repeats: size must stay within
         // the stored-block overhead bound.

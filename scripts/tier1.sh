@@ -26,6 +26,9 @@ cargo test -q --workspace
 echo "== fault matrix (fixed + rotating seeds) =="
 DMTCP_FAULT_ROTATING="${DMTCP_FAULT_ROTATING:-2}" cargo test -q -p dmtcp --test faults
 
+echo "== ckptstore smoke bench (3 generations, NAS/MG) =="
+./target/release/ckptstore --smoke
+
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
