@@ -31,6 +31,12 @@ pub mod stage {
     pub const CHECKPOINTED: u8 = 5;
     /// Kernel buffers refilled.
     pub const REFILLED: u8 = 6;
+    /// Checkpoint images durable on storage. For in-line (non-forked)
+    /// writes this coincides with `CHECKPOINTED`; for forked checkpointing
+    /// it is the end of the overlapped drain phase — the background
+    /// compress+write pipeline finished *after* user threads resumed at
+    /// `REFILLED`. The restart script is only written once this releases.
+    pub const CKPT_WRITTEN: u8 = 7;
     /// Restart: memory and threads restored (Figure 2 step 5).
     pub const RESTORED: u8 = 11;
     /// Restart: kernel buffers refilled (Figure 2 step 6).
@@ -44,6 +50,7 @@ pub mod stage {
             DRAINED => "release.drained",
             CHECKPOINTED => "release.checkpointed",
             REFILLED => "release.refilled",
+            CKPT_WRITTEN => "release.ckpt_written",
             RESTORED => "release.restored",
             RESTART_REFILLED => "release.restart_refilled",
             _ => "release.unknown",
@@ -78,10 +85,24 @@ impl GenStat {
             .map(|t| *t - self.requested_at)
     }
 
-    /// Wall-clock until user threads resumed (stage 6 released).
+    /// Wall-clock until user threads resumed (stage 6 released). With
+    /// forked checkpointing on, this is the *perceived downtime*: the only
+    /// window in which the application is stopped.
     pub fn total_pause(&self) -> Option<Nanos> {
         self.releases
             .get(&stage::REFILLED)
+            .map(|t| *t - self.requested_at)
+    }
+
+    /// Wall-clock from request until every image was durable and
+    /// acknowledged (`CKPT_WRITTEN` released) — the *total checkpoint
+    /// time*. Equals `total_pause` for in-line writes; strictly larger in
+    /// forked mode, where the overlapped drain runs behind the
+    /// application. `None` while the drain is still in flight (or the
+    /// generation aborted before finishing).
+    pub fn written_time(&self) -> Option<Nanos> {
+        self.releases
+            .get(&stage::CKPT_WRITTEN)
             .map(|t| *t - self.requested_at)
     }
 }
@@ -118,6 +139,11 @@ struct Client {
     fd: Fd,
     vpid: u32,
     fb: FrameBuf,
+    /// Registered before the latest `RestartPlan`: almost certainly a
+    /// zombie connection of the crashed computation whose EOF is still in
+    /// flight. Its hang-up must not abort the restarted generation; any
+    /// message it sends proves it alive and clears the flag.
+    stale: bool,
 }
 
 /// The coordinator program. It is *not* checkpointed (same as real DMTCP,
@@ -130,6 +156,13 @@ pub struct Coordinator {
     clients: Vec<Client>,
     gen: u64,
     in_progress: bool,
+    /// The overlapped drain phase of `gen` is still open: user threads
+    /// resumed (`REFILLED` released) but not every `CKPT_WRITTEN` ack has
+    /// arrived. A new checkpoint request is queued behind it.
+    drain_open: bool,
+    /// A checkpoint request arrived while one was in flight; start it as
+    /// soon as the current generation fully settles.
+    queued: bool,
     expected: u32,
     /// Virtual pids that reached each pending barrier (set, not count, so
     /// retransmitted `BarrierReached` messages are idempotent).
@@ -162,6 +195,8 @@ impl Coordinator {
             clients: Vec::new(),
             gen: 0,
             in_progress: false,
+            drain_open: false,
+            queued: false,
             expected: 0,
             barrier_counts: BTreeMap::new(),
             released: BTreeSet::new(),
@@ -199,11 +234,19 @@ impl Coordinator {
     }
 
     fn start_checkpoint(&mut self, k: &mut Kernel<'_>) {
-        if self.in_progress || self.clients.is_empty() {
+        if self.clients.is_empty() {
+            return;
+        }
+        if self.in_progress || self.drain_open {
+            // A generation is still in its stop-the-world phase or its
+            // overlapped drain; checkpoints are serialized — remember the
+            // request and start it once `CKPT_WRITTEN` releases.
+            self.queued = true;
             return;
         }
         self.gen += 1;
         self.in_progress = true;
+        self.drain_open = true;
         self.expected = self.clients.len() as u32;
         self.requested_at = k.now();
         let (gen, expected) = (self.gen, self.expected);
@@ -248,6 +291,7 @@ impl Coordinator {
         }
         let gen = self.gen;
         self.in_progress = false;
+        self.drain_open = false;
         self.retry_at = None;
         self.aborted_gens.insert(gen);
         self.barrier_counts.retain(|(g, _), _| *g != gen);
@@ -274,16 +318,78 @@ impl Coordinator {
                 w.wake(sim, (pid, Tid(0)));
             });
         }
+        if self.queued {
+            self.queued = false;
+            self.start_checkpoint(k);
+        }
+    }
+
+    /// Abandon the overlapped drain phase: a participant died *after* user
+    /// threads resumed but before its background image write finished, so
+    /// this generation's images can never all become durable. Survivors
+    /// whose drains are still in flight are told to stand down; the restart
+    /// script of the previous generation remains in place, so a restart
+    /// rolls back exactly one generation (the transparency invariant).
+    fn abort_drain(&mut self, k: &mut Kernel<'_>) {
+        if !self.drain_open || self.in_progress {
+            return;
+        }
+        let gen = self.gen;
+        self.drain_open = false;
+        self.aborted_gens.insert(gen);
+        self.barrier_counts.retain(|(g, _), _| *g != gen);
+        if let Some(gs) = coord_shared(k.w)
+            .gen_stats
+            .iter_mut()
+            .rev()
+            .find(|g| g.gen == gen)
+        {
+            gs.aborted = true;
+        }
+        k.trace_with("coord", || format!("ckpt gen {gen} drain ABORTED"));
+        k.obs().metrics.inc("core.ckpt.drain_aborts", 0);
+        let (at, track) = (k.now(), k.track());
+        k.obs()
+            .spans
+            .instant(at, track, "ckpt.drain_abort", "coord", vec![("gen", gen)]);
+        self.broadcast(k, &Msg::CkptAbort(gen));
+        if self.queued {
+            self.queued = false;
+            self.start_checkpoint(k);
+        }
     }
 
     fn handle(&mut self, k: &mut Kernel<'_>, from: usize, msg: Msg) {
+        // Only restart-protocol traffic proves a client belongs to the
+        // restored computation (see `Client::stale`): a zombie's final
+        // in-flight packets — e.g. a reordered checkpoint-barrier ack —
+        // can be delivered in the same wake as its EOF, so arbitrary
+        // traffic must not clear the flag.
+        match &msg {
+            Msg::Register(..) => self.clients[from].stale = false,
+            Msg::BarrierReached(_, stg) if *stg >= stage::RESTORED => {
+                self.clients[from].stale = false;
+            }
+            _ => {}
+        }
         match msg {
             Msg::Register(vpid, _host) => {
                 self.clients[from].vpid = vpid;
             }
             Msg::BarrierReached(gen, stg) => {
                 if self.aborted_gens.contains(&gen) {
-                    // Stale retransmission from an abandoned attempt.
+                    // Stale arrival from an abandoned attempt. For the
+                    // drain barrier, answer with the abort rather than
+                    // dropping silently: a forked manager finishing its
+                    // background write after a drain abort would otherwise
+                    // retransmit this ack forever. Other stages (notably
+                    // the restart barriers, which legitimately reuse an
+                    // aborted generation number before `RestartPlan`
+                    // arrives) keep the silent-drop behavior.
+                    if stg == stage::CKPT_WRITTEN {
+                        let fd = self.clients[from].fd;
+                        self.send_to(k, fd, &Msg::CkptAbort(gen));
+                    }
                     return;
                 }
                 if self.released.contains(&(gen, stg)) {
@@ -316,6 +422,10 @@ impl Coordinator {
                 // restored computation at the generation it is restoring.
                 self.expected = n;
                 self.in_progress = true;
+                // Any pre-restart drain or queued request died with the
+                // computation being replaced.
+                self.drain_open = false;
+                self.queued = false;
                 self.gen = gen;
                 self.requested_at = k.now();
                 // Advertisements from any previous restart are stale, and a
@@ -324,6 +434,15 @@ impl Coordinator {
                 self.discovery.clear();
                 self.aborted_gens.clear();
                 self.released.retain(|(g, _)| *g != gen);
+                // Everyone registered so far belongs to the computation
+                // being replaced; their in-flight EOFs must not abort the
+                // restart. Restored managers that raced ahead of the plan
+                // clear the flag with their next message.
+                for c in &mut self.clients {
+                    if c.vpid != 0 {
+                        c.stale = true;
+                    }
+                }
                 coord_shared(k.w).gen_stats.push(GenStat {
                     gen,
                     requested_at: self.requested_at,
@@ -352,6 +471,13 @@ impl Coordinator {
         if self.expected == 0 || count != self.expected {
             return;
         }
+        // CKPT_WRITTEN is ordered after REFILLED even though in-line
+        // writers ack it earlier (their image is durable before the
+        // refill): hold the release until the stop-the-world protocol has
+        // fully completed, so stages release in Figure-1 order.
+        if stg == stage::CKPT_WRITTEN && !self.released.contains(&(gen, stage::REFILLED)) {
+            return;
+        }
         self.barrier_counts.remove(&(gen, stg));
         self.released.insert((gen, stg));
         let now = k.now();
@@ -377,7 +503,12 @@ impl Coordinator {
         if stg == stage::REFILLED || stg == stage::RESTART_REFILLED {
             self.in_progress = false;
             self.retry_at = None;
-            self.write_restart_script(k);
+            if stg == stage::RESTART_REFILLED {
+                // Restart completion: the restored images are the script's
+                // content; checkpoints instead publish their script only
+                // once CKPT_WRITTEN confirms every image is durable.
+                self.write_restart_script(k);
+            }
             if let Some(iv) = self.interval {
                 let pid = k.getpid_real();
                 k.sim.after(iv, move |w: &mut World, sim| {
@@ -389,6 +520,20 @@ impl Coordinator {
         let candidates = traced_candidates(k);
         let coord_node = k.node();
         faultkit::stage_released(k.w, k.sim, gen, stg, &candidates, coord_node);
+        if stg == stage::REFILLED {
+            // In-line writers acked CKPT_WRITTEN before CHECKPOINTED; if
+            // everyone already reached it, the drain closes at this same
+            // instant (two-phase protocol degenerates to the old one).
+            self.check_release(k, gen, stage::CKPT_WRITTEN);
+        }
+        if stg == stage::CKPT_WRITTEN {
+            self.drain_open = false;
+            self.write_restart_script(k);
+            if self.queued {
+                self.queued = false;
+                self.start_checkpoint(k);
+            }
+        }
     }
 
     /// Generate `dmtcp_restart_script.sh` listing every image of the last
@@ -441,6 +586,7 @@ impl Program for Coordinator {
                             fd,
                             vpid: 0,
                             fb: FrameBuf::new(),
+                            stale: false,
                         });
                         progressed = true;
                     }
@@ -490,17 +636,27 @@ impl Program for Coordinator {
             // Only *registered* clients are protocol participants; restart
             // processes and command-line tools connect without registering
             // and may hang up freely (e.g. after forking the children).
-            let lost_participant = dead.iter().any(|&i| self.clients[i].vpid != 0);
+            let lost_participant = dead
+                .iter()
+                .any(|&i| self.clients[i].vpid != 0 && !self.clients[i].stale);
             for i in dead.into_iter().rev() {
                 let c = self.clients.remove(i);
                 let _ = k.close(c.fd);
                 progressed = true;
             }
-            if lost_participant && self.in_progress {
-                // A participant vanished mid-protocol; the barrier can
-                // never be reached. Abort and let the survivors resume.
-                self.abort_generation(k);
-                progressed = true;
+            if lost_participant {
+                if self.in_progress {
+                    // A participant vanished mid-protocol; the barrier can
+                    // never be reached. Abort and let the survivors resume.
+                    self.abort_generation(k);
+                    progressed = true;
+                } else if self.drain_open {
+                    // It vanished during the overlapped drain: its image
+                    // will never be acknowledged. Abandon the generation;
+                    // restart rolls back to the previous one.
+                    self.abort_drain(k);
+                    progressed = true;
+                }
             }
             // Mailbox: `dmtcp command --checkpoint`, interval timer, or the
             // dmtcpaware request API.

@@ -64,6 +64,12 @@ enum Phase {
     RefillRun,
     AwaitRefilled,
     Resume,
+    /// Forked mode: user threads are running again; sleep until the
+    /// background compress+write pipeline (the COW child) drains.
+    BgWait,
+    /// Forked mode: image durable, `CKPT_WRITTEN` sent; awaiting its
+    /// release (or a drain abort).
+    AwaitWritten,
     RestartInit,
     AwaitRestored,
     RestartRefillRun,
@@ -126,6 +132,13 @@ pub struct Manager {
     t_request: Nanos,
     t_stage: [Nanos; 7],
     write_resume_at: Nanos,
+    /// In-flight forked (background) image write: holds the COW snapshot
+    /// alive so application writes during the overlapped drain are charged
+    /// as copies. `Some` from the fork until the pipeline drains.
+    forked: Option<mtcp::ForkedWrite>,
+    /// Image path of the in-flight forked write (recorded with the
+    /// coordinator only once durable).
+    bg_path: String,
     /// Retransmit deadline for the in-flight `BarrierReached` (armed while
     /// awaiting a release; the network may have eaten either direction).
     deadline: Option<Nanos>,
@@ -151,6 +164,8 @@ impl Manager {
             t_request: Nanos::ZERO,
             t_stage: [Nanos::ZERO; 7],
             write_resume_at: Nanos::ZERO,
+            forked: None,
+            bg_path: String::new(),
             deadline: None,
             backoff: BARRIER_RETRY_INITIAL,
             rng: None,
@@ -228,6 +243,14 @@ impl Manager {
                 // A duplicate release of a stage we already passed, or one
                 // from a previous generation: harmless retransmission.
                 Ok(Some(Msg::BarrierRelease(g, s))) if g < self.cur_gen || s < stg => continue,
+                // An in-line writer acks CKPT_WRITTEN back at WriteDone, so
+                // under message reordering its release can overtake the
+                // REFILLED release. It is never awaited in-line — skip.
+                Ok(Some(Msg::BarrierRelease(g, s)))
+                    if g == self.cur_gen && s == stage::CKPT_WRITTEN =>
+                {
+                    continue
+                }
                 // The coordinator retransmitted the request that started
                 // this generation; we are already past it.
                 Ok(Some(Msg::CkptRequest(g))) if g <= self.cur_gen => continue,
@@ -638,6 +661,20 @@ impl Manager {
             )
         };
         let now = k.now();
+        if mode == mtcp::WriteMode::ForkedCompressed {
+            // Forked checkpointing: COW-snapshot and return after the fork
+            // pause; compression and I/O drain in the background. The image
+            // is *not* recorded with the coordinator (nor visible to the
+            // fault injector) until the pipeline completes — a restart
+            // before then must use the previous generation.
+            let fw = mtcp::begin_forked_write(k.w, now, pid, &path, vpid, meta);
+            global(k.w).checkpointed_vpids.insert(vpid);
+            self.write_resume_at = fw.report.resume_at;
+            let resume_at = fw.report.resume_at;
+            self.forked = Some(fw);
+            self.bg_path = path;
+            return resume_at;
+        }
         let report = mtcp::write_image(k.w, now, pid, &path, mode, vpid, meta);
         global(k.w).checkpointed_vpids.insert(vpid);
         let host = k.hostname();
@@ -848,6 +885,14 @@ impl Manager {
         }
         self.jobs.clear();
         self.restore_owners(k);
+        // An aborted generation discards any in-flight forked write: end
+        // the COW ledger and drop the snapshot (the half-written image is
+        // never recorded, so restarts cannot pick it up).
+        if let Some(fw) = self.forked.take() {
+            let pid = k.pid;
+            let _ = fw.finish(k.w, pid);
+            self.bg_path.clear();
+        }
         let pid = k.pid;
         k.w.resume_user_threads(k.sim, pid);
         k.obs().metrics.inc("core.ckpt.manager_aborts", 0);
@@ -1012,24 +1057,37 @@ impl oskit::program::Program for Manager {
                     // dirty bytes to hit the platter; `Previous` only waits
                     // for writeback older than the current write burst —
                     // i.e. the previous generation — which is free unless
-                    // the disk is badly behind.
+                    // the disk is badly behind. Skipped in forked mode: the
+                    // image is not even written yet at this point.
                     let pid = k.pid;
                     let sync_mode = hijack_of(k.w, pid).map(|h| h.sync).unwrap_or_default();
                     let now = k.now();
-                    let wait = match sync_mode {
-                        crate::launch::SyncMode::None => simkit::Nanos::ZERO,
-                        crate::launch::SyncMode::AfterCheckpoint => {
-                            let node = k.node();
-                            let done = k.w.nodes[node.0 as usize].disk.sync(now);
-                            done.saturating_sub(now)
-                        }
-                        crate::launch::SyncMode::Previous => {
-                            // The previous generation finished writing a
-                            // full interval ago; its pages are almost
-                            // always clean by now. Charge only a syscall.
-                            simkit::Nanos::from_micros(300)
+                    let wait = if self.forked.is_some() {
+                        simkit::Nanos::ZERO
+                    } else {
+                        match sync_mode {
+                            crate::launch::SyncMode::None => simkit::Nanos::ZERO,
+                            crate::launch::SyncMode::AfterCheckpoint => {
+                                let node = k.node();
+                                let done = k.w.nodes[node.0 as usize].disk.sync(now);
+                                done.saturating_sub(now)
+                            }
+                            crate::launch::SyncMode::Previous => {
+                                // The previous generation finished writing a
+                                // full interval ago; its pages are almost
+                                // always clean by now. Charge only a syscall.
+                                simkit::Nanos::from_micros(300)
+                            }
                         }
                     };
+                    if self.forked.is_none() {
+                        // In-line write: the image is durable here, so the
+                        // drain barrier is acked immediately — the
+                        // coordinator holds its release until REFILLED, and
+                        // the two-phase protocol degenerates to the old
+                        // single-phase one.
+                        self.send_barrier(k, stage::CKPT_WRITTEN);
+                    }
                     self.send_barrier(k, stage::CHECKPOINTED);
                     self.phase = Phase::AwaitCheckpointed;
                     if wait > simkit::Nanos::ZERO {
@@ -1068,10 +1126,82 @@ impl oskit::program::Program for Manager {
                     let pid = k.pid;
                     k.w.resume_user_threads(k.sim, pid);
                     self.record_stats(k);
-                    self.phase = Phase::Idle;
                     let gen = self.cur_gen;
-                    k.trace_with("manager", || format!("gen {gen} complete"));
+                    if self.forked.is_some() {
+                        // Perceived downtime ends here; the overlapped
+                        // drain phase continues behind the application.
+                        k.trace_with("manager", || {
+                            format!("gen {gen} resumed; background write draining")
+                        });
+                        self.phase = Phase::BgWait;
+                    } else {
+                        self.phase = Phase::Idle;
+                        k.trace_with("manager", || format!("gen {gen} complete"));
+                    }
                 }
+                Phase::BgWait => {
+                    let done_at = self
+                        .forked
+                        .as_ref()
+                        .expect("forked write in flight")
+                        .report
+                        .image_complete_at;
+                    let now = k.now();
+                    if now < done_at {
+                        // (Re-)sleep the remainder; spurious wakes (late
+                        // coordinator retransmissions) land here too.
+                        return Step::Sleep(done_at - now);
+                    }
+                    // The COW child's pipeline drained: the image is
+                    // durable. Close the dirty ledger, surface the image to
+                    // the fault injector and the restart script, and ack.
+                    let fw = self.forked.take().expect("forked write in flight");
+                    let pid = k.pid;
+                    let stats = fw.finish(k.w, pid);
+                    let path = std::mem::take(&mut self.bg_path);
+                    let node = k.node();
+                    let host = k.hostname();
+                    faultkit::image_written(k.w, self.cur_gen, node, &path);
+                    record_image(k.w, path, host);
+                    let gen = self.cur_gen;
+                    let start = self.t_stage[6];
+                    let track = k.track();
+                    let obs = k.obs();
+                    obs.metrics
+                        .observe("core.stage.background", gen, (now - start).0);
+                    obs.spans.complete(
+                        track,
+                        "stage.background_write",
+                        "ckpt",
+                        start,
+                        now,
+                        vec![
+                            ("gen", gen),
+                            ("cow_copied_bytes", stats.copied_bytes),
+                            ("cow_copied_regions", stats.copied_regions),
+                        ],
+                    );
+                    self.send_barrier(k, stage::CKPT_WRITTEN);
+                    self.phase = Phase::AwaitWritten;
+                }
+                Phase::AwaitWritten => match self.released(k, stage::CKPT_WRITTEN) {
+                    Verdict::Released => {
+                        let gen = self.cur_gen;
+                        k.trace_with("manager", || format!("gen {gen} complete (background)"));
+                        self.phase = Phase::Idle;
+                    }
+                    Verdict::Aborted => {
+                        // A peer died during the overlapped drain. User
+                        // threads are already running — nothing to roll
+                        // back; our image simply never joins a restart
+                        // script (restart uses the previous generation).
+                        let gen = self.cur_gen;
+                        k.obs().metrics.inc("core.ckpt.drain_aborts_seen", 0);
+                        k.trace_with("manager", || format!("gen {gen} drain aborted"));
+                        self.phase = Phase::Idle;
+                    }
+                    Verdict::Blocked => return Step::Block,
+                },
                 // ---------------- restart path ----------------
                 Phase::RestartInit => match self.connect_coord(k) {
                     Ok(()) => {

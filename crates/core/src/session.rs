@@ -138,6 +138,52 @@ impl Session {
         coord_shared(w).gen_stats.last().cloned()
     }
 
+    /// Run the simulation until generation `gen`'s overlapped drain phase
+    /// settles: either `CKPT_WRITTEN` is released (every image durable and
+    /// acknowledged — returns the updated stats) or the coordinator
+    /// abandons the drain (returns `None`; restart must use the previous
+    /// generation). With forked checkpointing off this returns immediately
+    /// after the checkpoint, since in-line writes ack before refill.
+    ///
+    /// Panics if the drain neither completes nor aborts within
+    /// `max_events`.
+    pub fn wait_ckpt_written(
+        w: &mut World,
+        sim: &mut OsSim,
+        gen: u64,
+        max_events: u64,
+    ) -> Option<GenStat> {
+        let start = sim.events_fired();
+        loop {
+            let settled = coord_shared(w)
+                .gen_stats
+                .iter()
+                .rev()
+                .find(|g| g.gen == gen)
+                .map(|g| {
+                    if g.releases.contains_key(&stage::CKPT_WRITTEN) {
+                        Some(Some(g.clone()))
+                    } else if g.aborted {
+                        Some(None)
+                    } else {
+                        None
+                    }
+                })
+                .unwrap_or(None);
+            if let Some(outcome) = settled {
+                return outcome;
+            }
+            assert!(
+                sim.step(w),
+                "event queue drained before the drain settled (gen {gen})"
+            );
+            assert!(
+                sim.events_fired() - start < max_events,
+                "checkpoint drain neither completed nor aborted within {max_events} events"
+            );
+        }
+    }
+
     /// Kill the whole traced computation with SIGKILL (simulated failure).
     /// The coordinator survives, as in real deployments.
     pub fn kill_computation(&self, w: &mut World, sim: &mut OsSim) {

@@ -574,6 +574,153 @@ impl Program for FtPipeChain {
     }
 }
 
+/// Fills an anonymous region with a deterministic pattern, then — when the
+/// test raises the `/shared/cow_go` flag — overwrites the whole region: the
+/// canonical probe for copy-on-write forked checkpoints, where that write
+/// must be charged a physical copy and must NOT leak into the in-flight
+/// image. On `/shared/cow_dump` it records the region's rolling checksum in
+/// `/shared/cow_result` and exits.
+pub struct CowProbe {
+    pub pc: u8,
+    pub region: u64,
+    pub len: u64,
+    pub wrote: u8,
+}
+simkit::impl_snap!(struct CowProbe { pc, region, len, wrote });
+
+impl CowProbe {
+    pub fn new(len: u64) -> Self {
+        CowProbe {
+            pc: 0,
+            region: 0,
+            len,
+            wrote: 0,
+        }
+    }
+
+    /// The bytes the region holds at fork time.
+    pub fn pattern(len: u64) -> Vec<u8> {
+        (0..len).map(|i| (i % 251) as u8).collect()
+    }
+
+    /// Rolling checksum matching what the probe records.
+    pub fn checksum(bytes: &[u8]) -> u64 {
+        bytes
+            .iter()
+            .fold(0u64, |a, &b| a.wrapping_mul(31).wrapping_add(b as u64))
+    }
+}
+
+impl Program for CowProbe {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        loop {
+            match self.pc {
+                0 => {
+                    self.region = k.mmap_anon("cow-probe", self.len as usize) as u64;
+                    k.mem_write(self.region as usize, 0, &Self::pattern(self.len));
+                    let fd = k.open("/shared/cow_ready", true).expect("flag");
+                    k.close(fd).expect("close flag");
+                    self.pc = 1;
+                }
+                1 => {
+                    if let Ok(fd) = k.open("/shared/cow_dump", false) {
+                        k.close(fd).expect("close");
+                        let bytes = k.mem_read(self.region as usize, 0, self.len as usize);
+                        let fd = k.open("/shared/cow_result", true).expect("result");
+                        k.write(fd, Self::checksum(&bytes).to_string().as_bytes())
+                            .expect("w");
+                        return Step::Exit(0);
+                    }
+                    if self.wrote == 0 {
+                        if let Ok(fd) = k.open("/shared/cow_go", false) {
+                            k.close(fd).expect("close");
+                            k.mem_write(self.region as usize, 0, &vec![0xBB; self.len as usize]);
+                            self.wrote = 1;
+                            let fd = k.open("/shared/cow_done", true).expect("flag");
+                            k.close(fd).expect("close flag");
+                        }
+                    }
+                    return Step::Sleep(Nanos(200_000));
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "cow-probe"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+/// Like [`CowProbe`] but over an `mmap(MAP_SHARED)` segment: writes go
+/// through to the live segment (never copy-on-write), so a forked
+/// checkpoint must charge nothing for them. Flags: `/shared/shm_go`,
+/// `/shared/shm_done`, `/shared/shm_dump`, result `/shared/shm_result`.
+pub struct ShmProbe {
+    pub pc: u8,
+    pub region: u64,
+    pub len: u64,
+    pub wrote: u8,
+}
+simkit::impl_snap!(struct ShmProbe { pc, region, len, wrote });
+
+impl ShmProbe {
+    pub fn new(len: u64) -> Self {
+        ShmProbe {
+            pc: 0,
+            region: 0,
+            len,
+            wrote: 0,
+        }
+    }
+}
+
+impl Program for ShmProbe {
+    fn step(&mut self, k: &mut Kernel<'_>) -> Step {
+        loop {
+            match self.pc {
+                0 => {
+                    let id = k.mmap_shared("/shm_probe", self.len as usize).expect("shm");
+                    self.region = id as u64;
+                    k.mem_write(self.region as usize, 0, &CowProbe::pattern(self.len));
+                    let fd = k.open("/shared/shm_ready", true).expect("flag");
+                    k.close(fd).expect("close flag");
+                    self.pc = 1;
+                }
+                1 => {
+                    if let Ok(fd) = k.open("/shared/shm_dump", false) {
+                        k.close(fd).expect("close");
+                        let bytes = k.mem_read(self.region as usize, 0, self.len as usize);
+                        let fd = k.open("/shared/shm_result", true).expect("result");
+                        k.write(fd, CowProbe::checksum(&bytes).to_string().as_bytes())
+                            .expect("w");
+                        return Step::Exit(0);
+                    }
+                    if self.wrote == 0 {
+                        if let Ok(fd) = k.open("/shared/shm_go", false) {
+                            k.close(fd).expect("close");
+                            k.mem_write(self.region as usize, 0, &vec![0x5A; self.len as usize]);
+                            self.wrote = 1;
+                            let fd = k.open("/shared/shm_done", true).expect("flag");
+                            k.close(fd).expect("close flag");
+                        }
+                    }
+                    return Step::Sleep(Nanos(200_000));
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn tag(&self) -> &'static str {
+        "shm-probe"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
 /// Registry with every test application.
 pub fn test_registry() -> Registry {
     let mut r = Registry::new();
@@ -584,6 +731,8 @@ pub fn test_registry() -> Registry {
     r.register_snap::<TwinWorker>("twin-worker");
     r.register_snap::<FtChainClient>("ft-chain-client");
     r.register_snap::<FtPipeChain>("ft-pipe-chain");
+    r.register_snap::<CowProbe>("cow-probe");
+    r.register_snap::<ShmProbe>("shm-probe");
     r
 }
 

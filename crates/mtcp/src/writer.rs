@@ -5,10 +5,18 @@
 //! filesystem, and *charges* the time the work would take — compression on
 //! a CPU core, bytes through the disk/SAN/NFS path — returning when each
 //! part completes so the checkpoint-manager thread can sleep until then.
+//!
+//! `begin_forked_write` is the asynchronous variant: it snapshots the
+//! address space via a region-granularity COW fork, commits the image from
+//! the frozen snapshot, and returns a [`ForkedWrite`] handle the manager
+//! holds while the application keeps running. The handle keeps the snapshot
+//! alive so application writes during the in-flight checkpoint are charged
+//! as COW copies; `ForkedWrite::finish` collects that dirty ledger once the
+//! image is durable.
 
 use crate::image::{CkptImage, RegionMeta, StoredAs, IMAGE_MAGIC};
 use oskit::fs::Blob;
-use oskit::mem::Content;
+use oskit::mem::{AddressSpace, Content, CowStats};
 use oskit::proc::{ThreadCtx, ThreadState};
 use oskit::world::{Pid, World};
 use simkit::{Nanos, Snap, SnapWriter};
@@ -47,6 +55,44 @@ pub struct WriteReport {
     pub raw_bytes: u64,
 }
 
+/// An in-flight forked (background) checkpoint write.
+///
+/// Returned by [`begin_forked_write`]. The embedded snapshot is the COW
+/// child's view of memory: holding it keeps every still-shared region's
+/// `Rc` count above one, which is exactly what makes application writes
+/// during the overlapped drain detectable (and chargeable) as copies.
+#[derive(Debug)]
+pub struct ForkedWrite {
+    /// Timing/size report; `resume_at` is fork-only, `image_complete_at`
+    /// is when the background compress+write pipeline drains.
+    pub report: WriteReport,
+    /// The frozen COW snapshot (kept alive until `finish`).
+    snapshot: AddressSpace,
+}
+
+impl ForkedWrite {
+    /// The background pipeline is done and the image is durable: drop the
+    /// COW snapshot, close the live process's dirty ledger, and record the
+    /// COW tax as metrics. Returns the ledger (zeros when the process died
+    /// while the write was in flight).
+    pub fn finish(self, w: &mut World, pid: Pid) -> CowStats {
+        let stats = match w.procs.get_mut(&pid) {
+            Some(p) => p.mem.end_cow_snapshot(),
+            None => CowStats::default(),
+        };
+        drop(self.snapshot);
+        if stats.copied_bytes > 0 {
+            w.obs
+                .metrics
+                .add("mtcp.cow.dirty_bytes", 0, stats.copied_bytes);
+            w.obs
+                .metrics
+                .add("mtcp.cow.dirty_regions", 0, stats.copied_regions);
+        }
+        stats
+    }
+}
+
 /// Capture `pid`'s address space and threads into `path`.
 ///
 /// The caller (DMTCP's checkpoint manager) guarantees user threads are
@@ -61,96 +107,162 @@ pub fn write_image(
     vpid: u32,
     dmtcp_meta: Vec<u8>,
 ) -> WriteReport {
-    let estimator = SizeEstimator::default();
-    let node = w.procs[&pid].node;
+    let (regions, payloads, raw_bytes) = {
+        let p = &w.procs[&pid];
+        capture_regions(&p.mem, mode.compressed())
+    };
+    commit_image(
+        w, now, pid, path, mode, vpid, dmtcp_meta, regions, payloads, raw_bytes,
+    )
+}
 
-    // ---- Phase 1: build the region table and payload byte streams. ----
-    // (Pure data work on the frozen address space; timing charged below.)
+/// Start a forked checkpoint of `pid`: COW-snapshot the address space,
+/// commit the image from the frozen snapshot, and arm the live side's
+/// dirty ledger. The returned report's `resume_at` covers only the fork
+/// pause; the caller resumes the application there and sleeps (in the
+/// manager thread) until `image_complete_at` before calling
+/// [`ForkedWrite::finish`].
+pub fn begin_forked_write(
+    w: &mut World,
+    now: Nanos,
+    pid: Pid,
+    path: &str,
+    vpid: u32,
+    dmtcp_meta: Vec<u8>,
+) -> ForkedWrite {
+    let snapshot = w
+        .procs
+        .get_mut(&pid)
+        .expect("forked write of live process")
+        .mem
+        .begin_cow_snapshot();
+    // Build payloads from the *snapshot*: the application may dirty its own
+    // copy the moment it resumes, but the image must hold pre-fork bytes.
+    let (regions, payloads, raw_bytes) = capture_regions(&snapshot, true);
+    let report = commit_image(
+        w,
+        now,
+        pid,
+        path,
+        WriteMode::ForkedCompressed,
+        vpid,
+        dmtcp_meta,
+        regions,
+        payloads,
+        raw_bytes,
+    );
+    ForkedWrite { report, snapshot }
+}
+
+/// Phase 1: build the region table and payload byte streams.
+/// (Pure data work on a frozen address space; timing charged at commit.)
+fn capture_regions(mem: &AddressSpace, compressed: bool) -> (Vec<RegionMeta>, Vec<Payload>, u64) {
+    let estimator = SizeEstimator::default();
     let mut regions = Vec::new();
     let mut payloads: Vec<Payload> = Vec::new();
     let mut raw_bytes = 0u64;
-    {
-        let p = &w.procs[&pid];
-        for (_, region) in p.mem.iter() {
-            let raw_len = region.len();
-            raw_bytes += raw_len;
-            match &region.content {
-                Content::Real(bytes) => {
-                    let (stored_bytes, crc) = pack_real(bytes, mode.compressed());
-                    regions.push(RegionMeta {
-                        name: region.name.clone(),
-                        kind: region.kind.clone(),
-                        prot: region.prot,
-                        raw_len,
-                        stored: StoredAs::Real {
-                            comp_len: stored_bytes.len() as u64,
-                        },
-                        crc,
-                    });
-                    payloads.push(Payload::Real(stored_bytes));
-                }
-                Content::Shared(seg) => {
-                    let bytes = seg.borrow();
-                    let (stored_bytes, crc) = pack_real(&bytes, mode.compressed());
-                    let backing = match &region.kind {
-                        oskit::mem::RegionKind::Shm { backing } => backing.clone(),
-                        _ => String::new(),
-                    };
-                    regions.push(RegionMeta {
-                        name: region.name.clone(),
-                        kind: region.kind.clone(),
-                        prot: region.prot,
-                        raw_len,
-                        stored: StoredAs::Shared {
-                            backing,
-                            comp_len: stored_bytes.len() as u64,
-                        },
-                        crc,
-                    });
-                    payloads.push(Payload::Real(stored_bytes));
-                }
-                Content::Synthetic { seed, len, profile } => {
-                    let (comp_len, sampled) = if !mode.compressed() {
-                        (*len, false)
-                    } else if estimator.should_sample(*len) {
-                        let sample = profile.bytes(*seed, estimator.sample_len as usize);
-                        let sample_comp = szip::compressed_len(&sample);
-                        (
-                            estimator.extrapolate(*len, sample.len() as u64, sample_comp),
-                            true,
-                        )
-                    } else {
-                        (
-                            szip::compressed_len(&profile.bytes(*seed, *len as usize)),
-                            false,
-                        )
-                    };
-                    let stored = StoredAs::Synthetic {
-                        seed: *seed,
-                        profile: *profile,
-                        comp_len,
-                        sampled,
-                    };
-                    // The virtual chunk's meta carries the recipe so a
-                    // reader could re-derive it from the file alone.
-                    let mut meta = SnapWriter::new();
-                    stored.save(&mut meta);
-                    regions.push(RegionMeta {
-                        name: region.name.clone(),
-                        kind: region.kind.clone(),
-                        prot: region.prot,
-                        raw_len,
-                        stored,
-                        crc: 0,
-                    });
-                    payloads.push(Payload::Virtual {
-                        len: comp_len,
-                        meta: meta.into_bytes(),
-                    });
-                }
+    for (_, region) in mem.iter() {
+        let raw_len = region.len();
+        raw_bytes += raw_len;
+        match &region.content {
+            Content::Real(bytes) => {
+                let (stored_bytes, crc) = pack_real(bytes, compressed);
+                regions.push(RegionMeta {
+                    name: region.name.clone(),
+                    kind: region.kind.clone(),
+                    prot: region.prot,
+                    raw_len,
+                    stored: StoredAs::Real {
+                        comp_len: stored_bytes.len() as u64,
+                    },
+                    crc,
+                });
+                payloads.push(Payload::Real(stored_bytes));
+            }
+            Content::Shared(seg) => {
+                // Shared segments are materialized eagerly at this instant
+                // (the fork instant, for a forked write): MAP_SHARED memory
+                // is not COW under fork, so the image carries whatever the
+                // segment held when the snapshot was taken.
+                let bytes = seg.borrow();
+                let (stored_bytes, crc) = pack_real(&bytes, compressed);
+                let backing = match &region.kind {
+                    oskit::mem::RegionKind::Shm { backing } => backing.clone(),
+                    _ => String::new(),
+                };
+                regions.push(RegionMeta {
+                    name: region.name.clone(),
+                    kind: region.kind.clone(),
+                    prot: region.prot,
+                    raw_len,
+                    stored: StoredAs::Shared {
+                        backing,
+                        comp_len: stored_bytes.len() as u64,
+                    },
+                    crc,
+                });
+                payloads.push(Payload::Real(stored_bytes));
+            }
+            Content::Synthetic { seed, len, profile } => {
+                let (comp_len, sampled) = if !compressed {
+                    (*len, false)
+                } else if estimator.should_sample(*len) {
+                    let sample = profile.bytes(*seed, estimator.sample_len as usize);
+                    let sample_comp = szip::compressed_len(&sample);
+                    (
+                        estimator.extrapolate(*len, sample.len() as u64, sample_comp),
+                        true,
+                    )
+                } else {
+                    (
+                        szip::compressed_len(&profile.bytes(*seed, *len as usize)),
+                        false,
+                    )
+                };
+                let stored = StoredAs::Synthetic {
+                    seed: *seed,
+                    profile: *profile,
+                    comp_len,
+                    sampled,
+                };
+                // The virtual chunk's meta carries the recipe so a
+                // reader could re-derive it from the file alone.
+                let mut meta = SnapWriter::new();
+                stored.save(&mut meta);
+                regions.push(RegionMeta {
+                    name: region.name.clone(),
+                    kind: region.kind.clone(),
+                    prot: region.prot,
+                    raw_len,
+                    stored,
+                    crc: 0,
+                });
+                payloads.push(Payload::Virtual {
+                    len: comp_len,
+                    meta: meta.into_bytes(),
+                });
             }
         }
     }
+    (regions, payloads, raw_bytes)
+}
+
+/// Phases 2–4: thread contexts, file materialization, commit + time
+/// charging, and observability.
+#[allow(clippy::too_many_arguments)]
+fn commit_image(
+    w: &mut World,
+    now: Nanos,
+    pid: Pid,
+    path: &str,
+    mode: WriteMode,
+    vpid: u32,
+    dmtcp_meta: Vec<u8>,
+    regions: Vec<RegionMeta>,
+    payloads: Vec<Payload>,
+    raw_bytes: u64,
+) -> WriteReport {
+    let node = w.procs[&pid].node;
 
     // ---- Phase 2: thread contexts (registers/stack analogue). ----
     let threads: Vec<ThreadCtx> = {
@@ -192,7 +304,8 @@ pub fn write_image(
     }
     // Fault-injection hook: a torn write truncates or bit-flips the blob
     // between "bytes produced" and "file committed" — the CRC/length checks
-    // on the read side must catch whatever happens here.
+    // on the read side must catch whatever happens here. For a forked write
+    // this models a crash mid-way through the background commit.
     w.apply_image_fault(path, &mut blob);
     let image_bytes = blob.len();
 

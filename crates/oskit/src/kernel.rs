@@ -919,9 +919,24 @@ impl<'a> Kernel<'a> {
         self.proc_mut().mem.unmap(id);
     }
 
-    /// Write into this process's memory.
+    /// Write into this process's memory. While a forked checkpoint is in
+    /// flight the first write to each region still shared with the frozen
+    /// snapshot forces a physical copy — charge that page-duplication work
+    /// to a core (it contends with the background compressor) and surface
+    /// it as metrics so benches can report the COW tax.
     pub fn mem_write(&mut self, id: RegionId, offset: u64, bytes: &[u8]) {
-        self.proc_mut().mem.write(id, offset, bytes);
+        let copied = self.proc_mut().mem.write(id, offset, bytes);
+        if copied > 0 {
+            let now = self.sim.now();
+            let node = self.node();
+            let dur = self.w.spec.memcpy_time(copied);
+            self.w.nodes[node.0 as usize].cpu.run(now, dur);
+            self.w.obs.metrics.inc("oskit.mem.cow_faults", 0);
+            self.w
+                .obs
+                .metrics
+                .add("oskit.mem.cow_copied_bytes", 0, copied);
+        }
     }
 
     /// Read from this process's memory.

@@ -293,11 +293,26 @@ pub enum ChunkRef<'a> {
     },
 }
 
+/// Copy-on-write accounting for an in-flight forked checkpoint: how much
+/// the live process paid in physical copies because it wrote to regions
+/// still shared with the frozen snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CowStats {
+    /// Regions that were physically duplicated by a write.
+    pub copied_regions: u64,
+    /// Bytes physically duplicated (region granularity: the whole region is
+    /// copied on the first write, mirroring `Rc::make_mut`).
+    pub copied_bytes: u64,
+}
+
 /// A process address space.
 #[derive(Debug, Clone, Default)]
 pub struct AddressSpace {
     regions: Vec<Option<Region>>,
     next_addr: u64,
+    /// Active COW ledger; `Some` between `begin_cow_snapshot` and
+    /// `end_cow_snapshot` on the *live* side of a forked checkpoint.
+    cow: Option<CowStats>,
 }
 
 /// Index of a region within its address space.
@@ -309,6 +324,7 @@ impl AddressSpace {
         AddressSpace {
             regions: Vec::new(),
             next_addr: 0x0040_0000,
+            cow: None,
         }
     }
 
@@ -381,7 +397,12 @@ impl AddressSpace {
     /// `Real` content shared with a forked sibling; writes through to every
     /// mapper for `Shared` content. Writing a synthetic region is a logic
     /// error — ballast is immutable by construction.
-    pub fn write(&mut self, id: RegionId, offset: u64, bytes: &[u8]) {
+    ///
+    /// Returns the number of bytes *physically copied* to satisfy the write
+    /// (the whole region length when the write broke COW sharing, zero when
+    /// the region was already exclusively owned). When a COW ledger is
+    /// active ([`Self::begin_cow_snapshot`]) the copy is also charged there.
+    pub fn write(&mut self, id: RegionId, offset: u64, bytes: &[u8]) -> u64 {
         let r = self.regions[id].as_mut().expect("write to unmapped region");
         assert!(r.prot & PROT_W != 0, "write to read-only region {}", r.name);
         assert!(
@@ -390,12 +411,28 @@ impl AddressSpace {
         );
         match &mut r.content {
             Content::Real(b) => {
+                let copied = if Rc::strong_count(b) > 1 {
+                    b.len() as u64
+                } else {
+                    0
+                };
                 let target = Rc::make_mut(b); // COW point
                 target[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
+                if copied > 0 {
+                    if let Some(cow) = &mut self.cow {
+                        cow.copied_regions += 1;
+                        cow.copied_bytes += copied;
+                    }
+                }
+                copied
             }
             Content::Shared(b) => {
+                // MAP_SHARED writes go straight through — never copied, and
+                // visible to the frozen snapshot too (the checkpoint writer
+                // materializes shared segments eagerly at the fork instant).
                 b.borrow_mut()[offset as usize..offset as usize + bytes.len()]
                     .copy_from_slice(bytes);
+                0
             }
             Content::Synthetic { .. } => {
                 panic!("write into synthetic ballast region {}", r.name)
@@ -410,7 +447,36 @@ impl AddressSpace {
         AddressSpace {
             regions: self.regions.clone(),
             next_addr: self.next_addr,
+            cow: None,
         }
+    }
+
+    /// Begin a forked-checkpoint snapshot: returns a frozen COW clone of
+    /// this address space and arms a fresh dirty ledger on the live side.
+    /// Every subsequent [`Self::write`] that breaks sharing with the
+    /// snapshot charges the ledger until [`Self::end_cow_snapshot`].
+    ///
+    /// The caller must keep the returned snapshot alive for the duration of
+    /// the background write — dropping it releases the `Rc` sharing that
+    /// makes writes detectable as COW copies.
+    pub fn begin_cow_snapshot(&mut self) -> AddressSpace {
+        self.cow = Some(CowStats::default());
+        AddressSpace {
+            regions: self.regions.clone(),
+            next_addr: self.next_addr,
+            cow: None,
+        }
+    }
+
+    /// End the forked-checkpoint snapshot window and collect the dirty
+    /// ledger. Idempotent: returns zeros if no snapshot was active.
+    pub fn end_cow_snapshot(&mut self) -> CowStats {
+        self.cow.take().unwrap_or_default()
+    }
+
+    /// Whether a forked-checkpoint COW ledger is currently armed.
+    pub fn cow_snapshot_active(&self) -> bool {
+        self.cow.is_some()
     }
 
     /// Stream a region's content in ≤`chunk` byte pieces for the image
@@ -526,6 +592,72 @@ mod tests {
         // And the parent writing afterwards must not affect the child.
         a.write(id, 50, &[7]);
         assert_eq!(b.read(id, 50, 1), vec![1]);
+    }
+
+    #[test]
+    fn cow_ledger_charges_first_write_per_shared_region() {
+        let mut a = AddressSpace::new();
+        let id1 = a.map(
+            "heap",
+            RegionKind::Heap,
+            PROT_R | PROT_W,
+            Content::Real(Rc::new(vec![1u8; 1000])),
+        );
+        let id2 = a.map(
+            "anon",
+            RegionKind::Anon,
+            PROT_R | PROT_W,
+            Content::Real(Rc::new(vec![2u8; 500])),
+        );
+        let snap = a.begin_cow_snapshot();
+        assert!(a.cow_snapshot_active());
+        // First write to a shared region copies the whole region once.
+        assert_eq!(a.write(id1, 0, &[9]), 1000);
+        // Second write to the same region: already exclusive, no copy.
+        assert_eq!(a.write(id1, 10, &[9]), 0);
+        // First write to the other region copies it too.
+        assert_eq!(a.write(id2, 0, &[9]), 500);
+        let stats = a.end_cow_snapshot();
+        assert_eq!(stats.copied_regions, 2);
+        assert_eq!(stats.copied_bytes, 1500);
+        assert!(!a.cow_snapshot_active());
+        // The frozen snapshot still sees pre-fork bytes.
+        assert_eq!(snap.read(id1, 0, 1), vec![1]);
+        assert_eq!(snap.read(id2, 0, 1), vec![2]);
+    }
+
+    #[test]
+    fn cow_ledger_ignores_shared_segments_and_unshared_regions() {
+        let mut a = AddressSpace::new();
+        let shm = a.map(
+            "shm",
+            RegionKind::Shm {
+                backing: "/tmp/seg".into(),
+            },
+            PROT_R | PROT_W,
+            Content::Shared(Rc::new(RefCell::new(vec![0u8; 64]))),
+        );
+        let snap = a.begin_cow_snapshot();
+        // MAP_SHARED writes are never COW copies…
+        assert_eq!(a.write(shm, 0, &[7]), 0);
+        // …and they are visible through the snapshot (UNIX fork semantics).
+        assert_eq!(snap.read(shm, 0, 1), vec![7]);
+        // A region mapped *after* the snapshot is not shared with it.
+        let fresh = a.map(
+            "fresh",
+            RegionKind::Anon,
+            PROT_R | PROT_W,
+            Content::Real(Rc::new(vec![0u8; 32])),
+        );
+        assert_eq!(a.write(fresh, 0, &[1]), 0);
+        let stats = a.end_cow_snapshot();
+        assert_eq!(stats, CowStats::default());
+    }
+
+    #[test]
+    fn end_cow_snapshot_is_idempotent() {
+        let mut a = AddressSpace::new();
+        assert_eq!(a.end_cow_snapshot(), CowStats::default());
     }
 
     #[test]

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Bench-regression gate: compare a flat benchmark summary (one numeric key
+# per line, as written by `downtime` into results/BENCH_ckpt.json) against
+# the committed baseline, with a relative tolerance.
+#
+# Usage:
+#   scripts/bench_gate.sh compare [NEW] [BASELINE]   # default paths below
+#   scripts/bench_gate.sh self-test                  # gate-must-fail test
+#
+# Direction is encoded in the key suffix:
+#   *_s, *_bytes  lower is better  -> fail when new > baseline * (1 + tol)
+#   *_ratio       higher is better -> fail when new < baseline * (1 - tol)
+# A key present in the baseline but missing from the new results fails the
+# gate too — a silently dropped metric is a coverage regression. New keys
+# absent from the baseline are reported but do not fail (commit the updated
+# baseline to start gating them).
+#
+# Tolerance: BENCH_GATE_TOLERANCE (fraction, default 0.15). The simulation
+# is deterministic, so the slack only absorbs intentional model retunes
+# small enough not to matter.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOL="${BENCH_GATE_TOLERANCE:-0.15}"
+
+compare() {
+    local new="${1:-results/BENCH_ckpt.json}"
+    local base="${2:-scripts/BENCH_ckpt.baseline.json}"
+    if [[ ! -f "$new" ]]; then
+        echo "bench_gate: new results '$new' not found (run: ./target/release/downtime --smoke)" >&2
+        return 1
+    fi
+    if [[ ! -f "$base" ]]; then
+        echo "bench_gate: baseline '$base' not found" >&2
+        return 1
+    fi
+    echo "bench_gate: $new vs $base (tolerance ${TOL})"
+    awk -v tol="$TOL" '
+        FNR == 1 { fi++ }
+        match($0, /"[A-Za-z0-9_]+"[[:space:]]*:[[:space:]]*-?[0-9.][0-9.eE+-]*/) {
+            kv = substr($0, RSTART, RLENGTH)
+            colon = index(kv, ":")
+            key = substr(kv, 1, colon - 1); gsub(/"/, "", key)
+            val = substr(kv, colon + 1) + 0
+            if (fi == 1) base[key] = val
+            else newv[key] = val
+        }
+        END {
+            fail = 0
+            n_checked = 0
+            for (k in base) {
+                if (!(k in newv)) {
+                    printf "  MISSING    %-22s in baseline but absent from new results\n", k
+                    fail = 1
+                    continue
+                }
+                b = base[k]; n = newv[k]; n_checked++
+                if (k ~ /_ratio$/) { lim = b * (1 - tol); bad = (n < lim) }
+                else               { lim = b * (1 + tol); bad = (n > lim) }
+                if (bad) {
+                    printf "  REGRESSION %-22s %.6g vs baseline %.6g (limit %.6g)\n", k, n, b, lim
+                    fail = 1
+                } else {
+                    printf "  ok         %-22s %.6g (baseline %.6g)\n", k, n, b
+                }
+            }
+            for (k in newv)
+                if (!(k in base))
+                    printf "  note       %-22s new metric %.6g not in baseline yet\n", k, newv[k]
+            if (n_checked == 0) {
+                print "  no shared metrics found — malformed input?"
+                fail = 1
+            }
+            exit fail
+        }
+    ' "$base" "$new"
+}
+
+# Negative test: a synthetic 20% regression in each direction must trip the
+# gate, and an in-tolerance drift must not.
+self_test() {
+    local d
+    d="$(mktemp -d)"
+    trap 'rm -rf "$d"' RETURN
+    printf '{\n  "ckpt_total_s": 1.0,\n  "pause_ratio": 10.0\n}\n' > "$d/base.json"
+
+    printf '{\n  "ckpt_total_s": 1.2,\n  "pause_ratio": 10.0\n}\n' > "$d/slow.json"
+    if compare "$d/slow.json" "$d/base.json" > /dev/null; then
+        echo "bench_gate self-test FAILED: 20% time regression not caught" >&2
+        return 1
+    fi
+
+    printf '{\n  "ckpt_total_s": 1.0,\n  "pause_ratio": 8.0\n}\n' > "$d/worse.json"
+    if compare "$d/worse.json" "$d/base.json" > /dev/null; then
+        echo "bench_gate self-test FAILED: 20% ratio regression not caught" >&2
+        return 1
+    fi
+
+    printf '{\n  "pause_ratio": 10.0\n}\n' > "$d/dropped.json"
+    if compare "$d/dropped.json" "$d/base.json" > /dev/null; then
+        echo "bench_gate self-test FAILED: dropped metric not caught" >&2
+        return 1
+    fi
+
+    printf '{\n  "ckpt_total_s": 1.05,\n  "pause_ratio": 9.5\n}\n' > "$d/drift.json"
+    if ! compare "$d/drift.json" "$d/base.json" > /dev/null; then
+        echo "bench_gate self-test FAILED: in-tolerance drift rejected" >&2
+        return 1
+    fi
+
+    echo "bench_gate self-test: OK"
+}
+
+case "${1:-compare}" in
+    compare) shift || true; compare "$@" ;;
+    self-test) self_test ;;
+    *)
+        echo "usage: $0 [compare [NEW] [BASELINE] | self-test]" >&2
+        exit 2
+        ;;
+esac

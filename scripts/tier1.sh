@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate: everything a PR must keep green.
-# Usage: scripts/tier1.sh
+#
+# Usage: scripts/tier1.sh [stage...]
+#   stages: build test faults bench lint
+#   No arguments runs every stage in that order (the full PR gate). CI runs
+#   the same stages one job each — `scripts/tier1.sh build`, etc. — so a
+#   local no-arg run reproduces the whole pipeline stage by stage.
 #
 # Fault-matrix knobs (crates/core/tests/faults.rs):
 #   DMTCP_FAULT_ROTATING=N  run the matrix with N extra date-derived base
@@ -17,22 +22,61 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo build --release =="
-cargo build --release --workspace
+stage_build() {
+    echo "== cargo build --release =="
+    cargo build --release --workspace
+}
 
-echo "== cargo test =="
-cargo test -q --workspace
+stage_test() {
+    echo "== cargo test (fault matrix deferred to the faults stage) =="
+    # The matrix is a stage of its own; skip it here so a full pipeline run
+    # executes each cell exactly once.
+    DMTCP_FAULT_SKIP_DEFAULT=1 cargo test -q --workspace
+}
 
-echo "== fault matrix (fixed + rotating seeds) =="
-DMTCP_FAULT_ROTATING="${DMTCP_FAULT_ROTATING:-2}" cargo test -q -p dmtcp --test faults
+stage_faults() {
+    echo "== fault matrix (fixed + rotating seeds) =="
+    DMTCP_FAULT_ROTATING="${DMTCP_FAULT_ROTATING:-2}" cargo test -q -p dmtcp --test faults
+}
 
-echo "== ckptstore smoke bench (3 generations, NAS/MG) =="
-./target/release/ckptstore --smoke
+stage_bench() {
+    echo "== ckptstore smoke bench (3 generations, NAS/MG) =="
+    cargo build --release -p dmtcp-bench
+    ./target/release/ckptstore --smoke
+    echo "== downtime smoke bench (perceived vs total checkpoint time) =="
+    ./target/release/downtime --smoke
+    echo "== bench-regression gate =="
+    scripts/bench_gate.sh self-test
+    scripts/bench_gate.sh compare
+}
 
-echo "== cargo clippy (-D warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+stage_lint() {
+    echo "== cargo clippy (-D warnings) =="
+    cargo clippy --workspace --all-targets -- -D warnings
+    echo "== cargo fmt --check =="
+    cargo fmt --all -- --check
+}
 
-echo "== cargo fmt --check =="
-cargo fmt --all -- --check
+run_stage() {
+    local name="$1"
+    case "$name" in
+        build | test | faults | bench | lint) ;;
+        *)
+            echo "tier1: unknown stage '$name' (stages: build test faults bench lint)" >&2
+            exit 2
+            ;;
+    esac
+    local t0 t1
+    t0=$SECONDS
+    "stage_$name"
+    t1=$SECONDS
+    echo "tier1: stage $name OK ($((t1 - t0))s)"
+}
 
+if [[ $# -eq 0 ]]; then
+    set -- build test faults bench lint
+fi
+for stage in "$@"; do
+    run_stage "$stage"
+done
 echo "tier1: OK"
