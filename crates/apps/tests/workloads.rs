@@ -5,7 +5,7 @@ use apps::nas::{nas_factory, NasKernel};
 use apps::registry::full_registry;
 use apps::result_path;
 use dmtcp::session::run_for;
-use dmtcp::{Options, Session};
+use dmtcp::{ExpectCkpt, Options, Session};
 use oskit::world::{NodeId, OsSim, World};
 use oskit::HwSpec;
 use simkit::{Nanos, Sim};
@@ -109,10 +109,7 @@ fn nas_cg_survives_checkpoint_kill_restart() {
     let s = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            ..Options::default()
-        },
+        Options::builder().ckpt_dir("/shared/ckpt").build(),
     );
     mpirun(
         &mut w,
@@ -122,7 +119,7 @@ fn nas_cg_survives_checkpoint_kill_restart() {
         nas_factory(NasKernel::Cg, iters, 2_000),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(100));
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     let gen = stat.gen;
     assert_eq!(stat.participants, 7, "console + 2 orted + 4 ranks");
     s.kill_computation(&mut w, &mut sim);
@@ -174,17 +171,14 @@ fn desktop_catalogue_images_scale_with_footprint() {
     let s = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            ..Options::default()
-        },
+        Options::builder().ckpt_dir("/shared/ckpt").build(),
     );
     let bc = apps::desktop::spec_by_name("bc").expect("bc");
     let matlab = apps::desktop::spec_by_name("matlab").expect("matlab");
     apps::desktop::launch_desktop(&mut w, &mut sim, Some(&s), NodeId(0), bc, 1);
     apps::desktop::launch_desktop(&mut w, &mut sim, Some(&s), NodeId(0), matlab, 2);
     run_for(&mut w, &mut sim, Nanos::from_millis(30));
-    s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     let sizes: Vec<(String, u64)> = w
         .shared_fs
         .list_prefix("/shared/ckpt/")
@@ -207,15 +201,12 @@ fn vnc_session_checkpoints_with_live_viewer_pattern() {
     let s = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            ..Options::default()
-        },
+        Options::builder().ckpt_dir("/shared/ckpt").build(),
     );
     let spec = apps::desktop::spec_by_name("tightvnc+twm").expect("vnc");
     apps::desktop::launch_desktop(&mut w, &mut sim, Some(&s), NodeId(0), spec, 3);
     run_for(&mut w, &mut sim, Nanos::from_millis(40));
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     assert_eq!(stat.participants, 3, "vncserver + twm + xterm");
     // The session keeps serving updates after the checkpoint.
     run_for(&mut w, &mut sim, Nanos::from_millis(40));

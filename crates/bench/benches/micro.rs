@@ -9,7 +9,7 @@
 //! `cargo bench -p dmtcp-bench` or filter: `cargo bench -p dmtcp-bench -- szip`.
 
 use dmtcp::session::run_for;
-use dmtcp::{Options, Session};
+use dmtcp::{ExpectCkpt, Options, Session};
 use oskit::mem::FillProfile;
 use oskit::program::{Program, Registry, Step};
 use oskit::world::{NodeId, Pid, World};
@@ -192,10 +192,7 @@ fn bench_full_checkpoint_cycle() {
             let s = Session::start(
                 &mut w,
                 &mut sim,
-                Options {
-                    ckpt_dir: "/shared/ckpt".into(),
-                    ..Options::default()
-                },
+                Options::builder().ckpt_dir("/shared/ckpt").build(),
             );
             for n in 0..2 {
                 s.launch(
@@ -209,7 +206,10 @@ fn bench_full_checkpoint_cycle() {
             run_for(&mut w, &mut sim, Nanos::from_millis(10));
             (w, sim, s)
         },
-        |(mut w, mut sim, s)| s.checkpoint_and_wait(&mut w, &mut sim, 10_000_000),
+        |(mut w, mut sim, s)| {
+            s.checkpoint_and_wait(&mut w, &mut sim, 10_000_000)
+                .expect_ckpt()
+        },
     );
 }
 

@@ -13,7 +13,7 @@
 use apps::nas::baseline_factory;
 use dmtcp::coord::stage;
 use dmtcp::session::run_for;
-use dmtcp::Session;
+use dmtcp::{ExpectCkpt, Session};
 use dmtcp_bench::{
     cluster_world, measure_checkpoints, options, run_parallel, write_jsonl_lines, EV,
 };
@@ -76,7 +76,7 @@ fn pause_of(mb: u64, forked: bool) -> f64 {
         }),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(20));
-    let g = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let g = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     g.total_pause().expect("complete").as_secs_f64()
 }
 
@@ -97,7 +97,7 @@ fn barrier_scaling(nodes: usize) -> (u32, f64) {
         baseline_factory(0),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(400));
-    let g = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let g = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     // Pure coordination cost: everything except the image write.
     let t = (g.releases[&stage::DRAINED] - g.requested_at).as_secs_f64();
     (g.participants, t)

@@ -14,7 +14,7 @@
 
 use apps::nas::{nas_factory, NasKernel};
 use dmtcp::session::run_for;
-use dmtcp::Session;
+use dmtcp::{ExpectCkpt, Session};
 use dmtcp_bench::{ckpt_seconds, cluster_world, desktop_world, options, write_jsonl_lines, EV};
 use obs::json::JsonWriter;
 use oskit::world::{NodeId, OsSim, World};
@@ -42,7 +42,7 @@ fn measure_gens(
     let mut logical0 = 0u64;
     let mut physical0 = 0u64;
     for _ in 0..gens {
-        let g = s.checkpoint_and_wait(w, sim, EV);
+        let g = s.checkpoint_and_wait(w, sim, EV).expect_ckpt();
         let logical = w.obs.metrics.counter_total("mtcp.image.bytes");
         let physical = if store {
             w.obs.metrics.counter_total("ckptstore.bytes_written")

@@ -23,7 +23,7 @@
 use apps::nas::{nas_factory, NasKernel};
 use dmtcp::coord::GenStat;
 use dmtcp::session::run_for;
-use dmtcp::Session;
+use dmtcp::{ExpectCkpt, Session};
 use dmtcp_bench::{cluster_world, desktop_world, options, write_jsonl_lines, EV};
 use obs::json::JsonWriter;
 use oskit::world::{NodeId, OsSim, World};
@@ -52,7 +52,7 @@ fn measure(w: &mut World, sim: &mut OsSim, s: &Session, reps: usize, gap: Nanos)
     let mut pause = 0.0;
     let mut total = 0.0;
     for _ in 0..reps {
-        let g = s.checkpoint_and_wait(w, sim, EV);
+        let g = s.checkpoint_and_wait(w, sim, EV).expect_ckpt();
         let g: GenStat = Session::wait_ckpt_written(w, sim, g.gen, EV)
             .expect("no faults armed: drain completes");
         pause += g.total_pause().expect("refilled").as_secs_f64();

@@ -14,7 +14,7 @@
 
 use apps::nas::{nas_factory, NasKernel};
 use dmtcp::session::run_for;
-use dmtcp::Session;
+use dmtcp::{ExpectCkpt, Session};
 use dmtcp_bench::{
     cluster_world, dump_trace, kill_and_measure_restart, options, restart_breakdown,
     stage_breakdown, trace_out_arg, write_jsonl_lines, RestartBreakdown, StageBreakdown, EV,
@@ -50,7 +50,7 @@ fn run_mode(
         nas_factory(NasKernel::Mg, 1_000_000, 1024),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(400));
-    let g = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let g = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     // Managers record their per-stage samples when they resume user
     // threads, shortly after the final barrier releases.
     run_for(&mut w, &mut sim, Nanos::from_millis(50));

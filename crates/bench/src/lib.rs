@@ -13,7 +13,7 @@
 use apps::registry::full_registry;
 use dmtcp::coord::{coord_shared, stage, GenStat};
 use dmtcp::session::run_for;
-use dmtcp::{Options, Session};
+use dmtcp::{ExpectCkpt, Options, Session};
 use oskit::world::{NodeId, OsSim, World};
 use oskit::HwSpec;
 use simkit::{Nanos, Sim, Summary};
@@ -225,16 +225,11 @@ pub fn desktop_world() -> (World, OsSim) {
 
 /// Standard options: images to the shared store unless `local_disk`.
 pub fn options(compression: bool, forked: bool, local_disk: bool) -> Options {
-    Options {
-        ckpt_dir: if local_disk {
-            "/ckpt".into()
-        } else {
-            "/shared/ckpt".into()
-        },
-        compression,
-        forked,
-        ..Options::default()
-    }
+    Options::builder()
+        .ckpt_dir(if local_disk { "/ckpt" } else { "/shared/ckpt" })
+        .compression(compression)
+        .forked(forked)
+        .build()
 }
 
 /// Checkpoint time (request → image-written barrier) in seconds.
@@ -257,7 +252,7 @@ pub fn measure_checkpoints(
     let mut size = 0;
     let mut parts = 0;
     for _ in 0..reps {
-        let g = s.checkpoint_and_wait(w, sim, EV);
+        let g = s.checkpoint_and_wait(w, sim, EV).expect_ckpt();
         times.push(ckpt_seconds(&g));
         parts = g.participants;
         let images = coord_shared(w).last_images.clone();

@@ -62,6 +62,42 @@ impl Default for Config {
     }
 }
 
+/// The chunk store as an [`mtcp::ImageStore`] implementation: commits
+/// route through [`sink`], resolves through [`source`], both reading the
+/// live [`Config`] so reconfiguration takes effect without reinstalling.
+struct ChunkStore {
+    config: Rc<RefCell<Config>>,
+}
+
+impl mtcp::ImageStore for ChunkStore {
+    fn commit(
+        &self,
+        w: &mut World,
+        work_start: simkit::Nanos,
+        node: oskit::world::NodeId,
+        path: &str,
+        blob: &oskit::fs::Blob,
+    ) -> mtcp::SinkCommit {
+        sink::commit(
+            &self.config.borrow().clone(),
+            w,
+            work_start,
+            node,
+            path,
+            blob,
+        )
+    }
+
+    fn resolve(
+        &self,
+        w: &World,
+        node: oskit::world::NodeId,
+        path: &str,
+    ) -> Option<mtcp::ResolvedImage> {
+        source::resolve(w, node, path)
+    }
+}
+
 /// Install the store into a world: every subsequent `mtcp::write_image`
 /// commits through the chunk store and every image read resolves through
 /// it. Idempotent; a second call replaces the configuration.
@@ -69,14 +105,7 @@ pub fn install(w: &mut World, config: Config) {
     let state = Rc::new(RefCell::new(config));
     w.ext_slots
         .insert(SLOT.to_string(), Box::new(state.clone()));
-    let sink_cfg = state.clone();
-    let hooks = mtcp::StoreHooks {
-        sink: Rc::new(move |w, now, node, path, blob| {
-            sink::commit(&sink_cfg.borrow().clone(), w, now, node, path, blob)
-        }),
-        source: Rc::new(source::resolve),
-    };
-    mtcp::store::install(w, hooks);
+    mtcp::store::install(w, Rc::new(ChunkStore { config: state }));
 }
 
 /// Remove the store; `mtcp` reverts to plain-file images. Already-stored

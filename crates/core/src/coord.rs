@@ -135,6 +135,20 @@ pub fn coord_shared(w: &mut World) -> &mut CoordShared {
         .expect("slot holds CoordShared")
 }
 
+/// Relay-specific state of a root client (see `crate::relay`): the root
+/// tracks relays and direct managers uniformly — a direct client always
+/// contributes exactly one barrier participant, a relay contributes as many
+/// as it currently fronts.
+struct RelayInfo {
+    /// Local participants the relay currently fronts (its latest
+    /// `RelayMembership` report).
+    members: u32,
+    /// Last time anything arrived from this relay — liveness input. A relay
+    /// pings while a generation is in flight, so prolonged silence inside
+    /// one means the relay (and with it a whole node) is gone.
+    last_heard: Nanos,
+}
+
 struct Client {
     fd: Fd,
     vpid: u32,
@@ -144,7 +158,33 @@ struct Client {
     /// flight. Its hang-up must not abort the restarted generation; any
     /// message it sends proves it alive and clears the flag.
     stale: bool,
+    /// Unique per accepted connection; keys a relay's barrier contribution
+    /// (a vpid cannot — relays have none).
+    serial: u64,
+    /// `Some` once the connection identified itself as a per-node relay.
+    relay: Option<RelayInfo>,
 }
+
+impl Client {
+    /// Barrier-accounting key: direct clients are keyed by vpid (stable
+    /// across reconnects), relays by their connection serial offset past
+    /// the vpid space.
+    fn contrib_key(&self) -> u64 {
+        if self.relay.is_some() {
+            RELAY_KEY_BASE | self.serial
+        } else {
+            self.vpid as u64
+        }
+    }
+
+    /// How many barrier participants this connection speaks for.
+    fn quota(&self) -> u32 {
+        self.relay.as_ref().map(|r| r.members).unwrap_or(1)
+    }
+}
+
+/// Relay contribution keys live above the 32-bit vpid space.
+const RELAY_KEY_BASE: u64 = 1 << 32;
 
 /// The coordinator program. It is *not* checkpointed (same as real DMTCP,
 /// where a new coordinator is started for restart), so its state need not
@@ -164,9 +204,12 @@ pub struct Coordinator {
     /// soon as the current generation fully settles.
     queued: bool,
     expected: u32,
-    /// Virtual pids that reached each pending barrier (set, not count, so
-    /// retransmitted `BarrierReached` messages are idempotent).
-    barrier_counts: BTreeMap<(u64, u8), BTreeSet<u32>>,
+    /// Per-connection barrier contributions for each pending barrier,
+    /// keyed by `Client::contrib_key`. Direct clients contribute 1 (the map
+    /// keeps retransmitted `BarrierReached` idempotent); relays contribute
+    /// their cumulative `BarrierAckN` count, merged monotonically so
+    /// retransmissions and reordering are idempotent too.
+    barrier_counts: BTreeMap<(u64, u8), BTreeMap<u64, u32>>,
     /// Barriers already released; a late `BarrierReached` for one of these
     /// means our release may have been lost — re-send it to that client.
     released: BTreeSet<(u64, u8)>,
@@ -179,10 +222,28 @@ pub struct Coordinator {
     /// coordinator message with no manager-side retry).
     retry_at: Option<Nanos>,
     retry_backoff: Nanos,
+    /// Next accepted connection's serial.
+    next_serial: u64,
+    /// A `RestartPlan` re-armed the barriers: relay liveness timeouts and
+    /// relay membership-loss reports must not abort the restart (relays
+    /// only front the *pre*-restart computation; restored managers register
+    /// directly with the root).
+    restarting: bool,
+    /// Next relay-liveness check deadline (armed only while a generation
+    /// with relays is in flight, so an idle coordinator stays quiescent).
+    liveness_at: Option<Nanos>,
 }
 
 /// Initial `CkptRequest` retransmit timeout (doubles on each retry).
 const CKPT_RETRY_INITIAL: Nanos = Nanos(50_000_000); // 50 ms
+
+/// A relay silent for this long inside an in-flight generation is treated
+/// as a lost participant (its whole node is presumed gone). Comfortably
+/// above the relay's 25 ms ping cadence.
+const RELAY_TIMEOUT: Nanos = Nanos(200_000_000); // 200 ms
+
+/// Cadence of the relay-liveness sweep while a generation is in flight.
+const LIVENESS_CHECK: Nanos = Nanos(60_000_000); // 60 ms
 
 impl Coordinator {
     /// A coordinator listening on `port`, checkpointing every `interval`
@@ -205,10 +266,16 @@ impl Coordinator {
             requested_at: Nanos::ZERO,
             retry_at: None,
             retry_backoff: CKPT_RETRY_INITIAL,
+            next_serial: 0,
+            restarting: false,
+            liveness_at: None,
         }
     }
 
-    fn send_to(&self, k: &mut Kernel<'_>, fd: Fd, msg: &Msg) {
+    fn send_to(&mut self, k: &mut Kernel<'_>, fd: Fd, msg: &Msg) {
+        // Every wire message in or out of the root is counted per
+        // generation — the scale bench's O(processes) vs O(nodes) metric.
+        k.obs().metrics.inc("coord.root_msgs", self.gen);
         let bytes = frame(msg);
         match k.write(fd, &bytes) {
             Ok(n) => assert_eq!(n, bytes.len(), "coordinator socket full"),
@@ -222,6 +289,15 @@ impl Coordinator {
         let fds: Vec<Fd> = self.clients.iter().map(|c| c.fd).collect();
         for fd in fds {
             self.send_to(k, fd, msg);
+        }
+    }
+
+    /// Note liveness input from client `from` (refreshes a relay's
+    /// `last_heard`; no-op for direct clients).
+    fn heard_from(&mut self, k: &mut Kernel<'_>, from: usize) {
+        let now = k.now();
+        if let Some(r) = self.clients[from].relay.as_mut() {
+            r.last_heard = now;
         }
     }
 
@@ -244,11 +320,31 @@ impl Coordinator {
             self.queued = true;
             return;
         }
+        let expected: u32 = self.clients.iter().map(Client::quota).sum();
+        if expected == 0 {
+            // Only empty relays are connected; nothing to checkpoint.
+            return;
+        }
         self.gen += 1;
         self.in_progress = true;
         self.drain_open = true;
-        self.expected = self.clients.len() as u32;
+        self.restarting = false;
+        self.expected = expected;
         self.requested_at = k.now();
+        // Relay liveness counts from the request; arm the sweep if any
+        // relay participates.
+        let now = k.now();
+        let mut have_relays = false;
+        for c in &mut self.clients {
+            if let Some(r) = c.relay.as_mut() {
+                r.last_heard = now;
+                have_relays = true;
+            }
+        }
+        if have_relays {
+            self.liveness_at = Some(now + LIVENESS_CHECK);
+            self.arm_timer(k, LIVENESS_CHECK);
+        }
         let (gen, expected) = (self.gen, self.expected);
         k.trace_with("coord", || {
             format!("ckpt gen {gen} requested ({expected} procs)")
@@ -360,6 +456,9 @@ impl Coordinator {
     }
 
     fn handle(&mut self, k: &mut Kernel<'_>, from: usize, msg: Msg) {
+        // Inbound half of the per-generation root message count (the
+        // outbound half is in `send_to`).
+        k.obs().metrics.inc("coord.root_msgs", self.gen);
         // Only restart-protocol traffic proves a client belongs to the
         // restored computation (see `Client::stale`): a zombie's final
         // in-flight packets — e.g. a reordered checkpoint-barrier ack —
@@ -399,12 +498,67 @@ impl Coordinator {
                     self.send_to(k, fd, &Msg::BarrierRelease(gen, stg));
                     return;
                 }
-                let vpid = self.clients[from].vpid;
+                let key = self.clients[from].contrib_key();
                 let reached = self.barrier_counts.entry((gen, stg)).or_default();
-                if !reached.insert(vpid) {
+                if reached.insert(key, 1).is_some() {
                     return; // duplicate (retransmitted) arrival
                 }
                 self.check_release(k, gen, stg);
+            }
+            Msg::BarrierAckN(gen, stg, count) => {
+                // A relay's aggregated barrier contribution. Mirrors the
+                // `BarrierReached` paths (abort answer, release re-send),
+                // but merges a cumulative count instead of a single vpid.
+                self.heard_from(k, from);
+                if self.aborted_gens.contains(&gen) {
+                    if stg == stage::CKPT_WRITTEN {
+                        let fd = self.clients[from].fd;
+                        self.send_to(k, fd, &Msg::CkptAbort(gen));
+                    }
+                    return;
+                }
+                if self.released.contains(&(gen, stg)) {
+                    let fd = self.clients[from].fd;
+                    self.send_to(k, fd, &Msg::BarrierRelease(gen, stg));
+                    return;
+                }
+                let key = self.clients[from].contrib_key();
+                let reached = self.barrier_counts.entry((gen, stg)).or_default();
+                let cur = reached.entry(key).or_insert(0);
+                if count <= *cur {
+                    return; // stale or retransmitted (counts are cumulative)
+                }
+                *cur = count;
+                self.check_release(k, gen, stg);
+            }
+            Msg::RelayRegister(host) => {
+                let now = k.now();
+                self.clients[from].relay = Some(RelayInfo {
+                    members: 0,
+                    last_heard: now,
+                });
+                k.trace_with("coord", || format!("relay registered from {host}"));
+            }
+            Msg::RelayMembership(count, lost) => {
+                self.heard_from(k, from);
+                if let Some(r) = self.clients[from].relay.as_mut() {
+                    r.members = count;
+                }
+                if lost > 0 && !self.restarting {
+                    // A participant behind this relay died. Identical to a
+                    // direct client's EOF: the in-flight barrier (or the
+                    // overlapped drain) can never complete.
+                    if self.in_progress {
+                        self.abort_generation(k);
+                    } else if self.drain_open {
+                        self.abort_drain(k);
+                    }
+                }
+            }
+            Msg::RelayPing(gen) => {
+                self.heard_from(k, from);
+                let fd = self.clients[from].fd;
+                self.send_to(k, fd, &Msg::RelayPong(gen));
             }
             Msg::Advertise(gsid, host, port) => {
                 self.discovery.insert(gsid, (host, port));
@@ -420,8 +574,13 @@ impl Coordinator {
             Msg::RestartPlan(n, gen) => {
                 // A restart driver re-arms barrier accounting for the
                 // restored computation at the generation it is restoring.
+                // Restored managers register directly with the root, so the
+                // restart runs flat even when the crashed computation was
+                // hierarchical; surviving relays just sit out (and must not
+                // be liveness-timed-out meanwhile — hence `restarting`).
                 self.expected = n;
                 self.in_progress = true;
+                self.restarting = true;
                 // Any pre-restart drain or queued request died with the
                 // computation being replaced.
                 self.drain_open = false;
@@ -466,9 +625,9 @@ impl Coordinator {
         let count = self
             .barrier_counts
             .get(&(gen, stg))
-            .map(|s| s.len() as u32)
+            .map(|m| m.values().sum::<u32>())
             .unwrap_or(0);
-        if self.expected == 0 || count != self.expected {
+        if self.expected == 0 || count < self.expected {
             return;
         }
         // CKPT_WRITTEN is ordered after REFILLED even though in-line
@@ -582,11 +741,15 @@ impl Program for Coordinator {
             loop {
                 match k.accept(self.lfd) {
                     Ok(fd) => {
+                        let serial = self.next_serial;
+                        self.next_serial += 1;
                         self.clients.push(Client {
                             fd,
                             vpid: 0,
                             fb: FrameBuf::new(),
                             stale: false,
+                            serial,
+                            relay: None,
                         });
                         progressed = true;
                     }
@@ -635,10 +798,12 @@ impl Program for Coordinator {
             }
             // Only *registered* clients are protocol participants; restart
             // processes and command-line tools connect without registering
-            // and may hang up freely (e.g. after forking the children).
-            let lost_participant = dead
-                .iter()
-                .any(|&i| self.clients[i].vpid != 0 && !self.clients[i].stale);
+            // and may hang up freely (e.g. after forking the children). A
+            // relay counts as a participant whenever it fronts anyone.
+            let lost_participant = dead.iter().any(|&i| {
+                let c = &self.clients[i];
+                !c.stale && (c.vpid != 0 || (c.relay.is_some() && c.quota() > 0))
+            });
             for i in dead.into_iter().rev() {
                 let c = self.clients.remove(i);
                 let _ = k.close(c.fd);
@@ -680,6 +845,49 @@ impl Program for Coordinator {
                     self.arm_timer(k, self.retry_backoff);
                 } else {
                     self.retry_at = None;
+                }
+            }
+        }
+        // Relay-liveness sweep: a relay silent past RELAY_TIMEOUT inside an
+        // in-flight generation means its node is gone — drop it and abort,
+        // exactly as a direct participant's EOF would. Never during a
+        // restart (relays legitimately sit those out) and never re-armed
+        // once idle, so the coordinator stays quiescent between requests.
+        if let Some(at) = self.liveness_at {
+            if k.now() >= at {
+                self.liveness_at = None;
+                if (self.in_progress || self.drain_open) && !self.restarting {
+                    let now = k.now();
+                    let timed_out: Vec<usize> = self
+                        .clients
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| {
+                            c.relay
+                                .as_ref()
+                                .map(|r| r.members > 0 && now - r.last_heard > RELAY_TIMEOUT)
+                                .unwrap_or(false)
+                        })
+                        .map(|(i, _)| i)
+                        .collect();
+                    if timed_out.is_empty() {
+                        self.liveness_at = Some(now + LIVENESS_CHECK);
+                        self.arm_timer(k, LIVENESS_CHECK);
+                    } else {
+                        for i in timed_out.into_iter().rev() {
+                            let c = self.clients.remove(i);
+                            let _ = k.close(c.fd);
+                            k.trace_with("coord", || {
+                                "relay timed out mid-generation; dropping it".to_string()
+                            });
+                            k.obs().metrics.inc("coord.relay_timeouts", 0);
+                        }
+                        if self.in_progress {
+                            self.abort_generation(k);
+                        } else {
+                            self.abort_drain(k);
+                        }
+                    }
                 }
             }
         }

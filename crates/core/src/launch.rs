@@ -53,7 +53,26 @@ pub enum SyncMode {
 /// Environment key carrying the sync mode.
 pub const ENV_SYNC: &str = "DMTCP_SYNC";
 
+/// Coordinator topology: how managers reach the root coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Every manager registers directly with the root (the paper's star;
+    /// protocol work at the root is O(processes) per barrier stage).
+    #[default]
+    Flat,
+    /// A per-node relay ([`crate::relay::Relay`]) aggregates all local
+    /// managers and speaks to the root as one client: root work drops to
+    /// O(nodes) per stage.
+    Hierarchical,
+}
+
 /// Launch options (the `dmtcp_checkpoint` command line).
+///
+/// Construct with [`Options::builder`]; `Options::default()` keeps
+/// working for the all-defaults case. The fields stay public so existing
+/// readers (and `..Options::default()` update syntax inside this crate)
+/// continue to compile, but new call sites should go through the builder —
+/// it absorbs future knobs without breaking anyone.
 #[derive(Debug, Clone)]
 pub struct Options {
     /// Coordinator node.
@@ -70,6 +89,8 @@ pub struct Options {
     pub interval: Option<Nanos>,
     /// Image durability policy.
     pub sync: SyncMode,
+    /// Coordinator topology (flat star vs per-node relays).
+    pub topology: Topology,
 }
 
 impl Default for Options {
@@ -82,11 +103,19 @@ impl Default for Options {
             forked: false,
             interval: None,
             sync: SyncMode::None,
+            topology: Topology::Flat,
         }
     }
 }
 
 impl Options {
+    /// A builder starting from [`Options::default`].
+    pub fn builder() -> OptionsBuilder {
+        OptionsBuilder {
+            opts: Options::default(),
+        }
+    }
+
     /// The image write mode these options imply.
     pub fn write_mode(&self) -> WriteMode {
         match (self.compression, self.forked) {
@@ -94,6 +123,68 @@ impl Options {
             (true, false) => WriteMode::Compressed,
             (false, false) => WriteMode::Uncompressed,
         }
+    }
+}
+
+/// Builder for [`Options`]. Every setter has the default documented on the
+/// corresponding field; unset knobs keep it.
+#[derive(Debug, Clone)]
+pub struct OptionsBuilder {
+    opts: Options,
+}
+
+impl OptionsBuilder {
+    /// Coordinator node (default `NodeId(0)`).
+    pub fn coord(mut self, node: NodeId) -> Self {
+        self.opts.coord_node = node;
+        self
+    }
+
+    /// Coordinator port (default [`COORD_PORT`]).
+    pub fn coord_port(mut self, port: u16) -> Self {
+        self.opts.coord_port = port;
+        self
+    }
+
+    /// Checkpoint directory (default `/ckpt`).
+    pub fn ckpt_dir(mut self, dir: impl Into<String>) -> Self {
+        self.opts.ckpt_dir = dir.into();
+        self
+    }
+
+    /// Image compression (default on).
+    pub fn compression(mut self, on: bool) -> Self {
+        self.opts.compression = on;
+        self
+    }
+
+    /// Forked (copy-on-write) checkpointing (default off).
+    pub fn forked(mut self, on: bool) -> Self {
+        self.opts.forked = on;
+        self
+    }
+
+    /// Periodic checkpoint interval (default none).
+    pub fn interval(mut self, iv: Nanos) -> Self {
+        self.opts.interval = Some(iv);
+        self
+    }
+
+    /// Image durability policy (default [`SyncMode::None`]).
+    pub fn sync(mut self, mode: SyncMode) -> Self {
+        self.opts.sync = mode;
+        self
+    }
+
+    /// Coordinator topology (default [`Topology::Flat`]).
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.opts.topology = t;
+        self
+    }
+
+    /// Finish, yielding the configured [`Options`].
+    pub fn build(self) -> Options {
+        self.opts
     }
 }
 
@@ -214,11 +305,51 @@ pub fn spawn_coordinator(w: &mut World, sim: &mut OsSim, opts: &Options) -> Pid 
     )
 }
 
+/// World registry of spawned per-node relays (hierarchical topology).
+fn relay_pids(w: &mut World) -> &mut BTreeMap<NodeId, Pid> {
+    let slot = w
+        .ext_slots
+        .entry("dmtcp-relays".to_string())
+        .or_insert_with(|| Box::new(BTreeMap::<NodeId, Pid>::new()));
+    slot.downcast_mut::<BTreeMap<NodeId, Pid>>()
+        .expect("slot holds relay registry")
+}
+
+/// Ensure a relay is running on `node`, spawning one if needed. Like the
+/// coordinator, relays are control plane: spawned with an empty
+/// environment so they are never traced, and they survive
+/// `Session::kill_computation`.
+pub fn ensure_relay(w: &mut World, sim: &mut OsSim, node: NodeId, opts: &Options) -> Pid {
+    if let Some(pid) = relay_pids(w).get(&node).copied() {
+        if w.procs.get(&pid).map(|p| p.alive()).unwrap_or(false) {
+            return pid;
+        }
+    }
+    let root_host = w.node(opts.coord_node).hostname.clone();
+    let pid = w.spawn(
+        sim,
+        node,
+        "dmtcp_relay",
+        Box::new(crate::relay::Relay::new(
+            crate::relay::RELAY_PORT,
+            root_host,
+            opts.coord_port,
+        )),
+        Pid(1),
+        BTreeMap::new(),
+    );
+    faultkit::note_relay(w, pid, node);
+    relay_pids(w).insert(node, pid);
+    pid
+}
+
 /// `dmtcp_checkpoint <program>`: start `prog` on `node` under DMTCP.
 ///
 /// Installs the spawn hook, ensures the checkpoint directory exists, and
 /// spawns the process with the injection environment. The coordinator must
 /// already be running (see [`spawn_coordinator`] / [`crate::Session`]).
+/// Under [`Topology::Hierarchical`] the process is pointed at its node's
+/// relay (spawned on demand) instead of the root coordinator.
 pub fn launch_under_dmtcp(
     w: &mut World,
     sim: &mut OsSim,
@@ -228,10 +359,16 @@ pub fn launch_under_dmtcp(
     opts: &Options,
 ) -> Pid {
     install_hook(w);
-    let coord_host = w.node(opts.coord_node).hostname.clone();
+    let (coord_host, coord_port) = match opts.topology {
+        Topology::Flat => (w.node(opts.coord_node).hostname.clone(), opts.coord_port),
+        Topology::Hierarchical => {
+            ensure_relay(w, sim, node, opts);
+            (w.node(node).hostname.clone(), crate::relay::RELAY_PORT)
+        }
+    };
     let mut env = BTreeMap::new();
     env.insert(ENV_COORD_HOST.to_string(), coord_host);
-    env.insert(ENV_COORD_PORT.to_string(), opts.coord_port.to_string());
+    env.insert(ENV_COORD_PORT.to_string(), coord_port.to_string());
     env.insert(ENV_CKPT_DIR.to_string(), opts.ckpt_dir.clone());
     env.insert(
         ENV_GZIP.to_string(),

@@ -7,7 +7,8 @@
 //!
 //! * the **checkpoint coordinator** — barriers, interval checkpoints, the
 //!   restart-time discovery service, and restart-script generation
-//!   ([`coord`]);
+//!   ([`coord`]), optionally scaled out through per-node aggregation
+//!   relays ([`relay`]);
 //! * the **injected hijack layer** — per-process state installed by the
 //!   launcher's spawn hook into every traced process, propagated across
 //!   `fork`/`exec`/`ssh` ([`hijack`], [`launch`]);
@@ -36,8 +37,9 @@ pub mod hijack;
 pub mod launch;
 pub mod manager;
 pub mod proto;
+pub mod relay;
 pub mod restart;
 pub mod session;
 
-pub use launch::{launch_under_dmtcp, Options};
-pub use session::Session;
+pub use launch::{launch_under_dmtcp, Options, OptionsBuilder, Topology};
+pub use session::{CkptError, ExpectCkpt, Session};

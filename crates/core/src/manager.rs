@@ -212,7 +212,20 @@ impl Manager {
                 return Ok(Some(msg));
             }
             match k.read(self.coord_fd, 64 * 1024) {
-                Ok(b) if b.is_empty() => panic!("coordinator hung up"),
+                Ok(b) if b.is_empty() => {
+                    // The coordinator (or, hierarchically, this node's
+                    // relay) hung up. Without its control channel this
+                    // process can never pass another barrier — it is as
+                    // good as dead to the computation, and keeping it
+                    // running would only leave barriers hanging. Treat it
+                    // like node death: kill the process; a restart rolls
+                    // back to the last durable generation.
+                    let pid = k.pid;
+                    k.trace("manager", "control channel lost; terminating process");
+                    k.obs().metrics.inc("core.manager.orphaned", 0);
+                    k.w.signal(k.sim, pid, oskit::proc::sig::SIGKILL);
+                    return Err(());
+                }
                 Ok(b) => self.fb.feed(&b),
                 Err(Errno::WouldBlock) => return Err(()),
                 Err(e) => panic!("manager read coordinator: {e:?}"),

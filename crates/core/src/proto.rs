@@ -43,6 +43,23 @@ pub enum Msg {
     /// Coordinator → managers: abandon checkpoint generation `gen` (a
     /// participant died mid-protocol); roll back and resume computing.
     CkptAbort(u64),
+    /// A per-node relay announces itself (hostname). A relay is a protocol
+    /// aggregation point, not a checkpointed participant: it fronts every
+    /// manager on its node and speaks to the root as a single client.
+    RelayRegister(String),
+    /// Relay → coordinator: it now fronts `count` local participants, of
+    /// which `lost` vanished since the last report (a non-zero `lost`
+    /// during an in-flight generation is a lost-participant event).
+    RelayMembership(u32, u32),
+    /// Relay → coordinator: `count` of its local participants reached
+    /// barrier `stage` of generation `gen`. The count is cumulative and
+    /// idempotent — retransmissions carry the same or a larger value.
+    BarrierAckN(u64, u8, u32),
+    /// Relay → coordinator: liveness probe, sent only while generation
+    /// `gen` is in flight (the relay is silent between checkpoints).
+    RelayPing(u64),
+    /// Coordinator → relay: answer to a [`Msg::RelayPing`].
+    RelayPong(u64),
 }
 
 impl_snap!(
@@ -57,6 +74,11 @@ impl_snap!(
         RestartPlan(n, gen),
         Refill(data),
         CkptAbort(gen),
+        RelayRegister(host),
+        RelayMembership(count, lost),
+        BarrierAckN(gen, stage, count),
+        RelayPing(gen),
+        RelayPong(gen),
     }
 );
 

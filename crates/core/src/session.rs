@@ -55,37 +55,52 @@ impl Session {
     }
 
     /// Request a checkpoint and run the simulation until it completes
-    /// (stage-6 barrier released). Returns the generation's stats.
+    /// (stage-6 barrier released). Returns the generation's stats, or a
+    /// typed [`CkptError`] when the generation aborted (a participant died
+    /// mid-protocol) or did not settle within `max_events`.
     ///
-    /// Panics if the checkpoint does not finish within `max_events` — a
-    /// hung barrier is a protocol bug the tests must see.
-    pub fn checkpoint_and_wait(&self, w: &mut World, sim: &mut OsSim, max_events: u64) -> GenStat {
+    /// Tests that treat failure as fatal chain [`ExpectCkpt::expect_ckpt`],
+    /// which panics at the caller's location with the error's message.
+    pub fn checkpoint_and_wait(
+        &self,
+        w: &mut World,
+        sim: &mut OsSim,
+        max_events: u64,
+    ) -> Result<GenStat, CkptError> {
         let before = coord_shared(w).gen_stats.len();
         self.request_checkpoint(w, sim);
         let fired_start = sim.events_fired();
         loop {
             if !sim.step(w) {
-                break;
+                // The event queue drained with the protocol unfinished:
+                // nothing will ever make progress again.
+                return Err(CkptError::BudgetExhausted {
+                    events: sim.events_fired() - fired_start,
+                });
             }
-            let done = {
+            let settled = {
                 let cs = coord_shared(w);
                 cs.gen_stats.len() > before
                     && cs
                         .gen_stats
                         .last()
-                        .expect("pushed")
-                        .releases
-                        .contains_key(&stage::REFILLED)
+                        .map(|g| g.aborted || g.releases.contains_key(&stage::REFILLED))
+                        .unwrap_or(false)
             };
-            if done {
-                return coord_shared(w).gen_stats.last().expect("pushed").clone();
+            if settled {
+                let gs = coord_shared(w).gen_stats.last().expect("pushed").clone();
+                if gs.aborted {
+                    return Err(CkptError::Aborted {
+                        gen: gs.gen,
+                        stage: first_missing_stage(&gs),
+                    });
+                }
+                return Ok(gs);
             }
-            assert!(
-                sim.events_fired() - fired_start < max_events,
-                "checkpoint did not complete within {max_events} events"
-            );
+            if sim.events_fired() - fired_start >= max_events {
+                return Err(CkptError::BudgetExhausted { events: max_events });
+            }
         }
-        panic!("event queue drained before the checkpoint completed");
     }
 
     /// Request a checkpoint and run the simulation until it *settles*:
@@ -346,6 +361,77 @@ impl Session {
                 sim.events_fired() - start < max_events,
                 "restart did not complete within {max_events} events"
             );
+        }
+    }
+}
+
+/// Why [`Session::checkpoint_and_wait`] did not return a completed
+/// generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// The protocol neither completed nor aborted within the caller's
+    /// event budget (or the event queue drained) — a hung barrier or a
+    /// budget set too tight.
+    BudgetExhausted {
+        /// Simulation events consumed while waiting.
+        events: u64,
+    },
+    /// The coordinator abandoned the generation (a participant died
+    /// mid-protocol); survivors rolled back and resumed computing.
+    Aborted {
+        /// The abandoned generation.
+        gen: u64,
+        /// First barrier stage that had not been released — where the
+        /// protocol died.
+        stage: u8,
+    },
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::BudgetExhausted { events } => {
+                write!(f, "checkpoint did not settle within {events} events")
+            }
+            CkptError::Aborted { gen, stage } => {
+                write!(f, "checkpoint generation {gen} aborted at stage {stage}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// First of the in-order checkpoint barrier stages that `g` never
+/// released — the stage at which an aborted generation died.
+fn first_missing_stage(g: &GenStat) -> u8 {
+    [
+        stage::SUSPENDED,
+        stage::ELECTED,
+        stage::DRAINED,
+        stage::CHECKPOINTED,
+        stage::REFILLED,
+        stage::CKPT_WRITTEN,
+    ]
+    .into_iter()
+    .find(|s| !g.releases.contains_key(s))
+    .unwrap_or(stage::CKPT_WRITTEN)
+}
+
+/// Test convenience for [`Session::checkpoint_and_wait`]: unwrap the
+/// completed generation or panic at the *caller's* line with the typed
+/// error's message.
+pub trait ExpectCkpt {
+    /// Unwrap, panicking (with caller location) on any [`CkptError`].
+    fn expect_ckpt(self) -> GenStat;
+}
+
+impl ExpectCkpt for Result<GenStat, CkptError> {
+    #[track_caller]
+    fn expect_ckpt(self) -> GenStat {
+        match self {
+            Ok(g) => g,
+            Err(e) => panic!("checkpoint failed: {e}"),
         }
     }
 }

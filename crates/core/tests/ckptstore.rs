@@ -6,7 +6,7 @@ mod common;
 
 use common::*;
 use dmtcp::session::run_for;
-use dmtcp::{Options, Session};
+use dmtcp::{ExpectCkpt, Options, Session};
 use oskit::mem::FillProfile;
 use oskit::program::{Program, Step};
 use oskit::world::NodeId;
@@ -49,10 +49,7 @@ fn unchanged_generations_dedup_90_percent() {
     let s = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            ..Options::default()
-        },
+        Options::builder().ckpt_dir("/shared/ckpt").build(),
     );
     s.launch(
         &mut w,
@@ -63,13 +60,17 @@ fn unchanged_generations_dedup_90_percent() {
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(4));
 
-    let g1 = s.checkpoint_and_wait(&mut w, &mut sim, budget);
+    let g1 = s
+        .checkpoint_and_wait(&mut w, &mut sim, budget)
+        .expect_ckpt();
     assert_eq!(g1.gen, 1);
     let gen1_bytes = w.obs.metrics.counter_total("ckptstore.bytes_written");
     assert!(gen1_bytes > 0, "gen 1 must store the image");
 
     run_for(&mut w, &mut sim, Nanos::from_millis(2));
-    let g2 = s.checkpoint_and_wait(&mut w, &mut sim, budget);
+    let g2 = s
+        .checkpoint_and_wait(&mut w, &mut sim, budget)
+        .expect_ckpt();
     assert_eq!(g2.gen, 2);
     let gen2_bytes = w.obs.metrics.counter_total("ckptstore.bytes_written") - gen1_bytes;
     assert!(
@@ -91,10 +92,7 @@ fn pipe_run(store: bool, wipe_primary_store: bool) -> String {
     let s = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            ..Options::default()
-        },
+        Options::builder().ckpt_dir("/shared/ckpt").build(),
     );
     s.launch(
         &mut w,
@@ -104,10 +102,14 @@ fn pipe_run(store: bool, wipe_primary_store: bool) -> String {
         Box::new(FtPipeChain::new(900_000)),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(6));
-    let g1 = s.checkpoint_and_wait(&mut w, &mut sim, budget);
+    let g1 = s
+        .checkpoint_and_wait(&mut w, &mut sim, budget)
+        .expect_ckpt();
     assert_eq!(g1.gen, 1);
     run_for(&mut w, &mut sim, Nanos::from_millis(2));
-    let g2 = s.checkpoint_and_wait(&mut w, &mut sim, budget);
+    let g2 = s
+        .checkpoint_and_wait(&mut w, &mut sim, budget)
+        .expect_ckpt();
     assert_eq!(g2.gen, 2);
     run_for(&mut w, &mut sim, Nanos::from_millis(6));
     s.kill_computation(&mut w, &mut sim);

@@ -5,7 +5,7 @@ mod common;
 
 use common::*;
 use dmtcp::session::run_for;
-use dmtcp::{Options, Session};
+use dmtcp::{ExpectCkpt, Options, Session};
 use oskit::proc::ThreadState;
 use oskit::world::NodeId;
 use simkit::Nanos;
@@ -18,10 +18,7 @@ fn restart_diagnosis() {
     let s = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            ..Options::default()
-        },
+        Options::builder().ckpt_dir("/shared/ckpt").build(),
     );
     s.launch(
         &mut w,
@@ -38,7 +35,9 @@ fn restart_diagnosis() {
         Box::new(ChainClient::new("node01", 9000, rounds)),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(40));
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, 5_000_000);
+    let stat = s
+        .checkpoint_and_wait(&mut w, &mut sim, 5_000_000)
+        .expect_ckpt();
     let gen = stat.gen;
     run_for(&mut w, &mut sim, Nanos::from_millis(20));
     s.kill_computation(&mut w, &mut sim);
@@ -132,10 +131,7 @@ fn exact_copy_of_failing_test() {
     let s = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            ..Options::default()
-        },
+        Options::builder().ckpt_dir("/shared/ckpt").build(),
     );
     s.launch(
         &mut w,
@@ -152,7 +148,9 @@ fn exact_copy_of_failing_test() {
         Box::new(ChainClient::new("node01", 9000, rounds)),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(40));
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, 5_000_000);
+    let stat = s
+        .checkpoint_and_wait(&mut w, &mut sim, 5_000_000)
+        .expect_ckpt();
     let gen = stat.gen;
     run_for(&mut w, &mut sim, Nanos::from_millis(20));
     s.kill_computation(&mut w, &mut sim);
@@ -228,10 +226,7 @@ fn pipe_ckpt_diagnosis() {
     let s = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            ..Options::default()
-        },
+        Options::builder().ckpt_dir("/shared/ckpt").build(),
     );
     s.launch(
         &mut w,

@@ -6,7 +6,7 @@ mod common;
 use common::*;
 use dmtcp::coord::{coord_shared, stage};
 use dmtcp::session::{run_for, transplant_storage};
-use dmtcp::{Options, Session};
+use dmtcp::{ExpectCkpt, Options, Session};
 use oskit::proc::ProcState;
 use oskit::world::NodeId;
 use simkit::Nanos;
@@ -14,10 +14,7 @@ use simkit::Nanos;
 const EV: u64 = 5_000_000;
 
 fn opts_shared_dir() -> Options {
-    Options {
-        ckpt_dir: "/shared/ckpt".into(),
-        ..Options::default()
-    }
+    Options::builder().ckpt_dir("/shared/ckpt").build()
 }
 
 /// Reference: run the chain app with no DMTCP at all.
@@ -80,7 +77,7 @@ fn checkpoint_mid_stream_then_continue() {
     run_for(&mut w, &mut sim, Nanos::from_millis(40)); // mid-computation
     assert!(w.live_procs() >= 3, "apps + coordinator alive");
 
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     assert_eq!(stat.participants, 2);
     assert!(stat.checkpoint_time().is_some());
 
@@ -110,7 +107,7 @@ fn kill_and_restart_in_same_world() {
     let s = Session::start(&mut w, &mut sim, opts_shared_dir());
     launch_chain(&mut w, &mut sim, &s, rounds);
     run_for(&mut w, &mut sim, Nanos::from_millis(40));
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     let gen = stat.gen;
 
     // Run a little further (progress past the checkpoint is discarded),
@@ -162,7 +159,7 @@ fn migrate_cluster_to_single_laptop() {
     let s = Session::start(&mut w, &mut sim, opts_shared_dir());
     launch_chain(&mut w, &mut sim, &s, rounds);
     run_for(&mut w, &mut sim, Nanos::from_millis(40));
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     let gen = stat.gen;
     let script = Session::parse_restart_script(&w);
 
@@ -208,7 +205,7 @@ fn pipes_and_fork_survive_checkpoint_restart() {
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(30));
     // Parent and forked child are both traced.
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     assert_eq!(stat.participants, 2, "fork wrapper traced the child");
     let gen = stat.gen;
     s.kill_computation(&mut w, &mut sim);
@@ -254,7 +251,7 @@ fn multithreaded_process_restores_both_threads() {
         }),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(15)); // both threads mid-count
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     let gen = stat.gen;
     s.kill_computation(&mut w, &mut sim);
     let script = Session::parse_restart_script(&w);
@@ -274,11 +271,10 @@ fn interval_checkpointing_produces_multiple_generations() {
     let s = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            interval: Some(Nanos::from_millis(30)),
-            ..Options::default()
-        },
+        Options::builder()
+            .ckpt_dir("/shared/ckpt")
+            .interval(Nanos::from_millis(30))
+            .build(),
     );
     launch_chain(&mut w, &mut sim, &s, 1500);
     assert!(
@@ -315,7 +311,10 @@ fn second_checkpoint_after_restart_works() {
     let s = Session::start(&mut w, &mut sim, opts_shared_dir());
     launch_chain(&mut w, &mut sim, &s, rounds);
     run_for(&mut w, &mut sim, Nanos::from_millis(30));
-    let g1 = s.checkpoint_and_wait(&mut w, &mut sim, EV).gen;
+    let g1 = s
+        .checkpoint_and_wait(&mut w, &mut sim, EV)
+        .expect_ckpt()
+        .gen;
     s.kill_computation(&mut w, &mut sim);
     let script1 = Session::parse_restart_script(&w);
     let id = {
@@ -335,7 +334,7 @@ fn second_checkpoint_after_restart_works() {
     Session::wait_restart_done(&mut w, &mut sim, g1, EV);
 
     run_for(&mut w, &mut sim, Nanos::from_millis(20));
-    let stat2 = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat2 = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     assert!(stat2.gen > g1, "generation advanced: {} > {g1}", stat2.gen);
     s.kill_computation(&mut w, &mut sim);
     let script2 = Session::parse_restart_script(&w);
@@ -356,11 +355,10 @@ fn forked_checkpointing_shortens_the_pause() {
         let s = Session::start(
             &mut w,
             &mut sim,
-            Options {
-                ckpt_dir: "/shared/ckpt".into(),
-                forked,
-                ..Options::default()
-            },
+            Options::builder()
+                .ckpt_dir("/shared/ckpt")
+                .forked(forked)
+                .build(),
         );
         // A sizable image makes the write stage dominate, which is what
         // forked checkpointing optimizes (Table 1).
@@ -379,7 +377,7 @@ fn forked_checkpointing_shortens_the_pause() {
             Box::new(ChainClient::new("node01", 9000, rounds).with_ballast(64)),
         );
         run_for(&mut w, &mut sim, Nanos::from_millis(40));
-        let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+        let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
         assert!(sim.run_bounded(&mut w, EV));
         (
             stat.total_pause().expect("complete"),
@@ -570,7 +568,7 @@ fn checkpoint_with_kernel_buffers_full_both_directions() {
     });
     assert!(full, "setup failed: no connection is full both ways");
 
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     assert_eq!(stat.participants, 2);
     let gen = stat.gen;
     s.kill_computation(&mut w, &mut sim);
@@ -872,7 +870,7 @@ fn checkpoint_with_half_closed_connection() {
         .any(|c| c.wr_closed.iter().filter(|&&x| x).count() == 1);
     assert!(half_closed, "setup failed: no half-closed connection");
 
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     assert_eq!(stat.participants, 2);
     let gen = stat.gen;
     s.kill_computation(&mut w, &mut sim);
@@ -923,4 +921,96 @@ fn zombie_free_teardown_and_coordinator_client_tracking() {
             assert!(matches!(p.state, ProcState::Zombie(0)), "{:?}", p.state);
         }
     }
+}
+
+#[test]
+fn hierarchical_topology_full_cycle() {
+    // The relay layer must be invisible to the application: same protocol
+    // outcome, same bytes, with the root talking to per-node relays instead
+    // of every manager.
+    let rounds = 400;
+    let (ref_client, ref_server) = chain_reference(rounds);
+
+    let (mut w, mut sim) = cluster(2);
+    let s = Session::start(
+        &mut w,
+        &mut sim,
+        Options::builder()
+            .ckpt_dir("/shared/ckpt")
+            .topology(dmtcp::Topology::Hierarchical)
+            .build(),
+    );
+    launch_chain(&mut w, &mut sim, &s, rounds);
+    run_for(&mut w, &mut sim, Nanos::from_millis(40));
+
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
+    assert_eq!(
+        stat.participants, 2,
+        "both managers checkpointed via relays"
+    );
+    let gen = stat.gen;
+    assert!(
+        w.obs.metrics.counter("relay.fanout", gen) > 0,
+        "relays forwarded barrier traffic for gen {gen}"
+    );
+    assert!(
+        w.obs.metrics.counter("coord.root_msgs", gen) > 0,
+        "root message accounting is live"
+    );
+
+    // Progress past the checkpoint is discarded by the kill.
+    run_for(&mut w, &mut sim, Nanos::from_millis(20));
+    s.kill_computation(&mut w, &mut sim);
+    assert!(shared_result(&w, "/shared/client_result").is_none());
+
+    // Restart bypasses the relays: restored managers register directly
+    // with the root, exactly like a flat-topology restart.
+    let script = Session::parse_restart_script(&w);
+    assert_eq!(script.len(), 2, "two hosts in script: {script:?}");
+    let mapping: Vec<(String, NodeId)> = script
+        .iter()
+        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host exists")))
+        .collect();
+    let remap = move |h: &str| -> NodeId {
+        mapping
+            .iter()
+            .find(|(name, _)| name == h)
+            .map(|(_, n)| *n)
+            .expect("host in mapping")
+    };
+    s.restart_from_script(&mut w, &mut sim, &script, &remap, gen);
+    Session::wait_restart_done(&mut w, &mut sim, gen, EV);
+
+    assert!(sim.run_bounded(&mut w, EV), "post-restart deadlock");
+    assert_eq!(
+        shared_result(&w, "/shared/client_result").as_deref(),
+        Some(ref_client.as_str())
+    );
+    assert_eq!(
+        shared_result(&w, "/shared/server_result").as_deref(),
+        Some(ref_server.as_str())
+    );
+}
+
+#[test]
+fn hierarchical_second_generation_after_clean_first() {
+    // Two back-to-back hierarchical generations: the relay must reset its
+    // per-generation aggregation state and the root its relay accounting.
+    let (mut w, mut sim) = cluster(2);
+    let s = Session::start(
+        &mut w,
+        &mut sim,
+        Options::builder()
+            .ckpt_dir("/shared/ckpt")
+            .topology(dmtcp::Topology::Hierarchical)
+            .build(),
+    );
+    launch_chain(&mut w, &mut sim, &s, 2000);
+    run_for(&mut w, &mut sim, Nanos::from_millis(20));
+    let g1 = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
+    assert_eq!(g1.gen, 1);
+    run_for(&mut w, &mut sim, Nanos::from_millis(10));
+    let g2 = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
+    assert_eq!(g2.gen, 2);
+    assert_eq!(g2.participants, 2);
 }

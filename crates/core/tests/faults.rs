@@ -39,7 +39,7 @@ mod common;
 use common::*;
 use dmtcp::coord::stage;
 use dmtcp::session::{run_for, CkptOutcome};
-use dmtcp::{Options, Session};
+use dmtcp::{ExpectCkpt, Options, Session};
 use faultkit::{FaultKind, FaultPlan};
 use oskit::world::{NodeId, Pid};
 use simkit::{mix2, Nanos, RunOutcome};
@@ -336,11 +336,10 @@ fn run_cell(cell: &Cell, reference: &[(&'static str, String)], budget: u64) {
     let s = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            forked: cell.forked,
-            ..Options::default()
-        },
+        Options::builder()
+            .ckpt_dir("/shared/ckpt")
+            .forked(cell.forked)
+            .build(),
     );
     // Image-delete cells model node-local disk loss: the primary copy of a
     // just-written image vanishes, and restart must proceed from the chunk
@@ -392,7 +391,9 @@ fn run_cell(cell: &Cell, reference: &[(&'static str, String)], budget: u64) {
     }
 
     run_for(&mut w, &mut sim, Nanos::from_millis(6));
-    let g1 = s.checkpoint_and_wait(&mut w, &mut sim, budget);
+    let g1 = s
+        .checkpoint_and_wait(&mut w, &mut sim, budget)
+        .expect_ckpt();
     assert_eq!(g1.gen, 1, "first generation must be 1");
     run_for(&mut w, &mut sim, Nanos::from_millis(2));
 
@@ -450,6 +451,9 @@ fn run_cell(cell: &Cell, reference: &[(&'static str, String)], budget: u64) {
                     g.gen
                 );
             }
+        }
+        FaultKind::RelayKill | FaultKind::RelaySever => {
+            unreachable!("relay faults run as dedicated hierarchical tests, not matrix cells")
         }
     }
 
@@ -671,4 +675,138 @@ fn matrix_meets_minimum_dimensions() {
     // would silently explore the same fault timing.
     let seeds: BTreeSet<u64> = all.iter().map(Cell::seed).collect();
     assert_eq!(seeds.len(), all.len(), "cell seed collision");
+}
+
+// ---------------------------------------------------------------------
+// Relay faults (hierarchical topology). These are not matrix cells: the
+// matrix runs the flat topology, and a relay fault only exists when the
+// per-node relay layer is in play. Each test drives the same chain
+// workload through relays and asserts the two promised outcomes: the root
+// aborts the in-flight generation (no hung barrier), and restart falls
+// back to the previous durable generation with the right answers.
+// ---------------------------------------------------------------------
+
+fn run_relay_fault(kind: FaultKind) {
+    let budget = run_budget();
+    let reference = reference(Workload::Chain, budget);
+
+    let (mut w, mut sim) = cluster(2);
+    let s = Session::start(
+        &mut w,
+        &mut sim,
+        Options::builder()
+            .ckpt_dir("/shared/ckpt")
+            .topology(dmtcp::Topology::Hierarchical)
+            .build(),
+    );
+    // Install before launch so the relays register their pids and root
+    // connections with the fault layer as they come up.
+    faultkit::install(
+        &mut w,
+        FaultPlan {
+            seed: mix2(0x0E1A_5EED, kind as u64),
+            kind,
+            stage: stage::DRAINED,
+            target_gen: 2,
+        },
+    );
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(1),
+        "server",
+        Box::new(EchoPlusOne::new(9000)),
+    );
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(0),
+        "client",
+        Box::new(FtChainClient::new("node01", 9000, CHAIN_ROUNDS)),
+    );
+
+    run_for(&mut w, &mut sim, Nanos::from_millis(6));
+    let g1 = s
+        .checkpoint_and_wait(&mut w, &mut sim, budget)
+        .expect_ckpt();
+    assert_eq!(g1.gen, 1, "first generation must complete cleanly");
+    run_for(&mut w, &mut sim, Nanos::from_millis(2));
+
+    // Gen 2: the fault fires at the DRAINED release. Whether the relay
+    // process dies or its uplink is partitioned, the root must abort the
+    // generation rather than hang the barrier.
+    let err = s
+        .checkpoint_and_wait(&mut w, &mut sim, budget)
+        .expect_err("a lost relay must abort the generation");
+    match err {
+        dmtcp::CkptError::Aborted { gen, .. } => assert_eq!(gen, 2, "aborted the faulted gen"),
+        other => panic!("expected an abort, not {other:?}"),
+    }
+    let injected: Vec<String> = faultkit::state(&w)
+        .map(|st| st.borrow().injected().to_vec())
+        .unwrap_or_default();
+    assert!(
+        !injected.is_empty(),
+        "relay fault armed for gen 2 never fired"
+    );
+
+    // Give the partitioned relay time to give up on the silent root and
+    // release its local clients, then tear down and restart.
+    run_for(&mut w, &mut sim, Nanos::from_millis(200));
+    if kind == FaultKind::RelaySever {
+        assert!(
+            w.obs.metrics.counter_total("coord.relay_timeouts")
+                + w.obs.metrics.counter_total("relay.give_ups")
+                > 0,
+            "a partition must be detected by liveness on at least one side"
+        );
+    }
+    faultkit::uninstall(&mut w);
+    s.kill_computation(&mut w, &mut sim);
+    for p in Workload::Chain.results() {
+        let _ = w.shared_fs.remove(p);
+    }
+
+    let hosts: Vec<(String, NodeId)> = (0..w.nodes.len())
+        .map(|i| (w.nodes[i].hostname.clone(), NodeId(i as u32)))
+        .collect();
+    let remap = move |h: &str| {
+        hosts
+            .iter()
+            .find(|(n, _)| n == h)
+            .map(|(_, x)| *x)
+            .expect("known host")
+    };
+    let restored = s
+        .restart_resilient(&mut w, &mut sim, &remap)
+        .expect("gen 1 completed cleanly, so a usable generation exists");
+    assert_eq!(
+        restored.gen, 1,
+        "restart must fall back to the previous durable generation \
+         (injected: {injected:?})"
+    );
+    Session::wait_restart_done(&mut w, &mut sim, restored.gen, budget);
+    match sim.run_budgeted(&mut w, budget) {
+        RunOutcome::Quiescent | RunOutcome::Halted => {}
+        RunOutcome::BudgetExhausted => {
+            panic!("post-restart livelock (injected: {injected:?})")
+        }
+    }
+    for (path, want) in &reference {
+        assert_eq!(
+            shared_result(&w, path).as_deref(),
+            Some(want.as_str()),
+            "wrong answer in {path} after restart (injected: {injected:?})"
+        );
+    }
+}
+
+#[test]
+fn relay_death_mid_drain_aborts_to_previous_generation() {
+    run_relay_fault(FaultKind::RelayKill);
+}
+
+#[test]
+fn relay_partition_behaves_like_lost_participant() {
+    run_relay_fault(FaultKind::RelaySever);
 }

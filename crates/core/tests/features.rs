@@ -8,7 +8,7 @@ mod common;
 use common::*;
 use dmtcp::gsid::global;
 use dmtcp::session::run_for;
-use dmtcp::{aware, Options, Session};
+use dmtcp::{aware, ExpectCkpt, Options, Session};
 use oskit::program::{Program, Registry, Step};
 use oskit::world::{NodeId, OsSim, Pid, World};
 use oskit::{Errno, Fd, HwSpec, Kernel};
@@ -17,15 +17,12 @@ use simkit::{Nanos, Sim, Snap};
 const EV: u64 = 5_000_000;
 
 fn opts() -> Options {
-    Options {
-        ckpt_dir: "/shared/ckpt".into(),
-        ..Options::default()
-    }
+    Options::builder().ckpt_dir("/shared/ckpt").build()
 }
 
 fn full_cycle(w: &mut World, sim: &mut OsSim, s: &Session, ckpt_at: Nanos) {
     run_for(w, sim, ckpt_at);
-    let stat = s.checkpoint_and_wait(w, sim, EV);
+    let stat = s.checkpoint_and_wait(w, sim, EV).expect_ckpt();
     let gen = stat.gen;
     s.kill_computation(w, sim);
     let script = Session::parse_restart_script(w);
@@ -491,7 +488,7 @@ fn pid_virtualization_across_restart() {
         }),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(1));
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     let gen = stat.gen;
     assert_eq!(stat.participants, 2);
     s.kill_computation(&mut w, &mut sim);
@@ -760,11 +757,10 @@ fn compression_shrinks_images_of_compressible_apps() {
         let s = Session::start(
             &mut w,
             &mut sim,
-            Options {
-                ckpt_dir: "/shared/ckpt".into(),
-                compression: compress,
-                ..Options::default()
-            },
+            Options::builder()
+                .ckpt_dir("/shared/ckpt")
+                .compression(compress)
+                .build(),
         );
         s.launch(
             &mut w,
@@ -781,7 +777,7 @@ fn compression_shrinks_images_of_compressible_apps() {
             Box::new(ChainClient::new("node01", 9000, 4000).with_ballast(32)),
         );
         run_for(&mut w, &mut sim, Nanos::from_millis(30));
-        s.checkpoint_and_wait(&mut w, &mut sim, EV);
+        s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
         w.shared_fs
             .list_prefix("/shared/ckpt/")
             .map(|p| w.shared_fs.size(p).expect("image"))
@@ -818,7 +814,7 @@ fn drain_preserves_exact_in_flight_bytes() {
         .values()
         .map(|c| c.dirs[0].tx_total + c.dirs[1].tx_total)
         .sum();
-    s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     let after_tx: u64 = w
         .conns
         .values()
@@ -860,11 +856,7 @@ fn sync_after_checkpoint_costs_extra_pause() {
         let s = Session::start(
             &mut w,
             &mut sim,
-            Options {
-                ckpt_dir: "/ckpt".into(), // local disk: sync is meaningful
-                sync,
-                ..Options::default()
-            },
+            Options::builder().ckpt_dir("/ckpt").sync(sync).build(),
         );
         s.launch(
             &mut w,
@@ -876,7 +868,7 @@ fn sync_after_checkpoint_costs_extra_pause() {
         // No server: the client retries connect forever — a convenient
         // stand-in for a long-running single process with a big footprint.
         run_for(&mut w, &mut sim, Nanos::from_millis(20));
-        let g = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+        let g = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
         g.total_pause().expect("complete").as_secs_f64()
     };
     let none = run(SyncMode::None);
@@ -1044,7 +1036,7 @@ fn untraced_viewer_between_checkpoints() {
         0,
         "viewer disconnected before the checkpoint"
     );
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     assert_eq!(stat.participants, 1, "only the server is checkpointed");
     // The server survives: a new viewer can connect after the checkpoint.
     w.spawn(

@@ -16,18 +16,17 @@ mod common;
 use common::{cluster, run_budget, shared_result, CowProbe, ShmProbe};
 use dmtcp::coord::{coord_shared, stage};
 use dmtcp::session::run_for;
-use dmtcp::{Options, Session};
+use dmtcp::{ExpectCkpt, Options, Session};
 use oskit::world::{NodeId, OsSim, World};
 use simkit::{Nanos, RunOutcome};
 
 const MB: u64 = 1 << 20;
 
 fn forked_opts() -> Options {
-    Options {
-        ckpt_dir: "/shared/ckpt".into(),
-        forked: true,
-        ..Options::default()
-    }
+    Options::builder()
+        .ckpt_dir("/shared/ckpt")
+        .forked(true)
+        .build()
 }
 
 /// Kill the computation, clear the probe's flag files, raise `dump`, and
@@ -80,7 +79,9 @@ fn mid_drain_write_keeps_prefork_bytes() {
         "probe never set up"
     );
 
-    let g1 = s.checkpoint_and_wait(&mut w, &mut sim, budget);
+    let g1 = s
+        .checkpoint_and_wait(&mut w, &mut sim, budget)
+        .expect_ckpt();
     assert_eq!(g1.gen, 1);
     // The application is running again but the background write is still in
     // flight: poke the probe into overwriting the snapshotted region now.
@@ -139,10 +140,14 @@ fn overlapping_requests_serialize_on_ckpt_written() {
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(2));
 
-    let g1 = s.checkpoint_and_wait(&mut w, &mut sim, budget);
+    let g1 = s
+        .checkpoint_and_wait(&mut w, &mut sim, budget)
+        .expect_ckpt();
     assert_eq!(g1.gen, 1);
     // Gen 1's drain is open; this request must be parked until it finishes.
-    let g2 = s.checkpoint_and_wait(&mut w, &mut sim, budget);
+    let g2 = s
+        .checkpoint_and_wait(&mut w, &mut sim, budget)
+        .expect_ckpt();
     assert_eq!(g2.gen, 2);
 
     let written1 = coord_shared(&mut w)
@@ -184,7 +189,9 @@ fn shm_region_writes_through_uncharged() {
         "probe never set up"
     );
 
-    let g1 = s.checkpoint_and_wait(&mut w, &mut sim, budget);
+    let g1 = s
+        .checkpoint_and_wait(&mut w, &mut sim, budget)
+        .expect_ckpt();
     assert_eq!(g1.gen, 1);
     let copied_before = w.obs.metrics.counter_total("oskit.mem.cow_copied_bytes");
     w.shared_fs.write_all("/shared/shm_go", b"1").expect("flag");

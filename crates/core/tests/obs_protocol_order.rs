@@ -12,7 +12,7 @@ mod common;
 
 use common::*;
 use dmtcp::session::run_for;
-use dmtcp::{Options, Session};
+use dmtcp::{ExpectCkpt, Options, Session};
 use oskit::world::NodeId;
 use simkit::Nanos;
 
@@ -26,10 +26,7 @@ fn mtcp_writes_wait_for_drained_barrier_and_refill_conserves_bytes() {
     let s = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            ..Options::default()
-        },
+        Options::builder().ckpt_dir("/shared/ckpt").build(),
     );
     s.launch(
         &mut w,
@@ -46,7 +43,7 @@ fn mtcp_writes_wait_for_drained_barrier_and_refill_conserves_bytes() {
         Box::new(ChainClient::new("node01", 9000, rounds)),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(40)); // mid-stream
-    let g = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let g = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     assert_eq!(g.participants, 2);
     // Managers record their stage samples when they resume user threads,
     // shortly after the final barrier releases.

@@ -1,0 +1,191 @@
+//! Property-style round-trip tests for the coordinator wire protocol.
+//!
+//! No external property-testing crate: a seeded [`DetRng`] generates
+//! thousands of random message sequences, the wire bytes are re-chunked at
+//! random boundaries, and the decoder must reproduce the exact sequence.
+//! Malformed frames — truncated bodies, corrupt payloads, lying length
+//! prefixes — must surface as `Err`, never a panic or a wrong message.
+
+use dmtcp::gsid::Gsid;
+use dmtcp::proto::{frame, FrameBuf, Msg};
+use simkit::DetRng;
+
+/// Every wire message, drawn with random payloads. Keeping the arm count in
+/// one place means a new `Msg` variant shows up here or the exhaustiveness
+/// check below goes stale.
+const VARIANTS: u64 = 15;
+
+fn rand_string(rng: &mut DetRng) -> String {
+    let len = rng.below(24) as usize;
+    (0..len)
+        .map(|_| char::from(b'a' + rng.below(26) as u8))
+        .collect()
+}
+
+fn rand_msg(rng: &mut DetRng) -> Msg {
+    match rng.below(VARIANTS) {
+        0 => Msg::Register(rng.next_u32(), rand_string(rng)),
+        1 => Msg::CkptRequest(rng.next_u64()),
+        2 => Msg::BarrierReached(rng.next_u64(), rng.below(16) as u8),
+        3 => Msg::BarrierRelease(rng.next_u64(), rng.below(16) as u8),
+        4 => Msg::Advertise(
+            Gsid(rng.next_u64()),
+            rand_string(rng),
+            rng.next_u32() as u16,
+        ),
+        5 => Msg::Query(Gsid(rng.next_u64())),
+        6 => Msg::QueryReply(
+            Gsid(rng.next_u64()),
+            rand_string(rng),
+            rng.next_u32() as u16,
+        ),
+        7 => Msg::RestartPlan(rng.next_u32(), rng.next_u64()),
+        8 => {
+            let len = rng.below(512) as usize;
+            Msg::Refill((0..len).map(|_| rng.next_u32() as u8).collect())
+        }
+        9 => Msg::CkptAbort(rng.next_u64()),
+        10 => Msg::RelayRegister(rand_string(rng)),
+        11 => Msg::RelayMembership(rng.next_u32(), rng.next_u32()),
+        12 => Msg::BarrierAckN(rng.next_u64(), rng.below(16) as u8, rng.next_u32()),
+        13 => Msg::RelayPing(rng.next_u64()),
+        _ => Msg::RelayPong(rng.next_u64()),
+    }
+}
+
+#[test]
+fn random_sequences_roundtrip_under_random_chunking() {
+    let mut rng = DetRng::seed_from_u64(0x9807_0ded);
+    for round in 0..200 {
+        let msgs: Vec<Msg> = (0..1 + rng.below(40)).map(|_| rand_msg(&mut rng)).collect();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&frame(m));
+        }
+        // Deliver in random-size chunks (1..=17 bytes), popping eagerly.
+        let mut fb = FrameBuf::new();
+        let mut got = Vec::new();
+        let mut off = 0;
+        while off < wire.len() {
+            let n = (1 + rng.below(17) as usize).min(wire.len() - off);
+            fb.feed(&wire[off..off + n]);
+            off += n;
+            while let Some(m) = fb.pop().expect("well-formed frames decode") {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, msgs, "round {round}: sequence mangled");
+        assert_eq!(fb.pending(), 0, "round {round}: leftover bytes");
+    }
+}
+
+#[test]
+fn every_variant_roundtrips() {
+    // Guarantee each of the 15 variants is hit at least once, independent of
+    // what the random draw above happens to cover.
+    let mut rng = DetRng::seed_from_u64(0xc0ff_ee00);
+    let mut seen = [false; VARIANTS as usize];
+    let mut draws = 0;
+    while seen.iter().any(|s| !s) {
+        let m = rand_msg(&mut rng);
+        let idx = match &m {
+            Msg::Register(..) => 0,
+            Msg::CkptRequest(..) => 1,
+            Msg::BarrierReached(..) => 2,
+            Msg::BarrierRelease(..) => 3,
+            Msg::Advertise(..) => 4,
+            Msg::Query(..) => 5,
+            Msg::QueryReply(..) => 6,
+            Msg::RestartPlan(..) => 7,
+            Msg::Refill(..) => 8,
+            Msg::CkptAbort(..) => 9,
+            Msg::RelayRegister(..) => 10,
+            Msg::RelayMembership(..) => 11,
+            Msg::BarrierAckN(..) => 12,
+            Msg::RelayPing(..) => 13,
+            Msg::RelayPong(..) => 14,
+        };
+        seen[idx] = true;
+        let mut fb = FrameBuf::new();
+        fb.feed(&frame(&m));
+        assert_eq!(fb.pop().expect("valid"), Some(m));
+        assert_eq!(fb.pending(), 0);
+        draws += 1;
+        assert!(draws < 10_000, "variant never drawn: {seen:?}");
+    }
+}
+
+#[test]
+fn truncated_frames_never_yield_a_message() {
+    let mut rng = DetRng::seed_from_u64(0x7123_4cad);
+    for _ in 0..500 {
+        let m = rand_msg(&mut rng);
+        let full = frame(&m);
+        // Any strict prefix must decode to "not yet", never to a message.
+        let cut = rng.below(full.len() as u64) as usize;
+        let mut fb = FrameBuf::new();
+        fb.feed(&full[..cut]);
+        assert_eq!(fb.pop().expect("prefix is merely incomplete"), None);
+        // Completing the frame recovers the message exactly.
+        fb.feed(&full[cut..]);
+        assert_eq!(fb.pop().expect("completed"), Some(m));
+    }
+}
+
+#[test]
+fn corrupt_bodies_are_rejected_not_panics() {
+    let mut rng = DetRng::seed_from_u64(0xbad_f00d);
+    let mut rejected = 0u32;
+    for _ in 0..500 {
+        let m = rand_msg(&mut rng);
+        let mut wire = frame(&m);
+        // Flip one random byte of the body (never the length prefix, which
+        // would merely re-segment the stream).
+        if wire.len() <= 4 {
+            continue;
+        }
+        let idx = 4 + rng.below((wire.len() - 4) as u64) as usize;
+        wire[idx] ^= 1 << rng.below(8);
+        let mut fb = FrameBuf::new();
+        fb.feed(&wire);
+        match fb.pop() {
+            Err(_) => rejected += 1,
+            // A flip landing in payload bytes (string contents, counts, or
+            // encoding slack the decoder ignores) can still yield a message;
+            // the property under test is "never a panic", plus the decoder
+            // actually rejecting structurally broken bodies often enough to
+            // prove validation is live.
+            Ok(Some(_)) => {}
+            Ok(None) => unreachable!("full frame was fed"),
+        }
+    }
+    assert!(rejected > 0, "no corruption was ever rejected");
+}
+
+#[test]
+fn unknown_variant_tag_is_rejected() {
+    // The first body byte carries the variant tag; 0xFF names no variant.
+    let mut wire = frame(&Msg::RelayPong(1));
+    wire[4] = 0xFF;
+    let mut fb = FrameBuf::new();
+    fb.feed(&wire);
+    assert!(fb.pop().is_err(), "an unknown message tag must be rejected");
+}
+
+#[test]
+fn lying_length_prefix_is_an_error() {
+    // A frame whose length prefix promises more body than the message has:
+    // decoding the (complete, but short) body must error out.
+    let body_short = {
+        let mut f = frame(&Msg::CkptRequest(7));
+        let body_len = u32::from_le_bytes(f[..4].try_into().unwrap());
+        f[..4].copy_from_slice(&(body_len - 2).to_le_bytes());
+        f
+    };
+    let mut fb = FrameBuf::new();
+    fb.feed(&body_short);
+    assert!(
+        fb.pop().is_err(),
+        "a truncated body behind a satisfied length prefix must be rejected"
+    );
+}

@@ -15,7 +15,7 @@ mod common;
 
 use common::*;
 use dmtcp::session::run_for;
-use dmtcp::{Options, Session};
+use dmtcp::{ExpectCkpt, Options, Session};
 use oskit::world::{NodeId, OsSim, World};
 use simkit::{DetRng, Nanos, RunOutcome};
 
@@ -69,10 +69,7 @@ fn ckpt_kill_restart_at(rounds: u64, ckpt_at_ms: u64, kill_delay_ms: u64, merge:
     let s = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            ..Options::default()
-        },
+        Options::builder().ckpt_dir("/shared/ckpt").build(),
     );
     s.launch(
         &mut w,
@@ -89,7 +86,9 @@ fn ckpt_kill_restart_at(rounds: u64, ckpt_at_ms: u64, kill_delay_ms: u64, merge:
         Box::new(ChainClient::new("node01", 9000, rounds)),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(ckpt_at_ms));
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, run_budget());
+    let stat = s
+        .checkpoint_and_wait(&mut w, &mut sim, run_budget())
+        .expect_ckpt();
     run_for(&mut w, &mut sim, Nanos::from_millis(kill_delay_ms));
     s.kill_computation(&mut w, &mut sim);
     let _ = w.shared_fs.remove("/shared/client_result");

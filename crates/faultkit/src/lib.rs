@@ -73,6 +73,17 @@ pub enum FaultKind {
     /// the plain file *and* the writing node's local chunk store — modeling
     /// node-local disk loss. Restart must proceed from a replica.
     ImageDelete,
+    /// SIGKILL one per-node relay (hierarchical topology) at the target
+    /// stage's release — the relay's whole node drops out of the protocol
+    /// at once. Not in [`FaultKind::ALL`]: relay faults only make sense
+    /// under `Topology::Hierarchical`, so they run as targeted cells on
+    /// top of the standard matrix.
+    RelayKill,
+    /// Permanently sever one relay's uplink to the root coordinator from
+    /// the target stage's release on: every packet in either direction is
+    /// dropped (an asymmetric, unhealing partition). Also excluded from
+    /// [`FaultKind::ALL`]; see [`FaultKind::RelayKill`].
+    RelaySever,
 }
 
 impl FaultKind {
@@ -101,6 +112,8 @@ impl FaultKind {
             FaultKind::TornTruncate => "torn-truncate",
             FaultKind::TornBitFlip => "torn-bitflip",
             FaultKind::ImageDelete => "image-delete",
+            FaultKind::RelayKill => "relay-kill",
+            FaultKind::RelaySever => "relay-sever",
         }
     }
 }
@@ -141,6 +154,12 @@ pub struct FaultState {
     msg_budget: u32,
     skip_packets: u64,
     partition: Option<PartitionWindow>,
+    /// Per-node relays (hierarchical topology), victims for `RelayKill`.
+    relay_procs: Vec<(Pid, NodeId)>,
+    /// Relay → root uplinks, victims for `RelaySever`.
+    relay_conns: Vec<ConnId>,
+    /// Connections severed by `RelaySever`: every packet dropped, forever.
+    severed: BTreeSet<ConnId>,
     torn_armed: bool,
     torn_skip_writes: u64,
     killed: bool,
@@ -164,6 +183,9 @@ impl FaultState {
             msg_budget: 0,
             skip_packets,
             partition: None,
+            relay_procs: Vec::new(),
+            relay_conns: Vec::new(),
+            severed: BTreeSet::new(),
             torn_armed: false,
             torn_skip_writes,
             killed: false,
@@ -253,6 +275,11 @@ impl FaultState {
 
 fn on_packet(state: &Rc<RefCell<FaultState>>, pkt: &NetPacket<'_>) -> NetFault {
     let mut st = state.borrow_mut();
+    // A severed relay uplink drops everything in both directions, forever —
+    // an unhealing partition of one node's control path.
+    if st.severed.contains(&pkt.cid) {
+        return NetFault::Drop;
+    }
     let key = (pkt.cid.0, pkt.end);
     let floor = st.floors.get(&key).copied().unwrap_or(Nanos::ZERO);
     let mut final_at = pkt.arrival.max(floor);
@@ -396,6 +423,22 @@ pub fn note_protocol_conn(w: &mut World, cid: ConnId) {
     }
 }
 
+/// Notification: a per-node relay was spawned on `node` (hierarchical
+/// topology). `RelayKill` picks its victim from these.
+pub fn note_relay(w: &mut World, pid: Pid, node: NodeId) {
+    if let Some(st) = state(w) {
+        st.borrow_mut().relay_procs.push((pid, node));
+    }
+}
+
+/// Notification: `cid` is a relay's uplink to the root coordinator.
+/// `RelaySever` picks its victim from these.
+pub fn note_relay_conn(w: &mut World, cid: ConnId) {
+    if let Some(st) = state(w) {
+        st.borrow_mut().relay_conns.push(cid);
+    }
+}
+
 /// Notification: a checkpoint manager finished writing `path` on `node`
 /// for generation `gen` (called by the DMTCP layer after `write_image`).
 /// Image-delete faults pick their victim from these records.
@@ -487,6 +530,28 @@ pub fn stage_released(
                     w.signal(sim, pid, sig::SIGKILL);
                 });
             }
+            return;
+        }
+        if s.plan.kind == FaultKind::RelayKill && !s.killed && !s.relay_procs.is_empty() {
+            s.killed = true;
+            let n = s.relay_procs.len() as u64;
+            let idx = s.rng.below(n) as usize;
+            let (pid, node) = s.relay_procs[idx];
+            s.injected
+                .push(format!("relay-kill pid {} node{}", pid.0, node.0));
+            drop(s);
+            sim.soon(move |w: &mut World, sim| {
+                w.signal(sim, pid, sig::SIGKILL);
+            });
+            return;
+        }
+        if s.plan.kind == FaultKind::RelaySever && s.severed.is_empty() && !s.relay_conns.is_empty()
+        {
+            let n = s.relay_conns.len() as u64;
+            let idx = s.rng.below(n) as usize;
+            let cid = s.relay_conns[idx];
+            s.severed.insert(cid);
+            s.injected.push(format!("relay-sever conn {}", cid.0));
         }
     }
 }

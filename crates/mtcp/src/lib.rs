@@ -26,5 +26,5 @@ pub mod writer;
 
 pub use image::{CkptImage, HeaderError, RegionMeta, StoredAs, IMAGE_MAGIC};
 pub use reader::{read_image, restore_into, verify_image, ImageError, RestoreError, RestoreReport};
-pub use store::{ImageSink, ImageSource, ResolvedImage, SinkCommit, StoreHooks};
+pub use store::{ImageStore, ResolvedImage, SinkCommit};
 pub use writer::{begin_forked_write, write_image, ForkedWrite, WriteMode, WriteReport};

@@ -88,8 +88,8 @@ fn resolve_blob(
     if let Some(f) = w.fs_for(node, path).get(path) {
         return Ok((f.blob.clone(), None));
     }
-    if let Some(hooks) = crate::store::hooks(w) {
-        if let Some(r) = (hooks.source)(w, node, path) {
+    if let Some(store) = crate::store::installed(w) {
+        if let Some(r) = store.resolve(w, node, path) {
             let remote = r.fetched_from.filter(|n| *n != node);
             return Ok((r.blob, remote));
         }

@@ -1,79 +1,91 @@
-//! Pluggable image sink/source.
+//! Pluggable image storage — the [`ImageStore`] extension point.
 //!
 //! By default MTCP commits images as plain files in the target filesystem
 //! and resolves them back by path. A storage subsystem (the `ckptstore`
-//! crate) can interpose here: the *sink* receives every fully built image
-//! blob (fault hooks already applied) and persists it however it likes —
-//! chunked, deduplicated, replicated — reporting the physical bytes written
-//! and when the image is durable; the *source* resolves an image path back
-//! to a blob, possibly assembling it from chunks held by a peer node when
-//! the primary copy is gone.
+//! crate is one implementation) can interpose by installing an
+//! [`ImageStore`] trait object: its *commit* side receives every fully
+//! built image blob (fault hooks already applied) and persists it however
+//! it likes — chunked, deduplicated, replicated — reporting the physical
+//! bytes written and when the image is durable; its *resolve* side turns
+//! an image path back into a blob, possibly assembling it from chunks held
+//! by a peer node when the primary copy is gone.
 //!
-//! The hooks live in a `World` ext slot so neither `mtcp` nor `core` needs
-//! a dependency on the store implementation; with no hooks installed the
-//! behavior is byte-identical to the plain-file path.
+//! The store lives in a `World` ext slot so neither `mtcp` nor `core`
+//! needs a dependency on the implementation; with no store installed the
+//! behavior is byte-identical to the plain-file path. This is the
+//! plugin-model shape: one documented trait, installed and removed at
+//! runtime, instead of a pair of ad-hoc function pointers.
 
 use oskit::fs::Blob;
 use oskit::world::{NodeId, World};
 use simkit::Nanos;
 use std::rc::Rc;
 
-/// `World::ext_slots` key holding the installed [`StoreHooks`].
+/// `World::ext_slots` key holding the installed [`ImageStore`].
 pub const SLOT: &str = "mtcp-image-store";
 
-/// What a sink reports after committing an image.
+/// What a store reports after committing an image.
 #[derive(Debug, Clone, Copy)]
 pub struct SinkCommit {
     /// Physical bytes that actually reached storage (after dedup; excludes
-    /// replica copies, which the sink accounts separately).
+    /// replica copies, which the store accounts separately).
     pub stored_bytes: u64,
     /// When the image — manifest, new chunks, and any synchronous replica
     /// traffic — is durable and the checkpoint may be declared complete.
     pub io_done: Nanos,
 }
 
-/// Consumes a built image blob at `work_start` on `node` under the logical
-/// image `path` and persists it, charging its own storage/network time.
-pub type ImageSink = Rc<dyn Fn(&mut World, Nanos, NodeId, &str, &Blob) -> SinkCommit>;
-
-/// An image blob resolved by a source.
+/// An image blob resolved by a store.
 #[derive(Debug, Clone)]
 pub struct ResolvedImage {
-    /// The reassembled image, byte-equal to what the sink was given.
+    /// The reassembled image, byte-equal to what the store was given.
     pub blob: Blob,
     /// The node whose store supplied the bytes, when it was not the reader
     /// itself — the reader charges a network fetch on top of the local read.
     pub fetched_from: Option<NodeId>,
 }
 
-/// Resolves a logical image path for a reader on `node`, returning `None`
-/// when no store (local or replica) holds the image.
-pub type ImageSource = Rc<dyn Fn(&World, NodeId, &str) -> Option<ResolvedImage>>;
+/// A checkpoint-image storage backend.
+///
+/// Implementations are installed with [`install`] and removed with
+/// [`uninstall`]; while installed, every image MTCP writes goes through
+/// [`ImageStore::commit`] instead of the plain-file path, and every image
+/// read tries [`ImageStore::resolve`] when the plain file is absent.
+/// Implementations charge their own storage/network time against the
+/// world, exactly as the built-in plain-file path does.
+pub trait ImageStore {
+    /// Persist a built image blob, produced at `work_start` on `node`
+    /// under the logical image `path`. Returns what was stored and when
+    /// it is durable.
+    fn commit(
+        &self,
+        w: &mut World,
+        work_start: Nanos,
+        node: NodeId,
+        path: &str,
+        blob: &Blob,
+    ) -> SinkCommit;
 
-/// The pair of hooks a store installs.
-#[derive(Clone)]
-pub struct StoreHooks {
-    /// Image commit path.
-    pub sink: ImageSink,
-    /// Image resolution path.
-    pub source: ImageSource,
+    /// Resolve a logical image path for a reader on `node`, returning
+    /// `None` when the store (local or any replica) does not hold it.
+    fn resolve(&self, w: &World, node: NodeId, path: &str) -> Option<ResolvedImage>;
 }
 
-/// Install store hooks (replacing any previous ones).
-pub fn install(w: &mut World, hooks: StoreHooks) {
-    w.ext_slots.insert(SLOT.to_string(), Box::new(hooks));
+/// Install an image store (replacing any previous one).
+pub fn install(w: &mut World, store: Rc<dyn ImageStore>) {
+    w.ext_slots.insert(SLOT.to_string(), Box::new(store));
 }
 
-/// Remove the store hooks; MTCP reverts to plain-file images.
+/// Remove the image store; MTCP reverts to plain-file images.
 pub fn uninstall(w: &mut World) {
     w.ext_slots.remove(SLOT);
 }
 
-/// The installed hooks, if any (cloned out so callers can use them while
+/// The installed store, if any (cloned out so callers can use it while
 /// mutating the world).
-pub fn hooks(w: &World) -> Option<StoreHooks> {
+pub fn installed(w: &World) -> Option<Rc<dyn ImageStore>> {
     w.ext_slots
         .get(SLOT)
-        .and_then(|b| b.downcast_ref::<StoreHooks>())
+        .and_then(|b| b.downcast_ref::<Rc<dyn ImageStore>>())
         .cloned()
 }

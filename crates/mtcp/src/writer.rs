@@ -325,14 +325,14 @@ fn commit_image(
     } else {
         work_start + spec.memcpy_time(raw_bytes)
     };
-    // Commit goes through the pluggable sink when a store is installed
+    // Commit goes through the pluggable `ImageStore` when one is installed
     // (content-addressed, deduplicated, replicated) and charges only its
     // physical traffic; otherwise the blob lands as a plain file. Either
     // way the file goes out behind the compressor; model the pipeline as
     // overlap: I/O completes no earlier than compression, charged from
     // work_start so disk contention with other processes is respected.
-    let io_done = if let Some(hooks) = crate::store::hooks(w) {
-        (hooks.sink)(w, work_start, node, path, &blob).io_done
+    let io_done = if let Some(store) = crate::store::installed(w) {
+        store.commit(w, work_start, node, path, &blob).io_done
     } else {
         {
             let fs = w.fs_for_mut(node, path);

@@ -4,7 +4,7 @@
 //! including its resource managers.
 
 use dmtcp::session::run_for;
-use dmtcp::{Options, Session};
+use dmtcp::{ExpectCkpt, Options, Session};
 use oskit::program::{Program, Registry, Step};
 use oskit::world::{NodeId, OsSim, Pid, World};
 use oskit::{HwSpec, Kernel};
@@ -179,10 +179,7 @@ fn mpi_job_checkpoint_kill_restart_same_answer() {
     let s = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            ..Options::default()
-        },
+        Options::builder().ckpt_dir("/shared/ckpt").build(),
     );
     mpirun(
         &mut w,
@@ -192,7 +189,7 @@ fn mpi_job_checkpoint_kill_restart_same_answer() {
         iter_factory(iters),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(150)); // mid-iterations
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     // console + 2 daemons + 4 ranks = 7 traced processes.
     assert_eq!(
         stat.participants, 7,
@@ -350,10 +347,7 @@ fn topc_job_survives_checkpoint_restart() {
     let s = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            ..Options::default()
-        },
+        Options::builder().ckpt_dir("/shared/ckpt").build(),
     );
     mpirun(
         &mut w,
@@ -363,7 +357,7 @@ fn topc_job_survives_checkpoint_restart() {
         geant_factory(tasks),
     );
     run_for(&mut w, &mut sim, Nanos::from_millis(150));
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     let gen = stat.gen;
     s.kill_computation(&mut w, &mut sim);
     let _ = w.shared_fs.remove("/shared/topc_result");

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example debug_replay`
 
 use dmtcp::session::run_for;
-use dmtcp::{Options, Session};
+use dmtcp::{ExpectCkpt, Options, Session};
 use oskit::program::{Program, Registry, Step};
 use oskit::world::{NodeId, World};
 use oskit::{HwSpec, Kernel};
@@ -63,10 +63,7 @@ fn main() {
     let session = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            ..Options::default()
-        },
+        Options::builder().ckpt_dir("/shared/ckpt").build(),
     );
     session.launch(
         &mut w,
@@ -82,7 +79,9 @@ fn main() {
 
     // Checkpoint just before the bug (iteration ≈ 690 of 750).
     run_for(&mut w, &mut sim, Nanos::from_millis(690));
-    let stat = session.checkpoint_and_wait(&mut w, &mut sim, 20_000_000);
+    let stat = session
+        .checkpoint_and_wait(&mut w, &mut sim, 20_000_000)
+        .expect_ckpt();
     println!("checkpoint taken just before the crash (gen {})", stat.gen);
 
     // Replay from the image three times; each run reproduces the same

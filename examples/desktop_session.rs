@@ -24,11 +24,10 @@ fn main() {
     let session = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            interval: Some(Nanos::from_secs(10)),
-            ..Options::default()
-        },
+        Options::builder()
+            .ckpt_dir("/shared/ckpt")
+            .interval(Nanos::from_secs(10))
+            .build(),
     );
     let spec = spec_by_name("tightvnc+twm").expect("catalogue entry");
     launch_desktop(&mut w, &mut sim, Some(&session), NodeId(0), spec, 42);

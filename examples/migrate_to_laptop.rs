@@ -14,7 +14,7 @@ use apps::nas::{nas_factory, NasKernel};
 use apps::registry::full_registry;
 use apps::result_path;
 use dmtcp::session::{run_for, transplant_storage};
-use dmtcp::{Options, Session};
+use dmtcp::{ExpectCkpt, Options, Session};
 use oskit::world::NodeId;
 use oskit::{HwSpec, World};
 use simkit::{Nanos, Sim};
@@ -23,10 +23,7 @@ use simmpi::launch::{mpirun, Flavor, Launcher, MpiJob};
 const EV: u64 = 100_000_000;
 
 fn main() {
-    let opts = Options {
-        ckpt_dir: "/shared/ckpt".into(),
-        ..Options::default()
-    };
+    let opts = Options::builder().ckpt_dir("/shared/ckpt").build();
 
     // ---- Phase 1: the cluster ----
     let mut cluster = World::new(HwSpec::cluster(), 4, full_registry());
@@ -47,7 +44,9 @@ fn main() {
     );
     println!("cluster: 8-rank CG job running under simulated OpenMPI + DMTCP");
     run_for(&mut cluster, &mut sim, Nanos::from_millis(150));
-    let stat = session.checkpoint_and_wait(&mut cluster, &mut sim, EV);
+    let stat = session
+        .checkpoint_and_wait(&mut cluster, &mut sim, EV)
+        .expect_ckpt();
     println!(
         "cluster: checkpointed {} processes (ranks + orteds + orterun) in {:.2}s",
         stat.participants,

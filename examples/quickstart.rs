@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use dmtcp::session::run_for;
-use dmtcp::{Options, Session};
+use dmtcp::{ExpectCkpt, Options, Session};
 use oskit::program::{Program, Registry, Step};
 use oskit::world::{NodeId, World};
 use oskit::{Errno, Fd, HwSpec, Kernel};
@@ -122,10 +122,7 @@ fn main() {
     let session = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            ..Options::default()
-        },
+        Options::builder().ckpt_dir("/shared/ckpt").build(),
     );
     session.launch(
         &mut w,
@@ -155,7 +152,9 @@ fn main() {
 
     // Let it run a while, then checkpoint (dmtcp_command --checkpoint).
     run_for(&mut w, &mut sim, Nanos::from_millis(100));
-    let stat = session.checkpoint_and_wait(&mut w, &mut sim, 10_000_000);
+    let stat = session
+        .checkpoint_and_wait(&mut w, &mut sim, 10_000_000)
+        .expect_ckpt();
     println!(
         "checkpointed {} processes in {:.3}s (gen {})",
         stat.participants,

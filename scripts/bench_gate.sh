@@ -8,8 +8,12 @@
 #   scripts/bench_gate.sh self-test                  # gate-must-fail test
 #
 # Direction is encoded in the key suffix:
-#   *_s, *_bytes  lower is better  -> fail when new > baseline * (1 + tol)
+#   *_s, *_bytes,
+#   *_per_gen     lower is better  -> fail when new > baseline * (1 + tol)
 #   *_ratio       higher is better -> fail when new < baseline * (1 - tol)
+# (`_ratio` is the only higher-is-better suffix; any other key, including
+# the `root_msgs_per_gen` coordinator-load counters from the scale bench,
+# gates lower-is-better.)
 # A key present in the baseline but missing from the new results fails the
 # gate too — a silently dropped metric is a coverage regression. New keys
 # absent from the baseline are reported but do not fail (commit the updated
@@ -99,6 +103,20 @@ self_test() {
     printf '{\n  "pause_ratio": 10.0\n}\n' > "$d/dropped.json"
     if compare "$d/dropped.json" "$d/base.json" > /dev/null; then
         echo "bench_gate self-test FAILED: dropped metric not caught" >&2
+        return 1
+    fi
+
+    # Coordinator-load counters (*_per_gen) gate lower-is-better: a 20%
+    # message-count growth must trip, an in-tolerance count must pass.
+    printf '{\n  "root_msgs_per_gen": 1000.0\n}\n' > "$d/msgs_base.json"
+    printf '{\n  "root_msgs_per_gen": 1200.0\n}\n' > "$d/msgs_up.json"
+    if compare "$d/msgs_up.json" "$d/msgs_base.json" > /dev/null; then
+        echo "bench_gate self-test FAILED: 20% per-gen message growth not caught" >&2
+        return 1
+    fi
+    printf '{\n  "root_msgs_per_gen": 1050.0\n}\n' > "$d/msgs_ok.json"
+    if ! compare "$d/msgs_ok.json" "$d/msgs_base.json" > /dev/null; then
+        echo "bench_gate self-test FAILED: in-tolerance per-gen count rejected" >&2
         return 1
     fi
 

@@ -2,7 +2,7 @@
 # Tier-1 gate: everything a PR must keep green.
 #
 # Usage: scripts/tier1.sh [stage...]
-#   stages: build test faults bench lint
+#   stages: build test faults bench scale lint
 #   No arguments runs every stage in that order (the full PR gate). CI runs
 #   the same stages one job each — `scripts/tier1.sh build`, etc. — so a
 #   local no-arg run reproduces the whole pipeline stage by stage.
@@ -50,6 +50,14 @@ stage_bench() {
     scripts/bench_gate.sh compare
 }
 
+stage_scale() {
+    echo "== scale smoke bench (flat star vs per-node relays) =="
+    cargo build --release -p dmtcp-bench
+    ./target/release/scale --smoke
+    echo "== scale bench-regression gate =="
+    scripts/bench_gate.sh compare results/BENCH_scale.json scripts/BENCH_scale.baseline.json
+}
+
 stage_lint() {
     echo "== cargo clippy (-D warnings) =="
     cargo clippy --workspace --all-targets -- -D warnings
@@ -60,9 +68,9 @@ stage_lint() {
 run_stage() {
     local name="$1"
     case "$name" in
-        build | test | faults | bench | lint) ;;
+        build | test | faults | bench | scale | lint) ;;
         *)
-            echo "tier1: unknown stage '$name' (stages: build test faults bench lint)" >&2
+            echo "tier1: unknown stage '$name' (stages: build test faults bench scale lint)" >&2
             exit 2
             ;;
     esac
@@ -74,7 +82,7 @@ run_stage() {
 }
 
 if [[ $# -eq 0 ]]; then
-    set -- build test faults bench lint
+    set -- build test faults bench scale lint
 fi
 for stage in "$@"; do
     run_stage "$stage"

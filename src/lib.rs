@@ -32,7 +32,8 @@
 //! session.launch(&mut w, &mut sim, NodeId(0), "runCMS",
 //!                Box::new(apps::runcms::RunCms::new()));
 //! dmtcp::session::run_for(&mut w, &mut sim, Nanos::from_secs(60));
-//! let stat = session.checkpoint_and_wait(&mut w, &mut sim, 50_000_000);
+//! let stat = session.checkpoint_and_wait(&mut w, &mut sim, 50_000_000)
+//!     .expect_ckpt();
 //! assert_eq!(stat.participants, 1);
 //! ```
 
@@ -48,7 +49,7 @@ pub use szip;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use dmtcp::{Options, Session};
+    pub use dmtcp::{CkptError, ExpectCkpt, Options, Session};
     pub use oskit::program::{Program, Registry, Step};
     pub use oskit::world::{NodeId, OsSim, Pid, World};
     pub use oskit::{Errno, Fd, HwSpec, Kernel};

@@ -11,10 +11,7 @@ use dmtcp::session::{run_for, transplant_storage};
 const EV: u64 = 60_000_000;
 
 fn opts() -> Options {
-    Options {
-        ckpt_dir: "/shared/ckpt".into(),
-        ..Options::default()
-    }
+    Options::builder().ckpt_dir("/shared/ckpt").build()
 }
 
 /// Use case 1/2 ("save/restore workspace", "undump"): RunCMS pays its long
@@ -34,7 +31,7 @@ fn undump_replaces_long_startup() {
     // Startup takes tens of simulated seconds (library loading).
     run_for(&mut w, &mut sim, Nanos::from_secs(60));
     let t0 = sim.now();
-    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     assert_eq!(stat.participants, 1);
 
     // "Undump": kill and restore — must be far faster than the startup.
@@ -70,7 +67,9 @@ fn cluster_to_laptop_via_facade() {
     let nodes: Vec<NodeId> = vec![NodeId(0), NodeId(1)];
     apps::ipython::launch_demo(&mut cluster, &mut sim, Some(&s), &nodes, 100_000);
     run_for(&mut cluster, &mut sim, Nanos::from_millis(60));
-    let stat = s.checkpoint_and_wait(&mut cluster, &mut sim, EV);
+    let stat = s
+        .checkpoint_and_wait(&mut cluster, &mut sim, EV)
+        .expect_ckpt();
     assert_eq!(stat.participants, 3, "controller + 2 engines");
     let script = Session::parse_restart_script(&cluster);
 
@@ -96,11 +95,10 @@ fn revert_to_an_earlier_generation() {
     let s = Session::start(
         &mut w,
         &mut sim,
-        Options {
-            ckpt_dir: "/shared/ckpt".into(),
-            interval: Some(Nanos::from_millis(50)),
-            ..Options::default()
-        },
+        Options::builder()
+            .ckpt_dir("/shared/ckpt")
+            .interval(Nanos::from_millis(50))
+            .build(),
     );
     let spec = apps::desktop::spec_by_name("python").expect("python");
     apps::desktop::launch_desktop(&mut w, &mut sim, Some(&s), NodeId(0), spec, 5);
@@ -153,6 +151,8 @@ fn prelude_is_sufficient() {
         Box::new(apps::runcms::RunCms::new()),
     );
     run_for(&mut w, &mut sim, Nanos::from_secs(50));
-    let stat = session.checkpoint_and_wait(&mut w, &mut sim, EV);
+    let stat = session
+        .checkpoint_and_wait(&mut w, &mut sim, EV)
+        .expect_ckpt();
     assert_eq!(stat.participants, 1);
 }
