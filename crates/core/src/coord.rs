@@ -123,6 +123,21 @@ pub struct CoordShared {
     /// Paths of every image written in the last completed generation,
     /// with their hostnames (drives the restart script).
     pub last_images: Vec<(String, String)>,
+    /// Live mirror of the coordinator's barrier bookkeeping. The
+    /// coordinator program is boxed behind `dyn Program`, so `dmtcp
+    /// replay` state dumps read this mirror instead: current generation,
+    /// whether its stop-the-world phase / overlapped drain is open, the
+    /// expected participant count, and the summed contributions of every
+    /// barrier still pending.
+    pub coord_gen: u64,
+    /// Stop-the-world phase of `coord_gen` in flight.
+    pub coord_in_progress: bool,
+    /// Overlapped drain of `coord_gen` still open.
+    pub coord_drain_open: bool,
+    /// Participants the in-flight barriers expect.
+    pub coord_expected: u32,
+    /// `(gen, stage)` → summed contributions for unreleased barriers.
+    pub barrier_pending: BTreeMap<(u64, u8), u32>,
 }
 
 /// Access the coordinator-shared state (world singleton).
@@ -354,6 +369,14 @@ impl Coordinator {
         k.obs()
             .spans
             .instant(at, track, "ckpt.request", "coord", vec![("gen", gen)]);
+        k.obs().journal.record(
+            at,
+            obs::journal::CLASS_STAGE,
+            "stage.request",
+            None,
+            &[("gen", gen), ("participants", expected as u64)],
+            "",
+        );
         coord_shared(k.w).gen_stats.push(GenStat {
             gen: self.gen,
             requested_at: self.requested_at,
@@ -406,6 +429,14 @@ impl Coordinator {
         k.obs()
             .spans
             .instant(at, track, "ckpt.abort", "coord", vec![("gen", gen)]);
+        k.obs().journal.record(
+            at,
+            obs::journal::CLASS_STAGE,
+            "stage.abort",
+            None,
+            &[("gen", gen)],
+            "generation",
+        );
         self.broadcast(k, &Msg::CkptAbort(gen));
         if let Some(iv) = self.interval {
             let pid = k.getpid_real();
@@ -448,6 +479,14 @@ impl Coordinator {
         k.obs()
             .spans
             .instant(at, track, "ckpt.drain_abort", "coord", vec![("gen", gen)]);
+        k.obs().journal.record(
+            at,
+            obs::journal::CLASS_STAGE,
+            "stage.abort",
+            None,
+            &[("gen", gen)],
+            "drain",
+        );
         self.broadcast(k, &Msg::CkptAbort(gen));
         if self.queued {
             self.queued = false;
@@ -658,6 +697,14 @@ impl Coordinator {
             "coord",
             vec![("gen", gen), ("stage", stg as u64)],
         );
+        k.obs().journal.record(
+            now,
+            obs::journal::CLASS_STAGE,
+            "stage.release",
+            None,
+            &[("gen", gen), ("stage", stg as u64)],
+            stage::release_name(stg),
+        );
         self.broadcast(k, &Msg::BarrierRelease(gen, stg));
         if stg == stage::REFILLED || stg == stage::RESTART_REFILLED {
             self.in_progress = false;
@@ -693,6 +740,24 @@ impl Coordinator {
                 self.start_checkpoint(k);
             }
         }
+    }
+
+    /// Mirror the barrier bookkeeping into [`CoordShared`] so replay state
+    /// dumps can render it without downcasting the program. Called once at
+    /// the end of every step — cheap (the maps are tiny) and always
+    /// consistent with what this step left behind.
+    fn mirror_state(&self, k: &mut Kernel<'_>) {
+        let pending: BTreeMap<(u64, u8), u32> = self
+            .barrier_counts
+            .iter()
+            .map(|(key, m)| (*key, m.values().sum()))
+            .collect();
+        let s = coord_shared(k.w);
+        s.coord_gen = self.gen;
+        s.coord_in_progress = self.in_progress;
+        s.coord_drain_open = self.drain_open;
+        s.coord_expected = self.expected;
+        s.barrier_pending = pending;
     }
 
     /// Generate `dmtcp_restart_script.sh` listing every image of the last
@@ -891,6 +956,7 @@ impl Program for Coordinator {
                 }
             }
         }
+        self.mirror_state(k);
         Step::Block
     }
 

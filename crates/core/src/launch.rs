@@ -12,6 +12,7 @@ use crate::coord::{Coordinator, COORD_PORT};
 use crate::gsid::global;
 use crate::hijack::Hijack;
 use crate::manager::{Manager, Mode};
+use crate::proto;
 use mtcp::WriteMode;
 use oskit::program::Program;
 use oskit::world::{NodeId, OsSim, Pid, World};
@@ -196,9 +197,26 @@ pub fn install_hook(w: &mut World) {
     if w.spawn_hook.is_some() {
         return;
     }
+    install_msg_tagger(w);
     w.spawn_hook = Some(Rc::new(|w: &mut World, sim: &mut OsSim, pid: Pid| {
         hijack_new_process(w, sim, pid)
     }));
+}
+
+/// Teach the flight recorder to label protocol payloads: a transmitted
+/// chunk that is exactly one framed [`proto::Msg`] journals as its variant
+/// name; anything else (drain tokens, application bytes, partial frames)
+/// stays unlabeled. `obs` knows nothing about the wire format, so the
+/// checkpoint layer installs this decoder.
+pub fn install_msg_tagger(w: &mut World) {
+    w.obs.journal.set_msg_tagger(|bytes| {
+        let mut fb = proto::FrameBuf::new();
+        fb.feed(bytes);
+        match fb.pop() {
+            Ok(Some(msg)) if fb.pending() == 0 => Some(proto::msg_name(&msg).to_string()),
+            _ => None,
+        }
+    });
 }
 
 fn hijack_new_process(w: &mut World, sim: &mut OsSim, pid: Pid) -> Pid {

@@ -38,8 +38,10 @@ pub mod launch;
 pub mod manager;
 pub mod proto;
 pub mod relay;
+pub mod replay;
 pub mod restart;
 pub mod session;
 
 pub use launch::{launch_under_dmtcp, Options, OptionsBuilder, Topology};
+pub use replay::{ReplayReport, ReplaySchedule};
 pub use session::{CkptError, ExpectCkpt, Session};

@@ -234,6 +234,18 @@ impl Manager {
     }
 
     fn send_barrier(&mut self, k: &mut Kernel<'_>, stg: u8) {
+        if k.obs().journal.wants(obs::journal::CLASS_STAGE) {
+            let (now, gen) = (k.now(), self.cur_gen);
+            let vpid = self.vpid(k) as u64;
+            k.obs().journal.record(
+                now,
+                obs::journal::CLASS_STAGE,
+                "stage.reach",
+                None,
+                &[("gen", gen), ("stage", stg as u64), ("vpid", vpid)],
+                "",
+            );
+        }
         let msg = frame(&Msg::BarrierReached(self.cur_gen, stg));
         let n = k.write(self.coord_fd, &msg).expect("barrier send");
         assert_eq!(n, msg.len());

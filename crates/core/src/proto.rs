@@ -82,6 +82,27 @@ impl_snap!(
     }
 );
 
+/// Display name of a message variant (flight-recorder labels).
+pub fn msg_name(msg: &Msg) -> &'static str {
+    match msg {
+        Msg::Register(..) => "Register",
+        Msg::CkptRequest(..) => "CkptRequest",
+        Msg::BarrierReached(..) => "BarrierReached",
+        Msg::BarrierRelease(..) => "BarrierRelease",
+        Msg::Advertise(..) => "Advertise",
+        Msg::Query(..) => "Query",
+        Msg::QueryReply(..) => "QueryReply",
+        Msg::RestartPlan(..) => "RestartPlan",
+        Msg::Refill(..) => "Refill",
+        Msg::CkptAbort(..) => "CkptAbort",
+        Msg::RelayRegister(..) => "RelayRegister",
+        Msg::RelayMembership(..) => "RelayMembership",
+        Msg::BarrierAckN(..) => "BarrierAckN",
+        Msg::RelayPing(..) => "RelayPing",
+        Msg::RelayPong(..) => "RelayPong",
+    }
+}
+
 /// Encode a message as a length-prefixed frame.
 pub fn frame(msg: &Msg) -> Vec<u8> {
     let body = msg.to_snap_bytes();

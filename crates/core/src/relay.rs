@@ -51,6 +51,44 @@ struct LocalClient {
     fb: FrameBuf,
 }
 
+/// Replay-dump mirror of one relay's barrier aggregation state. Relays, like
+/// the coordinator, are `Box<dyn Program>` and cannot be downcast from the
+/// process table, so each relay copies its bookkeeping here at the end of
+/// every step (the [`crate::coord::CoordShared`] pattern) and `dmtcp replay`
+/// snapshots read it back.
+#[derive(Debug, Default, Clone)]
+pub struct RelayMirror {
+    /// Generation currently in flight (or last seen).
+    pub gen: u64,
+    /// Whether a generation is currently in flight.
+    pub in_flight: bool,
+    /// Terminal dormant state: the root was unreachable and locals aborted.
+    pub dormant: bool,
+    /// Local participants this relay currently fronts.
+    pub members: u32,
+    /// Local ack counts per (gen, stage) still being aggregated upstream.
+    pub acks: BTreeMap<(u64, u8), u32>,
+    /// Barriers whose release already fanned out locally.
+    pub released: BTreeSet<(u64, u8)>,
+}
+
+/// World-singleton map of per-node relay mirrors, keyed by node id.
+#[derive(Debug, Default)]
+pub struct RelayShared {
+    /// One mirror per relay-bearing node.
+    pub relays: BTreeMap<u32, RelayMirror>,
+}
+
+/// Access the relay mirror map (world singleton ext slot).
+pub fn relay_shared(w: &mut World) -> &mut RelayShared {
+    let slot = w
+        .ext_slots
+        .entry("dmtcp-relay-shared".to_string())
+        .or_insert_with(|| Box::new(RelayShared::default()));
+    slot.downcast_mut::<RelayShared>()
+        .expect("slot holds RelayShared")
+}
+
 /// The relay program (one per node under `Topology::Hierarchical`).
 pub struct Relay {
     port: u16,
@@ -161,6 +199,16 @@ impl Relay {
             format!("root unreachable during gen {gen}; aborting locals and going dormant")
         });
         k.obs().metrics.inc("relay.give_ups", 0);
+        let at = k.now();
+        let node = k.node().0 as u64;
+        k.obs().journal.record(
+            at,
+            obs::journal::CLASS_STAGE,
+            "stage.abort",
+            None,
+            &[("gen", gen), ("node", node)],
+            "relay-give-up",
+        );
         if self.in_flight {
             self.aborted_gens.insert(gen);
             self.broadcast_local(k, &Msg::CkptAbort(gen));
@@ -204,6 +252,23 @@ impl Relay {
                 // local ack (manager retransmission) re-sends it, repairing
                 // a lost uplink frame; the root merges counts idempotently.
                 if count == self.members() {
+                    if k.obs().journal.wants(obs::journal::CLASS_STAGE) {
+                        let at = k.now();
+                        let node = k.node().0 as u64;
+                        k.obs().journal.record(
+                            at,
+                            obs::journal::CLASS_STAGE,
+                            "stage.ackn",
+                            None,
+                            &[
+                                ("gen", gen),
+                                ("stage", stg as u64),
+                                ("count", count as u64),
+                                ("node", node),
+                            ],
+                            "",
+                        );
+                    }
                     self.send_root(k, &Msg::BarrierAckN(gen, stg, count));
                 }
             }
@@ -270,6 +335,24 @@ impl Relay {
             Msg::RelayPong(_) => {} // liveness noted on read
             other => panic!("relay got unexpected root message {other:?}"),
         }
+    }
+
+    /// Mirror aggregation bookkeeping into [`RelayShared`] for replay dumps.
+    /// Called once at the end of every step — the maps are per-node tiny.
+    fn mirror_state(&self, k: &mut Kernel<'_>) {
+        let node = k.node().0;
+        let acks: BTreeMap<(u64, u8), u32> = self
+            .acks
+            .iter()
+            .map(|(key, set)| (*key, set.len() as u32))
+            .collect();
+        let m = relay_shared(k.w).relays.entry(node).or_default();
+        m.gen = self.gen;
+        m.in_flight = self.in_flight;
+        m.dormant = self.dormant;
+        m.members = self.members();
+        m.acks = acks;
+        m.released = self.released.clone();
     }
 }
 
@@ -430,6 +513,7 @@ impl Program for Relay {
                 }
             }
         }
+        self.mirror_state(k);
         Step::Block
     }
 

@@ -51,6 +51,14 @@ impl Session {
 
     /// `dmtcp_command --checkpoint` (asynchronous).
     pub fn request_checkpoint(&self, w: &mut World, sim: &mut OsSim) {
+        w.obs.journal.record(
+            sim.now(),
+            obs::journal::CLASS_STAGE,
+            "session.ckpt_request",
+            None,
+            &[],
+            "",
+        );
         crate::coord::request_checkpoint(w, sim);
     }
 
@@ -202,6 +210,14 @@ impl Session {
     /// Kill the whole traced computation with SIGKILL (simulated failure).
     /// The coordinator survives, as in real deployments.
     pub fn kill_computation(&self, w: &mut World, sim: &mut OsSim) {
+        w.obs.journal.record(
+            sim.now(),
+            obs::journal::CLASS_STAGE,
+            "session.kill",
+            None,
+            &[],
+            "",
+        );
         let traced: Vec<Pid> = w
             .procs
             .iter()
@@ -255,6 +271,14 @@ impl Session {
         remap: &dyn Fn(&str) -> NodeId,
         gen: u64,
     ) -> Vec<Pid> {
+        w.obs.journal.record(
+            sim.now(),
+            obs::journal::CLASS_STAGE,
+            "session.restart",
+            None,
+            &[("gen", gen)],
+            "",
+        );
         crate::launch::install_hook(w);
         let coord_host = w.node(self.opts.coord_node).hostname.clone();
         // Group images by *target* node (migration may merge hosts).
@@ -488,7 +512,7 @@ impl std::error::Error for RestartError {}
 /// Rewrite the generation number embedded in an image path
 /// (`…_gen<N>.dmtcp`) — the restart script names the newest generation,
 /// fallback retargets the same images one generation back.
-fn rewrite_gen(path: &str, gen: u64) -> String {
+pub(crate) fn rewrite_gen(path: &str, gen: u64) -> String {
     match path.rfind("_gen") {
         Some(idx) => {
             let digits_start = idx + 4;
@@ -519,4 +543,25 @@ pub fn transplant_storage(src: &World, dst: &mut World) {
 pub fn run_for(w: &mut World, sim: &mut OsSim, dur: Nanos) {
     let deadline = sim.now() + dur;
     sim.run_until(w, deadline);
+}
+
+/// Turn on the flight recorder for this world: record the given event
+/// classes (see `obs::journal::CLASS_*`), stamp `meta` key/value pairs into
+/// the journal header, and install the protocol message tagger so
+/// `msg.send` events carry wire-message variant names. The enabled class
+/// mask is itself stored under the `classes` meta key, so
+/// [`crate::replay`] can re-arm an identical recording.
+pub fn enable_flight_recorder(w: &mut World, classes: u8, meta: &[(&str, &str)]) {
+    w.obs.journal.enable(classes);
+    w.obs.journal.set_meta("classes", format!("{classes}"));
+    for (k, v) in meta {
+        w.obs.journal.set_meta(k, *v);
+    }
+    crate::launch::install_msg_tagger(w);
+}
+
+/// Export the recorded flight-recorder journal as versioned JSONL (the
+/// format `obs::journal::decode_jsonl` and `dmtcp replay` consume).
+pub fn export_journal(w: &mut World) -> String {
+    w.obs.journal_jsonl()
 }

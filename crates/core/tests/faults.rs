@@ -38,13 +38,15 @@ mod common;
 
 use common::*;
 use dmtcp::coord::stage;
-use dmtcp::session::{run_for, CkptOutcome};
+use dmtcp::session::{enable_flight_recorder, export_journal, run_for, CkptOutcome};
 use dmtcp::{ExpectCkpt, Options, Session};
 use faultkit::{FaultKind, FaultPlan};
-use oskit::world::{NodeId, Pid};
+use obs::journal::{CLASS_FAULT, CLASS_NET, CLASS_STAGE};
+use oskit::world::{NodeId, OsSim, Pid, World};
 use simkit::{mix2, Nanos, RunOutcome};
 use std::collections::{BTreeMap, BTreeSet};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 
 /// Rounds for the distributed request/response workload (finishes well after
 /// the faulted checkpoint lands, so every cell interrupts it mid-flight).
@@ -329,13 +331,97 @@ fn reference(wl: Workload, budget: u64) -> Vec<(&'static str, String)> {
         .collect()
 }
 
-/// Run one matrix cell; panics (caught by the harness) on any invariant
-/// violation.
+/// Event classes every recorded cell journals. Scheduler dispatches are
+/// deliberately excluded: they are by far the chattiest class and the
+/// protocol/fault/barrier timeline is what a red cell needs to be replayed.
+const CELL_CLASSES: u8 = CLASS_NET | CLASS_FAULT | CLASS_STAGE;
+
+/// Where failed-cell journals land: `<workspace>/target/replay/`.
+fn replay_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/replay")
+}
+
+/// Turn the flight recorder on for a cell run, stamping everything needed
+/// to rebuild the cell into the journal header.
+fn record_cell(w: &mut World, cell: &Cell, budget: u64) {
+    enable_flight_recorder(
+        w,
+        CELL_CLASSES,
+        &[
+            ("cell", &cell.id()),
+            ("kind", cell.kind.name()),
+            ("stage", &cell.stage.to_string()),
+            ("workload", cell.wl.name()),
+            ("base", &format!("{:#x}", cell.base)),
+            ("variant", &cell.variant.to_string()),
+            ("forked", if cell.forked { "1" } else { "0" }),
+            ("seed", &format!("{:#x}", cell.seed())),
+            ("budget", &budget.to_string()),
+        ],
+    );
+}
+
+/// Run one matrix cell with the flight recorder on; panics (caught by the
+/// harness) on any invariant violation. On failure the journal is written
+/// to `target/replay/<seed>.jsonl` and the exact `replay_cell` invocation
+/// that re-executes the run to the moment of death is printed.
 fn run_cell(cell: &Cell, reference: &[(&'static str, String)], budget: u64) {
     let (mut w, mut sim) = cluster(2);
+    record_cell(&mut w, cell, budget);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        drive_cell(cell, reference, budget, &mut w, &mut sim)
+    }));
+    if let Err(e) = result {
+        let died_at = sim.now();
+        w.obs.journal.set_meta("end_ns", died_at.0.to_string());
+        let dropped = w.obs.journal.evicted();
+        let jsonl = export_journal(&mut w);
+        let dir = replay_dir();
+        let path = dir.join(format!("{:#x}.jsonl", cell.seed()));
+        match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &jsonl)) {
+            Ok(()) => {
+                eprintln!(
+                    "cell {} died at {}ns; flight recorder journal ({} events, \
+                     {} evicted): {}",
+                    cell.id(),
+                    died_at.0,
+                    w.obs.journal.len(),
+                    dropped,
+                    path.display()
+                );
+                eprintln!(
+                    "replay it to the moment of death with:\n  \
+                     DMTCP_REPLAY={} DMTCP_REPLAY_SEEK={} \
+                     DMTCP_FAULT_SEEDS={:#x} DMTCP_FAULT_ONLY='{}' \
+                     cargo test -p dmtcp --test faults replay_cell -- --nocapture",
+                    path.display(),
+                    died_at.0,
+                    cell.base,
+                    cell.id()
+                );
+            }
+            Err(io) => eprintln!(
+                "cell {}: could not write replay journal to {}: {io}",
+                cell.id(),
+                path.display()
+            ),
+        }
+        resume_unwind(e);
+    }
+}
+
+/// The cell experiment itself, against a caller-owned world (so the caller
+/// can salvage the flight-recorder journal when this panics).
+fn drive_cell(
+    cell: &Cell,
+    reference: &[(&'static str, String)],
+    budget: u64,
+    w: &mut World,
+    sim: &mut OsSim,
+) {
     let s = Session::start(
-        &mut w,
-        &mut sim,
+        &mut *w,
+        &mut *sim,
         Options::builder()
             .ckpt_dir("/shared/ckpt")
             .forked(cell.forked)
@@ -346,7 +432,7 @@ fn run_cell(cell: &Cell, reference: &[(&'static str, String)], budget: u64) {
     // store's replica on the peer node. The store stays installed through
     // restart — the reader resolves images through it.
     if cell.kind == FaultKind::ImageDelete {
-        ckptstore::install(&mut w, ckptstore::Config::default());
+        ckptstore::install(&mut *w, ckptstore::Config::default());
     }
     // Install before launch: the per-process managers register their
     // coordinator connections at connect time, and message faults only see
@@ -354,7 +440,7 @@ fn run_cell(cell: &Cell, reference: &[(&'static str, String)], budget: u64) {
     // deterministic, so targeting gen 2 arms the fault against the second
     // (faulted) checkpoint while leaving the clean gen-1 checkpoint alone.
     faultkit::install(
-        &mut w,
+        &mut *w,
         FaultPlan {
             seed: cell.seed(),
             kind: cell.kind,
@@ -365,15 +451,15 @@ fn run_cell(cell: &Cell, reference: &[(&'static str, String)], budget: u64) {
     match cell.wl {
         Workload::Chain => {
             s.launch(
-                &mut w,
-                &mut sim,
+                &mut *w,
+                &mut *sim,
                 NodeId(1),
                 "server",
                 Box::new(EchoPlusOne::new(9000)),
             );
             s.launch(
-                &mut w,
-                &mut sim,
+                &mut *w,
+                &mut *sim,
                 NodeId(0),
                 "client",
                 Box::new(FtChainClient::new("node01", 9000, CHAIN_ROUNDS)),
@@ -381,8 +467,8 @@ fn run_cell(cell: &Cell, reference: &[(&'static str, String)], budget: u64) {
         }
         Workload::Pipe => {
             s.launch(
-                &mut w,
-                &mut sim,
+                &mut *w,
+                &mut *sim,
                 NodeId(1),
                 "pipe",
                 Box::new(FtPipeChain::new(PIPE_TOTAL)),
@@ -390,26 +476,37 @@ fn run_cell(cell: &Cell, reference: &[(&'static str, String)], budget: u64) {
         }
     }
 
-    run_for(&mut w, &mut sim, Nanos::from_millis(6));
+    run_for(&mut *w, &mut *sim, Nanos::from_millis(6));
     let g1 = s
-        .checkpoint_and_wait(&mut w, &mut sim, budget)
+        .checkpoint_and_wait(&mut *w, &mut *sim, budget)
         .expect_ckpt();
     assert_eq!(g1.gen, 1, "first generation must be 1");
-    run_for(&mut w, &mut sim, Nanos::from_millis(2));
+    run_for(&mut *w, &mut *sim, Nanos::from_millis(2));
 
-    let outcome = s.checkpoint_until_settled(&mut w, &mut sim, budget);
+    let outcome = s.checkpoint_until_settled(&mut *w, &mut *sim, budget);
     // In forked mode the stop-the-world phase has settled but the background
     // drain is still in flight; let it finish (or drain-abort, if the fault
     // kills a participant) while the fault is still armed.
     let written2 = if cell.forked && matches!(outcome, CkptOutcome::Completed(_)) {
-        Session::wait_ckpt_written(&mut w, &mut sim, 2, budget).is_some()
+        Session::wait_ckpt_written(&mut *w, &mut *sim, 2, budget).is_some()
     } else {
         false
     };
-    let injected: Vec<String> = faultkit::state(&w)
+    let injected: Vec<String> = faultkit::state(&*w)
         .map(|st| st.borrow().injected().to_vec())
         .unwrap_or_default();
-    faultkit::uninstall(&mut w);
+    // `uninstall_at` journals the hook removal: taking the hooks out changes
+    // how later packets are treated, so a replay must do it at the same
+    // virtual instant.
+    faultkit::uninstall_at(&mut *w, sim.now());
+    // Deliberate mid-protocol death, for exercising (and demonstrating) the
+    // red-cell debugging loop: journal dump, printed replay invocation,
+    // substrate snapshot at the moment of death.
+    assert!(
+        std::env::var("DMTCP_FAULT_DEMO_FAIL").as_deref() != Ok("1"),
+        "deliberate failure (DMTCP_FAULT_DEMO_FAIL=1) after the faulted \
+         checkpoint settled (injected: {injected:?})"
+    );
 
     match cell.kind {
         FaultKind::DropMsg | FaultKind::DelayMsg | FaultKind::ReorderMsg | FaultKind::Partition => {
@@ -459,8 +556,8 @@ fn run_cell(cell: &Cell, reference: &[(&'static str, String)], budget: u64) {
 
     // Let scheduled kills fire and survivors notice dead peers, then tear
     // the computation down as a crash would.
-    run_for(&mut w, &mut sim, Nanos::from_millis(6));
-    s.kill_computation(&mut w, &mut sim);
+    run_for(&mut *w, &mut *sim, Nanos::from_millis(6));
+    s.kill_computation(&mut *w, &mut *sim);
     for p in cell.wl.results() {
         let _ = w.shared_fs.remove(p);
     }
@@ -476,7 +573,7 @@ fn run_cell(cell: &Cell, reference: &[(&'static str, String)], budget: u64) {
             .expect("known host")
     };
     let restored = s
-        .restart_resilient(&mut w, &mut sim, &remap)
+        .restart_resilient(&mut *w, &mut *sim, &remap)
         .expect("gen 1 completed cleanly, so a usable generation exists");
 
     if cell.forked {
@@ -557,8 +654,8 @@ fn run_cell(cell: &Cell, reference: &[(&'static str, String)], budget: u64) {
         );
     }
 
-    Session::wait_restart_done(&mut w, &mut sim, restored.gen, budget);
-    match sim.run_budgeted(&mut w, budget) {
+    Session::wait_restart_done(&mut *w, &mut *sim, restored.gen, budget);
+    match sim.run_budgeted(&mut *w, budget) {
         RunOutcome::Quiescent | RunOutcome::Halted => {}
         RunOutcome::BudgetExhausted => panic!(
             "event budget exhausted after restart ({budget} events) — raise \
@@ -566,7 +663,7 @@ fn run_cell(cell: &Cell, reference: &[(&'static str, String)], budget: u64) {
         ),
     }
     for (path, want) in reference {
-        let got = shared_result(&w, path);
+        let got = shared_result(&*w, path);
         assert_eq!(
             got.as_deref(),
             Some(want.as_str()),
@@ -809,4 +906,149 @@ fn relay_death_mid_drain_aborts_to_previous_generation() {
 #[test]
 fn relay_partition_behaves_like_lost_participant() {
     run_relay_fault(FaultKind::RelaySever);
+}
+
+// ---------------------------------------------------------------------
+// Time-travel replay of a recorded cell. When a matrix cell fails, its
+// flight-recorder journal lands in `target/replay/<seed>.jsonl` and the
+// failure report prints the exact invocation of this test. The journal's
+// metadata names the cell, so the replay rebuilds the identical world,
+// re-delivers the recorded schedule up to the requested virtual time
+// (default: the instant of death), and dumps the substrate as structured
+// JSON — sockets, fds, barrier state, the causal event tail.
+// ---------------------------------------------------------------------
+
+/// Rebuild the matrix cell a journal was recorded from, using the metadata
+/// `record_cell` stamped into its header.
+fn cell_from_meta(j: &obs::journal::DecodedJournal) -> Cell {
+    let get = |k: &str| {
+        j.meta_value(k)
+            .unwrap_or_else(|| panic!("journal meta lacks {k:?} — not a fault-matrix recording"))
+    };
+    let kind_name = get("kind");
+    let kind = FaultKind::ALL
+        .iter()
+        .copied()
+        .chain([FaultKind::RelayKill, FaultKind::RelaySever])
+        .find(|k| k.name() == kind_name)
+        .unwrap_or_else(|| panic!("unknown fault kind {kind_name:?}"));
+    let wl_name = get("workload");
+    let wl = Workload::ALL
+        .iter()
+        .copied()
+        .find(|w| w.name() == wl_name)
+        .unwrap_or_else(|| panic!("unknown workload {wl_name:?}"));
+    let cell = Cell {
+        kind,
+        stage: get("stage").parse().expect("stage meta"),
+        wl,
+        base: parse_seed(get("base")).expect("base meta"),
+        variant: get("variant").parse().expect("variant meta"),
+        forked: get("forked") == "1",
+    };
+    // The seed stamped at record time must match the rebuilt cell, or the
+    // seed derivation changed since the journal was written and replaying
+    // it would explore a different fault timing entirely.
+    assert_eq!(
+        format!("{:#x}", cell.seed()),
+        get("seed"),
+        "cell-seed mismatch: the matrix changed since this journal was recorded"
+    );
+    cell
+}
+
+/// Re-execute a recorded red cell to any virtual time (`DMTCP_REPLAY` names
+/// the journal, `DMTCP_REPLAY_SEEK` the nanosecond to stop at — default the
+/// recorded moment of death) and dump the substrate there. Without
+/// `DMTCP_REPLAY` the test is a no-op, so plain `cargo test` stays green.
+#[test]
+fn replay_cell() {
+    let Ok(path) = std::env::var("DMTCP_REPLAY") else {
+        eprintln!(
+            "replay_cell: skipped (set DMTCP_REPLAY=target/replay/<seed>.jsonl; \
+             a failing matrix cell prints the exact invocation)"
+        );
+        return;
+    };
+    let jsonl = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read journal {path}: {e}"));
+    let recorded = obs::journal::decode_jsonl(&jsonl)
+        .unwrap_or_else(|e| panic!("journal {path} does not decode: {e:?}"));
+    let cell = cell_from_meta(&recorded);
+    let seek = match std::env::var("DMTCP_REPLAY_SEEK") {
+        Ok(s) => Nanos(parse_seed(&s).expect("DMTCP_REPLAY_SEEK must be nanoseconds")),
+        Err(_) => Nanos(
+            recorded
+                .meta_value("end_ns")
+                .and_then(|s| s.parse().ok())
+                .expect("journal lacks end_ns metadata; pass DMTCP_REPLAY_SEEK"),
+        ),
+    };
+    eprintln!(
+        "replaying cell {} (seed {:#x}) to t={}ns from {path}",
+        cell.id(),
+        cell.seed(),
+        seek.0
+    );
+
+    // Reconstruct the recorded world exactly: same cluster, same session
+    // options, same fault plan, same launches — then let the journal drive.
+    let (mut w, mut sim) = cluster(2);
+    dmtcp::replay::arm(&mut w, &recorded).expect("recording arms");
+    let s = Session::start(
+        &mut w,
+        &mut sim,
+        Options::builder()
+            .ckpt_dir("/shared/ckpt")
+            .forked(cell.forked)
+            .build(),
+    );
+    if cell.kind == FaultKind::ImageDelete {
+        ckptstore::install(&mut w, ckptstore::Config::default());
+    }
+    faultkit::install(
+        &mut w,
+        FaultPlan {
+            seed: cell.seed(),
+            kind: cell.kind,
+            stage: cell.stage,
+            target_gen: 2,
+        },
+    );
+    match cell.wl {
+        Workload::Chain => {
+            s.launch(
+                &mut w,
+                &mut sim,
+                NodeId(1),
+                "server",
+                Box::new(EchoPlusOne::new(9000)),
+            );
+            s.launch(
+                &mut w,
+                &mut sim,
+                NodeId(0),
+                "client",
+                Box::new(FtChainClient::new("node01", 9000, CHAIN_ROUNDS)),
+            );
+        }
+        Workload::Pipe => {
+            s.launch(
+                &mut w,
+                &mut sim,
+                NodeId(1),
+                "pipe",
+                Box::new(FtPipeChain::new(PIPE_TOTAL)),
+            );
+        }
+    }
+
+    let report = dmtcp::replay::drive(&mut w, &mut sim, &s, &recorded, Some(seek));
+    eprintln!("{}", report.verdict());
+    println!("{}", report.snapshot);
+    assert!(
+        report.divergence.is_none(),
+        "replay diverged from the recording:\n{}",
+        report.verdict()
+    );
 }

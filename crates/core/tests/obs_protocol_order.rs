@@ -97,4 +97,13 @@ fn mtcp_writes_wait_for_drained_barrier_and_refill_conserves_bytes() {
     // The computation must still finish correctly afterwards.
     assert!(sim.run_bounded(&mut w, EV), "post-checkpoint deadlock");
     assert!(shared_result(&w, "/shared/client_result").is_some());
+
+    // (4) The witnesses themselves must be lossless: a span ring that
+    // silently evicted entries would make every assertion above vacuous.
+    w.obs.sync_drop_counters();
+    assert_eq!(
+        w.obs.metrics.counter_total("obs.spans_dropped"),
+        0,
+        "span ring dropped entries; the protocol-order evidence is incomplete"
+    );
 }

@@ -406,6 +406,23 @@ pub fn uninstall(w: &mut World) {
     w.ext_slots.remove(SLOT);
 }
 
+/// Like [`uninstall`], but journals a `fault.uninstall` flight-recorder
+/// event at `now` first. Recorded runs must use this variant: removing the
+/// hooks mid-run changes packet timing (e.g. an open partition window stops
+/// applying), so a replay has to re-deliver the removal at the same virtual
+/// time — which requires it to be on the recorded timeline.
+pub fn uninstall_at(w: &mut World, now: Nanos) {
+    w.obs.journal.record(
+        now,
+        obs::journal::CLASS_FAULT,
+        "fault.uninstall",
+        None,
+        &[],
+        "",
+    );
+    uninstall(w);
+}
+
 /// The installed state, if any.
 pub fn state(w: &World) -> Option<Rc<RefCell<FaultState>>> {
     w.ext_slots
@@ -448,6 +465,28 @@ pub fn image_written(w: &mut World, gen: u64, node: NodeId, path: &str) {
     }
 }
 
+/// Journal injections appended during the current notification as
+/// `fault.inject` flight-recorder events. The packet and image-write hooks
+/// have no world access, so their effects are journaled by the kernel taps
+/// (`fault.net.*`, `fault.image`) instead; this covers the kill/partition/
+/// image-delete/relay faults fired from the protocol notifications below.
+fn journal_new_injections(w: &mut World, now: Nanos, st: &Rc<RefCell<FaultState>>, before: usize) {
+    if !w.obs.journal.wants(obs::journal::CLASS_FAULT) {
+        return;
+    }
+    let lines: Vec<String> = st.borrow().injected[before..].to_vec();
+    for line in lines {
+        w.obs.journal.record(
+            now,
+            obs::journal::CLASS_FAULT,
+            "fault.inject",
+            None,
+            &[],
+            &line,
+        );
+    }
+}
+
 /// Notification: the coordinator just broadcast a checkpoint request for
 /// `gen`. Arms torn-write faults for this generation and, for faults
 /// targeting the first barrier stage, the message/partition window.
@@ -462,6 +501,7 @@ pub fn checkpoint_requested(
     let Some(st) = state(w) else {
         return;
     };
+    let before = st.borrow().injected.len();
     let mut s = st.borrow_mut();
     if gen != s.plan.target_gen {
         return;
@@ -475,6 +515,8 @@ pub fn checkpoint_requested(
     if s.plan.stage == first_stage {
         s.arm_window(sim.now(), candidates, coord_node);
     }
+    drop(s);
+    journal_new_injections(w, sim.now(), &st, before);
 }
 
 /// Notification: the coordinator just released barrier `stg` of `gen`.
@@ -492,6 +534,7 @@ pub fn stage_released(
     let Some(st) = state(w) else {
         return;
     };
+    let before = st.borrow().injected.len();
     let mut s = st.borrow_mut();
     if gen != s.plan.target_gen {
         return;
@@ -515,6 +558,7 @@ pub fn stage_released(
                     .push(format!("image-delete node{} {}", node.0, path));
                 drop(s);
                 delete_primary_image(w, node, &path);
+                journal_new_injections(w, sim.now(), &st, before);
                 return;
             }
         }
@@ -530,6 +574,7 @@ pub fn stage_released(
                     w.signal(sim, pid, sig::SIGKILL);
                 });
             }
+            journal_new_injections(w, sim.now(), &st, before);
             return;
         }
         if s.plan.kind == FaultKind::RelayKill && !s.killed && !s.relay_procs.is_empty() {
@@ -543,6 +588,7 @@ pub fn stage_released(
             sim.soon(move |w: &mut World, sim| {
                 w.signal(sim, pid, sig::SIGKILL);
             });
+            journal_new_injections(w, sim.now(), &st, before);
             return;
         }
         if s.plan.kind == FaultKind::RelaySever && s.severed.is_empty() && !s.relay_conns.is_empty()
@@ -554,6 +600,8 @@ pub fn stage_released(
             s.injected.push(format!("relay-sever conn {}", cid.0));
         }
     }
+    drop(s);
+    journal_new_injections(w, sim.now(), &st, before);
 }
 
 /// Node-local disk loss for one image: remove the plain file (when the

@@ -306,7 +306,7 @@ fn commit_image(
     // between "bytes produced" and "file committed" — the CRC/length checks
     // on the read side must catch whatever happens here. For a forked write
     // this models a crash mid-way through the background commit.
-    w.apply_image_fault(path, &mut blob);
+    w.apply_image_fault(now, path, &mut blob);
     let image_bytes = blob.len();
 
     // ---- Phase 4: commit and charge time. ----

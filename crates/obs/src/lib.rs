@@ -23,22 +23,30 @@
 //! `ckpt`, `restart`, `mtcp`).
 
 pub mod export;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod span;
 
+pub use journal::{DecodedJournal, Divergence, EventId, Journal, JournalEvent};
 pub use metrics::{Histogram, MetricKey, Registry};
 pub use span::{Span, SpanGuard, SpanKind, SpanRecorder, TrackId};
 
 use std::collections::BTreeMap;
 
 /// The per-world observability hub: a span recorder, a metrics registry,
-/// and the process-name table the trace exporter labels tracks with.
+/// the causal flight recorder, and the process-name table the trace
+/// exporter labels tracks with.
 #[derive(Debug, Default)]
 pub struct Obs {
     pub spans: SpanRecorder,
     pub metrics: Registry,
+    /// The flight recorder (see [`journal`]); off by default.
+    pub journal: Journal,
     names: BTreeMap<(u32, u32), String>,
+    /// Ring evictions already mirrored into drop counters.
+    synced_span_drops: u64,
+    synced_journal_drops: u64,
 }
 
 impl Obs {
@@ -66,6 +74,33 @@ impl Obs {
     pub fn metrics_jsonl(&self) -> String {
         export::metrics_jsonl(&self.metrics)
     }
+
+    /// Export the flight-recorder journal as versioned JSONL.
+    pub fn journal_jsonl(&self) -> String {
+        self.journal.to_jsonl()
+    }
+
+    /// Mirror ring evictions into counters instead of truncating silently:
+    /// `obs.spans_dropped` (span ring) and `obs.journal_dropped` (flight
+    /// recorder). Idempotent — only new evictions since the last call are
+    /// added, so exporters can call it every flush.
+    pub fn sync_drop_counters(&mut self) {
+        let spans = self.spans.evicted();
+        if spans > self.synced_span_drops {
+            self.metrics
+                .add("obs.spans_dropped", 0, spans - self.synced_span_drops);
+            self.synced_span_drops = spans;
+        }
+        let journal = self.journal.evicted();
+        if journal > self.synced_journal_drops {
+            self.metrics.add(
+                "obs.journal_dropped",
+                0,
+                journal - self.synced_journal_drops,
+            );
+            self.synced_journal_drops = journal;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +127,25 @@ mod tests {
         assert!(trace.contains("coordinator"));
         let dump = o.metrics_jsonl();
         assert!(dump.contains("core.drain.bytes"));
+    }
+
+    #[test]
+    fn drop_counters_track_ring_evictions() {
+        let mut o = Obs::new();
+        o.sync_drop_counters();
+        assert_eq!(o.metrics.counter_total("obs.spans_dropped"), 0);
+        o.journal.enable(journal::CLASS_ALL);
+        o.journal.set_capacity(4);
+        for i in 0..10 {
+            o.journal
+                .record(Nanos(i), journal::CLASS_SCHED, "sched", None, &[], "");
+        }
+        o.sync_drop_counters();
+        let dropped = o.metrics.counter_total("obs.journal_dropped");
+        assert_eq!(dropped, o.journal.evicted());
+        assert!(dropped > 0);
+        // Idempotent: no double counting.
+        o.sync_drop_counters();
+        assert_eq!(o.metrics.counter_total("obs.journal_dropped"), dropped);
     }
 }

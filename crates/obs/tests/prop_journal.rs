@@ -1,0 +1,243 @@
+//! Property-style round-trip tests for the flight-recorder journal codec.
+//!
+//! Mirrors `core/tests/prop_proto.rs`: no external property-testing crate —
+//! a seeded [`DetRng`] generates thousands of random journals (metadata,
+//! event payloads, detail strings full of JSON-hostile characters), the
+//! JSONL capture is re-chunked at random byte boundaries through the
+//! streaming [`JournalReader`], and the decode must reproduce the journal
+//! exactly. Malformed captures — truncated, corrupt, future-versioned,
+//! empty — must surface as the right [`JournalError`], never a panic or a
+//! silently wrong timeline.
+
+use obs::journal::{
+    decode_jsonl, EventId, Journal, JournalError, JournalReader, CLASS_FAULT, CLASS_NET,
+    CLASS_SCHED, CLASS_STAGE,
+};
+use simkit::{DetRng, Nanos};
+
+const CLASSES: [u8; 4] = [CLASS_SCHED, CLASS_NET, CLASS_FAULT, CLASS_STAGE];
+
+/// Dotted kinds drawn from the real recorder's vocabulary plus stage kinds
+/// that exercise the auto happens-before linkage.
+const KINDS: [&str; 8] = [
+    "msg.send",
+    "msg.deliver",
+    "sched.step",
+    "fault.net.drop",
+    "stage.request",
+    "stage.release",
+    "stage.reach",
+    "session.kill",
+];
+
+/// Detail strings deliberately include every character class the JSON
+/// encoder must escape: quotes, backslashes, control characters, multi-byte
+/// UTF-8.
+fn rand_detail(rng: &mut DetRng) -> String {
+    const ALPHABET: [&str; 10] = [
+        "a", "Z", "\"", "\\", "\n", "\t", "\u{1}", "é", "barrier", " ",
+    ];
+    let len = rng.below(12) as usize;
+    (0..len)
+        .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize])
+        .collect()
+}
+
+fn rand_journal(rng: &mut DetRng) -> Journal {
+    let mut j = Journal::new();
+    j.enable(CLASS_SCHED | CLASS_NET | CLASS_FAULT | CLASS_STAGE);
+    for i in 0..rng.below(4) {
+        j.set_meta(&format!("k{i}"), rand_detail(rng));
+    }
+    let mut at = 0u64;
+    for _ in 0..rng.below(60) {
+        at += rng.below(10_000);
+        let class = CLASSES[rng.below(4) as usize];
+        let kind = KINDS[rng.below(KINDS.len() as u64) as usize];
+        let cause = if rng.below(3) == 0 && !j.is_empty() {
+            Some(EventId(rng.below(j.len() as u64)))
+        } else {
+            None
+        };
+        let mut nums: Vec<(&str, u64)> = Vec::new();
+        for (name, odds) in [("gen", 2), ("stage", 3), ("conn", 3), ("bytes", 3)] {
+            if rng.below(odds) == 0 {
+                nums.push((name, rng.next_u64()));
+            }
+        }
+        j.record(Nanos(at), class, kind, cause, &nums, rand_detail(rng));
+    }
+    j
+}
+
+/// Decode a capture by feeding it to a [`JournalReader`] in random-size
+/// chunks (1..=23 bytes).
+fn decode_chunked(
+    rng: &mut DetRng,
+    capture: &str,
+) -> Result<obs::journal::DecodedJournal, JournalError> {
+    let wire = capture.as_bytes();
+    let mut r = JournalReader::new();
+    let mut off = 0;
+    while off < wire.len() {
+        let n = (1 + rng.below(23) as usize).min(wire.len() - off);
+        r.feed(&wire[off..off + n]);
+        off += n;
+    }
+    r.finish()
+}
+
+#[test]
+fn random_journals_roundtrip_under_random_chunking() {
+    let mut rng = DetRng::seed_from_u64(0x0b5e_0001);
+    for round in 0..300 {
+        let j = rand_journal(&mut rng);
+        let capture = j.to_jsonl();
+        let d = decode_chunked(&mut rng, &capture)
+            .unwrap_or_else(|e| panic!("round {round}: well-formed capture rejected: {e}"));
+        assert_eq!(d.version, obs::journal::JOURNAL_VERSION);
+        assert_eq!(d.meta, j.meta(), "round {round}: metadata mangled");
+        assert_eq!(d.events, j.events(), "round {round}: timeline mangled");
+        assert_eq!(d.evicted, j.evicted());
+        assert_eq!(d.next_id, j.len() as u64);
+        // Re-encoding the decode must be byte-identical: the capture is the
+        // canonical form, so journals survive any number of round trips.
+        assert_eq!(
+            decode_jsonl(&capture).expect("whole-capture decode"),
+            d,
+            "round {round}: streaming and whole-capture decodes disagree"
+        );
+    }
+}
+
+#[test]
+fn evicted_ring_roundtrips_with_stable_ids() {
+    // Overflow a tiny ring: the capture keeps only the tail, but ids and the
+    // eviction count survive the round trip (and mark the capture as unfit
+    // for divergence-anchoring).
+    let mut rng = DetRng::seed_from_u64(0x0b5e_0002);
+    let mut j = Journal::new();
+    j.enable(CLASS_NET);
+    j.set_capacity(8);
+    for i in 0..50u64 {
+        j.record(Nanos(i), CLASS_NET, "msg.send", None, &[("conn", i)], "");
+    }
+    assert!(j.evicted() > 0, "tiny ring never evicted");
+    assert_eq!(j.evicted() + j.len() as u64, 50);
+    let d = decode_chunked(&mut rng, &j.to_jsonl()).expect("decodes");
+    assert_eq!(d.evicted, j.evicted());
+    assert_eq!(d.next_id, 50);
+    assert_eq!(d.events, j.events());
+    // Ids are global, not ring-relative: the oldest surviving event's id
+    // equals the eviction count.
+    assert_eq!(d.events.first().map(|e| e.id), Some(EventId(d.evicted)));
+}
+
+#[test]
+fn truncated_captures_are_rejected() {
+    let mut rng = DetRng::seed_from_u64(0x0b5e_0003);
+    // Dropping the footer line is the canonical truncation.
+    let j = rand_journal(&mut rng);
+    let capture = j.to_jsonl();
+    let without_footer: String = {
+        let mut lines: Vec<&str> = capture.lines().collect();
+        lines.pop();
+        lines.join("\n") + "\n"
+    };
+    assert!(
+        matches!(
+            decode_chunked(&mut rng, &without_footer),
+            Err(JournalError::Truncated(_))
+        ),
+        "a capture without its footer must be Truncated"
+    );
+    // Dropping an event line leaves the footer's count lying.
+    if !j.is_empty() {
+        let mut lines: Vec<&str> = capture.lines().collect();
+        lines.remove(1 + rng.below(j.len() as u64) as usize);
+        let missing_event = lines.join("\n") + "\n";
+        assert!(
+            matches!(
+                decode_chunked(&mut rng, &missing_event),
+                Err(JournalError::Truncated(_))
+            ),
+            "a footer count mismatch must be Truncated"
+        );
+    }
+    // Any byte-level cut must error out — Truncated when the cut lands on a
+    // line boundary, Corrupt when it tears a line — never a partial success.
+    for _ in 0..200 {
+        let cut = 1 + rng.below(capture.len() as u64 - 1) as usize;
+        assert!(
+            decode_chunked(&mut rng, &capture[..cut]).is_err(),
+            "prefix of {cut} bytes decoded successfully"
+        );
+    }
+}
+
+#[test]
+fn corrupt_lines_are_rejected_not_panics() {
+    let mut rng = DetRng::seed_from_u64(0x0b5e_0004);
+    let mut rejected = 0u32;
+    for _ in 0..300 {
+        let j = rand_journal(&mut rng);
+        let capture = j.to_jsonl();
+        let mut bytes = capture.clone().into_bytes();
+        // Flip one random non-newline byte (a newline flip merely re-splits
+        // lines, which the byte-cut test above already covers).
+        let idx = rng.below(bytes.len() as u64) as usize;
+        if bytes[idx] == b'\n' {
+            continue;
+        }
+        bytes[idx] ^= 1 << rng.below(8);
+        let Ok(text) = String::from_utf8(bytes) else {
+            // Invalid UTF-8 goes through the reader's byte path instead.
+            continue;
+        };
+        // A flip inside string content can still be a well-formed capture;
+        // the property is "never a panic", plus corruption being caught
+        // often enough to prove validation is live.
+        if decode_chunked(&mut rng, &text).is_err() {
+            rejected += 1;
+        }
+    }
+    assert!(rejected > 100, "almost no corruption rejected ({rejected})");
+}
+
+#[test]
+fn unknown_version_is_rejected_with_the_version() {
+    let mut rng = DetRng::seed_from_u64(0x0b5e_0005);
+    let capture = rand_journal(&mut rng).to_jsonl();
+    let future = capture.replacen("\"v\":1", "\"v\":99", 1);
+    assert_ne!(capture, future, "header version field not found");
+    assert_eq!(
+        decode_chunked(&mut rng, &future),
+        Err(JournalError::UnknownVersion(99)),
+        "a future format version must be named in the rejection"
+    );
+}
+
+#[test]
+fn empty_and_headerless_captures_are_empty() {
+    assert_eq!(decode_jsonl(""), Err(JournalError::Empty));
+    // A capture whose first line is not a header is corrupt, not empty:
+    // there was data, it just wasn't a journal.
+    assert!(matches!(
+        decode_jsonl("{\"type\":\"footer\",\"events\":0,\"evicted\":0,\"next_id\":0}\n"),
+        Err(JournalError::Corrupt { line: 1, .. })
+    ));
+}
+
+#[test]
+fn trailing_garbage_after_footer_is_corrupt() {
+    let mut rng = DetRng::seed_from_u64(0x0b5e_0006);
+    let mut capture = rand_journal(&mut rng).to_jsonl();
+    capture.push_str("{\"type\":\"event\"}\n");
+    assert!(
+        matches!(
+            decode_chunked(&mut rng, &capture),
+            Err(JournalError::Corrupt { .. })
+        ),
+        "data after the footer must be rejected"
+    );
+}

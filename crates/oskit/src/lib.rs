@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dump;
 pub mod fdtable;
 pub mod fs;
 pub mod kernel;

@@ -685,6 +685,7 @@ impl World {
             };
             (t, cross)
         };
+        let natural_arrival = arrival;
         let mut dropped = false;
         if let Some(mut hook) = self.net_fault.take() {
             let verdict = {
@@ -705,6 +706,56 @@ impl World {
                 NetFault::Deliver => {}
                 NetFault::DeliverAt(t) => arrival = arrival.max(t).max(now),
                 NetFault::Drop => dropped = true,
+            }
+        }
+        // Flight-recorder taps: one msg.send per transmit, a fault event
+        // when the hook altered its fate, and (in the delivery closure
+        // below) a msg.deliver caused by the send — the happens-before
+        // edge replay divergence checking leans on.
+        let mut send_id = None;
+        if self.obs.journal.is_enabled() {
+            let conn = self.conns.get(&cid).expect("transmit on dead conn");
+            let nums = [
+                ("conn", cid.0),
+                ("end", e as u64),
+                ("bytes", n),
+                ("src", conn.node[e].0 as u64),
+                ("dst", conn.node[Conn::peer(e)].0 as u64),
+            ];
+            if self.obs.journal.wants(obs::journal::CLASS_NET) {
+                let tag = self.obs.journal.tag_bytes(&bytes);
+                send_id = self.obs.journal.record(
+                    now,
+                    obs::journal::CLASS_NET,
+                    "msg.send",
+                    None,
+                    &nums,
+                    tag,
+                );
+            }
+            if dropped {
+                self.obs.journal.record(
+                    now,
+                    obs::journal::CLASS_FAULT,
+                    "fault.net.drop",
+                    send_id,
+                    &nums,
+                    "",
+                );
+            } else if arrival > natural_arrival {
+                self.obs.journal.record(
+                    now,
+                    obs::journal::CLASS_FAULT,
+                    "fault.net.delay",
+                    send_id,
+                    &[
+                        ("conn", cid.0),
+                        ("end", e as u64),
+                        ("bytes", n),
+                        ("delay_ns", arrival.0 - natural_arrival.0),
+                    ],
+                    "",
+                );
             }
         }
         let conn = self.conns.get_mut(&cid).expect("transmit on dead conn");
@@ -733,6 +784,16 @@ impl World {
             conn.dirs[e].in_flight -= n;
             conn.dirs[e].rx_total += n;
             conn.dirs[e].recv_buf.extend(bytes.iter().copied());
+            if let Some(sid) = send_id {
+                w.obs.journal.record(
+                    sim.now(),
+                    obs::journal::CLASS_NET,
+                    "msg.deliver",
+                    Some(sid),
+                    &[("conn", cid.0), ("end", e as u64), ("bytes", n)],
+                    "",
+                );
+            }
             let readers = std::mem::take(&mut conn.dirs[e].read_waiters);
             w.wake_all(sim, readers);
         });
@@ -740,8 +801,14 @@ impl World {
 
     /// Give the installed image fault hook (if any) a chance to corrupt a
     /// checkpoint image blob before it is committed to the filesystem.
-    /// Returns `true` if a fault was injected.
-    pub fn apply_image_fault(&mut self, path: &str, blob: &mut crate::fs::Blob) -> bool {
+    /// `now` is the virtual time of the write (journaled when a fault
+    /// fires). Returns `true` if a fault was injected.
+    pub fn apply_image_fault(
+        &mut self,
+        now: Nanos,
+        path: &str,
+        blob: &mut crate::fs::Blob,
+    ) -> bool {
         let Some(mut hook) = self.image_fault.take() else {
             return false;
         };
@@ -749,6 +816,14 @@ impl World {
         self.image_fault = Some(hook);
         if hit {
             self.obs.metrics.inc("oskit.fs.image_fault", 0);
+            self.obs.journal.record(
+                now,
+                obs::journal::CLASS_FAULT,
+                "fault.image",
+                None,
+                &[("bytes", blob.len())],
+                path,
+            );
         }
         hit
     }
@@ -895,6 +970,20 @@ pub fn dispatch(w: &mut World, sim: &mut OsSim, pid: Pid, tid: Tid) {
 
     for s in signals {
         prog.on_signal(s);
+    }
+
+    // Flight-recorder tap: which thread the scheduler stepped. Off unless
+    // the chatty CLASS_SCHED bit is enabled.
+    if w.obs.journal.wants(obs::journal::CLASS_SCHED) {
+        let node = w.procs.get(&pid).map(|p| p.node.0 as u64).unwrap_or(0);
+        w.obs.journal.record(
+            sim.now(),
+            obs::journal::CLASS_SCHED,
+            "sched.step",
+            None,
+            &[("node", node), ("pid", pid.0 as u64), ("tid", tid.0 as u64)],
+            prog.tag(),
+        );
     }
 
     // Phase 2: run one step with the kernel facade.

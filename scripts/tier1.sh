@@ -2,7 +2,7 @@
 # Tier-1 gate: everything a PR must keep green.
 #
 # Usage: scripts/tier1.sh [stage...]
-#   stages: build test faults bench scale lint
+#   stages: build test faults bench scale replay lint
 #   No arguments runs every stage in that order (the full PR gate). CI runs
 #   the same stages one job each — `scripts/tier1.sh build`, etc. — so a
 #   local no-arg run reproduces the whole pipeline stage by stage.
@@ -58,6 +58,13 @@ stage_scale() {
     scripts/bench_gate.sh compare results/BENCH_scale.json scripts/BENCH_scale.baseline.json
 }
 
+stage_replay() {
+    echo "== flight-recorder record/replay smoke (zero divergence) =="
+    cargo test -q -p dmtcp --test replay
+    echo "== journal codec property tests =="
+    cargo test -q -p obs --test prop_journal
+}
+
 stage_lint() {
     echo "== cargo clippy (-D warnings) =="
     cargo clippy --workspace --all-targets -- -D warnings
@@ -68,9 +75,9 @@ stage_lint() {
 run_stage() {
     local name="$1"
     case "$name" in
-        build | test | faults | bench | scale | lint) ;;
+        build | test | faults | bench | scale | replay | lint) ;;
         *)
-            echo "tier1: unknown stage '$name' (stages: build test faults bench scale lint)" >&2
+            echo "tier1: unknown stage '$name' (stages: build test faults bench scale replay lint)" >&2
             exit 2
             ;;
     esac
@@ -82,7 +89,7 @@ run_stage() {
 }
 
 if [[ $# -eq 0 ]]; then
-    set -- build test faults bench scale lint
+    set -- build test faults bench scale replay lint
 fi
 for stage in "$@"; do
     run_stage "$stage"
