@@ -12,10 +12,13 @@
 //! Regenerate with: `cargo run --release -p dmtcp-bench --bin ckptstore`
 //! Pass `--smoke` for the cheap 3-generation variant tier-1 runs.
 
+use apps::memhog::IdleHog;
 use apps::nas::{nas_factory, NasKernel};
 use dmtcp::session::run_for;
 use dmtcp::{ExpectCkpt, Session};
-use dmtcp_bench::{ckpt_seconds, cluster_world, desktop_world, options, write_jsonl_lines, EV};
+use dmtcp_bench::{
+    ckpt_seconds, cluster_world, desktop_world, merge_flat_json, options, write_jsonl_lines, EV,
+};
 use obs::json::JsonWriter;
 use oskit::world::{NodeId, OsSim, World};
 use simkit::Nanos;
@@ -141,6 +144,71 @@ fn report(label: &str, full: &[GenRow], inc: &[GenRow], out: &mut Vec<String>) {
     }
 }
 
+/// The tentpole's mostly-idle workload: 32 MiB of real ballast written
+/// once, a 64 KiB scratch buffer rewritten every wake. Both runs go
+/// through the chunk store; `incremental` toggles the dirty-region writer
+/// so the comparison isolates capture cost, not storage cost.
+fn idle_rows(incremental: bool, gens: u32) -> Vec<GenRow> {
+    let (mut w, mut sim) = desktop_world();
+    ckptstore::install(&mut w, ckptstore::Config::default());
+    mtcp::incr::set_enabled(&mut w, incremental);
+    let s = Session::start(&mut w, &mut sim, options(true, false, false));
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(0),
+        "idlehog",
+        Box::new(IdleHog::new(32)),
+    );
+    run_for(&mut w, &mut sim, Nanos::from_millis(200));
+    let rows = measure_gens(&mut w, &mut sim, &s, true, gens, Nanos::from_millis(100));
+    if incremental {
+        assert!(
+            w.obs.metrics.counter_total("mtcp.incr.images") > 0,
+            "incremental run must capture at least one incremental image"
+        );
+    }
+    rows
+}
+
+/// Per-generation total-time table for the incremental writer, plus the
+/// flat gate metrics: mean generation ≥ 2 checkpoint seconds for full and
+/// incremental capture and their ratio (higher is better).
+fn report_incr(full: &[GenRow], inc: &[GenRow], out: &mut Vec<String>) -> [(&'static str, f64); 3] {
+    println!("\nIdleHog: full capture vs incremental dirty-region capture, per generation");
+    println!("  gen    full s    incr s   speedup   incr store MB");
+    for (f, i) in full.iter().zip(inc.iter()) {
+        println!(
+            "  {:>3}   {:>7.3}   {:>7.3}   {:>6.1}x   {:>13.2}",
+            f.gen,
+            f.ckpt_s,
+            i.ckpt_s,
+            f.ckpt_s / i.ckpt_s.max(1e-12),
+            i.physical as f64 / (1 << 20) as f64,
+        );
+        let mut j = JsonWriter::new();
+        j.obj_begin()
+            .field_str("workload", "IdleHog")
+            .field_u64("gen", f.gen)
+            .field_f64("full_ckpt_s", f.ckpt_s)
+            .field_f64("incr_ckpt_s", i.ckpt_s)
+            .field_u64("full_bytes", f.physical)
+            .field_u64("incr_bytes", i.physical)
+            .obj_end();
+        out.push(j.into_string());
+    }
+    let mean = |rows: &[GenRow]| {
+        let steady: Vec<f64> = rows.iter().skip(1).map(|r| r.ckpt_s).collect();
+        steady.iter().sum::<f64>() / steady.len().max(1) as f64
+    };
+    let (full_s, incr_s) = (mean(full), mean(inc));
+    [
+        ("full_gen2_total_s", full_s),
+        ("incr_gen2_total_s", incr_s),
+        ("incr_speedup_ratio", full_s / incr_s.max(1e-12)),
+    ]
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let gens: u32 = if smoke { 3 } else { 6 };
@@ -167,8 +235,29 @@ fn main() {
             &mut lines,
         );
     }
+    // Tentpole gate: on a mostly-idle image, incremental dirty-region
+    // capture must cut generation ≥ 2 checkpoint wall-clock at least 10×.
+    // Runs in smoke too so tier-1 gates it on every PR (the flat keys feed
+    // scripts/bench_gate.sh via results/BENCH_ckpt.json).
+    let gate = report_incr(&idle_rows(false, gens), &idle_rows(true, gens), &mut lines);
+
     match write_jsonl_lines("ckptstore", lines) {
         Ok(p) => println!("# wrote {p}"),
         Err(e) => eprintln!("# jsonl write failed: {e}"),
     }
+    match merge_flat_json("results/BENCH_ckpt.json", &gate) {
+        Ok(()) => println!("# merged results/BENCH_ckpt.json"),
+        Err(e) => eprintln!("# BENCH_ckpt.json write failed: {e}"),
+    }
+
+    let speedup = gate[2].1;
+    if speedup < 10.0 {
+        eprintln!(
+            "FAIL: incremental gen>=2 checkpoint must be >=10x faster than full capture \
+             on the mostly-idle image (got {speedup:.1}x: full {:.3}s vs incr {:.3}s)",
+            gate[0].1, gate[1].1
+        );
+        std::process::exit(1);
+    }
+    println!("\nok: incremental gen>=2 checkpoints {speedup:.1}x faster than full capture");
 }

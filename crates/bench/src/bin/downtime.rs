@@ -24,7 +24,7 @@ use apps::nas::{nas_factory, NasKernel};
 use dmtcp::coord::GenStat;
 use dmtcp::session::run_for;
 use dmtcp::{ExpectCkpt, Session};
-use dmtcp_bench::{cluster_world, desktop_world, options, write_jsonl_lines, EV};
+use dmtcp_bench::{cluster_world, desktop_world, merge_flat_json, options, write_jsonl_lines, EV};
 use obs::json::JsonWriter;
 use oskit::world::{NodeId, OsSim, World};
 use simkit::Nanos;
@@ -150,31 +150,30 @@ fn main() {
     // Flat key/value file for the CI bench-regression gate: one key per
     // line so the shell gate can parse it without a JSON library. Keys
     // ending `_s` gate "lower is better"; `_ratio` gates "higher is
-    // better" (see scripts/bench_gate.sh).
+    // better" (see scripts/bench_gate.sh). Merged, not overwritten — the
+    // `ckptstore` bench contributes its incremental-speedup keys to the
+    // same file.
     let find = |wl: &str, forked: bool| {
         rows.iter()
             .find(|r| r.workload == wl && r.forked == forked)
             .expect("row")
     };
-    let mut out = String::from("{\n");
-    for (key, v) in [
-        ("mg_inline_total_s", find("NAS/MG", false).total_s),
-        ("mg_forked_pause_s", find("NAS/MG", true).pause_s),
-        ("mg_forked_total_s", find("NAS/MG", true).total_s),
-        ("mg_forked_ratio", find("NAS/MG", true).ratio()),
-        ("cms_inline_total_s", find("RunCMS", false).total_s),
-        ("cms_forked_pause_s", find("RunCMS", true).pause_s),
-        ("cms_forked_total_s", find("RunCMS", true).total_s),
-        ("cms_forked_ratio", find("RunCMS", true).ratio()),
-    ] {
-        out.push_str(&format!("  \"{key}\": {v:.6},\n"));
-    }
-    out.truncate(out.len() - 2); // drop trailing ",\n"
-    out.push_str("\n}\n");
-    if let Err(e) = std::fs::write("results/BENCH_ckpt.json", &out) {
+    if let Err(e) = merge_flat_json(
+        "results/BENCH_ckpt.json",
+        &[
+            ("mg_inline_total_s", find("NAS/MG", false).total_s),
+            ("mg_forked_pause_s", find("NAS/MG", true).pause_s),
+            ("mg_forked_total_s", find("NAS/MG", true).total_s),
+            ("mg_forked_ratio", find("NAS/MG", true).ratio()),
+            ("cms_inline_total_s", find("RunCMS", false).total_s),
+            ("cms_forked_pause_s", find("RunCMS", true).pause_s),
+            ("cms_forked_total_s", find("RunCMS", true).total_s),
+            ("cms_forked_ratio", find("RunCMS", true).ratio()),
+        ],
+    ) {
         eprintln!("# BENCH_ckpt.json write failed: {e}");
     } else {
-        println!("# wrote results/BENCH_ckpt.json");
+        println!("# merged results/BENCH_ckpt.json");
     }
 
     // Acceptance bar: the whole point of the forked pipeline.

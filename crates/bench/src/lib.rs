@@ -185,6 +185,44 @@ pub fn write_jsonl_lines(
     Ok(path)
 }
 
+/// Merge flat numeric key/value pairs into a `{ "key": value, ... }` JSON
+/// file, the format `scripts/bench_gate.sh` parses. Several binaries share
+/// one gate file (`downtime` and `ckptstore` both feed
+/// `results/BENCH_ckpt.json`), so each must keep the others' keys: existing
+/// keys keep their position and are overwritten in place, new keys append.
+pub fn merge_flat_json(path: &str, pairs: &[(&str, f64)]) -> std::io::Result<()> {
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    if let Ok(old) = std::fs::read_to_string(path) {
+        for line in old.lines() {
+            let Some((rawk, rawv)) = line.split_once(':') else {
+                continue;
+            };
+            let key = rawk.trim().trim_matches('"');
+            if key.is_empty() {
+                continue;
+            }
+            let Ok(val) = rawv.trim().trim_end_matches(',').parse::<f64>() else {
+                continue;
+            };
+            entries.push((key.to_string(), val));
+        }
+    }
+    for &(key, val) in pairs {
+        match entries.iter_mut().find(|(k, _)| k == key) {
+            Some(e) => e.1 = val,
+            None => entries.push((key.to_string(), val)),
+        }
+    }
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let body: Vec<String> = entries
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v:.6}"))
+        .collect();
+    std::fs::write(path, format!("{{\n{}\n}}\n", body.join(",\n")))
+}
+
 /// Parse an opt-in `--trace-out <file>` (or `--trace-out=<file>`) flag.
 /// When present, a figure binary enables span capture on one configuration
 /// and dumps a Perfetto-loadable Chrome trace there via [`dump_trace`].
@@ -357,6 +395,35 @@ mod tests {
         assert!(row.contains("NAS/MG[3]"));
         assert!(row.contains("1536.0 MB"));
         assert!(row.contains("131 procs"));
+    }
+
+    #[test]
+    fn merge_flat_json_keeps_other_writers_keys() {
+        let path =
+            std::env::temp_dir().join(format!("dmtcp_bench_merge_{}.json", std::process::id()));
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        // First writer creates the file.
+        merge_flat_json(
+            path,
+            &[("mg_forked_ratio", 45.0), ("mg_inline_total_s", 3.9)],
+        )
+        .unwrap();
+        // Second writer overwrites one key and appends another; the
+        // untouched key must survive.
+        merge_flat_json(
+            path,
+            &[("incr_speedup_ratio", 12.5), ("mg_inline_total_s", 4.0)],
+        )
+        .unwrap();
+        let got = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).unwrap();
+        obs::json::validate(&got).expect("valid JSON");
+        assert!(got.contains("\"mg_forked_ratio\": 45.000000"));
+        assert!(got.contains("\"mg_inline_total_s\": 4.000000"));
+        assert!(got.contains("\"incr_speedup_ratio\": 12.500000"));
+        // In-place overwrite, not duplicate keys.
+        assert_eq!(got.matches("mg_inline_total_s").count(), 1);
     }
 
     #[test]

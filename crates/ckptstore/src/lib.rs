@@ -96,6 +96,18 @@ impl mtcp::ImageStore for ChunkStore {
     ) -> Option<mtcp::ResolvedImage> {
         source::resolve(w, node, path)
     }
+
+    fn alias_bound(&self, w: &World, node: oskit::world::NodeId, prev_path: &str) -> Option<u64> {
+        // Aliasable iff this node's own store still holds the previous
+        // generation's manifest: the sink maps alias extents through it at
+        // commit time. A torn prior image has a shorter logical length, so
+        // extents past the tear fall back to the full path in the writer.
+        let bytes = w.nodes[node.0 as usize]
+            .fs
+            .read_all(&manifest::manifest_path(prev_path))
+            .ok()?;
+        Some(manifest::Manifest::decode(&bytes)?.logical_len)
+    }
 }
 
 /// Install the store into a world: every subsequent `mtcp::write_image`

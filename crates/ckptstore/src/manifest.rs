@@ -13,6 +13,14 @@
 //! over the extent's recipe metadata. The manifest is an ordered list of
 //! chunk refs — concatenating the chunks in order reproduces the image blob
 //! byte for byte. It is plain text so a human (or a test) can read it back.
+//!
+//! An entry may be a *slice ref* — `<id> <len> @<off>` — contributing `len`
+//! bytes starting at byte `off` of the stored chunk instead of the whole
+//! file. Slice refs are how incremental checkpoints alias clean regions of
+//! the previous generation's image: the new manifest points into chunks the
+//! store already holds, so an unchanged region costs no chunk I/O at all.
+//! The sink composes slices when it maps an alias through a manifest that
+//! itself contains slice refs, so chains stay one level deep.
 
 use oskit::fs::STORE_ROOT;
 
@@ -26,6 +34,20 @@ pub struct ChunkRef {
     pub id: String,
     /// Bytes this chunk contributes to the image.
     pub len: u64,
+    /// Slice ref: byte offset within the stored chunk the contribution
+    /// starts at. `None` means the whole chunk file (whose length is `len`).
+    pub off: Option<u64>,
+}
+
+impl ChunkRef {
+    /// A whole-chunk reference.
+    pub fn whole(id: impl Into<String>, len: u64) -> ChunkRef {
+        ChunkRef {
+            id: id.into(),
+            len,
+            off: None,
+        }
+    }
 }
 
 /// A checkpoint generation: the ordered chunk list for one image file.
@@ -49,7 +71,10 @@ impl Manifest {
             MANIFEST_MAGIC, self.gen, self.logical_len, self.src
         );
         for c in &self.chunks {
-            out.push_str(&format!("{} {}\n", c.id, c.len));
+            match c.off {
+                Some(off) => out.push_str(&format!("{} {} @{}\n", c.id, c.len, off)),
+                None => out.push_str(&format!("{} {}\n", c.id, c.len)),
+            }
         }
         out.into_bytes()
     }
@@ -77,10 +102,20 @@ impl Manifest {
         }
         let mut chunks = Vec::new();
         for line in lines {
-            let (id, len) = line.split_once(' ')?;
+            let mut parts = line.split(' ');
+            let id = parts.next()?;
+            let len = parts.next()?.parse().ok()?;
+            let off = match parts.next() {
+                Some(tok) => Some(tok.strip_prefix('@')?.parse().ok()?),
+                None => None,
+            };
+            if parts.next().is_some() {
+                return None;
+            }
             chunks.push(ChunkRef {
                 id: id.to_string(),
-                len: len.parse().ok()?,
+                len,
+                off,
             });
         }
         Some(Manifest {
@@ -139,16 +174,30 @@ mod tests {
             logical_len: 1234,
             src: "/shared/ckpt/ckpt_40001_gen3.dmtcp".into(),
             chunks: vec![
+                ChunkRef::whole("rdeadbeef-1000", 1000),
+                ChunkRef::whole("v00c0ffee-234", 234),
+            ],
+        };
+        assert_eq!(Manifest::decode(&m.encode()), Some(m));
+    }
+
+    #[test]
+    fn slice_refs_round_trip() {
+        let m = Manifest {
+            gen: 4,
+            logical_len: 700,
+            src: "/shared/ckpt/ckpt_40001_gen4.dmtcp".into(),
+            chunks: vec![
+                ChunkRef::whole("rdeadbeef-500", 500),
                 ChunkRef {
-                    id: "rdeadbeef-1000".into(),
-                    len: 1000,
-                },
-                ChunkRef {
-                    id: "v00c0ffee-234".into(),
-                    len: 234,
+                    id: "rcafe-4096".into(),
+                    len: 200,
+                    off: Some(1024),
                 },
             ],
         };
+        let text = String::from_utf8(m.encode()).unwrap();
+        assert!(text.contains("rcafe-4096 200 @1024\n"), "got: {text}");
         assert_eq!(Manifest::decode(&m.encode()), Some(m));
     }
 
@@ -157,6 +206,15 @@ mod tests {
         assert_eq!(Manifest::decode(b"not a manifest"), None);
         assert_eq!(Manifest::decode(b"CKPTMAN1 gen=x len=1 src=/a\n"), None);
         assert_eq!(Manifest::decode(&[0xff, 0xfe]), None);
+        // A malformed slice ref must not decode.
+        assert_eq!(
+            Manifest::decode(b"CKPTMAN1 gen=1 len=1 src=/a\nrff-1 1 1024\n"),
+            None
+        );
+        assert_eq!(
+            Manifest::decode(b"CKPTMAN1 gen=1 len=1 src=/a\nrff-1 1 @x\n"),
+            None
+        );
     }
 
     #[test]

@@ -1,6 +1,22 @@
 //! Commit path: chunk an image blob, dedup against the node's store, write
 //! the manifest, replicate to peers, and garbage-collect expired
 //! generations.
+//!
+//! Two behaviours layered on the PR-3 store:
+//!
+//! * **Alias extents** (incremental checkpoints): a virtual blob chunk
+//!   whose metadata decodes via [`mtcp::incr::decode_alias`] names a byte
+//!   range of the *previous* generation's image. It is mapped through the
+//!   previous manifest into slice refs — manifest entries pointing into
+//!   chunks the store already holds — so a clean region costs no chunk
+//!   write, no hash, and no replica traffic. Mapping composes through
+//!   slice refs in the previous manifest, keeping chains one level deep.
+//! * **Pipelined replication**: each chunk's transfer to a peer starts when
+//!   that chunk is locally durable (immediately, for dedup hits) instead of
+//!   waiting for the whole image at `io_done`; the manifest is sent last,
+//!   only after every chunk it references is durable on the peer, so a
+//!   replica that *has* a manifest is complete up to torn-transfer damage
+//!   the assemble-side length checks already reject.
 
 use crate::manifest::{
     chunk_path, chunks_prefix, manifest_path, manifests_prefix, parse_gen, with_gen, ChunkRef,
@@ -11,7 +27,7 @@ use mtcp::SinkCommit;
 use oskit::fs::{Blob, Chunk, Fs};
 use oskit::world::{NodeId, World};
 use simkit::Nanos;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A chunk cut out of an image blob, ready to store.
 struct PChunk {
@@ -23,6 +39,17 @@ struct PChunk {
 enum ChunkData {
     Real(Vec<u8>),
     Virtual { len: u64, meta: Vec<u8> },
+}
+
+/// One piece of a blob: either a chunk to store, or an alias extent to map
+/// through the previous generation's manifest.
+enum Piece {
+    Store(PChunk),
+    Alias {
+        prev_path: String,
+        off: u64,
+        len: u64,
+    },
 }
 
 /// 64-bit FNV-1a. The chunk identity needs a second hash that is *not*
@@ -46,13 +73,13 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// chunk without either ever being materialized). Identity is the CRC-32 of
 /// the content joined with its FNV-1a 64 and the length; dedup additionally
 /// verifies bytes, so a colliding id can never alias different content.
-fn chunk_blob(blob: &Blob, chunk_size: u64) -> Vec<PChunk> {
+fn chunk_blob(blob: &Blob, chunk_size: u64) -> Vec<Piece> {
     let mut out = Vec::new();
     for c in blob.chunks() {
         match c {
             Chunk::Real(bytes) => {
                 for piece in bytes.chunks(chunk_size.max(1) as usize) {
-                    out.push(PChunk {
+                    out.push(Piece::Store(PChunk {
                         id: format!(
                             "r{:08x}{:016x}-{}",
                             szip::crc32(piece),
@@ -61,22 +88,90 @@ fn chunk_blob(blob: &Blob, chunk_size: u64) -> Vec<PChunk> {
                         ),
                         len: piece.len() as u64,
                         data: ChunkData::Real(piece.to_vec()),
-                    });
+                    }));
                 }
             }
             Chunk::Virtual { len, meta } => {
-                out.push(PChunk {
+                // An alias extent never becomes a chunk of its own: it is a
+                // pointer into the previous image, resolved at manifest
+                // level. A torn write may have shrunk the extent (`len` <
+                // the length in the meta); the prefix is still valid.
+                if let Some((prev_path, off, alias_len)) = mtcp::incr::decode_alias(meta) {
+                    out.push(Piece::Alias {
+                        prev_path,
+                        off,
+                        len: (*len).min(alias_len),
+                    });
+                    continue;
+                }
+                out.push(Piece::Store(PChunk {
                     id: format!("v{:08x}{:016x}-{}", szip::crc32(meta), fnv1a64(meta), len),
                     len: *len,
                     data: ChunkData::Virtual {
                         len: *len,
                         meta: meta.clone(),
                     },
-                });
+                }));
             }
         }
     }
     out
+}
+
+/// Map an alias extent — `len` bytes from byte `off` of the previous
+/// image — through that image's manifest into slice refs. Composes through
+/// slice refs already present in the previous manifest, so a chain of
+/// incremental generations always refs real stored chunks directly.
+///
+/// Panics if the extent is not fully covered: the writer checked the alias
+/// bound against this very manifest, so a shortfall is store corruption.
+fn map_alias(prev_man: &Manifest, off: u64, len: u64) -> Vec<ChunkRef> {
+    let mut out = Vec::new();
+    let end = off + len;
+    let mut base = 0u64;
+    let mut covered = 0u64;
+    for c in &prev_man.chunks {
+        let c_end = base + c.len;
+        if c_end > off && base < end {
+            let s = off.max(base);
+            let e = end.min(c_end);
+            let within = c.off.unwrap_or(0) + (s - base);
+            let whole = c.off.is_none() && within == 0 && e - s == c.len;
+            out.push(ChunkRef {
+                id: c.id.clone(),
+                len: e - s,
+                off: (!whole).then_some(within),
+            });
+            covered += e - s;
+        }
+        base = c_end;
+    }
+    assert!(
+        covered == len,
+        "alias extent [{off}, {end}) exceeds previous image {} (len {})",
+        prev_man.src,
+        prev_man.logical_len
+    );
+    out
+}
+
+/// Rebuild a storable chunk from this node's own store (used to re-send a
+/// slice-referenced chunk to a peer that lost it).
+fn local_pchunk(fs: &Fs, id: &str) -> Option<PChunk> {
+    let f = fs.get(&chunk_path(id))?;
+    let data = match f.blob.chunks().first() {
+        Some(Chunk::Virtual { len, meta }) => ChunkData::Virtual {
+            len: *len,
+            meta: meta.clone(),
+        },
+        Some(Chunk::Real(_)) => ChunkData::Real(f.blob.read_all()?),
+        None => return None,
+    };
+    Some(PChunk {
+        id: id.to_string(),
+        len: f.blob.len(),
+        data,
+    })
 }
 
 enum Put {
@@ -140,6 +235,24 @@ fn put_chunk(fs: &mut Fs, path: &str, chunk: &PChunk) -> Put {
     Put::Wrote(written)
 }
 
+/// How a chunk reaches a replica.
+enum RepData {
+    /// Freshly chunked this commit: send the in-memory piece.
+    Piece(usize),
+    /// Slice-referenced from a previous generation: re-read from the local
+    /// store only if the peer is missing it (normally a no-op — the ring is
+    /// stable, so the peer got it when that generation replicated).
+    FromStore,
+}
+
+/// One chunk a replica must hold, and when it becomes locally available
+/// for transfer.
+struct RepItem {
+    id: String,
+    avail: Nanos,
+    data: RepData,
+}
+
 /// Commit an image into the store on `node` and return what `mtcp` needs:
 /// physical bytes stored and when the image (including replicas) is durable.
 pub(crate) fn commit(
@@ -154,19 +267,64 @@ pub(crate) fn commit(
     let gen = parse_gen(path).unwrap_or(0);
     let ni = node.0 as usize;
 
-    // ---- Local store: new chunks, then the manifest. ----
+    // ---- Local store: new chunks (alias extents become slice refs into
+    // already-stored chunks), then the manifest. ----
     let mut new_bytes = 0u64;
     let mut deduped_bytes = 0u64;
     let mut io_done = now;
     let mut new_ids: BTreeSet<String> = BTreeSet::new();
-    for p in &pieces {
-        let cpath = chunk_path(&p.id);
-        match put_chunk(&mut w.nodes[ni].fs, &cpath, p) {
-            Put::Deduped => deduped_bytes += p.len,
-            Put::Wrote(n) => {
-                new_bytes += n;
-                new_ids.insert(p.id.clone());
-                io_done = io_done.max(w.charge_storage_write(now, node, &cpath, n));
+    let mut entries: Vec<ChunkRef> = Vec::new();
+    let mut rep_items: Vec<RepItem> = Vec::new();
+    let mut seen_rep: BTreeSet<String> = BTreeSet::new();
+    let mut prev_mans: BTreeMap<String, Manifest> = BTreeMap::new();
+    for (idx, piece) in pieces.iter().enumerate() {
+        match piece {
+            Piece::Store(p) => {
+                let cpath = chunk_path(&p.id);
+                let avail = match put_chunk(&mut w.nodes[ni].fs, &cpath, p) {
+                    Put::Deduped => {
+                        deduped_bytes += p.len;
+                        now
+                    }
+                    Put::Wrote(n) => {
+                        new_bytes += n;
+                        new_ids.insert(p.id.clone());
+                        let done = w.charge_storage_write(now, node, &cpath, n);
+                        io_done = io_done.max(done);
+                        done
+                    }
+                };
+                entries.push(ChunkRef::whole(p.id.clone(), p.len));
+                if seen_rep.insert(p.id.clone()) {
+                    rep_items.push(RepItem {
+                        id: p.id.clone(),
+                        avail,
+                        data: RepData::Piece(idx),
+                    });
+                }
+            }
+            Piece::Alias {
+                prev_path,
+                off,
+                len,
+            } => {
+                let fs = &w.nodes[ni].fs;
+                let man = prev_mans.entry(prev_path.clone()).or_insert_with(|| {
+                    let bytes = fs
+                        .read_all(&manifest_path(prev_path))
+                        .expect("alias target manifest present (writer checked alias_bound)");
+                    Manifest::decode(&bytes).expect("alias target manifest well-formed")
+                });
+                for r in map_alias(man, *off, *len) {
+                    if seen_rep.insert(r.id.clone()) {
+                        rep_items.push(RepItem {
+                            id: r.id.clone(),
+                            avail: now,
+                            data: RepData::FromStore,
+                        });
+                    }
+                    entries.push(r);
+                }
             }
         }
     }
@@ -174,13 +332,7 @@ pub(crate) fn commit(
         gen,
         logical_len: blob.len(),
         src: path.to_string(),
-        chunks: pieces
-            .iter()
-            .map(|p| ChunkRef {
-                id: p.id.clone(),
-                len: p.len,
-            })
-            .collect(),
+        chunks: entries,
     };
     let man_bytes = man.encode();
     let mpath = manifest_path(path);
@@ -216,20 +368,47 @@ pub(crate) fn commit(
 
     // ---- Replication: copy the manifest and its missing chunks to R
     // peers (ring order), so restart can proceed when this node's disk is
-    // gone. Charged as one NIC transfer from the primary plus the peer's
-    // own storage write; the checkpoint is not declared durable until the
-    // slowest replica has it. ----
+    // gone. Pipelined with the local commit: each chunk's NIC transfer
+    // starts when that chunk is locally durable (immediately for dedup
+    // hits) rather than when the whole image is, and the manifest is sent
+    // last — only once every chunk it references is durable on the peer —
+    // so a replica holding a manifest is complete. The checkpoint is not
+    // declared durable until the slowest replica has the manifest. ----
     let n_nodes = w.nodes.len();
     let r = cfg.replicas.min(n_nodes.saturating_sub(1));
     let mut rep_done = io_done;
+    let mut pipelined = 0u64;
     for k in 1..=r {
         let peer = (ni + k) % n_nodes;
         let mut sent = 0u64;
-        for p in &pieces {
-            let cpath = chunk_path(&p.id);
-            match put_chunk(&mut w.nodes[peer].fs, &cpath, p) {
-                Put::Deduped => {}
-                Put::Wrote(n) => sent += n,
+        let mut chunks_durable = now;
+        for item in &rep_items {
+            let cpath = chunk_path(&item.id);
+            let put = match &item.data {
+                RepData::Piece(idx) => {
+                    let Piece::Store(p) = &pieces[*idx] else {
+                        unreachable!("RepData::Piece indexes a stored piece")
+                    };
+                    Some(put_chunk(&mut w.nodes[peer].fs, &cpath, p))
+                }
+                RepData::FromStore => {
+                    let local_len = w.nodes[ni].fs.size(&cpath);
+                    if local_len.is_none() || w.nodes[peer].fs.size(&cpath) == local_len {
+                        None
+                    } else {
+                        local_pchunk(&w.nodes[ni].fs, &item.id)
+                            .map(|p| put_chunk(&mut w.nodes[peer].fs, &cpath, &p))
+                    }
+                }
+            };
+            if let Some(Put::Wrote(n)) = put {
+                if item.avail < io_done {
+                    pipelined += 1;
+                }
+                let tx_done = w.nodes[ni].nic_tx.transfer(item.avail, n) + w.spec.net_latency;
+                let peer_done = w.charge_storage_write(tx_done, NodeId(peer as u32), &cpath, n);
+                chunks_durable = chunks_durable.max(peer_done);
+                sent += n;
             }
         }
         w.nodes[peer]
@@ -237,13 +416,19 @@ pub(crate) fn commit(
             .write_all(&mpath, &man_bytes)
             .expect("store dir writable");
         sent += man_len;
-        let tx_done = w.nodes[ni].nic_tx.transfer(io_done, sent) + w.spec.net_latency;
-        let peer_done = w.charge_storage_write(tx_done, NodeId(peer as u32), &mpath, sent);
+        let man_start = io_done.max(chunks_durable);
+        let tx_done = w.nodes[ni].nic_tx.transfer(man_start, man_len) + w.spec.net_latency;
+        let peer_done = w.charge_storage_write(tx_done, NodeId(peer as u32), &mpath, man_len);
         rep_done = rep_done.max(peer_done);
         w.obs
             .metrics
             .add("ckptstore.replication_bytes", peer as u64, sent);
         gc(w, peer, path, gen, cfg.retention);
+    }
+    if pipelined > 0 {
+        w.obs
+            .metrics
+            .add("ckptstore.pipelined_chunks", node.0 as u64, pipelined);
     }
     let lag = rep_done.saturating_sub(io_done);
     w.obs
@@ -323,6 +508,13 @@ fn gc(w: &mut World, node_idx: usize, path: &str, gen: u32, retention: u32) {
 mod tests {
     use super::*;
 
+    fn stored(p: &Piece) -> &PChunk {
+        match p {
+            Piece::Store(c) => c,
+            Piece::Alias { .. } => panic!("expected a stored piece"),
+        }
+    }
+
     #[test]
     fn chunking_splits_real_runs_and_keeps_virtual_whole() {
         let mut b = Blob::new();
@@ -331,13 +523,107 @@ mod tests {
         b.append_bytes(b"tail");
         let pieces = chunk_blob(&b, 256);
         assert_eq!(pieces.len(), 3 + 1 + 1, "600 B at 256 → 3 pieces");
-        assert_eq!(pieces[0].len, 256);
-        assert_eq!(pieces[2].len, 88);
-        assert!(pieces[3].id.starts_with('v'));
-        assert_eq!(pieces[3].len, 1 << 30);
-        assert_eq!(pieces[0].id, pieces[1].id, "identical content, same id");
-        let total: u64 = pieces.iter().map(|p| p.len).sum();
+        assert_eq!(stored(&pieces[0]).len, 256);
+        assert_eq!(stored(&pieces[2]).len, 88);
+        assert!(stored(&pieces[3]).id.starts_with('v'));
+        assert_eq!(stored(&pieces[3]).len, 1 << 30);
+        assert_eq!(
+            stored(&pieces[0]).id,
+            stored(&pieces[1]).id,
+            "identical content, same id"
+        );
+        let total: u64 = pieces.iter().map(|p| stored(p).len).sum();
         assert_eq!(total, b.len());
+    }
+
+    #[test]
+    fn alias_extents_become_alias_pieces_not_chunks() {
+        let mut b = Blob::new();
+        b.append_bytes(b"header");
+        let meta = mtcp::incr::encode_alias("/ckpt/a_gen1.dmtcp", 4096, 1000);
+        b.append_virtual(1000, meta);
+        let pieces = chunk_blob(&b, 256);
+        assert_eq!(pieces.len(), 2);
+        match &pieces[1] {
+            Piece::Alias {
+                prev_path,
+                off,
+                len,
+            } => {
+                assert_eq!(prev_path, "/ckpt/a_gen1.dmtcp");
+                assert_eq!((*off, *len), (4096, 1000));
+            }
+            Piece::Store(_) => panic!("alias extent must not become a chunk"),
+        }
+        // A torn truncate shrinks the extent; the prefix is still aliased.
+        b.truncate(b.len() - 600);
+        let torn = chunk_blob(&b, 256);
+        match &torn[1] {
+            Piece::Alias { len, .. } => assert_eq!(*len, 400),
+            Piece::Store(_) => panic!("torn alias extent must stay an alias"),
+        }
+    }
+
+    #[test]
+    fn map_alias_slices_and_composes() {
+        let man = Manifest {
+            gen: 2,
+            logical_len: 1000,
+            src: "/ckpt/a_gen2.dmtcp".into(),
+            chunks: vec![
+                ChunkRef::whole("ra-400", 400),
+                // Itself a slice ref (gen 2 aliased gen 1): composition must
+                // point straight at the stored chunk.
+                ChunkRef {
+                    id: "rb-4096".into(),
+                    len: 600,
+                    off: Some(100),
+                },
+            ],
+        };
+        // Whole-image alias → whole-chunk ref plus the original slice.
+        let refs = map_alias(&man, 0, 1000);
+        assert_eq!(
+            refs,
+            vec![
+                ChunkRef::whole("ra-400", 400),
+                ChunkRef {
+                    id: "rb-4096".into(),
+                    len: 600,
+                    off: Some(100),
+                },
+            ]
+        );
+        // A range crossing both entries slices each side and composes the
+        // inner offset.
+        let refs = map_alias(&man, 300, 300);
+        assert_eq!(
+            refs,
+            vec![
+                ChunkRef {
+                    id: "ra-400".into(),
+                    len: 100,
+                    off: Some(300),
+                },
+                ChunkRef {
+                    id: "rb-4096".into(),
+                    len: 200,
+                    off: Some(100),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds previous image")]
+    fn map_alias_refuses_uncovered_ranges() {
+        let man = Manifest {
+            gen: 1,
+            logical_len: 100,
+            src: "/ckpt/a_gen1.dmtcp".into(),
+            chunks: vec![ChunkRef::whole("ra-100", 100)],
+        };
+        map_alias(&man, 50, 100);
     }
 
     #[test]
@@ -381,7 +667,7 @@ mod tests {
         let id_of = |bytes: &[u8]| {
             let mut bl = Blob::new();
             bl.append_bytes(bytes);
-            chunk_blob(&bl, 1 << 20).remove(0).id
+            stored(&chunk_blob(&bl, 1 << 20)[0]).id.clone()
         };
         assert_ne!(id_of(&a), id_of(&b), "ids must still differ");
     }

@@ -10,12 +10,28 @@ use oskit::world::{NodeId, World};
 /// Reassemble `logical` from one store, or `None` when the manifest is
 /// missing or any chunk is absent/torn (a partial replica must not be
 /// trusted — the caller falls through to the next node).
+///
+/// Slice refs (incremental generations aliasing clean regions of an
+/// earlier image) are materialized here by slicing the stored chunk's real
+/// bytes, so the blob handed back to `mtcp` is byte-identical to the full
+/// image the writer described — the reader never sees an alias.
 fn assemble(fs: &Fs, logical: &str) -> Option<Blob> {
     let bytes = fs.read_all(&manifest_path(logical)).ok()?;
     let man = Manifest::decode(&bytes)?;
     let mut blob = Blob::new();
     for c in &man.chunks {
         let f = fs.get(&chunk_path(&c.id))?;
+        if let Some(off) = c.off {
+            // A slice ref must land inside materialized bytes; a torn or
+            // virtual chunk cannot satisfy it.
+            let stored = f.blob.read_all()?;
+            let end = off.checked_add(c.len)? as usize;
+            if end > stored.len() {
+                return None; // torn upload never completed
+            }
+            blob.append_bytes(&stored[off as usize..end]);
+            continue;
+        }
         if f.blob.len() != c.len {
             return None; // torn upload never completed
         }
@@ -66,10 +82,7 @@ mod tests {
             gen: 1,
             logical_len: 10,
             src: "/ckpt/a_gen1.dmtcp".into(),
-            chunks: vec![ChunkRef {
-                id: "rab-10".into(),
-                len: 10,
-            }],
+            chunks: vec![ChunkRef::whole("rab-10", 10)],
         };
         fs.write_all(&manifest_path(&man.src), &man.encode())
             .unwrap();
@@ -79,5 +92,32 @@ mod tests {
         assert_eq!(got.read_all().unwrap(), vec![1u8; 10]);
         fs.get_mut(&chunk_path("rab-10")).unwrap().blob.truncate(4);
         assert!(assemble(&fs, &man.src).is_none(), "torn chunk rejected");
+    }
+
+    #[test]
+    fn assemble_materializes_slice_refs() {
+        let mut fs = Fs::new();
+        let stored: Vec<u8> = (0..100u8).collect();
+        fs.write_all(&chunk_path("rcd-100"), &stored).unwrap();
+        let man = Manifest {
+            gen: 2,
+            logical_len: 30,
+            src: "/ckpt/b_gen2.dmtcp".into(),
+            chunks: vec![ChunkRef {
+                id: "rcd-100".into(),
+                len: 30,
+                off: Some(40),
+            }],
+        };
+        fs.write_all(&manifest_path(&man.src), &man.encode())
+            .unwrap();
+        let got = assemble(&fs, &man.src).expect("slice ref assembles");
+        assert_eq!(got.read_all().unwrap(), stored[40..70].to_vec());
+        // Tear the chunk below the slice's end: the replica must be refused.
+        fs.get_mut(&chunk_path("rcd-100"))
+            .unwrap()
+            .blob
+            .truncate(60);
+        assert!(assemble(&fs, &man.src).is_none(), "torn slice rejected");
     }
 }

@@ -694,6 +694,23 @@ impl Manager {
             // before then must use the previous generation.
             let fw = mtcp::begin_forked_write(k.w, now, pid, &path, vpid, meta);
             global(k.w).checkpointed_vpids.insert(vpid);
+            if k.obs().journal.wants(obs::journal::CLASS_STAGE) {
+                let gen = self.cur_gen;
+                let args = [
+                    ("gen", gen),
+                    ("vpid", vpid as u64),
+                    ("dirty_bytes", fw.report.captured_raw_bytes),
+                    ("incremental", fw.report.incremental as u64),
+                ];
+                k.obs().journal.record(
+                    now,
+                    obs::journal::CLASS_STAGE,
+                    "drain.begin",
+                    None,
+                    &args,
+                    "",
+                );
+            }
             self.write_resume_at = fw.report.resume_at;
             let resume_at = fw.report.resume_at;
             self.forked = Some(fw);
@@ -912,10 +929,25 @@ impl Manager {
         self.restore_owners(k);
         // An aborted generation discards any in-flight forked write: end
         // the COW ledger and drop the snapshot (the half-written image is
-        // never recorded, so restarts cannot pick it up).
+        // never recorded, so restarts cannot pick it up). `abort` also
+        // rolls the incremental baseline back — the consumed dirty set is
+        // merged into the live address space so the next incremental
+        // capture stays relative to the last *durable* image.
         if let Some(fw) = self.forked.take() {
             let pid = k.pid;
-            let _ = fw.finish(k.w, pid);
+            let _ = fw.abort(k.w, pid);
+            if k.obs().journal.wants(obs::journal::CLASS_STAGE) {
+                let now = k.now();
+                let vpid = self.vpid(k) as u64;
+                k.obs().journal.record(
+                    now,
+                    obs::journal::CLASS_STAGE,
+                    "drain.abort",
+                    None,
+                    &[("gen", gen), ("vpid", vpid)],
+                    "",
+                );
+            }
             self.bg_path.clear();
         }
         let pid = k.pid;
@@ -1182,7 +1214,27 @@ impl oskit::program::Program for Manager {
                     // the fault injector and the restart script, and ack.
                     let fw = self.forked.take().expect("forked write in flight");
                     let pid = k.pid;
+                    let (dirty_bytes, incremental) =
+                        (fw.report.captured_raw_bytes, fw.report.incremental);
                     let stats = fw.finish(k.w, pid);
+                    if k.obs().journal.wants(obs::journal::CLASS_STAGE) {
+                        let gen = self.cur_gen;
+                        let vpid = self.vpid(k) as u64;
+                        let args = [
+                            ("gen", gen),
+                            ("vpid", vpid),
+                            ("dirty_bytes", dirty_bytes),
+                            ("incremental", incremental as u64),
+                        ];
+                        k.obs().journal.record(
+                            now,
+                            obs::journal::CLASS_STAGE,
+                            "drain.done",
+                            None,
+                            &args,
+                            "",
+                        );
+                    }
                     let path = std::mem::take(&mut self.bg_path);
                     let node = k.node();
                     let host = k.hostname();

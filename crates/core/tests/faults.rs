@@ -86,7 +86,10 @@ impl Workload {
 /// One cell of the matrix. `variant` distinguishes multiple seeded torn-write
 /// cells that share the same (kind, workload) coordinates; `forked` runs the
 /// cell with copy-on-write forked checkpointing, so the fault lands during
-/// (or around) the overlapped background drain.
+/// (or around) the overlapped background drain; `store` installs the chunk
+/// store, which turns generation 2 into an *incremental* capture (clean
+/// regions aliased into generation 1's chunks), so the fault attacks the
+/// incremental drain and restart must cope with aliased manifests.
 #[derive(Clone, Copy)]
 struct Cell {
     kind: FaultKind,
@@ -95,30 +98,35 @@ struct Cell {
     base: u64,
     variant: u64,
     forked: bool,
+    store: bool,
 }
 
 impl Cell {
     fn seed(&self) -> u64 {
-        // `forked` feeds the mix in a bit position the small workload enum
-        // never uses, so all pre-existing (non-forked) cell seeds are
+        // `forked` and `store` feed the mix in bit positions the small
+        // workload enum never uses, so all pre-existing cell seeds are
         // unchanged.
         mix2(
             self.base,
             mix2(
                 ((self.kind as u64) << 8) | self.stage as u64,
-                mix2(self.wl as u64 | ((self.forked as u64) << 8), self.variant),
+                mix2(
+                    self.wl as u64 | ((self.forked as u64) << 8) | ((self.store as u64) << 9),
+                    self.variant,
+                ),
             ),
         )
     }
 
     fn id(&self) -> String {
         format!(
-            "{}@stage{}/{}+v{}{}",
+            "{}@stage{}/{}+v{}{}{}",
             self.kind.name(),
             self.stage,
             self.wl.name(),
             self.variant,
-            if self.forked { "+forked" } else { "" }
+            if self.forked { "+forked" } else { "" },
+            if self.store { "+store" } else { "" }
         )
     }
 }
@@ -128,8 +136,10 @@ impl Cell {
 /// × 2 workloads × 4 seeded variants, plus the image-delete kind × 2
 /// workloads × 2 seeded variants, plus 18 forked-checkpoint cells (kills at
 /// the start of the overlapped drain, lossy-network faults against the
-/// `CKPT_WRITTEN` acknowledgment, torn background writes) — 98 cells, 196
-/// with the two default bases.
+/// `CKPT_WRITTEN` acknowledgment, torn background writes), plus 12
+/// incremental-store cells (kills and torn writes against the incremental
+/// drain, where generation 2 aliases generation 1's chunks) — 110 cells,
+/// 220 with the two default bases.
 fn cells(bases: &[u64]) -> Vec<Cell> {
     const STAGES: [u8; 5] = [
         stage::SUSPENDED,
@@ -160,6 +170,7 @@ fn cells(bases: &[u64]) -> Vec<Cell> {
                         base,
                         variant: 0,
                         forked: false,
+                        store: false,
                     });
                 }
             }
@@ -176,6 +187,7 @@ fn cells(bases: &[u64]) -> Vec<Cell> {
                         base,
                         variant,
                         forked: false,
+                        store: false,
                     });
                 }
             }
@@ -192,6 +204,7 @@ fn cells(bases: &[u64]) -> Vec<Cell> {
                     base,
                     variant,
                     forked: false,
+                    store: false,
                 });
             }
         }
@@ -209,6 +222,7 @@ fn cells(bases: &[u64]) -> Vec<Cell> {
                     base,
                     variant: 0,
                     forked: true,
+                    store: false,
                 });
             }
         }
@@ -225,6 +239,7 @@ fn cells(bases: &[u64]) -> Vec<Cell> {
                     base,
                     variant: 0,
                     forked: true,
+                    store: false,
                 });
             }
         }
@@ -238,6 +253,42 @@ fn cells(bases: &[u64]) -> Vec<Cell> {
                         base,
                         variant,
                         forked: true,
+                        store: false,
+                    });
+                }
+            }
+        }
+        // Incremental-store cells: with the chunk store installed the
+        // second generation is an *incremental* forked drain — clean
+        // regions are slice refs into generation 1's chunks. Kills at the
+        // REFILLED release abort the incremental drain mid-flight (the
+        // dirty set must merge back, restart falls to gen 1); torn writes
+        // corrupt the incremental image (validation rejects it, restart
+        // falls back through the aliased manifest chain).
+        for &kind in &[FaultKind::KillProc, FaultKind::KillNode] {
+            for &wl in &Workload::ALL {
+                out.push(Cell {
+                    kind,
+                    stage: stage::REFILLED,
+                    wl,
+                    base,
+                    variant: 0,
+                    forked: true,
+                    store: true,
+                });
+            }
+        }
+        for &kind in &TORN {
+            for &wl in &Workload::ALL {
+                for variant in 0..2 {
+                    out.push(Cell {
+                        kind,
+                        stage: stage::CHECKPOINTED,
+                        wl,
+                        base,
+                        variant,
+                        forked: true,
+                        store: true,
                     });
                 }
             }
@@ -355,6 +406,7 @@ fn record_cell(w: &mut World, cell: &Cell, budget: u64) {
             ("base", &format!("{:#x}", cell.base)),
             ("variant", &cell.variant.to_string()),
             ("forked", if cell.forked { "1" } else { "0" }),
+            ("store", if cell.store { "1" } else { "0" }),
             ("seed", &format!("{:#x}", cell.seed())),
             ("budget", &budget.to_string()),
         ],
@@ -430,8 +482,12 @@ fn drive_cell(
     // Image-delete cells model node-local disk loss: the primary copy of a
     // just-written image vanishes, and restart must proceed from the chunk
     // store's replica on the peer node. The store stays installed through
-    // restart — the reader resolves images through it.
-    if cell.kind == FaultKind::ImageDelete {
+    // restart — the reader resolves images through it. `store` cells
+    // install it too, which also makes generation 2 incremental: with the
+    // store present, clean regions of gen 2 are aliased into gen 1's
+    // chunks, so the fault lands on the incremental drain and any
+    // replica-served restart walks aliased (slice-ref) manifests.
+    if cell.kind == FaultKind::ImageDelete || cell.store {
         ckptstore::install(&mut *w, ckptstore::Config::default());
     }
     // Install before launch: the per-process managers register their
@@ -552,6 +608,16 @@ fn drive_cell(
         FaultKind::RelayKill | FaultKind::RelaySever => {
             unreachable!("relay faults run as dedicated hierarchical tests, not matrix cells")
         }
+    }
+    if cell.store {
+        // The cell only attacks the incremental path if generation 2
+        // actually went incremental — the image (complete or doomed) was
+        // committed before the fault's barrier release fired.
+        assert!(
+            w.obs.metrics.counter_total("mtcp.incr.images") > 0,
+            "a store cell's second generation must capture incrementally \
+             (injected: {injected:?})"
+        );
     }
 
     // Let scheduled kills fire and survivors notice dead peers, then tear
@@ -767,6 +833,16 @@ fn matrix_meets_minimum_dimensions() {
         all.iter().any(|c| c.stage == stage::CKPT_WRITTEN),
         "matrix must attack the overlapped-drain acknowledgment round"
     );
+    assert!(
+        all.iter()
+            .any(|c| c.store && matches!(c.kind, FaultKind::KillProc | FaultKind::KillNode)),
+        "matrix must kill participants during an incremental drain"
+    );
+    assert!(
+        all.iter()
+            .any(|c| c.store && matches!(c.kind, FaultKind::TornTruncate | FaultKind::TornBitFlip)),
+        "matrix must tear incremental images"
+    );
 
     // Seed derivation must give every cell a distinct seed, or two cells
     // would silently explore the same fault timing.
@@ -945,6 +1021,9 @@ fn cell_from_meta(j: &obs::journal::DecodedJournal) -> Cell {
         base: parse_seed(get("base")).expect("base meta"),
         variant: get("variant").parse().expect("variant meta"),
         forked: get("forked") == "1",
+        // Journals recorded before the incremental-store cells existed
+        // lack the key; those cells all ran storeless.
+        store: j.meta_value("store").map(|v| v == "1").unwrap_or(false),
     };
     // The seed stamped at record time must match the rebuilt cell, or the
     // seed derivation changed since the journal was written and replaying
@@ -1003,7 +1082,7 @@ fn replay_cell() {
             .forked(cell.forked)
             .build(),
     );
-    if cell.kind == FaultKind::ImageDelete {
+    if cell.kind == FaultKind::ImageDelete || cell.store {
         ckptstore::install(&mut w, ckptstore::Config::default());
     }
     faultkit::install(

@@ -1,0 +1,350 @@
+//! Differential proof of incremental checkpointing: at every generation an
+//! incremental image (dirty regions captured, clean regions aliased into
+//! the previous generation) must restore *bit-identically* to a full image
+//! taken at the same suspended instant, and a computation checkpointed
+//! incrementally must produce exactly the answer a full-capture run does.
+//!
+//! The write patterns are driven by [`simkit::DetRng`] seeds: 32 seeds,
+//! each a generation chain 6 deep, with a random subset of regions mutated
+//! (plus MAP_SHARED writes, late mappings, and unmappings) between
+//! generations.
+mod common;
+
+use common::*;
+use dmtcp::session::run_for;
+use dmtcp::{ExpectCkpt, Options, Session};
+use oskit::mem::{Content, FillProfile, RegionId, RegionKind, PROT_W};
+use oskit::program::{Program, Step};
+use oskit::world::{NodeId, OsSim, Pid, World};
+use simkit::{DetRng, Nanos, Snap};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Lays out the address space the differential chains mutate: eight 16 KiB
+/// writable anonymous regions, one MAP_SHARED segment, and synthetic text
+/// ballast (never written — the always-aliasable bulk). Then computes
+/// forever so checkpoints can land at any time.
+struct Churn {
+    pc: u8,
+}
+simkit::impl_snap!(struct Churn { pc });
+
+impl Program for Churn {
+    fn step(&mut self, k: &mut oskit::Kernel<'_>) -> Step {
+        if self.pc == 0 {
+            for i in 0..8u64 {
+                let id = k.mmap_anon(&format!("churn{i}"), 16 << 10);
+                k.mem_write(id, 0, &vec![i as u8 + 1; 16 << 10]);
+            }
+            let shm = k.mmap_shared("/churn_shm", 16 << 10).expect("shm");
+            k.mem_write(shm, 0, &vec![0xAA; 16 << 10]);
+            k.mmap_synthetic("ballast", 4 << 20, 0xba11a57, FillProfile::Text);
+            self.pc = 1;
+        }
+        Step::Compute(100_000)
+    }
+    fn tag(&self) -> &'static str {
+        "churn"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+/// A restore target: sleeps forever, owns nothing.
+struct Idle;
+simkit::impl_snap!(
+    struct Idle {}
+);
+
+impl Program for Idle {
+    fn step(&mut self, _k: &mut oskit::Kernel<'_>) -> Step {
+        Step::Sleep(Nanos::from_millis(1_000))
+    }
+    fn tag(&self) -> &'static str {
+        "idle"
+    }
+    fn save(&self) -> Vec<u8> {
+        self.to_snap_bytes()
+    }
+}
+
+fn registry() -> oskit::program::Registry {
+    let mut r = test_registry();
+    r.register_snap::<Churn>("churn");
+    r.register_snap::<Idle>("idle");
+    r
+}
+
+/// The writable regions a chain mutates (the `churn*` anons plus the
+/// shared segment) — everything else stays clean and must alias.
+fn mutable_regions(w: &World, pid: Pid) -> Vec<RegionId> {
+    w.procs[&pid]
+        .mem
+        .iter()
+        .filter(|(_, r)| {
+            r.prot & PROT_W != 0 && (r.name.starts_with("churn") || r.name.contains("shm"))
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Apply one generation's random write pattern directly through the
+/// process's address space (the same code path `Kernel::mem_write` takes,
+/// so dirty tracking sees exactly these writes).
+fn mutate(w: &mut World, pid: Pid, rng: &mut DetRng) {
+    let ids = mutable_regions(w, pid);
+    let mem = &mut w.procs.get_mut(&pid).expect("live process").mem;
+    for _ in 0..rng.range(1, 5) {
+        let id = ids[rng.below(ids.len() as u64) as usize];
+        let len = mem.region(id).expect("live region").len();
+        let off = rng.below(len - 64);
+        let mut buf = [0u8; 64];
+        rng.fill_bytes(&mut buf);
+        mem.write(id, off, &buf);
+    }
+}
+
+/// Per-region `(name, len, digest)` fingerprint of a process's memory.
+fn mem_fingerprint(w: &World, pid: Pid) -> Vec<(String, u64, u64)> {
+    w.procs[&pid]
+        .mem
+        .iter()
+        .map(|(_, r)| (r.name.clone(), r.len(), r.content.digest()))
+        .collect()
+}
+
+/// Write both images at the same suspended instant, verify both, restore
+/// both, and require identical region-level fingerprints.
+#[allow(clippy::too_many_arguments)]
+fn write_and_compare(
+    w: &mut World,
+    sim: &OsSim,
+    pid: Pid,
+    scratch_i: Pid,
+    scratch_f: Pid,
+    gen: u32,
+    seed: u64,
+) -> (mtcp::WriteReport, mtcp::WriteReport) {
+    let inc_path = format!("/ckpt/ckpt_1_gen{gen}.dmtcp");
+    let full_path = format!("/ckpt/full_1_gen{gen}.dmtcp");
+    let r_inc = mtcp::write_image(
+        w,
+        sim.now(),
+        pid,
+        &inc_path,
+        mtcp::WriteMode::Compressed,
+        1,
+        vec![],
+    );
+    let r_full = mtcp::write_image_full(
+        w,
+        sim.now(),
+        pid,
+        &full_path,
+        mtcp::WriteMode::Compressed,
+        1,
+        vec![],
+    );
+    assert_eq!(
+        r_inc.raw_bytes, r_full.raw_bytes,
+        "same instant, same address space"
+    );
+    let img_i = mtcp::verify_image(w, NodeId(0), &inc_path)
+        .unwrap_or_else(|e| panic!("seed {seed} gen {gen}: incremental verify: {e:?}"));
+    let img_f = mtcp::verify_image(w, NodeId(0), &full_path)
+        .unwrap_or_else(|e| panic!("seed {seed} gen {gen}: full verify: {e:?}"));
+    mtcp::restore_into(w, sim.now(), scratch_i, NodeId(0), &inc_path, &img_i)
+        .unwrap_or_else(|e| panic!("seed {seed} gen {gen}: incremental restore: {e:?}"));
+    mtcp::restore_into(w, sim.now(), scratch_f, NodeId(0), &full_path, &img_f)
+        .unwrap_or_else(|e| panic!("seed {seed} gen {gen}: full restore: {e:?}"));
+    assert_eq!(
+        mem_fingerprint(w, scratch_i),
+        mem_fingerprint(w, scratch_f),
+        "seed {seed} gen {gen}: incremental restore diverged from full"
+    );
+    (r_inc, r_full)
+}
+
+fn chain_world(seed: u64) -> (World, OsSim, Pid, Pid, Pid) {
+    let mut w = World::new(oskit::HwSpec::cluster(), 2, registry());
+    let mut sim: OsSim = simkit::Sim::new();
+    ckptstore::install(&mut w, ckptstore::Config::default());
+    let pid = w.spawn(
+        &mut sim,
+        NodeId(0),
+        "churn",
+        Box::new(Churn { pc: 0 }),
+        Pid(1),
+        BTreeMap::new(),
+    );
+    let scratch_i = w.spawn(
+        &mut sim,
+        NodeId(0),
+        "idle",
+        Box::new(Idle),
+        Pid(800 + seed as u32),
+        BTreeMap::new(),
+    );
+    let scratch_f = w.spawn(
+        &mut sim,
+        NodeId(0),
+        "idle",
+        Box::new(Idle),
+        Pid(900 + seed as u32),
+        BTreeMap::new(),
+    );
+    sim.run_until(&mut w, Nanos::from_millis(2));
+    w.suspend_user_threads(&mut sim, pid);
+    (w, sim, pid, scratch_i, scratch_f)
+}
+
+/// The tentpole property, 32 seeds deep: every generation of a 6-deep
+/// chain restores bit-identically whether captured incrementally or in
+/// full, while generations ≥ 2 actually go incremental (alias extents
+/// emitted, only the dirty subset read and compressed).
+#[test]
+fn incremental_restores_bit_identical_to_full_across_chains() {
+    for seed in 0..32u64 {
+        let (mut w, sim, pid, scratch_i, scratch_f) = chain_world(seed);
+        let mut rng = DetRng::seed_from_u64(simkit::mix2(0x1ec4, seed));
+        let mut late: Option<RegionId> = None;
+        for gen in 1..=6u32 {
+            if gen > 1 {
+                mutate(&mut w, pid, &mut rng);
+            }
+            // Exercise mapping churn mid-chain: a region mapped after the
+            // last capture is dirty by definition; an unmapped one must
+            // simply vanish from the next image.
+            if gen == 3 {
+                let mem = &mut w.procs.get_mut(&pid).expect("live").mem;
+                late = Some(mem.map(
+                    "late-arena",
+                    RegionKind::Anon,
+                    oskit::mem::PROT_R | PROT_W,
+                    Content::Real(Rc::new(vec![0x3C; 8 << 10])),
+                ));
+            }
+            if gen == 5 {
+                let mem = &mut w.procs.get_mut(&pid).expect("live").mem;
+                mem.unmap(late.take().expect("mapped at gen 3"));
+            }
+            let (r_inc, r_full) =
+                write_and_compare(&mut w, &sim, pid, scratch_i, scratch_f, gen, seed);
+            if gen == 1 {
+                assert!(!r_inc.incremental, "no baseline at generation 1");
+            } else {
+                assert!(r_inc.incremental, "seed {seed} gen {gen} stayed full");
+                assert!(
+                    r_inc.captured_raw_bytes < r_full.captured_raw_bytes,
+                    "seed {seed} gen {gen}: incremental captured {} of {} raw bytes",
+                    r_inc.captured_raw_bytes,
+                    r_full.captured_raw_bytes,
+                );
+            }
+        }
+        assert!(
+            w.obs.metrics.counter_total("mtcp.incr.aliased_regions") > 0,
+            "seed {seed}: chain never emitted an alias extent"
+        );
+    }
+}
+
+/// An aborted forked generation must roll the incremental baseline back:
+/// the next capture is relative to the last *durable* image, including
+/// regions dirtied both before and during the doomed drain.
+#[test]
+fn aborted_forked_generation_rolls_baseline_back() {
+    let (mut w, sim, pid, scratch_i, scratch_f) = chain_world(77);
+    let mut rng = DetRng::seed_from_u64(0xab047);
+    write_and_compare(&mut w, &sim, pid, scratch_i, scratch_f, 1, 77);
+
+    // Generation 2 goes forked and dies mid-drain.
+    mutate(&mut w, pid, &mut rng);
+    let fw = mtcp::begin_forked_write(&mut w, sim.now(), pid, "/ckpt/ckpt_1_gen2.dmtcp", 1, vec![]);
+    assert!(fw.report.incremental, "generation 2 plans incrementally");
+    mutate(&mut w, pid, &mut rng); // dirtied while the drain was in flight
+    fw.abort(&mut w, pid);
+
+    // The retried generation must still restore identically to a full
+    // capture — stale aliasing after the abort would diverge here.
+    let (r_inc, _) = write_and_compare(&mut w, &sim, pid, scratch_i, scratch_f, 2, 77);
+    assert!(r_inc.incremental, "retry still aliases clean regions");
+}
+
+/// Full-protocol answer equivalence: the same computation, checkpointed
+/// every 2 ms through the store, killed, and restarted from its latest
+/// generation, computes the same answer whether incremental capture is on
+/// (default) or forced off — inline and forked both.
+fn protocol_run(incremental: bool, forked: bool) -> String {
+    let budget = run_budget();
+    let (mut w, mut sim) = cluster(2);
+    ckptstore::install(&mut w, ckptstore::Config::default());
+    mtcp::incr::set_enabled(&mut w, incremental);
+    let s = Session::start(
+        &mut w,
+        &mut sim,
+        Options::builder()
+            .ckpt_dir("/shared/ckpt")
+            .forked(forked)
+            .build(),
+    );
+    s.launch(
+        &mut w,
+        &mut sim,
+        NodeId(1),
+        "pipe",
+        Box::new(FtPipeChain::new(900_000)),
+    );
+    run_for(&mut w, &mut sim, Nanos::from_millis(6));
+    for gen in 1..=5u64 {
+        let g = s
+            .checkpoint_and_wait(&mut w, &mut sim, budget)
+            .expect_ckpt();
+        assert_eq!(g.gen, gen);
+        run_for(&mut w, &mut sim, Nanos::from_millis(2));
+    }
+    if incremental {
+        assert!(
+            w.obs.metrics.counter_total("mtcp.incr.images") > 0,
+            "a 5-generation chain must write incremental images"
+        );
+    } else {
+        assert_eq!(w.obs.metrics.counter_total("mtcp.incr.images"), 0);
+    }
+    s.kill_computation(&mut w, &mut sim);
+    let _ = w.shared_fs.remove("/shared/pipe_result");
+    let hosts: Vec<(String, NodeId)> = (0..w.nodes.len())
+        .map(|i| (w.nodes[i].hostname.clone(), NodeId(i as u32)))
+        .collect();
+    let remap = move |h: &str| {
+        hosts
+            .iter()
+            .find(|(n, _)| n == h)
+            .map(|(_, x)| *x)
+            .expect("known host")
+    };
+    let restored = s
+        .restart_resilient(&mut w, &mut sim, &remap)
+        .expect("restart");
+    assert_eq!(restored.gen, 5, "latest generation restarts");
+    Session::wait_restart_done(&mut w, &mut sim, restored.gen, budget);
+    assert!(
+        !matches!(
+            sim.run_budgeted(&mut w, budget),
+            simkit::RunOutcome::BudgetExhausted
+        ),
+        "restarted computation must finish"
+    );
+    shared_result(&w, "/shared/pipe_result").expect("restarted run writes its answer")
+}
+
+#[test]
+fn inline_incremental_computes_the_same_answer() {
+    assert_eq!(protocol_run(true, false), protocol_run(false, false));
+}
+
+#[test]
+fn forked_incremental_computes_the_same_answer() {
+    assert_eq!(protocol_run(true, true), protocol_run(false, true));
+}

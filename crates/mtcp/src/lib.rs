@@ -20,11 +20,15 @@
 #![warn(missing_docs)]
 
 pub mod image;
+pub mod incr;
 pub mod reader;
 pub mod store;
 pub mod writer;
 
 pub use image::{CkptImage, HeaderError, RegionMeta, StoredAs, IMAGE_MAGIC};
+pub use incr::{IncrState, RegionRec};
 pub use reader::{read_image, restore_into, verify_image, ImageError, RestoreError, RestoreReport};
 pub use store::{ImageStore, ResolvedImage, SinkCommit};
-pub use writer::{begin_forked_write, write_image, ForkedWrite, WriteMode, WriteReport};
+pub use writer::{
+    begin_forked_write, write_image, write_image_full, ForkedWrite, WriteMode, WriteReport,
+};

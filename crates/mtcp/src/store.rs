@@ -69,6 +69,16 @@ pub trait ImageStore {
     /// Resolve a logical image path for a reader on `node`, returning
     /// `None` when the store (local or any replica) does not hold it.
     fn resolve(&self, w: &World, node: NodeId, path: &str) -> Option<ResolvedImage>;
+
+    /// Whether a new commit from `node` may carry *alias extents* — virtual
+    /// chunks (see `mtcp::incr`) naming byte ranges of the already-stored
+    /// image `prev_path`. Returns that image's logical byte length when it
+    /// can; any alias extent must lie entirely below this bound (a torn
+    /// prior image shrinks it, forcing the tail back onto the full path).
+    /// The default store (plain files) cannot alias.
+    fn alias_bound(&self, _w: &World, _node: NodeId, _prev_path: &str) -> Option<u64> {
+        None
+    }
 }
 
 /// Install an image store (replacing any previous one).

@@ -12,14 +12,31 @@
 //! holds while the application keeps running. The handle keeps the snapshot
 //! alive so application writes during the in-flight checkpoint are charged
 //! as COW copies; `ForkedWrite::finish` collects that dirty ledger once the
-//! image is durable.
+//! image is durable, and `ForkedWrite::abort` rolls the incremental
+//! baseline back when the generation dies mid-drain.
+//!
+//! ## Incremental captures
+//!
+//! At generation N ≥ 2, when the address space has an armed dirty-region
+//! set, a previous compressed capture left an [`incr::IncrState`], and the
+//! installed [`crate::store::ImageStore`] can alias the prior image
+//! ([`crate::store::ImageStore::alias_bound`]), only mutated regions are
+//! read, compressed, and hashed. Clean regions are emitted as *alias
+//! extents* — virtual payloads naming a byte range of the previous image —
+//! with their `RegionMeta` rebuilt from the cached CRC and compressed
+//! length (sound because szip is deterministic). Everything else — no
+//! store, store can't alias, uncompressed mode, first generation, freshly
+//! restored process — falls back to the full path, which also arms dirty
+//! tracking so the *next* generation can go incremental.
 
 use crate::image::{CkptImage, RegionMeta, StoredAs, IMAGE_MAGIC};
+use crate::incr::{self, IncrState, RegionRec};
 use oskit::fs::Blob;
-use oskit::mem::{AddressSpace, Content, CowStats};
+use oskit::mem::{AddressSpace, Content, CowStats, RegionId};
 use oskit::proc::{ThreadCtx, ThreadState};
 use oskit::world::{Pid, World};
 use simkit::{Nanos, Snap, SnapWriter};
+use std::collections::BTreeSet;
 use szip::SizeEstimator;
 
 /// How the image is produced.
@@ -53,6 +70,12 @@ pub struct WriteReport {
     pub image_bytes: u64,
     /// Total raw address-space bytes captured.
     pub raw_bytes: u64,
+    /// Raw bytes actually read + compressed + hashed by this capture
+    /// (equal to `raw_bytes` for a full capture, the dirty subset for an
+    /// incremental one).
+    pub captured_raw_bytes: u64,
+    /// Whether this was an incremental (alias-extent) capture.
+    pub incremental: bool,
 }
 
 /// An in-flight forked (background) checkpoint write.
@@ -68,19 +91,51 @@ pub struct ForkedWrite {
     pub report: WriteReport,
     /// The frozen COW snapshot (kept alive until `finish`).
     snapshot: AddressSpace,
+    /// Incremental baseline for the *next* generation; committed only once
+    /// this image is durable (CKPT_WRITTEN), discarded on abort.
+    pending: Pending,
+    /// The dirty set consumed by this capture; merged back into the live
+    /// address space on abort so the next incremental capture stays
+    /// relative to the last durable image.
+    taken: Option<BTreeSet<RegionId>>,
 }
 
 impl ForkedWrite {
     /// The background pipeline is done and the image is durable: drop the
-    /// COW snapshot, close the live process's dirty ledger, and record the
-    /// COW tax as metrics. Returns the ledger (zeros when the process died
-    /// while the write was in flight).
+    /// COW snapshot, close the live process's dirty ledger, record the COW
+    /// tax as metrics, and commit the incremental baseline so the next
+    /// generation can alias this image. Returns the ledger (zeros when the
+    /// process died while the write was in flight).
     pub fn finish(self, w: &mut World, pid: Pid) -> CowStats {
+        self.close(w, pid, true)
+    }
+
+    /// The generation died mid-drain: the image never became durable, so
+    /// the incremental baseline stays at the previous generation. Merges
+    /// the consumed dirty set back into the live address space (regions
+    /// this capture "cleaned" are still dirty relative to the last durable
+    /// image) and discards the pending state.
+    pub fn abort(self, w: &mut World, pid: Pid) -> CowStats {
+        self.close(w, pid, false)
+    }
+
+    fn close(self, w: &mut World, pid: Pid, durable: bool) -> CowStats {
         let stats = match w.procs.get_mut(&pid) {
-            Some(p) => p.mem.end_cow_snapshot(),
+            Some(p) => {
+                let stats = p.mem.end_cow_snapshot();
+                if !durable {
+                    if let Some(taken) = self.taken {
+                        p.mem.merge_dirty(taken);
+                    }
+                }
+                stats
+            }
             None => CowStats::default(),
         };
         drop(self.snapshot);
+        if durable {
+            self.pending.apply(w, pid);
+        }
         if stats.copied_bytes > 0 {
             w.obs
                 .metrics
@@ -93,11 +148,77 @@ impl ForkedWrite {
     }
 }
 
+/// What should happen to the process's incremental baseline once the
+/// written image is durable.
+#[derive(Debug)]
+enum Pending {
+    /// Replace the baseline with this capture's state.
+    Commit(IncrState),
+    /// The dirty set was consumed but this image cannot be aliased
+    /// (uncompressed): drop the baseline so a later generation cannot
+    /// alias a stale image.
+    Clear,
+    /// Leave the baseline untouched (shadow full captures).
+    Keep,
+}
+
+impl Pending {
+    fn apply(self, w: &mut World, pid: Pid) {
+        match self {
+            Pending::Commit(state) => incr::commit_state(w, pid, state),
+            Pending::Clear => incr::clear_state(w, pid),
+            Pending::Keep => {}
+        }
+    }
+}
+
+/// How a capture was planned.
+enum Plan {
+    /// Capture every region. `taken` holds a consumed dirty set (when
+    /// tracking was armed but incremental was not possible this time).
+    Full { taken: Option<BTreeSet<RegionId>> },
+    /// Capture dirty regions; alias the rest into `prev` below `bound`.
+    Incr {
+        dirty: BTreeSet<RegionId>,
+        prev: IncrState,
+        bound: u64,
+    },
+    /// Shadow full capture: touch neither the dirty set nor the baseline.
+    Shadow,
+}
+
+/// Decide full vs incremental and arm/consume the dirty set accordingly.
+fn plan_capture(w: &mut World, pid: Pid, mode: WriteMode, force_full: bool) -> Plan {
+    if force_full {
+        return Plan::Shadow;
+    }
+    let node = w.procs[&pid].node;
+    let allow = mode.compressed() && incr::enabled(w);
+    let prev = incr::state_of(w, pid);
+    let bound = match (&prev, crate::store::installed(w)) {
+        (Some(st), Some(store)) if allow => store.alias_bound(w, node, &st.prev_path),
+        _ => None,
+    };
+    let mem = &mut w.procs.get_mut(&pid).expect("capture of live process").mem;
+    let taken = mem.take_dirty();
+    if taken.is_none() {
+        // First capture of this address space: arm tracking so the next
+        // generation can go incremental against the image we write now.
+        mem.enable_dirty_tracking();
+    }
+    match (taken, prev, bound) {
+        (Some(dirty), Some(prev), Some(bound)) => Plan::Incr { dirty, prev, bound },
+        (taken, _, _) => Plan::Full { taken },
+    }
+}
+
 /// Capture `pid`'s address space and threads into `path`.
 ///
 /// The caller (DMTCP's checkpoint manager) guarantees user threads are
 /// suspended. `dmtcp_meta` is the upper layer's connection-information
-/// table, stored opaquely.
+/// table, stored opaquely. Goes incremental automatically when possible
+/// (see module docs); the image is durable when this returns, so the
+/// incremental baseline is committed before returning.
 pub fn write_image(
     w: &mut World,
     now: Nanos,
@@ -107,13 +228,37 @@ pub fn write_image(
     vpid: u32,
     dmtcp_meta: Vec<u8>,
 ) -> WriteReport {
-    let (regions, payloads, raw_bytes) = {
+    let plan = plan_capture(w, pid, mode, false);
+    let cap = {
         let p = &w.procs[&pid];
-        capture_regions(&p.mem, mode.compressed())
+        capture_planned(&p.mem, mode.compressed(), &plan)
     };
-    commit_image(
-        w, now, pid, path, mode, vpid, dmtcp_meta, regions, payloads, raw_bytes,
-    )
+    let (report, state) = commit_image(w, now, pid, path, mode, vpid, dmtcp_meta, cap);
+    pending_for(&plan, mode, state).apply(w, pid);
+    report
+}
+
+/// Capture a *full* image of `pid` at this instant without consuming the
+/// dirty set or moving the incremental baseline. This is the differential
+/// test hook: called next to [`write_image`] on the same suspended process
+/// it produces the full-image ground truth an incremental image must
+/// restore identically to. Production code never calls it.
+pub fn write_image_full(
+    w: &mut World,
+    now: Nanos,
+    pid: Pid,
+    path: &str,
+    mode: WriteMode,
+    vpid: u32,
+    dmtcp_meta: Vec<u8>,
+) -> WriteReport {
+    let plan = Plan::Shadow;
+    let cap = {
+        let p = &w.procs[&pid];
+        capture_planned(&p.mem, mode.compressed(), &plan)
+    };
+    let (report, _) = commit_image(w, now, pid, path, mode, vpid, dmtcp_meta, cap);
+    report
 }
 
 /// Start a forked checkpoint of `pid`: COW-snapshot the address space,
@@ -121,7 +266,8 @@ pub fn write_image(
 /// dirty ledger. The returned report's `resume_at` covers only the fork
 /// pause; the caller resumes the application there and sleeps (in the
 /// manager thread) until `image_complete_at` before calling
-/// [`ForkedWrite::finish`].
+/// [`ForkedWrite::finish`] (or [`ForkedWrite::abort`] if the generation
+/// dies first).
 pub fn begin_forked_write(
     w: &mut World,
     now: Nanos,
@@ -130,6 +276,10 @@ pub fn begin_forked_write(
     vpid: u32,
     dmtcp_meta: Vec<u8>,
 ) -> ForkedWrite {
+    // Plan against the *live* address space before forking: take_dirty and
+    // the COW snapshot happen at the same suspended instant, so the dirty
+    // set describes exactly the snapshot the image is built from.
+    let plan = plan_capture(w, pid, WriteMode::ForkedCompressed, false);
     let snapshot = w
         .procs
         .get_mut(&pid)
@@ -138,8 +288,8 @@ pub fn begin_forked_write(
         .begin_cow_snapshot();
     // Build payloads from the *snapshot*: the application may dirty its own
     // copy the moment it resumes, but the image must hold pre-fork bytes.
-    let (regions, payloads, raw_bytes) = capture_regions(&snapshot, true);
-    let report = commit_image(
+    let cap = capture_planned(&snapshot, true, &plan);
+    let (report, state) = commit_image(
         w,
         now,
         pid,
@@ -147,108 +297,259 @@ pub fn begin_forked_write(
         WriteMode::ForkedCompressed,
         vpid,
         dmtcp_meta,
-        regions,
-        payloads,
-        raw_bytes,
+        cap,
     );
-    ForkedWrite { report, snapshot }
+    let pending = pending_for(&plan, WriteMode::ForkedCompressed, state);
+    let taken = match plan {
+        Plan::Full { taken } => taken,
+        Plan::Incr { dirty, .. } => Some(dirty),
+        Plan::Shadow => None,
+    };
+    ForkedWrite {
+        report,
+        snapshot,
+        pending,
+        taken,
+    }
 }
 
-/// Phase 1: build the region table and payload byte streams.
+/// The baseline outcome for a capture under `plan`.
+fn pending_for(plan: &Plan, mode: WriteMode, state: IncrState) -> Pending {
+    match plan {
+        Plan::Shadow => Pending::Keep,
+        _ if mode.compressed() => Pending::Commit(state),
+        _ => Pending::Clear,
+    }
+}
+
+/// Everything phase 1 produces: the region table, payload streams, and the
+/// byte accounting the cost model and metrics need.
+struct CaptureOut {
+    /// Live region ids, parallel to `regions`/`payloads`.
+    ids: Vec<RegionId>,
+    regions: Vec<RegionMeta>,
+    payloads: Vec<Payload>,
+    /// Total raw address-space bytes the image represents.
+    raw_bytes: u64,
+    /// Raw bytes actually read + compressed + hashed by this capture.
+    captured_raw_bytes: u64,
+    /// Compressor input/output bytes (freshly packed regions only).
+    comp_in: u64,
+    comp_out: u64,
+    /// Regions emitted as alias extents.
+    aliased_regions: u64,
+    incremental: bool,
+}
+
+/// Phase 1: build the region table and payload byte streams under `plan`.
 /// (Pure data work on a frozen address space; timing charged at commit.)
-fn capture_regions(mem: &AddressSpace, compressed: bool) -> (Vec<RegionMeta>, Vec<Payload>, u64) {
+fn capture_planned(mem: &AddressSpace, compressed: bool, plan: &Plan) -> CaptureOut {
     let estimator = SizeEstimator::default();
-    let mut regions = Vec::new();
-    let mut payloads: Vec<Payload> = Vec::new();
-    let mut raw_bytes = 0u64;
-    for (_, region) in mem.iter() {
+    let mut out = CaptureOut {
+        ids: Vec::new(),
+        regions: Vec::new(),
+        payloads: Vec::new(),
+        raw_bytes: 0,
+        captured_raw_bytes: 0,
+        comp_in: 0,
+        comp_out: 0,
+        aliased_regions: 0,
+        incremental: matches!(plan, Plan::Incr { .. }),
+    };
+    for (id, region) in mem.iter() {
         let raw_len = region.len();
-        raw_bytes += raw_len;
-        match &region.content {
-            Content::Real(bytes) => {
-                let (stored_bytes, crc) = pack_real(bytes, compressed);
-                regions.push(RegionMeta {
+        out.raw_bytes += raw_len;
+        out.ids.push(id);
+        if let Plan::Incr { dirty, prev, bound } = plan {
+            if let Some((meta, payload)) = alias_region(id, region, raw_len, dirty, prev, *bound) {
+                out.aliased_regions += 1;
+                out.regions.push(meta);
+                out.payloads.push(payload);
+                continue;
+            }
+        }
+        out.captured_raw_bytes += raw_len;
+        let (meta, payload, packed) = capture_one(region, raw_len, compressed, &estimator);
+        if let Some(stored_len) = packed {
+            out.comp_in += raw_len;
+            out.comp_out += stored_len;
+        }
+        out.regions.push(meta);
+        out.payloads.push(payload);
+    }
+    out
+}
+
+/// Emit `region` as a clean alias extent when the previous capture's record
+/// still describes it exactly; `None` sends it down the full path.
+fn alias_region(
+    id: RegionId,
+    region: &oskit::mem::Region,
+    raw_len: u64,
+    dirty: &BTreeSet<RegionId>,
+    prev: &IncrState,
+    bound: u64,
+) -> Option<(RegionMeta, Payload)> {
+    if dirty.contains(&id) {
+        return None;
+    }
+    let rec = prev.regions.get(&id)?;
+    if rec.raw_len != raw_len {
+        return None;
+    }
+    match (&region.content, &rec.stored) {
+        (Content::Real(_), StoredAs::Real { comp_len }) => {
+            // The raw bytes are unchanged since the previous capture, so the
+            // previous compressed payload (szip is deterministic) and CRC
+            // still describe them; reference those bytes instead of
+            // recompressing them.
+            if rec.payload_off + comp_len > bound {
+                return None;
+            }
+            let meta = RegionMeta {
+                name: region.name.clone(),
+                kind: region.kind.clone(),
+                prot: region.prot,
+                raw_len,
+                stored: rec.stored.clone(),
+                crc: rec.crc,
+            };
+            let payload = Payload::Virtual {
+                len: *comp_len,
+                meta: incr::encode_alias(&prev.prev_path, rec.payload_off, *comp_len),
+            };
+            Some((meta, payload))
+        }
+        // Synthetic regions are immutable; reuse the previous recipe (and
+        // its estimated compressed size) without re-running the estimator.
+        // The virtual chunk dedups in the store by identity, so no alias
+        // extent is needed.
+        (Content::Synthetic { .. }, StoredAs::Synthetic { comp_len, .. }) => {
+            let mut meta_bytes = SnapWriter::new();
+            rec.stored.save(&mut meta_bytes);
+            let meta = RegionMeta {
+                name: region.name.clone(),
+                kind: region.kind.clone(),
+                prot: region.prot,
+                raw_len,
+                stored: rec.stored.clone(),
+                crc: 0,
+            };
+            let payload = Payload::Virtual {
+                len: *comp_len,
+                meta: meta_bytes.into_bytes(),
+            };
+            Some((meta, payload))
+        }
+        // MAP_SHARED segments can be written through *another* process's
+        // address space without marking our dirty set — never alias them.
+        _ => None,
+    }
+}
+
+/// Capture one region the full way. Returns the meta, the payload, and the
+/// stored length when the compressor actually ran on real bytes.
+fn capture_one(
+    region: &oskit::mem::Region,
+    raw_len: u64,
+    compressed: bool,
+    estimator: &SizeEstimator,
+) -> (RegionMeta, Payload, Option<u64>) {
+    match &region.content {
+        Content::Real(bytes) => {
+            let (stored_bytes, crc) = pack_real(bytes, compressed);
+            let stored_len = stored_bytes.len() as u64;
+            (
+                RegionMeta {
                     name: region.name.clone(),
                     kind: region.kind.clone(),
                     prot: region.prot,
                     raw_len,
                     stored: StoredAs::Real {
-                        comp_len: stored_bytes.len() as u64,
+                        comp_len: stored_len,
                     },
                     crc,
-                });
-                payloads.push(Payload::Real(stored_bytes));
-            }
-            Content::Shared(seg) => {
-                // Shared segments are materialized eagerly at this instant
-                // (the fork instant, for a forked write): MAP_SHARED memory
-                // is not COW under fork, so the image carries whatever the
-                // segment held when the snapshot was taken.
-                let bytes = seg.borrow();
-                let (stored_bytes, crc) = pack_real(&bytes, compressed);
-                let backing = match &region.kind {
-                    oskit::mem::RegionKind::Shm { backing } => backing.clone(),
-                    _ => String::new(),
-                };
-                regions.push(RegionMeta {
+                },
+                Payload::Real(stored_bytes),
+                compressed.then_some(stored_len),
+            )
+        }
+        Content::Shared(seg) => {
+            // Shared segments are materialized eagerly at this instant
+            // (the fork instant, for a forked write): MAP_SHARED memory
+            // is not COW under fork, so the image carries whatever the
+            // segment held when the snapshot was taken.
+            let bytes = seg.borrow();
+            let (stored_bytes, crc) = pack_real(&bytes, compressed);
+            let stored_len = stored_bytes.len() as u64;
+            let backing = match &region.kind {
+                oskit::mem::RegionKind::Shm { backing } => backing.clone(),
+                _ => String::new(),
+            };
+            (
+                RegionMeta {
                     name: region.name.clone(),
                     kind: region.kind.clone(),
                     prot: region.prot,
                     raw_len,
                     stored: StoredAs::Shared {
                         backing,
-                        comp_len: stored_bytes.len() as u64,
+                        comp_len: stored_len,
                     },
                     crc,
-                });
-                payloads.push(Payload::Real(stored_bytes));
-            }
-            Content::Synthetic { seed, len, profile } => {
-                let (comp_len, sampled) = if !compressed {
-                    (*len, false)
-                } else if estimator.should_sample(*len) {
-                    let sample = profile.bytes(*seed, estimator.sample_len as usize);
-                    let sample_comp = szip::compressed_len(&sample);
-                    (
-                        estimator.extrapolate(*len, sample.len() as u64, sample_comp),
-                        true,
-                    )
-                } else {
-                    (
-                        szip::compressed_len(&profile.bytes(*seed, *len as usize)),
-                        false,
-                    )
-                };
-                let stored = StoredAs::Synthetic {
-                    seed: *seed,
-                    profile: *profile,
-                    comp_len,
-                    sampled,
-                };
-                // The virtual chunk's meta carries the recipe so a
-                // reader could re-derive it from the file alone.
-                let mut meta = SnapWriter::new();
-                stored.save(&mut meta);
-                regions.push(RegionMeta {
+                },
+                Payload::Real(stored_bytes),
+                compressed.then_some(stored_len),
+            )
+        }
+        Content::Synthetic { seed, len, profile } => {
+            let (comp_len, sampled) = if !compressed {
+                (*len, false)
+            } else if estimator.should_sample(*len) {
+                let sample = profile.bytes(*seed, estimator.sample_len as usize);
+                let sample_comp = szip::compressed_len(&sample);
+                (
+                    estimator.extrapolate(*len, sample.len() as u64, sample_comp),
+                    true,
+                )
+            } else {
+                (
+                    szip::compressed_len(&profile.bytes(*seed, *len as usize)),
+                    false,
+                )
+            };
+            let stored = StoredAs::Synthetic {
+                seed: *seed,
+                profile: *profile,
+                comp_len,
+                sampled,
+            };
+            // The virtual chunk's meta carries the recipe so a
+            // reader could re-derive it from the file alone.
+            let mut meta = SnapWriter::new();
+            stored.save(&mut meta);
+            (
+                RegionMeta {
                     name: region.name.clone(),
                     kind: region.kind.clone(),
                     prot: region.prot,
                     raw_len,
                     stored,
                     crc: 0,
-                });
-                payloads.push(Payload::Virtual {
+                },
+                Payload::Virtual {
                     len: comp_len,
                     meta: meta.into_bytes(),
-                });
-            }
+                },
+                compressed.then_some(comp_len),
+            )
         }
     }
-    (regions, payloads, raw_bytes)
 }
 
 /// Phases 2–4: thread contexts, file materialization, commit + time
-/// charging, and observability.
+/// charging, and observability. Also returns the [`IncrState`] describing
+/// this image, for the caller to commit once the image is durable.
 #[allow(clippy::too_many_arguments)]
 fn commit_image(
     w: &mut World,
@@ -258,11 +559,20 @@ fn commit_image(
     mode: WriteMode,
     vpid: u32,
     dmtcp_meta: Vec<u8>,
-    regions: Vec<RegionMeta>,
-    payloads: Vec<Payload>,
-    raw_bytes: u64,
-) -> WriteReport {
+    cap: CaptureOut,
+) -> (WriteReport, IncrState) {
     let node = w.procs[&pid].node;
+    let CaptureOut {
+        ids,
+        regions,
+        payloads,
+        raw_bytes,
+        captured_raw_bytes,
+        comp_in,
+        comp_out,
+        aliased_regions,
+        incremental,
+    } = cap;
 
     // ---- Phase 2: thread contexts (registers/stack analogue). ----
     let threads: Vec<ThreadCtx> = {
@@ -294,14 +604,43 @@ fn commit_image(
     };
 
     // ---- Phase 3: materialize the file. ----
+    let header_bytes = header.encode_header();
+    let header_len = header_bytes.len() as u64;
     let mut blob = Blob::new();
-    blob.append_bytes(&header.encode_header());
+    blob.append_bytes(&header_bytes);
     for p in &payloads {
         match p {
             Payload::Real(bytes) => blob.append_bytes(bytes),
             Payload::Virtual { len, meta } => blob.append_virtual(*len, meta.clone()),
         }
     }
+    // The incremental baseline for the *next* generation: where each
+    // region's payload landed in this image, plus the cached CRC and
+    // stored form a clean region can be re-emitted from.
+    let state = {
+        let mut st = IncrState {
+            prev_path: path.to_string(),
+            regions: std::collections::BTreeMap::new(),
+        };
+        let mut off = header_len;
+        for (i, id) in ids.iter().enumerate() {
+            let r = &header.regions[i];
+            st.regions.insert(
+                *id,
+                RegionRec {
+                    raw_len: r.raw_len,
+                    crc: r.crc,
+                    stored: r.stored.clone(),
+                    payload_off: off,
+                },
+            );
+            off += match &payloads[i] {
+                Payload::Real(bytes) => bytes.len() as u64,
+                Payload::Virtual { len, .. } => *len,
+            };
+        }
+        st
+    };
     // Fault-injection hook: a torn write truncates or bit-flips the blob
     // between "bytes produced" and "file committed" — the CRC/length checks
     // on the read side must catch whatever happens here. For a forked write
@@ -318,8 +657,9 @@ fn commit_image(
     };
     // Compression occupies one core of the node (gzip is single-threaded
     // per process; concurrent processes use distinct cores via the pool).
+    // An incremental capture only ran the compressor over the dirty bytes.
     let cpu_done = if mode.compressed() {
-        let dur = spec.gzip_time(raw_bytes);
+        let dur = spec.gzip_time(captured_raw_bytes);
         let (_s, e) = w.nodes[node.0 as usize].cpu.run(work_start, dur);
         e
     } else {
@@ -350,8 +690,6 @@ fn commit_image(
 
     // ---- Observability: per-segment sizes, compression totals, span. ----
     {
-        let mut comp_in = 0u64;
-        let mut comp_out = 0u64;
         for r in &header.regions {
             let stored_len = match &r.stored {
                 StoredAs::Real { comp_len } => *comp_len,
@@ -359,13 +697,16 @@ fn commit_image(
                 StoredAs::Synthetic { comp_len, .. } => *comp_len,
             };
             w.obs.metrics.observe("mtcp.segment.bytes", 0, stored_len);
-            if mode.compressed() {
-                comp_in += r.raw_len;
-                comp_out += stored_len;
-            }
         }
         w.obs.metrics.add("mtcp.image.bytes", 0, image_bytes);
         w.obs.metrics.add("mtcp.image.raw_bytes", 0, raw_bytes);
+        if incremental {
+            w.obs.metrics.add("mtcp.dirty_bytes", 0, captured_raw_bytes);
+            w.obs.metrics.add("mtcp.incr.images", 0, 1);
+            w.obs
+                .metrics
+                .add("mtcp.incr.aliased_regions", 0, aliased_regions);
+        }
         if comp_in > 0 {
             w.obs.metrics.add("szip.bytes_in", 0, comp_in);
             w.obs.metrics.add("szip.bytes_out", 0, comp_out);
@@ -379,16 +720,25 @@ fn commit_image(
             "mtcp",
             now,
             image_complete_at,
-            vec![("image_bytes", image_bytes), ("raw_bytes", raw_bytes)],
+            vec![
+                ("image_bytes", image_bytes),
+                ("raw_bytes", raw_bytes),
+                ("captured_raw_bytes", captured_raw_bytes),
+            ],
         );
     }
 
-    WriteReport {
-        resume_at,
-        image_complete_at,
-        image_bytes,
-        raw_bytes,
-    }
+    (
+        WriteReport {
+            resume_at,
+            image_complete_at,
+            image_bytes,
+            raw_bytes,
+            captured_raw_bytes,
+            incremental,
+        },
+        state,
+    )
 }
 
 enum Payload {

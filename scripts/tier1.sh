@@ -40,7 +40,7 @@ stage_faults() {
 }
 
 stage_bench() {
-    echo "== ckptstore smoke bench (3 generations, NAS/MG) =="
+    echo "== ckptstore smoke bench (3 generations, NAS/MG + incremental >=10x gate) =="
     cargo build --release -p dmtcp-bench
     ./target/release/ckptstore --smoke
     echo "== downtime smoke bench (perceived vs total checkpoint time) =="
