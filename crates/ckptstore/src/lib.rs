@@ -31,6 +31,7 @@
 pub mod manifest;
 mod sink;
 mod source;
+pub mod tenant;
 
 use oskit::world::World;
 use std::cell::RefCell;

@@ -266,6 +266,8 @@ pub(crate) fn commit(
     let pieces = chunk_blob(blob, cfg.chunk_size);
     let gen = parse_gen(path).unwrap_or(0);
     let ni = node.0 as usize;
+    // Inside a tenant namespace the owner's retention policy governs GC.
+    let retention = crate::tenant::retention_for(w, path, cfg.retention);
 
     // ---- Local store: new chunks (alias extents become slice refs into
     // already-stored chunks), then the manifest. ----
@@ -423,7 +425,7 @@ pub(crate) fn commit(
         w.obs
             .metrics
             .add("ckptstore.replication_bytes", peer as u64, sent);
-        gc(w, peer, path, gen, cfg.retention);
+        gc(w, peer, path, gen, retention);
     }
     if pipelined > 0 {
         w.obs
@@ -435,7 +437,20 @@ pub(crate) fn commit(
         .metrics
         .observe("ckptstore.replication_lag_ns", node.0 as u64, lag.0);
 
-    gc(w, ni, path, gen, cfg.retention);
+    gc(w, ni, path, gen, retention);
+
+    // Tenant ledger: charge this commit's stored bytes, credit the
+    // generations that just expired under the tenant's retention window.
+    if let Some(tenant) = crate::tenant::tenant_of(path).map(|t| t.to_string()) {
+        crate::tenant::charge(w, &tenant, &mpath, new_bytes);
+        if gen > retention {
+            for old in 1..=(gen - retention) {
+                if let Some(old_path) = with_gen(path, old) {
+                    crate::tenant::credit(w, &tenant, &manifest_path(&old_path));
+                }
+            }
+        }
+    }
 
     w.obs
         .metrics

@@ -140,14 +140,35 @@ pub struct CoordShared {
     pub barrier_pending: BTreeMap<(u64, u8), u32>,
 }
 
-/// Access the coordinator-shared state (world singleton).
-pub fn coord_shared(w: &mut World) -> &mut CoordShared {
+/// Extension-slot key for the shared state of the coordinator on `port`.
+/// The default port keeps the historical unsuffixed key, so every existing
+/// single-coordinator test, bench, and replay dump reads the same slot it
+/// always did; additional coordinators (dmtcpd shards) get their own.
+fn coord_slot(port: u16) -> String {
+    if port == COORD_PORT {
+        "dmtcp-coord-shared".to_string()
+    } else {
+        format!("dmtcp-coord-shared:{port}")
+    }
+}
+
+/// Access the shared state of the coordinator listening on `port`. Each
+/// root coordinator owns an independent [`CoordShared`] keyed by its port,
+/// which is what lets many coordinators (dmtcpd shards) coexist in one
+/// world without sharing generation counters or image lists.
+pub fn coord_shared_for(w: &mut World, port: u16) -> &mut CoordShared {
     let slot = w
         .ext_slots
-        .entry("dmtcp-coord-shared".to_string())
+        .entry(coord_slot(port))
         .or_insert_with(|| Box::new(CoordShared::default()));
     slot.downcast_mut::<CoordShared>()
         .expect("slot holds CoordShared")
+}
+
+/// Access the coordinator-shared state of the default-port coordinator
+/// (world singleton — the single-computation [`crate::Session`] path).
+pub fn coord_shared(w: &mut World) -> &mut CoordShared {
+    coord_shared_for(w, COORD_PORT)
 }
 
 /// Relay-specific state of a root client (see `crate::relay`): the root
@@ -377,14 +398,15 @@ impl Coordinator {
             &[("gen", gen), ("participants", expected as u64)],
             "",
         );
-        coord_shared(k.w).gen_stats.push(GenStat {
+        let port = self.port;
+        coord_shared_for(k.w, port).gen_stats.push(GenStat {
             gen: self.gen,
             requested_at: self.requested_at,
             releases: BTreeMap::new(),
             participants: self.expected,
             aborted: false,
         });
-        coord_shared(k.w).last_images.clear();
+        coord_shared_for(k.w, port).last_images.clear();
         // Generation numbers can be reused after a restart rolled the
         // counter back; drop any stale barrier state for this one.
         self.aborted_gens.remove(&gen);
@@ -415,7 +437,7 @@ impl Coordinator {
         self.aborted_gens.insert(gen);
         self.barrier_counts.retain(|(g, _), _| *g != gen);
         self.released.retain(|(g, _)| *g != gen);
-        if let Some(gs) = coord_shared(k.w)
+        if let Some(gs) = coord_shared_for(k.w, self.port)
             .gen_stats
             .iter_mut()
             .rev()
@@ -439,9 +461,9 @@ impl Coordinator {
         );
         self.broadcast(k, &Msg::CkptAbort(gen));
         if let Some(iv) = self.interval {
-            let pid = k.getpid_real();
+            let (pid, port) = (k.getpid_real(), self.port);
             k.sim.after(iv, move |w: &mut World, sim| {
-                coord_shared(w).ckpt_request_pending = true;
+                coord_shared_for(w, port).ckpt_request_pending = true;
                 w.wake(sim, (pid, Tid(0)));
             });
         }
@@ -465,7 +487,7 @@ impl Coordinator {
         self.drain_open = false;
         self.aborted_gens.insert(gen);
         self.barrier_counts.retain(|(g, _), _| *g != gen);
-        if let Some(gs) = coord_shared(k.w)
+        if let Some(gs) = coord_shared_for(k.w, self.port)
             .gen_stats
             .iter_mut()
             .rev()
@@ -641,7 +663,7 @@ impl Coordinator {
                         c.stale = true;
                     }
                 }
-                coord_shared(k.w).gen_stats.push(GenStat {
+                coord_shared_for(k.w, self.port).gen_stats.push(GenStat {
                     gen,
                     requested_at: self.requested_at,
                     releases: BTreeMap::new(),
@@ -679,7 +701,7 @@ impl Coordinator {
         self.barrier_counts.remove(&(gen, stg));
         self.released.insert((gen, stg));
         let now = k.now();
-        if let Some(gs) = coord_shared(k.w)
+        if let Some(gs) = coord_shared_for(k.w, self.port)
             .gen_stats
             .iter_mut()
             .rev()
@@ -716,9 +738,9 @@ impl Coordinator {
                 self.write_restart_script(k);
             }
             if let Some(iv) = self.interval {
-                let pid = k.getpid_real();
+                let (pid, port) = (k.getpid_real(), self.port);
                 k.sim.after(iv, move |w: &mut World, sim| {
-                    coord_shared(w).ckpt_request_pending = true;
+                    coord_shared_for(w, port).ckpt_request_pending = true;
                     w.wake(sim, (pid, Tid(0)));
                 });
             }
@@ -752,7 +774,7 @@ impl Coordinator {
             .iter()
             .map(|(key, m)| (*key, m.values().sum()))
             .collect();
-        let s = coord_shared(k.w);
+        let s = coord_shared_for(k.w, self.port);
         s.coord_gen = self.gen;
         s.coord_in_progress = self.in_progress;
         s.coord_drain_open = self.drain_open;
@@ -760,11 +782,13 @@ impl Coordinator {
         s.barrier_pending = pending;
     }
 
-    /// Generate `dmtcp_restart_script.sh` listing every image of the last
+    /// Generate the restart script listing every image of the last
     /// generation, grouped by host (§3: "a shell script ... containing all
-    /// the commands needed to restart the distributed computation").
+    /// the commands needed to restart the distributed computation"). Each
+    /// coordinator writes its own script path (see [`restart_script_path`]),
+    /// so dmtcpd shards never clobber one another's restart plans.
     fn write_restart_script(&mut self, k: &mut Kernel<'_>) {
-        let images = coord_shared(k.w).last_images.clone();
+        let images = coord_shared_for(k.w, self.port).last_images.clone();
         if images.is_empty() {
             return;
         }
@@ -776,9 +800,10 @@ impl Coordinator {
         for (host, paths) in &by_host {
             script.push_str(&format!("ssh {host} dmtcp_restart {}\n", paths.join(" ")));
         }
+        let path = restart_script_path(self.port);
         let node = k.node();
-        let fs = k.w.fs_for_mut(node, "/shared/dmtcp_restart_script.sh");
-        fs.write_all("/shared/dmtcp_restart_script.sh", script.as_bytes())
+        let fs = k.w.fs_for_mut(node, &path);
+        fs.write_all(&path, script.as_bytes())
             .expect("shared fs writable");
     }
 }
@@ -789,12 +814,12 @@ impl Program for Coordinator {
             let (fd, port) = k.listen_on(self.port).expect("coordinator port free");
             self.lfd = fd;
             self.port = port;
-            coord_shared(k.w).coord_pid = Some(k.getpid_real());
+            coord_shared_for(k.w, port).coord_pid = Some(k.getpid_real());
             if let Some(iv) = self.interval {
                 // Arm the first interval tick.
                 let pid = k.getpid_real();
                 k.sim.after(iv, move |w: &mut World, sim| {
-                    coord_shared(w).ckpt_request_pending = true;
+                    coord_shared_for(w, port).ckpt_request_pending = true;
                     w.wake(sim, (pid, Tid(0)));
                 });
             }
@@ -890,8 +915,8 @@ impl Program for Coordinator {
             }
             // Mailbox: `dmtcp command --checkpoint`, interval timer, or the
             // dmtcpaware request API.
-            if coord_shared(k.w).ckpt_request_pending {
-                coord_shared(k.w).ckpt_request_pending = false;
+            if coord_shared_for(k.w, self.port).ckpt_request_pending {
+                coord_shared_for(k.w, self.port).ckpt_request_pending = false;
                 self.start_checkpoint(k);
                 progressed = true;
             }
@@ -979,18 +1004,38 @@ fn traced_candidates(k: &Kernel<'_>) -> Vec<(Pid, NodeId)> {
         .collect()
 }
 
-/// Record an image written by a manager so the restart script includes it.
-pub fn record_image(w: &mut World, path: String, host: String) {
-    coord_shared(w).last_images.push((path, host));
+/// Where the coordinator listening on `port` writes its restart script.
+/// The default port keeps the historical fixed path; every other
+/// coordinator (a dmtcpd shard) gets a port-suffixed one, so concurrent
+/// shards never overwrite each other's restart plans.
+pub fn restart_script_path(port: u16) -> String {
+    if port == COORD_PORT {
+        "/shared/dmtcp_restart_script.sh".to_string()
+    } else {
+        format!("/shared/dmtcp_restart_script_{port}.sh")
+    }
 }
 
-/// Post a checkpoint request (the `dmtcp command --checkpoint` path) and
-/// wake the coordinator.
-pub fn request_checkpoint(w: &mut World, sim: &mut oskit::world::OsSim) {
-    coord_shared(w).ckpt_request_pending = true;
-    if let Some(pid) = coord_shared(w).coord_pid {
+/// Record an image written by a manager so the restart script of the root
+/// coordinator on `root_port` includes it.
+pub fn record_image(w: &mut World, root_port: u16, path: String, host: String) {
+    coord_shared_for(w, root_port)
+        .last_images
+        .push((path, host));
+}
+
+/// Post a checkpoint request to the coordinator on `port` (the `dmtcp
+/// command --checkpoint` path against a specific dmtcpd shard) and wake it.
+pub fn request_checkpoint_on(w: &mut World, sim: &mut oskit::world::OsSim, port: u16) {
+    coord_shared_for(w, port).ckpt_request_pending = true;
+    if let Some(pid) = coord_shared_for(w, port).coord_pid {
         w.wake(sim, (pid, Tid(0)));
     }
+}
+
+/// Post a checkpoint request to the default-port coordinator and wake it.
+pub fn request_checkpoint(w: &mut World, sim: &mut oskit::world::OsSim) {
+    request_checkpoint_on(w, sim, COORD_PORT);
 }
 
 /// Query the discovery/global tables — used by tests to assert protocol

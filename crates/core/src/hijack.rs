@@ -144,8 +144,14 @@ pub struct Hijack {
     pub vpid: u32,
     /// Coordinator address.
     pub coord_host: String,
-    /// Coordinator port.
+    /// Coordinator port. Under the hierarchical topology this is the
+    /// per-node relay, not the root.
     pub coord_port: u16,
+    /// Port of the *root* coordinator this process ultimately answers to —
+    /// the key of the [`crate::coord::CoordShared`] slot its written images
+    /// are recorded into. Equals `coord_port` in the flat topology; behind
+    /// a relay it names the root the relay fronts.
+    pub root_port: u16,
     /// Directory for checkpoint images.
     pub ckpt_dir: String,
     /// Image write mode.
@@ -181,6 +187,7 @@ impl Hijack {
         Hijack {
             vpid,
             coord_host,
+            root_port: coord_port,
             coord_port,
             ckpt_dir,
             mode,

@@ -33,6 +33,12 @@ pub const ENV_FORKED: &str = "DMTCP_FORKED_CKPT";
 /// Marker telling the spawn hook to leave a process alone because
 /// `dmtcp_restart` installs its state manually.
 pub const ENV_RESTART_CHILD: &str = "DMTCP_RESTART_CHILD";
+/// Root-coordinator port environment key. Only differs from
+/// [`ENV_COORD_PORT`] under the hierarchical topology, where the
+/// `DMTCP_COORD_*` pair points at the per-node relay; this names the root
+/// the relay fronts (and thereby which coordinator's shared state records
+/// this process's images).
+pub const ENV_ROOT_PORT: &str = "DMTCP_ROOT_PORT";
 
 /// Durability policy for freshly written images (§5.2: results in the
 /// paper do not sync; the cost of syncing is reported separately, and an
@@ -278,6 +284,10 @@ fn hijack_new_process(w: &mut World, sim: &mut OsSim, pid: Pid) -> Pid {
     let env = &w.procs[&pid].env;
     let coord_host = env[ENV_COORD_HOST].clone();
     let coord_port: u16 = env[ENV_COORD_PORT].parse().expect("valid port in env");
+    let root_port: u16 = env
+        .get(ENV_ROOT_PORT)
+        .map(|v| v.parse().expect("valid root port in env"))
+        .unwrap_or(coord_port);
     let ckpt_dir = env
         .get(ENV_CKPT_DIR)
         .cloned()
@@ -298,6 +308,7 @@ fn hijack_new_process(w: &mut World, sim: &mut OsSim, pid: Pid) -> Pid {
     global(w).session_vpids.insert(vpid);
     let p = w.procs.get_mut(&pid).expect("process exists");
     let mut hijack = Hijack::new(vpid, coord_host, coord_port, ckpt_dir, mode);
+    hijack.root_port = root_port;
     hijack.sync = sync;
     p.ext = Some(Box::new(hijack));
     p.virt_pid = Some(vpid);
@@ -323,22 +334,33 @@ pub fn spawn_coordinator(w: &mut World, sim: &mut OsSim, opts: &Options) -> Pid 
     )
 }
 
-/// World registry of spawned per-node relays (hierarchical topology).
-fn relay_pids(w: &mut World) -> &mut BTreeMap<NodeId, Pid> {
+/// The relay listening port serving the root coordinator on `root_port`.
+/// Always `root_port + 1`, which keeps the historical default pairing
+/// (root 7779 → relay 7780) and gives every dmtcpd shard a collision-free
+/// relay as long as shard root ports are spaced at least 2 apart.
+pub fn relay_port_for(root_port: u16) -> u16 {
+    root_port + 1
+}
+
+/// World registry of spawned per-node relays, keyed by (node, root port):
+/// one relay per node *per shard*, so tenants on different shards sharing
+/// a node each get an aggregation point for their own root.
+fn relay_pids(w: &mut World) -> &mut BTreeMap<(NodeId, u16), Pid> {
     let slot = w
         .ext_slots
         .entry("dmtcp-relays".to_string())
-        .or_insert_with(|| Box::new(BTreeMap::<NodeId, Pid>::new()));
-    slot.downcast_mut::<BTreeMap<NodeId, Pid>>()
+        .or_insert_with(|| Box::new(BTreeMap::<(NodeId, u16), Pid>::new()));
+    slot.downcast_mut::<BTreeMap<(NodeId, u16), Pid>>()
         .expect("slot holds relay registry")
 }
 
-/// Ensure a relay is running on `node`, spawning one if needed. Like the
-/// coordinator, relays are control plane: spawned with an empty
-/// environment so they are never traced, and they survive
-/// `Session::kill_computation`.
+/// Ensure a relay for `opts.coord_port`'s root is running on `node`,
+/// spawning one if needed. Like the coordinator, relays are control plane:
+/// spawned with an empty environment so they are never traced, and they
+/// survive `Session::kill_computation`.
 pub fn ensure_relay(w: &mut World, sim: &mut OsSim, node: NodeId, opts: &Options) -> Pid {
-    if let Some(pid) = relay_pids(w).get(&node).copied() {
+    let key = (node, opts.coord_port);
+    if let Some(pid) = relay_pids(w).get(&key).copied() {
         if w.procs.get(&pid).map(|p| p.alive()).unwrap_or(false) {
             return pid;
         }
@@ -349,7 +371,7 @@ pub fn ensure_relay(w: &mut World, sim: &mut OsSim, node: NodeId, opts: &Options
         node,
         "dmtcp_relay",
         Box::new(crate::relay::Relay::new(
-            crate::relay::RELAY_PORT,
+            relay_port_for(opts.coord_port),
             root_host,
             opts.coord_port,
         )),
@@ -357,7 +379,7 @@ pub fn ensure_relay(w: &mut World, sim: &mut OsSim, node: NodeId, opts: &Options
         BTreeMap::new(),
     );
     faultkit::note_relay(w, pid, node);
-    relay_pids(w).insert(node, pid);
+    relay_pids(w).insert(key, pid);
     pid
 }
 
@@ -381,12 +403,16 @@ pub fn launch_under_dmtcp(
         Topology::Flat => (w.node(opts.coord_node).hostname.clone(), opts.coord_port),
         Topology::Hierarchical => {
             ensure_relay(w, sim, node, opts);
-            (w.node(node).hostname.clone(), crate::relay::RELAY_PORT)
+            (
+                w.node(node).hostname.clone(),
+                relay_port_for(opts.coord_port),
+            )
         }
     };
     let mut env = BTreeMap::new();
     env.insert(ENV_COORD_HOST.to_string(), coord_host);
     env.insert(ENV_COORD_PORT.to_string(), coord_port.to_string());
+    env.insert(ENV_ROOT_PORT.to_string(), opts.coord_port.to_string());
     env.insert(ENV_CKPT_DIR.to_string(), opts.ckpt_dir.clone());
     env.insert(
         ENV_GZIP.to_string(),

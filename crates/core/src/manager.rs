@@ -228,6 +228,10 @@ impl Manager {
                 }
                 Ok(b) => self.fb.feed(&b),
                 Err(Errno::WouldBlock) => return Err(()),
+                // Our own fd table is already torn down: this process was
+                // just SIGKILLed (control-channel loss detected on the
+                // send side) and this step is its last.
+                Err(Errno::BadFd) => return Err(()),
                 Err(e) => panic!("manager read coordinator: {e:?}"),
             }
         }
@@ -247,8 +251,23 @@ impl Manager {
             );
         }
         let msg = frame(&Msg::BarrierReached(self.cur_gen, stg));
-        let n = k.write(self.coord_fd, &msg).expect("barrier send");
-        assert_eq!(n, msg.len());
+        match k.write(self.coord_fd, &msg) {
+            Ok(n) => assert_eq!(n, msg.len()),
+            Err(_) => {
+                // The coordinator (or this node's relay) died under us —
+                // same situation as reading EOF off the control channel:
+                // this process can never pass another barrier, so treat it
+                // as node death and let restart roll back to the last
+                // durable generation.
+                let pid = k.pid;
+                k.trace(
+                    "manager",
+                    "control channel lost on barrier send; terminating",
+                );
+                k.obs().metrics.inc("core.manager.orphaned", 0);
+                k.w.signal(k.sim, pid, oskit::proc::sig::SIGKILL);
+            }
+        }
     }
 
     /// Poll for `BarrierRelease(cur_gen, stg)`. Stale retransmissions
@@ -722,7 +741,8 @@ impl Manager {
         let host = k.hostname();
         let node = k.node();
         faultkit::image_written(k.w, self.cur_gen, node, &path);
-        record_image(k.w, path, host);
+        let root_port = hijack_of(k.w, pid).expect("traced").root_port;
+        record_image(k.w, root_port, path, host);
         self.write_resume_at = report.resume_at;
         report.resume_at
     }
@@ -1239,7 +1259,8 @@ impl oskit::program::Program for Manager {
                     let node = k.node();
                     let host = k.hostname();
                     faultkit::image_written(k.w, self.cur_gen, node, &path);
-                    record_image(k.w, path, host);
+                    let root_port = hijack_of(k.w, k.pid).expect("traced").root_port;
+                    record_image(k.w, root_port, path, host);
                     let gen = self.cur_gen;
                     let start = self.t_stage[6];
                     let track = k.track();

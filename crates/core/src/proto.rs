@@ -60,6 +60,51 @@ pub enum Msg {
     RelayPing(u64),
     /// Coordinator → relay: answer to a [`Msg::RelayPing`].
     RelayPong(u64),
+    /// Client → dmtcpd: open a session for tenant `tenant` expecting up to
+    /// `procs` participants. The daemon answers with
+    /// [`Msg::SessionAccepted`] or [`Msg::SessionRejected`].
+    OpenSession(String, u32),
+    /// dmtcpd → client: session `sid` admitted; its shard's root
+    /// coordinator listens on `shard_port` and images live under `dir`.
+    SessionAccepted(u64, u16, String),
+    /// dmtcpd → client: admission refused. `code` is a
+    /// [`RejectReason`] discriminant; `detail` is human-readable.
+    SessionRejected(u8, String),
+    /// Client → dmtcpd: tear down session `sid` (frees its registry slot;
+    /// stored images persist per the tenant's retention policy).
+    CloseSession(u64),
+    /// Client → dmtcpd: request a checkpoint of session `sid` (tenant-
+    /// tagged equivalent of [`Msg::CkptRequest`] travelling over the
+    /// service socket rather than a coordinator connection).
+    SessionCkpt(u64),
+}
+
+/// Why `dmtcpd` refused to open a session (the `code` byte of
+/// [`Msg::SessionRejected`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectReason {
+    /// The registry is at `max_sessions`.
+    SessionsFull = 1,
+    /// The request's `procs` exceeds `max_procs_per_session`.
+    TooManyProcs = 2,
+    /// The tenant's stored bytes already exceed its quota.
+    QuotaExceeded = 3,
+    /// Malformed request (empty tenant name, zero procs).
+    BadRequest = 4,
+}
+
+impl RejectReason {
+    /// Decode the wire byte, if it names a known reason.
+    pub fn from_code(code: u8) -> Option<RejectReason> {
+        match code {
+            1 => Some(RejectReason::SessionsFull),
+            2 => Some(RejectReason::TooManyProcs),
+            3 => Some(RejectReason::QuotaExceeded),
+            4 => Some(RejectReason::BadRequest),
+            _ => None,
+        }
+    }
 }
 
 impl_snap!(
@@ -79,6 +124,11 @@ impl_snap!(
         BarrierAckN(gen, stage, count),
         RelayPing(gen),
         RelayPong(gen),
+        OpenSession(tenant, procs),
+        SessionAccepted(sid, shard_port, dir),
+        SessionRejected(code, detail),
+        CloseSession(sid),
+        SessionCkpt(sid),
     }
 );
 
@@ -100,6 +150,11 @@ pub fn msg_name(msg: &Msg) -> &'static str {
         Msg::BarrierAckN(..) => "BarrierAckN",
         Msg::RelayPing(..) => "RelayPing",
         Msg::RelayPong(..) => "RelayPong",
+        Msg::OpenSession(..) => "OpenSession",
+        Msg::SessionAccepted(..) => "SessionAccepted",
+        Msg::SessionRejected(..) => "SessionRejected",
+        Msg::CloseSession(..) => "CloseSession",
+        Msg::SessionCkpt(..) => "SessionCkpt",
     }
 }
 

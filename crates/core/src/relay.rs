@@ -33,8 +33,10 @@ use oskit::{Errno, Fd, Kernel};
 use simkit::Nanos;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Port every per-node relay listens on (one relay per node, so a fixed
-/// port works the same way the coordinator's does).
+/// Default relay listening port: the default root port plus one. Relays
+/// are shard-aware — each root coordinator's relays listen on
+/// [`crate::launch::relay_port_for`] of that root's port — and this
+/// constant is simply that function applied to the default root.
 pub const RELAY_PORT: u16 = 7780;
 
 /// Liveness ping cadence while a generation is in flight.
@@ -339,7 +341,13 @@ impl Relay {
 
     /// Mirror aggregation bookkeeping into [`RelayShared`] for replay dumps.
     /// Called once at the end of every step — the maps are per-node tiny.
+    /// Only the default session's relays mirror: the map is keyed by node,
+    /// and replay state dumps cover the single default-port computation,
+    /// not dmtcpd shards (which would collide on the node key).
     fn mirror_state(&self, k: &mut Kernel<'_>) {
+        if self.root_port != crate::coord::COORD_PORT {
+            return;
+        }
         let node = k.node().0;
         let acks: BTreeMap<(u64, u8), u32> = self
             .acks

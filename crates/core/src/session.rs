@@ -10,7 +10,7 @@
 //! Tests, examples, and the benchmark harness all drive checkpoints through
 //! this type, so they exercise the same protocol code paths.
 
-use crate::coord::{coord_shared, stage, GenStat};
+use crate::coord::{coord_shared, coord_shared_for, stage, GenStat};
 use crate::launch::{launch_under_dmtcp, spawn_coordinator, Options};
 use crate::restart::RestartProc;
 use oskit::proc::sig;
@@ -56,10 +56,10 @@ impl Session {
             obs::journal::CLASS_STAGE,
             "session.ckpt_request",
             None,
-            &[],
+            &[("port", self.opts.coord_port as u64)],
             "",
         );
-        crate::coord::request_checkpoint(w, sim);
+        crate::coord::request_checkpoint_on(w, sim, self.opts.coord_port);
     }
 
     /// Request a checkpoint and run the simulation until it completes
@@ -75,7 +75,8 @@ impl Session {
         sim: &mut OsSim,
         max_events: u64,
     ) -> Result<GenStat, CkptError> {
-        let before = coord_shared(w).gen_stats.len();
+        let port = self.opts.coord_port;
+        let before = coord_shared_for(w, port).gen_stats.len();
         self.request_checkpoint(w, sim);
         let fired_start = sim.events_fired();
         loop {
@@ -87,7 +88,7 @@ impl Session {
                 });
             }
             let settled = {
-                let cs = coord_shared(w);
+                let cs = coord_shared_for(w, port);
                 cs.gen_stats.len() > before
                     && cs
                         .gen_stats
@@ -96,7 +97,11 @@ impl Session {
                         .unwrap_or(false)
             };
             if settled {
-                let gs = coord_shared(w).gen_stats.last().expect("pushed").clone();
+                let gs = coord_shared_for(w, port)
+                    .gen_stats
+                    .last()
+                    .expect("pushed")
+                    .clone();
                 if gs.aborted {
                     return Err(CkptError::Aborted {
                         gen: gs.gen,
@@ -122,7 +127,8 @@ impl Session {
         sim: &mut OsSim,
         max_events: u64,
     ) -> CkptOutcome {
-        let before = coord_shared(w).gen_stats.len();
+        let port = self.opts.coord_port;
+        let before = coord_shared_for(w, port).gen_stats.len();
         self.request_checkpoint(w, sim);
         let fired_start = sim.events_fired();
         loop {
@@ -131,7 +137,7 @@ impl Session {
                 "event queue drained before the checkpoint settled"
             );
             let settled = {
-                let cs = coord_shared(w);
+                let cs = coord_shared_for(w, port);
                 cs.gen_stats.len() > before
                     && cs
                         .gen_stats
@@ -140,7 +146,11 @@ impl Session {
                         .unwrap_or(false)
             };
             if settled {
-                let gs = coord_shared(w).gen_stats.last().expect("pushed").clone();
+                let gs = coord_shared_for(w, port)
+                    .gen_stats
+                    .last()
+                    .expect("pushed")
+                    .clone();
                 return if gs.aborted {
                     CkptOutcome::Aborted(gs)
                 } else {
@@ -238,7 +248,15 @@ impl Session {
 
     /// Parse `dmtcp_restart_script.sh` into `(hostname, image paths)`.
     pub fn parse_restart_script(w: &World) -> Vec<(String, Vec<String>)> {
-        let Ok(bytes) = w.shared_fs.read_all("/shared/dmtcp_restart_script.sh") else {
+        Self::parse_restart_script_for(w, crate::coord::COORD_PORT)
+    }
+
+    /// Parse the restart script written by the coordinator rooted at
+    /// `port` (each root writes its own script — see
+    /// [`crate::coord::restart_script_path`]).
+    pub fn parse_restart_script_for(w: &World, port: u16) -> Vec<(String, Vec<String>)> {
+        let path = crate::coord::restart_script_path(port);
+        let Ok(bytes) = w.shared_fs.read_all(&path) else {
             return Vec::new();
         };
         let script = String::from_utf8(bytes).expect("script is utf-8");
@@ -320,7 +338,7 @@ impl Session {
         sim: &mut OsSim,
         remap: &dyn Fn(&str) -> NodeId,
     ) -> Result<RestartOutcome, RestartError> {
-        let script = Self::parse_restart_script(w);
+        let script = Self::parse_restart_script_for(w, self.opts.coord_port);
         if script.is_empty() {
             return Err(RestartError::NoScript);
         }
@@ -366,11 +384,23 @@ impl Session {
     }
 
     /// Run the simulation until the restart completes (restart-refill
-    /// barrier released for `gen`).
+    /// barrier released for `gen`) on the default-port coordinator.
     pub fn wait_restart_done(w: &mut World, sim: &mut OsSim, gen: u64, max_events: u64) {
+        Self::wait_restart_done_on(w, sim, crate::coord::COORD_PORT, gen, max_events)
+    }
+
+    /// [`Session::wait_restart_done`] against the coordinator on `port`
+    /// (a dmtcpd shard).
+    pub fn wait_restart_done_on(
+        w: &mut World,
+        sim: &mut OsSim,
+        port: u16,
+        gen: u64,
+        max_events: u64,
+    ) {
         let start = sim.events_fired();
         loop {
-            let done = coord_shared(w)
+            let done = coord_shared_for(w, port)
                 .gen_stats
                 .iter()
                 .any(|g| g.gen == gen && g.releases.contains_key(&stage::RESTART_REFILLED));
@@ -428,7 +458,7 @@ impl std::error::Error for CkptError {}
 
 /// First of the in-order checkpoint barrier stages that `g` never
 /// released — the stage at which an aborted generation died.
-fn first_missing_stage(g: &GenStat) -> u8 {
+pub fn first_missing_stage(g: &GenStat) -> u8 {
     [
         stage::SUSPENDED,
         stage::ELECTED,

@@ -7,13 +7,13 @@
 //! prefixes — must surface as `Err`, never a panic or a wrong message.
 
 use dmtcp::gsid::Gsid;
-use dmtcp::proto::{frame, FrameBuf, Msg};
+use dmtcp::proto::{frame, FrameBuf, Msg, RejectReason};
 use simkit::DetRng;
 
 /// Every wire message, drawn with random payloads. Keeping the arm count in
 /// one place means a new `Msg` variant shows up here or the exhaustiveness
 /// check below goes stale.
-const VARIANTS: u64 = 15;
+const VARIANTS: u64 = 20;
 
 fn rand_string(rng: &mut DetRng) -> String {
     let len = rng.below(24) as usize;
@@ -49,7 +49,12 @@ fn rand_msg(rng: &mut DetRng) -> Msg {
         11 => Msg::RelayMembership(rng.next_u32(), rng.next_u32()),
         12 => Msg::BarrierAckN(rng.next_u64(), rng.below(16) as u8, rng.next_u32()),
         13 => Msg::RelayPing(rng.next_u64()),
-        _ => Msg::RelayPong(rng.next_u64()),
+        14 => Msg::RelayPong(rng.next_u64()),
+        15 => Msg::OpenSession(rand_string(rng), rng.next_u32()),
+        16 => Msg::SessionAccepted(rng.next_u64(), rng.next_u32() as u16, rand_string(rng)),
+        17 => Msg::SessionRejected(rng.below(8) as u8, rand_string(rng)),
+        18 => Msg::CloseSession(rng.next_u64()),
+        _ => Msg::SessionCkpt(rng.next_u64()),
     }
 }
 
@@ -81,7 +86,7 @@ fn random_sequences_roundtrip_under_random_chunking() {
 
 #[test]
 fn every_variant_roundtrips() {
-    // Guarantee each of the 15 variants is hit at least once, independent of
+    // Guarantee each of the 20 variants is hit at least once, independent of
     // what the random draw above happens to cover.
     let mut rng = DetRng::seed_from_u64(0xc0ff_ee00);
     let mut seen = [false; VARIANTS as usize];
@@ -104,6 +109,11 @@ fn every_variant_roundtrips() {
             Msg::BarrierAckN(..) => 12,
             Msg::RelayPing(..) => 13,
             Msg::RelayPong(..) => 14,
+            Msg::OpenSession(..) => 15,
+            Msg::SessionAccepted(..) => 16,
+            Msg::SessionRejected(..) => 17,
+            Msg::CloseSession(..) => 18,
+            Msg::SessionCkpt(..) => 19,
         };
         seen[idx] = true;
         let mut fb = FrameBuf::new();
@@ -170,6 +180,24 @@ fn unknown_variant_tag_is_rejected() {
     let mut fb = FrameBuf::new();
     fb.feed(&wire);
     assert!(fb.pop().is_err(), "an unknown message tag must be rejected");
+}
+
+#[test]
+fn reject_reason_codes_roundtrip_and_unknowns_are_none() {
+    // Every named reason survives a trip through its wire byte, and the
+    // bytes that name nothing decode to None — a daemon from a newer build
+    // can add reasons without crashing older clients.
+    for r in [
+        RejectReason::SessionsFull,
+        RejectReason::TooManyProcs,
+        RejectReason::QuotaExceeded,
+        RejectReason::BadRequest,
+    ] {
+        assert_eq!(RejectReason::from_code(r as u8), Some(r));
+    }
+    for code in [0u8, 5, 6, 42, 255] {
+        assert_eq!(RejectReason::from_code(code), None);
+    }
 }
 
 #[test]

@@ -10,9 +10,11 @@
 # Direction is encoded in the key suffix:
 #   *_s, *_bytes,
 #   *_per_gen     lower is better  -> fail when new > baseline * (1 + tol)
-#   *_ratio       higher is better -> fail when new < baseline * (1 - tol)
-# (`_ratio` is the only higher-is-better suffix; any other key, including
-# the `root_msgs_per_gen` coordinator-load counters from the scale bench,
+#   *_ratio,
+#   *_per_sec     higher is better -> fail when new < baseline * (1 - tol)
+# (`_ratio` and the `_per_sec` throughput keys from the tenants bench are
+# the only higher-is-better suffixes; any other key, including the
+# `root_msgs_per_gen` coordinator-load counters from the scale bench,
 # gates lower-is-better.)
 # A key present in the baseline but missing from the new results fails the
 # gate too — a silently dropped metric is a coverage regression. New keys
@@ -59,8 +61,8 @@ compare() {
                     continue
                 }
                 b = base[k]; n = newv[k]; n_checked++
-                if (k ~ /_ratio$/) { lim = b * (1 - tol); bad = (n < lim) }
-                else               { lim = b * (1 + tol); bad = (n > lim) }
+                if (k ~ /_ratio$/ || k ~ /_per_sec$/) { lim = b * (1 - tol); bad = (n < lim) }
+                else                                  { lim = b * (1 + tol); bad = (n > lim) }
                 if (bad) {
                     printf "  REGRESSION %-22s %.6g vs baseline %.6g (limit %.6g)\n", k, n, b, lim
                     fail = 1
@@ -117,6 +119,20 @@ self_test() {
     printf '{\n  "root_msgs_per_gen": 1050.0\n}\n' > "$d/msgs_ok.json"
     if ! compare "$d/msgs_ok.json" "$d/msgs_base.json" > /dev/null; then
         echo "bench_gate self-test FAILED: in-tolerance per-gen count rejected" >&2
+        return 1
+    fi
+
+    # Throughput keys (*_per_sec) gate higher-is-better: a 20% rate drop
+    # must trip, an in-tolerance rate must pass.
+    printf '{\n  "agg_ckpts_per_sec": 50.0\n}\n' > "$d/rate_base.json"
+    printf '{\n  "agg_ckpts_per_sec": 40.0\n}\n' > "$d/rate_down.json"
+    if compare "$d/rate_down.json" "$d/rate_base.json" > /dev/null; then
+        echo "bench_gate self-test FAILED: 20% throughput drop not caught" >&2
+        return 1
+    fi
+    printf '{\n  "agg_ckpts_per_sec": 47.0\n}\n' > "$d/rate_ok.json"
+    if ! compare "$d/rate_ok.json" "$d/rate_base.json" > /dev/null; then
+        echo "bench_gate self-test FAILED: in-tolerance throughput rejected" >&2
         return 1
     fi
 

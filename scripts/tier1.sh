@@ -2,7 +2,7 @@
 # Tier-1 gate: everything a PR must keep green.
 #
 # Usage: scripts/tier1.sh [stage...]
-#   stages: build test faults bench scale replay lint
+#   stages: build test faults bench scale tenants replay lint
 #   No arguments runs every stage in that order (the full PR gate). CI runs
 #   the same stages one job each — `scripts/tier1.sh build`, etc. — so a
 #   local no-arg run reproduces the whole pipeline stage by stage.
@@ -58,6 +58,16 @@ stage_scale() {
     scripts/bench_gate.sh compare results/BENCH_scale.json scripts/BENCH_scale.baseline.json
 }
 
+stage_tenants() {
+    echo "== multi-tenant service tests (admission, isolation, quotas, shard faults) =="
+    cargo test -q -p svc
+    echo "== tenants smoke bench (shared coordinator vs sharded dmtcpd, >=3x gate) =="
+    cargo build --release -p dmtcp-bench
+    ./target/release/tenants --smoke
+    echo "== tenants bench-regression gate =="
+    scripts/bench_gate.sh compare results/BENCH_tenants.json scripts/BENCH_tenants.baseline.json
+}
+
 stage_replay() {
     echo "== flight-recorder record/replay smoke (zero divergence) =="
     cargo test -q -p dmtcp --test replay
@@ -75,9 +85,9 @@ stage_lint() {
 run_stage() {
     local name="$1"
     case "$name" in
-        build | test | faults | bench | scale | replay | lint) ;;
+        build | test | faults | bench | scale | tenants | replay | lint) ;;
         *)
-            echo "tier1: unknown stage '$name' (stages: build test faults bench scale replay lint)" >&2
+            echo "tier1: unknown stage '$name' (stages: build test faults bench scale tenants replay lint)" >&2
             exit 2
             ;;
     esac
@@ -89,7 +99,7 @@ run_stage() {
 }
 
 if [[ $# -eq 0 ]]; then
-    set -- build test faults bench scale replay lint
+    set -- build test faults bench scale tenants replay lint
 fi
 for stage in "$@"; do
     run_stage "$stage"
