@@ -44,8 +44,11 @@ pub struct HwSpec {
     pub nfs_bps: f64,
     /// Per-request NFS overhead (RPC round trips).
     pub nfs_overhead: Nanos,
-    /// Highest pid before the allocator wraps (kept small so virtual-pid
-    /// conflicts actually happen in tests, as they do on long-lived hosts).
+    /// Highest pid before the allocator wraps — Linux's default
+    /// `kernel.pid_max` (conflict tests override it downward so virtual-pid
+    /// collisions actually happen, as they do on long-lived hosts). Must
+    /// comfortably exceed the largest scale-sweep population: allocation
+    /// panics when the table has no free pid.
     pub pid_max: u32,
     /// RAM per node in bytes (bounds the page-cache window).
     pub ram_bytes: u64,
@@ -87,7 +90,7 @@ impl Default for HwSpec {
             san_nodes: 8,
             nfs_bps: 95.0 * MB,
             nfs_overhead: Nanos::from_micros(400),
-            pid_max: 4096,
+            pid_max: 32768,
             ram_bytes: 8 << 30,
             suspend_overhead: Nanos::from_millis(20),
             drain_overhead: Nanos::from_millis(2),

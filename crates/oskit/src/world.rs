@@ -246,7 +246,9 @@ impl World {
     /// Allocate a pid with wraparound (so pid reuse — and therefore DMTCP's
     /// virtual-pid conflicts — genuinely occur).
     pub fn alloc_pid(&mut self) -> Pid {
-        loop {
+        // Bound the scan to one full lap: a table with no free pid must fail
+        // loudly (the kernel's fork would return EAGAIN), not spin forever.
+        for _ in 0..self.spec.pid_max {
             let candidate = self.next_pid;
             self.next_pid += 1;
             if self.next_pid >= self.spec.pid_max {
@@ -256,6 +258,11 @@ impl World {
                 return Pid(candidate);
             }
         }
+        panic!(
+            "pid table full: {} live processes, pid_max {}",
+            self.procs.len(),
+            self.spec.pid_max
+        );
     }
 
     /// Allocate an ephemeral port on `node`.
@@ -468,7 +475,10 @@ impl World {
             return;
         }
         t.dispatch_pending = true;
-        sim.at(at, move |w: &mut World, sim| dispatch(w, sim, pid, tid));
+        // Keyed fast path: the dispatcher fires once per quantum per
+        // runnable thread, so boxing a closure here would be the single
+        // hottest allocation in the whole simulation.
+        sim.at_keyed(at, ((pid.0 as u64) << 32) | tid.0 as u64, dispatch_keyed);
     }
 
     /// Wake one blocked thread (or ensure a runnable one gets stepped).
@@ -939,6 +949,12 @@ impl World {
     pub fn live_procs(&self) -> usize {
         self.procs.values().filter(|p| p.alive()).count()
     }
+}
+
+/// [`dispatch`] behind a packed `(pid, tid)` key, shaped for
+/// [`Sim::at_keyed`]'s zero-allocation event path.
+fn dispatch_keyed(w: &mut World, sim: &mut OsSim, key: u64) {
+    dispatch(w, sim, Pid((key >> 32) as u32), Tid(key as u32));
 }
 
 /// Step one thread. Free function so it can be scheduled as an event.

@@ -1,40 +1,68 @@
 //! The event queue.
 //!
-//! [`Sim<W>`] is a priority queue of `(time, seq, closure)` entries, generic
+//! [`Sim<W>`] is a priority queue of `(time, seq, event)` entries, generic
 //! over the world type `W` so that this crate stays independent of the
 //! operating-system model built on top of it. All simulation state lives in
-//! the world; events are one-shot closures. Two events scheduled for the
+//! the world; events are one-shot closures (or zero-allocation keyed
+//! function pointers, see [`Sim::at_keyed`]). Two events scheduled for the
 //! same instant fire in scheduling order (FIFO), which makes runs fully
 //! deterministic.
+//!
+//! Two queue implementations sit behind the same `Sim` API:
+//!
+//! * the **timer wheel** ([`crate::wheel`]) — the default. Hierarchical
+//!   near-future wheels with O(1) insert and batched same-tick draining,
+//!   plus a heap tier for far timers. This is the raw-speed hot path every
+//!   bench and experiment runs on.
+//! * the **reference heap** — the original single `BinaryHeap`, retained as
+//!   the executable specification of event order. `Sim::new_reference()`
+//!   builds one; the differential suite in `tests/diff_engine.rs` holds the
+//!   wheel to bit-identical `(time, seq)` firing sequences against it, and
+//!   `bench/sim` measures the speedup between the two in one binary.
+//!
+//! `DMTCP_SIM_ENGINE=heap` makes [`Sim::new`] build the reference engine
+//! instead (e.g. to record a pre-overhaul flight-recorder journal and
+//! replay it on the wheel engine); any other value, or none, selects the
+//! wheel.
 
 use crate::time::Nanos;
-use std::cmp::Ordering;
+use crate::wheel::{Entry, Payload, Wheel};
 use std::collections::BinaryHeap;
 
-/// A scheduled one-shot event.
-type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
-
-struct Entry<W> {
-    at: Nanos,
-    seq: u64,
-    f: EventFn<W>,
+/// The two interchangeable queue implementations. Which one is active never
+/// changes observable behaviour — only speed; see the module docs.
+enum Queue<W> {
+    Wheel(Wheel<W>),
+    Heap(BinaryHeap<Entry<W>>),
 }
 
-impl<W> PartialEq for Entry<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl<W> Queue<W> {
+    fn push(&mut self, entry: Entry<W>) {
+        match self {
+            Queue::Wheel(q) => q.push(entry),
+            Queue::Heap(q) => q.push(entry),
+        }
     }
-}
-impl<W> Eq for Entry<W> {}
-impl<W> PartialOrd for Entry<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+    fn pop(&mut self) -> Option<Entry<W>> {
+        match self {
+            Queue::Wheel(q) => q.pop(),
+            Queue::Heap(q) => q.pop(),
+        }
     }
-}
-impl<W> Ord for Entry<W> {
-    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+
+    fn peek_at(&mut self) -> Option<Nanos> {
+        match self {
+            Queue::Wheel(q) => q.peek_at(),
+            Queue::Heap(q) => q.peek().map(|e| e.at),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Queue::Wheel(q) => q.len(),
+            Queue::Heap(q) => q.len(),
+        }
     }
 }
 
@@ -59,7 +87,7 @@ pub struct Sim<W> {
     seq: u64,
     fired: u64,
     halted: bool,
-    queue: BinaryHeap<Entry<W>>,
+    queue: Queue<W>,
 }
 
 impl<W> Default for Sim<W> {
@@ -69,14 +97,47 @@ impl<W> Default for Sim<W> {
 }
 
 impl<W> Sim<W> {
-    /// An empty simulator positioned at `t = 0`.
+    /// An empty simulator positioned at `t = 0`, on the timer-wheel engine
+    /// (unless `DMTCP_SIM_ENGINE=heap` selects the reference queue).
     pub fn new() -> Self {
+        if std::env::var("DMTCP_SIM_ENGINE").is_ok_and(|v| v == "heap") {
+            Self::new_reference()
+        } else {
+            Self::with_queue(Queue::Wheel(Wheel::new()))
+        }
+    }
+
+    /// An empty simulator pinned to the timer-wheel queue regardless of
+    /// `DMTCP_SIM_ENGINE` — the `bench/sim` A/B measurement needs both
+    /// engines in one process.
+    pub fn new_wheel() -> Self {
+        Self::with_queue(Queue::Wheel(Wheel::new()))
+    }
+
+    /// An empty simulator on the reference `BinaryHeap` queue — the
+    /// executable specification of event order. Used by the differential
+    /// suite and the `bench/sim` A/B measurement; everything else wants
+    /// [`Sim::new`].
+    pub fn new_reference() -> Self {
+        Self::with_queue(Queue::Heap(BinaryHeap::new()))
+    }
+
+    fn with_queue(queue: Queue<W>) -> Self {
         Sim {
             now: Nanos::ZERO,
             seq: 0,
             fired: 0,
             halted: false,
-            queue: BinaryHeap::new(),
+            queue,
+        }
+    }
+
+    /// Which queue implementation this simulator runs on (for bench and
+    /// test labels): `"wheel"` or `"heap"`.
+    pub fn engine_name(&self) -> &'static str {
+        match self.queue {
+            Queue::Wheel(_) => "wheel",
+            Queue::Heap(_) => "heap",
         }
     }
 
@@ -98,18 +159,7 @@ impl<W> Sim<W> {
     /// Schedule `f` at absolute time `at`. Scheduling into the past is a
     /// logic error and panics (it would silently reorder causality).
     pub fn at(&mut self, at: Nanos, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
-        assert!(
-            at >= self.now,
-            "event scheduled in the past: {at:?} < now {:?}",
-            self.now
-        );
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Entry {
-            at,
-            seq,
-            f: Box::new(f),
-        });
+        self.push(at, Payload::Call(Box::new(f)));
     }
 
     /// Schedule `f` after a delay of `dt` from the current time.
@@ -120,6 +170,28 @@ impl<W> Sim<W> {
     /// Schedule `f` to run "immediately" (after the current event, same time).
     pub fn soon(&mut self, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
         self.at(self.now, f);
+    }
+
+    /// Schedule `handler(world, sim, key)` at absolute time `at` without
+    /// allocating: the entry stores a plain function pointer and a `u64`
+    /// payload instead of a boxed closure. High-frequency periodic events
+    /// (the oskit thread dispatcher, pure-timer benches) use this so the
+    /// steady state performs no per-event allocation at all. Ordering is
+    /// identical to [`Sim::at`] — keyed and boxed events share one
+    /// `(time, seq)` sequence.
+    pub fn at_keyed(&mut self, at: Nanos, key: u64, handler: fn(&mut W, &mut Sim<W>, u64)) {
+        self.push(at, Payload::Keyed(handler, key));
+    }
+
+    fn push(&mut self, at: Nanos, payload: Payload<W>) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at:?} < now {:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry { at, seq, payload });
     }
 
     /// Stop the run loop after the current event completes.
@@ -136,7 +208,10 @@ impl<W> Sim<W> {
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
         self.fired += 1;
-        (entry.f)(world, self);
+        match entry.payload {
+            Payload::Call(f) => f(world, self),
+            Payload::Keyed(f, key) => f(world, self, key),
+        }
         true
     }
 
@@ -151,8 +226,8 @@ impl<W> Sim<W> {
     pub fn run_until(&mut self, world: &mut W, deadline: Nanos) {
         self.halted = false;
         while !self.halted {
-            match self.queue.peek() {
-                Some(e) if e.at <= deadline => {
+            match self.queue.peek_at() {
+                Some(at) if at <= deadline => {
                     self.step(world);
                 }
                 _ => break,
@@ -173,6 +248,11 @@ impl<W> Sim<W> {
     /// Like [`Sim::run_bounded`], but reports *why* the loop stopped so
     /// callers can distinguish "budget exhausted" (raise the budget) from a
     /// genuinely drained queue or an explicit halt.
+    ///
+    /// The budget is charged per event, including within a same-tick batch:
+    /// a budget expiring in the middle of a batch stops after exactly
+    /// `max_events` events on either queue implementation, and a later run
+    /// call resumes at the very next `(time, seq)` entry.
     pub fn run_budgeted(&mut self, world: &mut W, max_events: u64) -> RunOutcome {
         self.halted = false;
         let start = self.fired;
@@ -206,26 +286,36 @@ pub enum RunOutcome {
 mod tests {
     use super::*;
 
+    /// Every test body runs against both queue implementations.
+    fn both(case: impl Fn(fn() -> Sim<Vec<u32>>)) {
+        case(Sim::new);
+        case(Sim::new_reference);
+    }
+
     #[test]
     fn fifo_within_same_instant() {
-        let mut sim: Sim<Vec<u32>> = Sim::new();
-        let mut w = Vec::new();
-        for i in 0..10u32 {
-            sim.at(Nanos::from_secs(1), move |w: &mut Vec<u32>, _| w.push(i));
-        }
-        sim.run(&mut w);
-        assert_eq!(w, (0..10).collect::<Vec<_>>());
+        both(|mk| {
+            let mut sim = mk();
+            let mut w = Vec::new();
+            for i in 0..10u32 {
+                sim.at(Nanos::from_secs(1), move |w: &mut Vec<u32>, _| w.push(i));
+            }
+            sim.run(&mut w);
+            assert_eq!(w, (0..10).collect::<Vec<_>>());
+        });
     }
 
     #[test]
     fn time_ordering_dominates_insertion_order() {
-        let mut sim: Sim<Vec<u32>> = Sim::new();
-        let mut w = Vec::new();
-        sim.at(Nanos::from_secs(3), |w: &mut Vec<u32>, _| w.push(3));
-        sim.at(Nanos::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
-        sim.at(Nanos::from_secs(2), |w: &mut Vec<u32>, _| w.push(2));
-        sim.run(&mut w);
-        assert_eq!(w, vec![1, 2, 3]);
+        both(|mk| {
+            let mut sim = mk();
+            let mut w = Vec::new();
+            sim.at(Nanos::from_secs(3), |w: &mut Vec<u32>, _| w.push(3));
+            sim.at(Nanos::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+            sim.at(Nanos::from_secs(2), |w: &mut Vec<u32>, _| w.push(2));
+            sim.run(&mut w);
+            assert_eq!(w, vec![1, 2, 3]);
+        });
     }
 
     #[test]
@@ -240,15 +330,35 @@ mod tests {
 
     #[test]
     fn run_until_leaves_future_events_queued() {
-        let mut sim: Sim<Vec<u32>> = Sim::new();
-        let mut w = Vec::new();
-        sim.at(Nanos::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
-        sim.at(Nanos::from_secs(10), |w: &mut Vec<u32>, _| w.push(10));
-        sim.run_until(&mut w, Nanos::from_secs(5));
-        assert_eq!(w, vec![1]);
-        assert_eq!(sim.pending(), 1);
-        sim.run(&mut w);
-        assert_eq!(w, vec![1, 10]);
+        both(|mk| {
+            let mut sim = mk();
+            let mut w = Vec::new();
+            sim.at(Nanos::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+            sim.at(Nanos::from_secs(10), |w: &mut Vec<u32>, _| w.push(10));
+            sim.run_until(&mut w, Nanos::from_secs(5));
+            assert_eq!(w, vec![1]);
+            assert_eq!(sim.pending(), 1);
+            sim.run(&mut w);
+            assert_eq!(w, vec![1, 10]);
+        });
+    }
+
+    #[test]
+    fn run_until_then_earlier_insert_fires_in_order() {
+        // The wheel drains eagerly into its ready buffer; an event scheduled
+        // *behind* the drained cursor afterwards must still fire in global
+        // (time, seq) order.
+        both(|mk| {
+            let mut sim = mk();
+            let mut w = Vec::new();
+            sim.at(Nanos::from_millis(50), |w: &mut Vec<u32>, _| w.push(50));
+            sim.run_until(&mut w, Nanos::from_millis(1));
+            assert!(w.is_empty());
+            sim.at(Nanos::from_millis(2), |w: &mut Vec<u32>, _| w.push(2));
+            sim.at(Nanos::from_millis(50), |w: &mut Vec<u32>, _| w.push(51));
+            sim.run(&mut w);
+            assert_eq!(w, vec![2, 50, 51]);
+        });
     }
 
     #[test]
@@ -265,6 +375,45 @@ mod tests {
         // Resuming picks the remaining event back up.
         sim.run(&mut w);
         assert_eq!(w, 101);
+    }
+
+    #[test]
+    fn halt_mid_batch_resumes_at_next_seq() {
+        // Ten events share one instant; the third halts. The remaining
+        // seven must survive in the queue and fire on resume, in order.
+        both(|mk| {
+            let mut sim = mk();
+            let mut w = Vec::new();
+            for i in 0..10u32 {
+                sim.at(Nanos::from_secs(1), move |w: &mut Vec<u32>, sim| {
+                    w.push(i);
+                    if i == 2 {
+                        sim.halt();
+                    }
+                });
+            }
+            sim.run(&mut w);
+            assert_eq!(w, vec![0, 1, 2]);
+            assert_eq!(sim.pending(), 7);
+            sim.run(&mut w);
+            assert_eq!(w, (0..10).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn keyed_events_interleave_with_closures() {
+        fn bump(w: &mut Vec<u32>, _: &mut Sim<Vec<u32>>, key: u64) {
+            w.push(key as u32);
+        }
+        both(|mk| {
+            let mut sim = mk();
+            let mut w = Vec::new();
+            sim.at_keyed(Nanos::from_secs(1), 10, bump);
+            sim.at(Nanos::from_secs(1), |w: &mut Vec<u32>, _| w.push(11));
+            sim.at_keyed(Nanos::from_secs(1), 12, bump);
+            sim.run(&mut w);
+            assert_eq!(w, vec![10, 11, 12]);
+        });
     }
 
     #[test]
@@ -287,6 +436,26 @@ mod tests {
     }
 
     #[test]
+    fn budget_expiring_mid_batch_stops_at_same_event_on_both_engines() {
+        // A same-tick storm of 20 events with a budget of 7 must fire
+        // exactly events 0..7 — identically on wheel and heap — and resume
+        // deterministically.
+        let run = |mk: fn() -> Sim<Vec<u32>>| {
+            let mut sim = mk();
+            let mut w = Vec::new();
+            for i in 0..20u32 {
+                sim.at(Nanos::from_millis(3), move |w: &mut Vec<u32>, _| w.push(i));
+            }
+            assert_eq!(sim.run_budgeted(&mut w, 7), RunOutcome::BudgetExhausted);
+            assert_eq!(sim.events_fired(), 7);
+            let mid = w.clone();
+            assert_eq!(sim.run_budgeted(&mut w, 100), RunOutcome::Quiescent);
+            (mid, w)
+        };
+        assert_eq!(run(Sim::new), run(Sim::new_reference));
+    }
+
+    #[test]
     fn run_bounded_detects_runaway() {
         fn rearm(_: &mut (), sim: &mut Sim<()>) {
             sim.after(Nanos::from_micros(1), rearm);
@@ -295,5 +464,22 @@ mod tests {
         sim.soon(rearm);
         assert!(!sim.run_bounded(&mut (), 1000));
         assert_eq!(sim.events_fired(), 1000);
+    }
+
+    #[test]
+    fn far_future_timers_cross_the_wheel_horizon() {
+        // Seconds-to-minutes timers exercise level 2 and the overflow tier.
+        both(|mk| {
+            let mut sim = mk();
+            let mut w = Vec::new();
+            for (i, secs) in [120u64, 1, 600, 30, 17, 18].into_iter().enumerate() {
+                sim.at(Nanos::from_secs(secs), move |w: &mut Vec<u32>, _| {
+                    w.push(i as u32)
+                });
+            }
+            sim.run(&mut w);
+            assert_eq!(w, vec![1, 4, 5, 3, 0, 2]);
+            assert_eq!(sim.now(), Nanos::from_secs(600));
+        });
     }
 }

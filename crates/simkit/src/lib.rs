@@ -5,9 +5,13 @@
 //!
 //! * [`time`] — virtual time as integer nanoseconds ([`Nanos`]), so every run
 //!   is exactly reproducible (no floating-point drift in the event queue).
-//! * [`engine`] — a minimal event queue generic over the *world* type. The
-//!   world owns all mutable simulation state; events are boxed `FnOnce`
-//!   closures that receive `(&mut W, &mut Sim<W>)`.
+//! * [`engine`] — the event queue generic over the *world* type. The world
+//!   owns all mutable simulation state; events are boxed `FnOnce` closures
+//!   that receive `(&mut W, &mut Sim<W>)`, or zero-allocation keyed
+//!   function pointers for hot periodic work. The default queue is a
+//!   hierarchical timer wheel with an overflow heap tier; the original
+//!   `BinaryHeap` engine is retained as the order-of-delivery reference
+//!   (`Sim::new_reference`).
 //! * [`resource`] — analytic hardware resources (FIFO bandwidth pipes, core
 //!   pools) used to charge virtual time for disk writes, NIC transfers,
 //!   compression, and similar work.
@@ -31,6 +35,7 @@ pub mod snap;
 pub mod stats;
 pub mod time;
 pub mod trace;
+mod wheel;
 
 pub use engine::{RunOutcome, Sim};
 pub use rng::{mix2, splitmix64, DetRng};

@@ -22,6 +22,17 @@ impl Nanos {
     /// The maximum representable instant (used as "never").
     pub const MAX: Nanos = Nanos(u64::MAX);
 
+    /// A span of whole nanoseconds (identity, for symmetry with the other
+    /// constructors).
+    pub const fn from_nanos(n: u64) -> Nanos {
+        Nanos(n)
+    }
+
+    /// This instant/span as whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
     /// A span of whole seconds.
     pub const fn from_secs(s: u64) -> Nanos {
         Nanos(s * 1_000_000_000)

@@ -1,0 +1,380 @@
+//! Hierarchical timer wheel — the raw-speed event queue behind [`crate::Sim`].
+//!
+//! The queue that `Sim` popped one event at a time out of a single
+//! `BinaryHeap` pays `O(log n)` pointer-chasing twice per event; at the
+//! populations the scale sweeps reach (tens of thousands of pending
+//! dispatches) that is the dominant cost of the whole simulation. This
+//! module replaces it with the classic Varghese–Lauck hierarchy:
+//!
+//! * **Three wheels** of 256 slots each. A level-0 tick is 1024 ns (just
+//!   above the 1 µs scheduler quantum), so level 0 resolves ~262 µs, level 1
+//!   ~67 ms, and level 2 ~17.2 s windows. Insertion picks the lowest level
+//!   whose current window (higher digits matching the cursor's) contains the
+//!   tick, and is O(1); per-level 256-bit occupancy bitmaps make "find the
+//!   next non-empty slot" four word scans.
+//! * **An overflow heap** for the far future (outside the cursor's level-2
+//!   window). Only far timers ever pay heap costs, and each pays them once:
+//!   one push at insert, one pop when its window migrates into the wheels.
+//! * **A ready batch.** Draining a level-0 slot moves *every* entry of the
+//!   current tick into a sorted ready buffer in one queue touch; the run
+//!   loop then feeds on plain `Vec` pops. Slot vectors and the ready buffer
+//!   are recycled arena-style, so the steady state performs no container
+//!   allocation per event (keyed events — see [`Payload::Keyed`] — allocate
+//!   nothing at all).
+//!
+//! **Determinism contract:** the wheel yields entries in exactly the same
+//! total `(time, seq)` order as the reference heap. Entries inside one
+//! drained slot are sorted by `(at, seq)` before delivery, and entries for
+//! instants the cursor has already passed (an event scheduling `soon`, or
+//! into a tick the eager drain already visited) merge into the ready buffer
+//! at their ordered position. `crates/simkit/tests/diff_engine.rs` holds
+//! the two implementations to bit-identical firing sequences.
+
+use crate::time::Nanos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled one-shot boxed event closure.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut crate::Sim<W>)>;
+
+/// What an entry does when it fires.
+pub enum Payload<W> {
+    /// A boxed closure — the general case.
+    Call(EventFn<W>),
+    /// A plain function pointer plus a `u64` key — the zero-allocation fast
+    /// path for high-frequency periodic events (the oskit thread dispatcher
+    /// packs `(pid, tid)` into the key). Carrying the handler in the entry
+    /// keeps the engine free of registration state.
+    Keyed(fn(&mut W, &mut crate::Sim<W>, u64), u64),
+}
+
+/// One queue entry: absolute time, global sequence number, payload.
+pub struct Entry<W> {
+    /// Absolute firing time.
+    pub at: Nanos,
+    /// Global schedule order — the tie-breaker that makes the order total.
+    pub seq: u64,
+    /// The event body.
+    pub payload: Payload<W>,
+}
+
+impl<W> Entry<W> {
+    fn key(&self) -> u128 {
+        // `(at, seq)` packed into one u128 — a single-branch comparison in
+        // the sort and merge paths.
+        ((self.at.0 as u128) << 64) | self.seq as u128
+    }
+}
+
+// Heap ordering (min-heap via reversal) for the overflow tier.
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key().cmp(&self.key())
+    }
+}
+
+/// log2 of the level-0 tick width in nanoseconds (1024 ns).
+pub const TICK_BITS: u32 = 10;
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 8;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels; level `l` spans `2^(TICK_BITS + SLOT_BITS*(l+1))` ns.
+const LEVELS: usize = 3;
+const fn tick_of(at: Nanos) -> u64 {
+    at.0 >> TICK_BITS
+}
+
+/// The hierarchical timer wheel plus overflow heap plus ready batch.
+pub struct Wheel<W> {
+    /// `slots[level][slot]` — unsorted, append-only until drained.
+    slots: Vec<Vec<Entry<W>>>,
+    /// 256-bit occupancy bitmap per level.
+    occ: [[u64; SLOTS / 64]; LEVELS],
+    /// Current tick: every stored wheel entry satisfies `tick >= cur`.
+    cur: u64,
+    /// Far-future overflow tier.
+    far: BinaryHeap<Entry<W>>,
+    /// Entries already extracted, sorted by *descending* `(at, seq)` so the
+    /// earliest event is at the back and `pop` is a plain `Vec::pop`.
+    ready: Vec<Entry<W>>,
+    /// Cursor-passed pushes (`soon`, same-tick re-arms) in *ascending*
+    /// order. These arrive with non-decreasing keys as the batch fires, so
+    /// the common case is an O(1) `push_back`; merging them into `ready`
+    /// instead would memmove half the batch per insert. `pop` takes the
+    /// smaller of `ready.last()` / `over.front()`.
+    over: std::collections::VecDeque<Entry<W>>,
+    /// Total entries (slots + far + ready + over).
+    len: usize,
+}
+
+impl<W> Wheel<W> {
+    /// An empty wheel with the cursor at tick 0.
+    pub fn new() -> Self {
+        Wheel {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occ: [[0; SLOTS / 64]; LEVELS],
+            cur: 0,
+            far: BinaryHeap::new(),
+            ready: Vec::new(),
+            over: std::collections::VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn slot_index(level: usize, slot: usize) -> usize {
+        level * SLOTS + slot
+    }
+
+    #[inline]
+    fn mark(&mut self, level: usize, slot: usize) {
+        self.occ[level][slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, level: usize, slot: usize) {
+        self.occ[level][slot / 64] &= !(1u64 << (slot % 64));
+    }
+
+    /// First occupied slot index `>= from` at `level`, if any.
+    fn scan(&self, level: usize, from: usize) -> Option<usize> {
+        if from >= SLOTS {
+            return None;
+        }
+        let bm = &self.occ[level];
+        let mut word = from / 64;
+        let mut bits = bm[word] & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word >= SLOTS / 64 {
+                return None;
+            }
+            bits = bm[word];
+        }
+    }
+
+    /// Insert an entry. O(1) for anything inside the wheel horizon.
+    pub fn push(&mut self, entry: Entry<W>) {
+        self.len += 1;
+        let tick = tick_of(entry.at);
+        if tick <= self.cur {
+            // The cursor already passed (or sits on) this tick — the eager
+            // drain visited it, so the slot will not be looked at again this
+            // lap. Merge into the ready buffer at the ordered position.
+            self.push_ready(entry);
+            return;
+        }
+        self.place(entry, tick);
+    }
+
+    fn place(&mut self, entry: Entry<W>, tick: u64) {
+        // Lowest level whose *higher* digits match the cursor's — i.e. the
+        // entry lands in the cursor's current window at that level. Matching
+        // prefixes (not delta magnitude) guarantees the slot index never
+        // wraps behind the cursor's lap position, so the forward scans in
+        // `next_wheel_tick` see every stored entry.
+        for level in 0..LEVELS as u32 {
+            if tick >> (SLOT_BITS * (level + 1)) == self.cur >> (SLOT_BITS * (level + 1)) {
+                let slot = (tick >> (SLOT_BITS * level)) as usize & (SLOTS - 1);
+                self.slots[Self::slot_index(level as usize, slot)].push(entry);
+                self.mark(level as usize, slot);
+                return;
+            }
+        }
+        // Beyond the current level-2 window: overflow tier.
+        self.far.push(entry);
+    }
+
+    /// True when `tick` fits inside the wheels for the current cursor.
+    #[inline]
+    fn fits(&self, tick: u64) -> bool {
+        tick >> (SLOT_BITS * LEVELS as u32) == self.cur >> (SLOT_BITS * LEVELS as u32)
+    }
+
+    /// Ordered insert into the ascending overlay; O(1) in the common case
+    /// (keys arrive non-decreasing as the batch fires in time order).
+    fn push_ready(&mut self, entry: Entry<W>) {
+        let key = entry.key();
+        if self.over.back().is_none_or(|e| e.key() < key) {
+            self.over.push_back(entry);
+        } else {
+            let idx = self.over.partition_point(|e| e.key() < key);
+            self.over.insert(idx, entry);
+        }
+    }
+
+    /// True when both delivery buffers are drained.
+    fn batch_empty(&self) -> bool {
+        self.ready.is_empty() && self.over.is_empty()
+    }
+
+    /// True when the overlay front is the globally earliest pending entry.
+    fn over_first(&self) -> bool {
+        match (self.ready.last(), self.over.front()) {
+            (Some(r), Some(o)) => o.key() < r.key(),
+            (None, Some(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Time of the next event without consuming it, or `None` when empty.
+    /// Drains up to one slot into the ready buffer as a side effect.
+    pub fn peek_at(&mut self) -> Option<Nanos> {
+        if self.batch_empty() && !self.refill() {
+            return None;
+        }
+        if self.over_first() {
+            Some(self.over.front().expect("nonempty").at)
+        } else {
+            Some(self.ready.last().expect("refilled").at)
+        }
+    }
+
+    /// Pop the globally earliest `(at, seq)` entry.
+    pub fn pop(&mut self) -> Option<Entry<W>> {
+        if self.batch_empty() && !self.refill() {
+            return None;
+        }
+        let entry = if self.over_first() {
+            self.over.pop_front().expect("nonempty")
+        } else {
+            self.ready.pop().expect("refilled")
+        };
+        self.len -= 1;
+        Some(entry)
+    }
+
+    /// Refill the ready buffer with the next batch of entries. Returns
+    /// `false` when the queue is empty. Postcondition on `true`: `ready`
+    /// holds ≥ 1 entry, sorted by `(at, seq)`.
+    fn refill(&mut self) -> bool {
+        debug_assert!(self.batch_empty());
+        loop {
+            // Migrate overflow entries the moment they could fire before
+            // (or at the same tick as) the earliest wheel entry.
+            let wheel_next = self.next_wheel_tick();
+            if let Some(h) = self.far.peek().map(|e| tick_of(e.at)) {
+                if wheel_next.is_none_or(|w| h <= w) {
+                    if wheel_next.is_none() && !self.fits(h) {
+                        // Nothing in between — jump the cursor so the far
+                        // entries fit inside the level-2 window.
+                        self.cur = h;
+                    }
+                    while let Some(e) = self.far.peek() {
+                        let t = tick_of(e.at);
+                        if t < self.cur {
+                            // The cascade scan above advanced the cursor
+                            // past this tick; nothing else can exist there,
+                            // so it feeds the sorted ready buffer directly.
+                            let e = self.far.pop().expect("peeked");
+                            self.push_ready(e);
+                        } else if self.fits(t) {
+                            // `t == cur` lands in the level-0 slot for `cur`
+                            // and merges with any same-tick wheel entries
+                            // before the slot is drained and sorted.
+                            let e = self.far.pop().expect("peeked");
+                            self.place(e, t);
+                        } else {
+                            break;
+                        }
+                    }
+                    if !self.over.is_empty() {
+                        // Migrated entries earlier than every wheel tick:
+                        // deliver them before touching the wheels again.
+                        return true;
+                    }
+                    continue; // rescan with the migrated entries in place
+                }
+            }
+            let Some(target) = wheel_next else {
+                return false;
+            };
+            // The scan already cascaded every window boundary between the
+            // old cursor and `target`, so advancing is a plain assignment.
+            debug_assert!(target >= self.cur);
+            self.cur = target;
+            let slot = target as usize & (SLOTS - 1);
+            let idx = Self::slot_index(0, slot);
+            debug_assert!(!self.slots[idx].is_empty());
+            std::mem::swap(&mut self.ready, &mut self.slots[idx]);
+            self.clear(0, slot);
+            self.ready
+                .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+            debug_assert!(self.ready.iter().all(|e| tick_of(e.at) == target));
+            return true;
+        }
+    }
+
+    /// The earliest occupied tick across the wheels, cascading *nothing* —
+    /// pure scan. Returns `None` when all wheels are empty.
+    fn next_wheel_tick(&mut self) -> Option<u64> {
+        // Level 0: remainder of the current lap holds ticks `cur..lap_end`.
+        let d0 = self.cur as usize & (SLOTS - 1);
+        if let Some(p) = self.scan(0, d0) {
+            return Some((self.cur & !(SLOTS as u64 - 1)) + p as u64);
+        }
+        // Level 1: the slot holding `cur` was cascaded when the cursor
+        // entered this window, so start strictly after it.
+        let d1 = (self.cur >> SLOT_BITS) as usize & (SLOTS - 1);
+        if let Some(q) = self.scan(1, d1 + 1) {
+            let base = (self.cur & !((1u64 << (2 * SLOT_BITS)) - 1)) + ((q as u64) << SLOT_BITS);
+            return Some(self.cascade_probe(1, q, base));
+        }
+        // Level 2.
+        let d2 = (self.cur >> (2 * SLOT_BITS)) as usize & (SLOTS - 1);
+        if let Some(r) = self.scan(2, d2 + 1) {
+            let base =
+                (self.cur & !((1u64 << (3 * SLOT_BITS)) - 1)) + ((r as u64) << (2 * SLOT_BITS));
+            return Some(self.cascade_probe(2, r, base));
+        }
+        None
+    }
+
+    /// Cascade `slots[level][slot]` (whose window starts at tick `base`)
+    /// down one level, then recurse the scan from `base`. Every entry in the
+    /// slot belongs to `[base, base + span)` by the wheel invariant.
+    fn cascade_probe(&mut self, level: usize, slot: usize, base: u64) -> u64 {
+        let idx = Self::slot_index(level, slot);
+        let entries = std::mem::take(&mut self.slots[idx]);
+        self.clear(level, slot);
+        debug_assert!(!entries.is_empty());
+        // Advance the cursor to the window start *before* re-placing, so
+        // `place` picks child levels relative to the new window. Nothing is
+        // skipped: the scans found no occupied slot before this window.
+        debug_assert!(base > self.cur);
+        self.cur = base;
+        for e in entries {
+            let t = tick_of(e.at);
+            debug_assert!(t >= base && t < base + (1u64 << (SLOT_BITS * (level as u32 + 1))));
+            self.place(e, t);
+        }
+        self.next_wheel_tick()
+            .expect("cascaded entries are in the wheels")
+    }
+}
+
+impl<W> Default for Wheel<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

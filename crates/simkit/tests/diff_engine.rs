@@ -1,0 +1,217 @@
+//! Differential suite: the timer-wheel engine vs the reference heap.
+//!
+//! The wheel (`Sim::new`) is a pure speed play — ISSUE 9's contract is that
+//! it fires the *bit-identical* `(time, seq)` sequence as the original
+//! `BinaryHeap` queue (`Sim::new_reference`), because replay journals, the
+//! fault matrix, and every committed bench baseline depend on that order.
+//! These tests run randomized schedules — same-tick storms, `soon` chains,
+//! far-future timers crossing every wheel level and the overflow horizon,
+//! halts, budgeted and deadline-bounded runs — through both engines and
+//! assert the full fired logs and final simulator state agree exactly.
+//!
+//! Child events derive their behaviour purely from their own 64-bit id (via
+//! `splitmix64`), never from shared RNG state, so the scenario an engine
+//! sees depends only on the order in which events fire — which is exactly
+//! the property under test.
+
+use simkit::{splitmix64, DetRng, Nanos, RunOutcome, Sim};
+
+/// The world is the fired log: `(virtual time, event id)` per delivery.
+type World = Vec<(u64, u64)>;
+
+const CASES: u64 = 48;
+/// Event-id layout: generation in the top byte, entropy below.
+const ID_MASK: u64 = 0x00FF_FFFF_FFFF_FFFF;
+const MAX_GEN: u64 = 3;
+
+/// Map raw entropy to a delay spanning every wheel level and the overflow
+/// tier: same-instant, sub-tick, level 0 (~262 µs), level 1 (~67 ms),
+/// level 2 (~17 s), and far-future (minutes).
+fn delta_from(r: u64) -> u64 {
+    let mut s = r;
+    let m = splitmix64(&mut s);
+    match r % 6 {
+        0 => 0,
+        1 => m % 1_000,
+        2 => m % 262_144,
+        3 => m % 67_000_000,
+        4 => m % 17_000_000_000,
+        _ => m % 300_000_000_000,
+    }
+}
+
+/// The one event body. Logs itself, then (driven only by its id) spawns up
+/// to three children at mixed horizons, occasionally halting the loop.
+fn fire(w: &mut World, sim: &mut Sim<World>, id: u64) {
+    w.push((sim.now().0, id));
+    let generation = id >> 56;
+    let mut state = id;
+    let r = splitmix64(&mut state);
+    if r.is_multiple_of(97) {
+        sim.halt();
+    }
+    if generation >= MAX_GEN {
+        return;
+    }
+    for _ in 0..r % 4 {
+        let dr = splitmix64(&mut state);
+        let child = ((generation + 1) << 56) | (splitmix64(&mut state) & ID_MASK);
+        let at = sim.now() + Nanos(delta_from(dr));
+        if dr & 1 == 0 {
+            sim.at_keyed(at, child, fire);
+        } else {
+            sim.at(at, move |w: &mut World, sim| fire(w, sim, child));
+        }
+    }
+}
+
+/// Run one randomized scenario on the given engine and capture everything
+/// observable: the fired log plus final `(now, events_fired, pending)`.
+fn scenario(seed: u64, mk: fn() -> Sim<World>) -> (World, u64, u64, usize) {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut sim = mk();
+    let mut log = World::new();
+    for _ in 0..rng.range(2, 5) {
+        // Inject a wave of top-level events, with deliberate same-instant
+        // storms (several seq-adjacent events sharing one tick).
+        for _ in 0..rng.range(1, 40) {
+            let at = Nanos(sim.now().0 + delta_from(rng.next_u64()));
+            let copies = if rng.chance(0.3) { rng.range(2, 6) } else { 1 };
+            for _ in 0..copies {
+                let id = rng.next_u64() & ID_MASK;
+                if rng.chance(0.5) {
+                    sim.at_keyed(at, id, fire);
+                } else {
+                    sim.at(at, move |w: &mut World, sim| fire(w, sim, id));
+                }
+            }
+        }
+        // Drain it one of three ways, so deadlines and budgets cut into
+        // batches at arbitrary points.
+        match rng.below(3) {
+            0 => {
+                let deadline = Nanos(sim.now().0 + delta_from(rng.next_u64()));
+                sim.run_until(&mut log, deadline);
+            }
+            1 => {
+                let _: RunOutcome = sim.run_budgeted(&mut log, rng.range(1, 500));
+            }
+            _ => sim.run(&mut log),
+        }
+    }
+    sim.run(&mut log);
+    (log, sim.now().0, sim.events_fired(), sim.pending())
+}
+
+#[test]
+fn engines_are_actually_different() {
+    let wheel: Sim<World> = Sim::new();
+    let heap: Sim<World> = Sim::new_reference();
+    assert_eq!(wheel.engine_name(), "wheel");
+    assert_eq!(heap.engine_name(), "heap");
+}
+
+/// The headline property: across randomized mixed-horizon schedules with
+/// halts and budgeted/bounded runs, both engines produce identical fired
+/// logs and identical final state.
+#[test]
+fn wheel_matches_reference_on_random_schedules() {
+    let mut seeds = DetRng::seed_from_u64(0xD1FF_E7E1);
+    for case in 0..CASES {
+        let seed = seeds.next_u64();
+        let wheel = scenario(seed, Sim::new);
+        let reference = scenario(seed, Sim::new_reference);
+        assert_eq!(
+            wheel, reference,
+            "engine divergence at case {case} (seed {seed:#x})"
+        );
+    }
+}
+
+/// Events dropped exactly on and around every wheel-window boundary, from
+/// cursors parked at awkward offsets. This is the deterministic distillation
+/// of the lap-wrap bug class: a slot index that wraps past the cursor's lap
+/// must still be found by the next-event scan.
+#[test]
+fn window_boundary_deltas_match_reference() {
+    const LAP0: u64 = 1 << 18; // level-0 lap in ns (256 slots × 1024 ns)
+    const LAP1: u64 = 1 << 26; // level-1 lap
+    const LAP2: u64 = 1 << 34; // level-2 lap == wheel horizon
+    let starts = [
+        0,
+        1_023,
+        1_024,
+        LAP0 - 1,
+        LAP0,
+        LAP0 + 1,
+        LAP1 - 1_024,
+        LAP1,
+        LAP2 - 1,
+        LAP2 + 12_345,
+    ];
+    let deltas = [
+        0,
+        1,
+        1_023,
+        1_024,
+        1_025,
+        LAP0 - 1,
+        LAP0,
+        LAP0 + 1,
+        LAP1 - 1,
+        LAP1,
+        LAP1 + 1,
+        LAP2 - 1,
+        LAP2,
+        LAP2 + 1,
+        5 * LAP2,
+    ];
+    let run = |mk: fn() -> Sim<World>| -> Vec<World> {
+        starts
+            .iter()
+            .map(|&start| {
+                let mut sim = mk();
+                let mut log = World::new();
+                // Park the cursor at `start` (the marker event also proves
+                // both engines advance `now` identically).
+                sim.at(Nanos(start), |w: &mut World, sim| {
+                    w.push((sim.now().0, u64::MAX))
+                });
+                sim.run_until(&mut log, Nanos(start));
+                for (i, &d) in deltas.iter().enumerate() {
+                    sim.at_keyed(Nanos(start + d), i as u64, |w, sim, id| {
+                        w.push((sim.now().0, id))
+                    });
+                }
+                sim.run(&mut log);
+                assert_eq!(log.len(), deltas.len() + 1, "lost event at start {start}");
+                log
+            })
+            .collect()
+    };
+    assert_eq!(run(Sim::new), run(Sim::new_reference));
+}
+
+/// A re-arming timer marching tick-by-tick across several level-0 laps and
+/// one level-1 lap — the runaway-watchdog shape that first exposed the
+/// lap-wrap hole.
+#[test]
+fn rearming_timer_crosses_laps_identically() {
+    fn rearm(w: &mut World, sim: &mut Sim<World>, count: u64) {
+        w.push((sim.now().0, count));
+        if count > 0 {
+            sim.at_keyed(sim.now() + Nanos(70_000), count - 1, rearm);
+        }
+    }
+    let run = |mk: fn() -> Sim<World>| {
+        let mut sim = mk();
+        let mut log = World::new();
+        sim.at_keyed(Nanos::ZERO, 2_000, rearm);
+        sim.run(&mut log);
+        (log, sim.now().0, sim.events_fired())
+    };
+    let (log, now, fired) = run(Sim::new);
+    assert_eq!(fired, 2_001);
+    assert_eq!(now, 2_000 * 70_000);
+    assert_eq!((log, now, fired), run(Sim::new_reference));
+}

@@ -136,6 +136,20 @@ self_test() {
         return 1
     fi
 
+    # Engine-throughput keys from the sim bench use the same *_per_sec
+    # rule: an improvement sails through, a 25% collapse trips the gate.
+    printf '{\n  "sim_timer_events_per_sec": 8000000.0\n}\n' > "$d/sim_base.json"
+    printf '{\n  "sim_timer_events_per_sec": 12000000.0\n}\n' > "$d/sim_up.json"
+    if ! compare "$d/sim_up.json" "$d/sim_base.json" > /dev/null; then
+        echo "bench_gate self-test FAILED: events/sec improvement rejected" >&2
+        return 1
+    fi
+    printf '{\n  "sim_timer_events_per_sec": 6000000.0\n}\n' > "$d/sim_down.json"
+    if compare "$d/sim_down.json" "$d/sim_base.json" > /dev/null; then
+        echo "bench_gate self-test FAILED: 25% events/sec drop not caught" >&2
+        return 1
+    fi
+
     printf '{\n  "ckpt_total_s": 1.05,\n  "pause_ratio": 9.5\n}\n' > "$d/drift.json"
     if ! compare "$d/drift.json" "$d/base.json" > /dev/null; then
         echo "bench_gate self-test FAILED: in-tolerance drift rejected" >&2

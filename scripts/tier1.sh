@@ -2,7 +2,7 @@
 # Tier-1 gate: everything a PR must keep green.
 #
 # Usage: scripts/tier1.sh [stage...]
-#   stages: build test faults bench scale tenants replay lint
+#   stages: build test faults bench sim scale tenants replay lint
 #   No arguments runs every stage in that order (the full PR gate). CI runs
 #   the same stages one job each — `scripts/tier1.sh build`, etc. — so a
 #   local no-arg run reproduces the whole pipeline stage by stage.
@@ -50,6 +50,19 @@ stage_bench() {
     scripts/bench_gate.sh compare
 }
 
+stage_sim() {
+    echo "== sim engine throughput bench (timer wheel vs reference heap, >=5x gate) =="
+    cargo build --release -p dmtcp-bench
+    ./target/release/sim --smoke
+    echo "== sim bench-regression gate =="
+    scripts/bench_gate.sh self-test
+    # Unlike every other gate file, events/sec is wall-clock: the committed
+    # baseline is set well below measured values and the tolerance widened,
+    # so the gate catches engine-speed collapses, not machine variance.
+    BENCH_GATE_TOLERANCE="${BENCH_GATE_TOLERANCE:-0.5}" \
+        scripts/bench_gate.sh compare results/BENCH_sim.json scripts/BENCH_sim.baseline.json
+}
+
 stage_scale() {
     echo "== scale smoke bench (flat star vs per-node relays) =="
     cargo build --release -p dmtcp-bench
@@ -85,9 +98,9 @@ stage_lint() {
 run_stage() {
     local name="$1"
     case "$name" in
-        build | test | faults | bench | scale | tenants | replay | lint) ;;
+        build | test | faults | bench | sim | scale | tenants | replay | lint) ;;
         *)
-            echo "tier1: unknown stage '$name' (stages: build test faults bench scale tenants replay lint)" >&2
+            echo "tier1: unknown stage '$name' (stages: build test faults bench sim scale tenants replay lint)" >&2
             exit 2
             ;;
     esac
@@ -99,7 +112,7 @@ run_stage() {
 }
 
 if [[ $# -eq 0 ]]; then
-    set -- build test faults bench scale tenants replay lint
+    set -- build test faults bench sim scale tenants replay lint
 fi
 for stage in "$@"; do
     run_stage "$stage"
