@@ -5,7 +5,7 @@ use apps::nas::{nas_factory, NasKernel};
 use apps::registry::full_registry;
 use apps::result_path;
 use dmtcp::session::run_for;
-use dmtcp::{ExpectCkpt, Options, Session};
+use dmtcp::{ExpectCkpt, Options, RestartPlan, Session};
 use oskit::world::{NodeId, OsSim, World};
 use oskit::HwSpec;
 use simkit::{Nanos, Sim};
@@ -123,19 +123,10 @@ fn nas_cg_survives_checkpoint_kill_restart() {
     let gen = stat.gen;
     assert_eq!(stat.participants, 7, "console + 2 orted + 4 ranks");
     s.kill_computation(&mut w, &mut sim);
-    let script = Session::parse_restart_script(&w);
-    let names: Vec<(String, NodeId)> = script
-        .iter()
-        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
-        .collect();
-    let remap = move |h: &str| {
-        names
-            .iter()
-            .find(|(n, _)| n == h)
-            .map(|(_, x)| *x)
-            .expect("host")
-    };
-    s.restart_from_script(&mut w, &mut sim, &script, &remap, gen);
+    RestartPlan::from_generation(&w, s.opts.coord_port, gen)
+        .expect("restart script written")
+        .execute(&s, &mut w, &mut sim)
+        .expect("identity restart");
     Session::wait_restart_done(&mut w, &mut sim, gen, EV);
     assert!(sim.run_bounded(&mut w, EV), "restored CG deadlocked");
     assert_eq!(

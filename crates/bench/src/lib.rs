@@ -13,8 +13,8 @@
 use apps::registry::full_registry;
 use dmtcp::coord::{coord_shared, stage, GenStat};
 use dmtcp::session::run_for;
-use dmtcp::{ExpectCkpt, Options, Session};
-use oskit::world::{NodeId, OsSim, World};
+use dmtcp::{ExpectCkpt, Options, RestartPlan, Session};
+use oskit::world::{OsSim, World};
 use oskit::HwSpec;
 use simkit::{Nanos, Sim, Summary};
 
@@ -311,19 +311,10 @@ pub fn measure_checkpoints(
 pub fn kill_and_measure_restart(w: &mut World, sim: &mut OsSim, s: &Session) -> f64 {
     let gen = Session::last_gen_stat(w).expect("a checkpoint exists").gen;
     s.kill_computation(w, sim);
-    let script = Session::parse_restart_script(w);
-    let names: Vec<(String, NodeId)> = script
-        .iter()
-        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
-        .collect();
-    let remap = move |h: &str| {
-        names
-            .iter()
-            .find(|(n, _)| n == h)
-            .map(|(_, x)| *x)
-            .expect("host")
-    };
-    s.restart_from_script(w, sim, &script, &remap, gen);
+    RestartPlan::from_generation(w, s.opts.coord_port, gen)
+        .expect("restart script written")
+        .execute(s, w, sim)
+        .expect("identity restart");
     Session::wait_restart_done(w, sim, gen, EV);
     let g = coord_shared(w)
         .gen_stats

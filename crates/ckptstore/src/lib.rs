@@ -142,6 +142,63 @@ pub fn config(w: &World) -> Option<Config> {
         .map(|rc| rc.borrow().clone())
 }
 
+/// Logical image paths committed for generation `gen`, keyed by the
+/// writing process's virtual pid — gathered from every node's manifests,
+/// so replicas of an image collapse onto the one logical path they all
+/// name. This is the restart planner's per-pid view of a generation: a
+/// subset of processes can be restored from exactly these paths, each
+/// resolvable from whichever node still holds a complete copy.
+pub fn images_for_gen(w: &World, gen: u32) -> std::collections::BTreeMap<u32, String> {
+    let mut out = std::collections::BTreeMap::new();
+    for node in &w.nodes {
+        let paths: Vec<String> = node
+            .fs
+            .list_prefix(&manifest::manifests_prefix())
+            .map(|s| s.to_string())
+            .collect();
+        for p in paths {
+            let Ok(bytes) = node.fs.read_all(&p) else {
+                continue;
+            };
+            let Some(man) = manifest::Manifest::decode(&bytes) else {
+                continue;
+            };
+            if man.gen != gen {
+                continue;
+            }
+            if let Some(vpid) = manifest::parse_vpid(&man.src) {
+                out.entry(vpid).or_insert(man.src);
+            }
+        }
+    }
+    out
+}
+
+/// Resolve one process's generation-`gen` image for a reader on `node`:
+/// served from the local chunk store when it survived, otherwise from the
+/// first peer holding a complete replica — the live-migration transfer
+/// channel. `None` when no complete copy exists anywhere.
+pub fn read_for_pid(
+    w: &World,
+    node: oskit::world::NodeId,
+    gen: u32,
+    vpid: u32,
+) -> Option<mtcp::ResolvedImage> {
+    let path = images_for_gen(w, gen).remove(&vpid)?;
+    source::resolve(w, node, &path)
+}
+
+/// Resolve a logical image path for a reader on `node` (local store first,
+/// then every peer in index order). Public face of the replica resolution
+/// path for callers that already know the path.
+pub fn resolve_image(
+    w: &World,
+    node: oskit::world::NodeId,
+    path: &str,
+) -> Option<mtcp::ResolvedImage> {
+    source::resolve(w, node, path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

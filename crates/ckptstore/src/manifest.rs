@@ -163,6 +163,15 @@ pub fn with_gen(path: &str, gen: u32) -> Option<String> {
     Some(path.replace(&format!("_gen{cur}"), &format!("_gen{gen}")))
 }
 
+/// Virtual pid of the writing process embedded in an image path
+/// (`.../ckpt_<vpid>_gen<N>.dmtcp`).
+pub fn parse_vpid(path: &str) -> Option<u32> {
+    let name = path.rsplit('/').next()?;
+    let rest = name.strip_prefix("ckpt_")?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -136,6 +136,10 @@ pub struct CoordShared {
     pub coord_drain_open: bool,
     /// Participants the in-flight barriers expect.
     pub coord_expected: u32,
+    /// Registered (non-stale) participant connections currently held. The
+    /// migration driver watches this to know when the killed movers' EOFs
+    /// have been reaped before it re-arms the restart barriers.
+    pub coord_participants: u32,
     /// `(gen, stage)` → summed contributions for unreleased barriers.
     pub barrier_pending: BTreeMap<(u64, u8), u32>,
 }
@@ -265,6 +269,11 @@ pub struct Coordinator {
     /// only front the *pre*-restart computation; restored managers register
     /// directly with the root).
     restarting: bool,
+    /// A `MigratePlan` is in flight: (generation, mover count). The
+    /// restart-stage barriers of that generation release when the *moving*
+    /// subset reaches them — live bystanders never enter the restart stages
+    /// and must not be counted against them.
+    migrating: Option<(u64, u32)>,
     /// Next relay-liveness check deadline (armed only while a generation
     /// with relays is in flight, so an idle coordinator stays quiescent).
     liveness_at: Option<Nanos>,
@@ -304,6 +313,7 @@ impl Coordinator {
             retry_backoff: CKPT_RETRY_INITIAL,
             next_serial: 0,
             restarting: false,
+            migrating: None,
             liveness_at: None,
         }
     }
@@ -434,6 +444,7 @@ impl Coordinator {
         self.in_progress = false;
         self.drain_open = false;
         self.retry_at = None;
+        self.migrating = None;
         self.aborted_gens.insert(gen);
         self.barrier_counts.retain(|(g, _), _| *g != gen);
         self.released.retain(|(g, _)| *g != gen);
@@ -642,6 +653,7 @@ impl Coordinator {
                 self.expected = n;
                 self.in_progress = true;
                 self.restarting = true;
+                self.migrating = None;
                 // Any pre-restart drain or queued request died with the
                 // computation being replaced.
                 self.drain_open = false;
@@ -677,6 +689,44 @@ impl Coordinator {
                     self.check_release(k, g, s);
                 }
             }
+            Msg::MigratePlan(n, gen) => {
+                // A migration driver restores a *subset* of generation
+                // `gen`'s managers onto new nodes while the rest of the
+                // computation keeps running. Unlike `RestartPlan`, nobody is
+                // marked stale and the full barrier accounting stays armed:
+                // only the restart-stage barriers of `gen` are scoped down
+                // to the `n` movers (see `check_release`).
+                self.migrating = Some((gen, n));
+                // Checkpoints serialize against the restore window — a
+                // request arriving mid-migration would reach managers that
+                // are not resumed yet. Queued requests start once
+                // RESTART_REFILLED releases.
+                self.in_progress = true;
+                // The movers' source processes were deliberately killed;
+                // relay membership-loss reports for them must not abort the
+                // migration.
+                self.restarting = true;
+                self.gen = gen;
+                self.requested_at = k.now();
+                // A previous failed attempt at this migration may have
+                // aborted the generation; a retry legitimately reuses it.
+                self.aborted_gens.remove(&gen);
+                self.released
+                    .retain(|(g, s)| !(*g == gen && *s >= stage::RESTORED));
+                coord_shared_for(k.w, self.port).gen_stats.push(GenStat {
+                    gen,
+                    requested_at: self.requested_at,
+                    releases: BTreeMap::new(),
+                    participants: n,
+                    aborted: false,
+                });
+                // Movers may have raced their barrier messages ahead of the
+                // plan; re-check every pending barrier.
+                let pending: Vec<(u64, u8)> = self.barrier_counts.keys().copied().collect();
+                for (g, s) in pending {
+                    self.check_release(k, g, s);
+                }
+            }
             other => panic!("coordinator got unexpected message {other:?}"),
         }
     }
@@ -688,7 +738,14 @@ impl Coordinator {
             .get(&(gen, stg))
             .map(|m| m.values().sum::<u32>())
             .unwrap_or(0);
-        if self.expected == 0 || count < self.expected {
+        // During a live migration only the movers run the restart stages:
+        // they release against the migration's own quorum, not the full
+        // computation's.
+        let expected = match self.migrating {
+            Some((mg, n)) if gen == mg && stg >= stage::RESTORED => n,
+            _ => self.expected,
+        };
+        if expected == 0 || count < expected {
             return;
         }
         // CKPT_WRITTEN is ordered after REFILLED even though in-line
@@ -732,10 +789,17 @@ impl Coordinator {
             self.in_progress = false;
             self.retry_at = None;
             if stg == stage::RESTART_REFILLED {
+                self.migrating = None;
                 // Restart completion: the restored images are the script's
                 // content; checkpoints instead publish their script only
                 // once CKPT_WRITTEN confirms every image is durable.
                 self.write_restart_script(k);
+                // A checkpoint requested mid-restore was queued; start it
+                // now that every manager is resumed.
+                if self.queued {
+                    self.queued = false;
+                    self.start_checkpoint(k);
+                }
             }
             if let Some(iv) = self.interval {
                 let (pid, port) = (k.getpid_real(), self.port);
@@ -774,11 +838,17 @@ impl Coordinator {
             .iter()
             .map(|(key, m)| (*key, m.values().sum()))
             .collect();
+        let participants = self
+            .clients
+            .iter()
+            .filter(|c| !c.stale && c.vpid != 0)
+            .count() as u32;
         let s = coord_shared_for(k.w, self.port);
         s.coord_gen = self.gen;
         s.coord_in_progress = self.in_progress;
         s.coord_drain_open = self.drain_open;
         s.coord_expected = self.expected;
+        s.coord_participants = participants;
         s.barrier_pending = pending;
     }
 

@@ -44,4 +44,5 @@ pub mod session;
 
 pub use launch::{launch_under_dmtcp, Options, OptionsBuilder, Topology};
 pub use replay::{ReplayReport, ReplaySchedule};
-pub use session::{CkptError, ExpectCkpt, Session};
+pub use restart::plan::{MigrationReport, Packing, RestartPlan, RestartPlanBuilder};
+pub use session::{CkptError, ExpectCkpt, RestartError, RestartOutcome, Session};

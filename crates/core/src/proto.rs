@@ -77,6 +77,13 @@ pub enum Msg {
     /// tagged equivalent of [`Msg::CkptRequest`] travelling over the
     /// service socket rather than a coordinator connection).
     SessionCkpt(u64),
+    /// Restart process → coordinator: expect `n` *migrating* managers
+    /// restoring generation `gen` on new nodes while the rest of the
+    /// computation keeps running. Unlike [`Msg::RestartPlan`] this does not
+    /// re-arm the full barrier accounting — only the restart-stage barriers
+    /// of `gen` count against `n`, live bystander clients are left alone,
+    /// and no client is marked stale.
+    MigratePlan(u32, u64),
 }
 
 /// Why `dmtcpd` refused to open a session (the `code` byte of
@@ -129,6 +136,7 @@ impl_snap!(
         SessionRejected(code, detail),
         CloseSession(sid),
         SessionCkpt(sid),
+        MigratePlan(n, gen),
     }
 );
 
@@ -155,6 +163,7 @@ pub fn msg_name(msg: &Msg) -> &'static str {
         Msg::SessionRejected(..) => "SessionRejected",
         Msg::CloseSession(..) => "CloseSession",
         Msg::SessionCkpt(..) => "SessionCkpt",
+        Msg::MigratePlan(..) => "MigratePlan",
     }
 }
 

@@ -457,13 +457,20 @@ impl Program for Relay {
                     }
                 }
             }
-            let lost = dead.iter().filter(|&&i| self.locals[i].vpid != 0).count() as u32;
+            // Mirror the root's idle-EOF rule: a local that dies while no
+            // generation is in flight (e.g. a process killed so it can be
+            // live-migrated to another node) is a membership update, not a
+            // lost participant. Only an EOF during an in-flight generation
+            // — request through CKPT_WRITTEN — is reported as `lost`, which
+            // is what aborts the checkpoint at the root.
+            let eofs = dead.iter().filter(|&&i| self.locals[i].vpid != 0).count() as u32;
+            let lost = if self.in_flight { eofs } else { 0 };
             for i in dead.into_iter().rev() {
                 let c = self.locals.remove(i);
                 let _ = k.close(c.fd);
                 progressed = true;
             }
-            if lost > 0 {
+            if eofs > 0 {
                 let m = self.members();
                 self.send_root(k, &Msg::RelayMembership(m, lost));
             }

@@ -188,32 +188,19 @@ pub fn drive(
 /// shared storage, image paths retargeted at the recorded generation,
 /// hostnames remapped to the nodes currently bearing them.
 fn default_restart(w: &mut World, sim: &mut OsSim, session: &Session, gen: u64) {
-    let script = Session::parse_restart_script(w);
-    let candidate: Vec<(String, Vec<String>)> = script
-        .iter()
-        .map(|(h, imgs)| {
-            (
-                h.clone(),
-                imgs.iter()
-                    .map(|p| crate::session::rewrite_gen(p, gen))
-                    .collect(),
-            )
-        })
-        .collect();
-    let hosts: Vec<(String, NodeId)> = w
-        .nodes
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (n.hostname.clone(), NodeId(i as u32)))
-        .collect();
-    let remap = move |h: &str| {
-        hosts
-            .iter()
-            .find(|(n, _)| n == h)
-            .map(|(_, x)| *x)
-            .expect("recorded hostname exists in the replay world")
-    };
-    session.restart_from_script(w, sim, &candidate, &remap, gen);
+    let script = crate::restart::plan::script_groups(w, session.opts.coord_port);
+    let mut by_node: std::collections::BTreeMap<NodeId, Vec<String>> =
+        std::collections::BTreeMap::new();
+    for (host, imgs) in &script {
+        let node = w
+            .resolve(host)
+            .expect("recorded hostname exists in the replay world");
+        by_node
+            .entry(node)
+            .or_default()
+            .extend(imgs.iter().map(|p| crate::session::rewrite_gen(p, gen)));
+    }
+    crate::restart::plan::spawn_restart_procs(session, w, sim, by_node, gen, false);
 }
 
 /// How many trailing journal events the snapshot quotes verbatim.

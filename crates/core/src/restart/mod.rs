@@ -15,6 +15,12 @@
 //! connector side polls until the advertisement appears, reconnects, and
 //! handshakes on the gsid — loopback connections (both ends in one restart
 //! process) take the same path.
+//!
+//! The [`plan`] submodule builds on this program: it maps a committed
+//! generation onto an *arbitrary* target topology (fewer or more hosts
+//! than wrote the images) and drives live migration of process subsets.
+
+pub mod plan;
 
 use crate::gsid::{global, Gsid};
 use crate::hijack::{ConnTable, FdKindRec, Hijack, PtyRecord};
@@ -69,6 +75,10 @@ pub struct RestartProc {
     /// `Some(total, gen)` on exactly one restart process cluster-wide: it
     /// re-arms the coordinator's barrier accounting.
     plan: Option<(u32, u64)>,
+    /// Live migration: announce the plan with [`Msg::MigratePlan`] so the
+    /// coordinator re-arms only the restart-stage barriers for the movers
+    /// instead of replacing the whole computation.
+    migrate: bool,
     phase: Phase,
     loaded: Vec<Loaded>,
     coord_fd: Fd,
@@ -103,6 +113,7 @@ impl RestartProc {
             coord_host,
             coord_port,
             plan,
+            migrate: false,
             phase: Phase::Load,
             loaded: Vec::new(),
             coord_fd: -1,
@@ -120,6 +131,22 @@ impl RestartProc {
         }
     }
 
+    /// Build a restart process restoring a *migrating* subset of a live
+    /// computation. Pass `plan = Some((movers, generation))` on exactly one
+    /// target host; it announces the subset with [`Msg::MigratePlan`], so
+    /// the coordinator keeps the bystanders registered instead of marking
+    /// the whole computation stale.
+    pub fn migrate(
+        images: Vec<String>,
+        coord_host: String,
+        coord_port: u16,
+        plan: Option<(u32, u64)>,
+    ) -> Self {
+        let mut p = RestartProc::new(images, coord_host, coord_port, plan);
+        p.migrate = true;
+        p
+    }
+
     // ------------------------------------------------------------------
     // Phase 1: load images, recreate files / ptys / listen sockets
     // ------------------------------------------------------------------
@@ -132,7 +159,11 @@ impl RestartProc {
             Err(e) => panic!("restart connect coordinator: {e:?}"),
         }
         if let Some((n, gen)) = self.plan {
-            let msg = frame(&Msg::RestartPlan(n, gen));
+            let msg = if self.migrate {
+                frame(&Msg::MigratePlan(n, gen))
+            } else {
+                frame(&Msg::RestartPlan(n, gen))
+            };
             let sent = k.write(self.coord_fd, &msg).expect("plan");
             assert_eq!(sent, msg.len());
         }

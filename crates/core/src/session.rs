@@ -12,7 +12,6 @@
 
 use crate::coord::{coord_shared, coord_shared_for, stage, GenStat};
 use crate::launch::{launch_under_dmtcp, spawn_coordinator, Options};
-use crate::restart::RestartProc;
 use oskit::proc::sig;
 use oskit::program::Program;
 use oskit::world::{NodeId, OsSim, Pid, World};
@@ -186,9 +185,21 @@ impl Session {
         gen: u64,
         max_events: u64,
     ) -> Option<GenStat> {
+        Self::wait_ckpt_written_on(w, sim, crate::coord::COORD_PORT, gen, max_events)
+    }
+
+    /// [`Session::wait_ckpt_written`] against the coordinator on `port`
+    /// (a dmtcpd shard or a non-default root).
+    pub fn wait_ckpt_written_on(
+        w: &mut World,
+        sim: &mut OsSim,
+        port: u16,
+        gen: u64,
+        max_events: u64,
+    ) -> Option<GenStat> {
         let start = sim.events_fired();
         loop {
-            let settled = coord_shared(w)
+            let settled = coord_shared_for(w, port)
                 .gen_stats
                 .iter()
                 .rev()
@@ -247,30 +258,17 @@ impl Session {
     }
 
     /// Parse `dmtcp_restart_script.sh` into `(hostname, image paths)`.
+    #[deprecated(note = "use dmtcp::restart::plan::RestartPlan instead")]
     pub fn parse_restart_script(w: &World) -> Vec<(String, Vec<String>)> {
-        Self::parse_restart_script_for(w, crate::coord::COORD_PORT)
+        crate::restart::plan::script_groups(w, crate::coord::COORD_PORT)
     }
 
     /// Parse the restart script written by the coordinator rooted at
     /// `port` (each root writes its own script — see
     /// [`crate::coord::restart_script_path`]).
+    #[deprecated(note = "use dmtcp::restart::plan::RestartPlan instead")]
     pub fn parse_restart_script_for(w: &World, port: u16) -> Vec<(String, Vec<String>)> {
-        let path = crate::coord::restart_script_path(port);
-        let Ok(bytes) = w.shared_fs.read_all(&path) else {
-            return Vec::new();
-        };
-        let script = String::from_utf8(bytes).expect("script is utf-8");
-        let mut out = Vec::new();
-        for line in script.lines() {
-            let mut words = line.split_whitespace();
-            if words.next() != Some("ssh") {
-                continue;
-            }
-            let host = words.next().expect("host after ssh").to_string();
-            assert_eq!(words.next(), Some("dmtcp_restart"));
-            out.push((host, words.map(|s| s.to_string()).collect()));
-        }
-        out
+        crate::restart::plan::script_groups(w, port)
     }
 
     /// `dmtcp_restart_script.sh`: restart the last checkpoint in (possibly
@@ -281,6 +279,7 @@ impl Session {
     ///
     /// The target world must already contain the image files (see
     /// [`transplant_storage`]) and a running coordinator for `self`.
+    #[deprecated(note = "use dmtcp::restart::plan::RestartPlan instead")]
     pub fn restart_from_script(
         &self,
         w: &mut World,
@@ -289,16 +288,6 @@ impl Session {
         remap: &dyn Fn(&str) -> NodeId,
         gen: u64,
     ) -> Vec<Pid> {
-        w.obs.journal.record(
-            sim.now(),
-            obs::journal::CLASS_STAGE,
-            "session.restart",
-            None,
-            &[("gen", gen)],
-            "",
-        );
-        crate::launch::install_hook(w);
-        let coord_host = w.node(self.opts.coord_node).hostname.clone();
         // Group images by *target* node (migration may merge hosts).
         let mut by_node: BTreeMap<NodeId, Vec<String>> = BTreeMap::new();
         for (host, images) in script {
@@ -307,22 +296,7 @@ impl Session {
                 .or_default()
                 .extend(images.iter().cloned());
         }
-        let total: u32 = by_node.values().map(|v| v.len() as u32).sum();
-        let mut restart_pids = Vec::new();
-        let mut first = true;
-        for (node, images) in by_node {
-            let plan = if first { Some((total, gen)) } else { None };
-            first = false;
-            let prog = Box::new(RestartProc::new(
-                images,
-                coord_host.clone(),
-                self.opts.coord_port,
-                plan,
-            ));
-            let pid = w.spawn(sim, node, "dmtcp_restart", prog, Pid(1), BTreeMap::new());
-            restart_pids.push(pid);
-        }
-        restart_pids
+        crate::restart::plan::spawn_restart_procs(self, w, sim, by_node, gen, false)
     }
 
     /// Restart with whole-generation fallback: validate every image of the
@@ -338,7 +312,7 @@ impl Session {
         sim: &mut OsSim,
         remap: &dyn Fn(&str) -> NodeId,
     ) -> Result<RestartOutcome, RestartError> {
-        let script = Self::parse_restart_script_for(w, self.opts.coord_port);
+        let script = crate::restart::plan::script_groups(w, self.opts.coord_port);
         if script.is_empty() {
             return Err(RestartError::NoScript);
         }
@@ -373,11 +347,30 @@ impl Session {
             if !complete {
                 continue;
             }
-            let pids = self.restart_from_script(w, sim, &candidate, remap, gen);
+            let mut by_node: BTreeMap<NodeId, Vec<String>> = BTreeMap::new();
+            for (host, images) in &candidate {
+                by_node
+                    .entry(remap(host))
+                    .or_default()
+                    .extend(images.iter().cloned());
+            }
+            let placement = by_node
+                .iter()
+                .map(|(n, imgs)| {
+                    let mut v: Vec<u32> = imgs
+                        .iter()
+                        .filter_map(|p| ckptstore::manifest::parse_vpid(p))
+                        .collect();
+                    v.sort_unstable();
+                    (*n, v)
+                })
+                .collect();
+            let pids = crate::restart::plan::spawn_restart_procs(self, w, sim, by_node, gen, false);
             return Ok(RestartOutcome {
                 gen,
                 pids,
                 rejected,
+                placement,
             });
         }
         Err(RestartError::NoUsableGeneration { rejected })
@@ -501,7 +494,8 @@ pub enum CkptOutcome {
     Aborted(GenStat),
 }
 
-/// A successful [`Session::restart_resilient`].
+/// A successful restart ([`crate::restart::plan::RestartPlan::execute`] or
+/// [`Session::restart_resilient`]).
 #[derive(Debug, Clone)]
 pub struct RestartOutcome {
     /// The generation actually restarted (may be older than the newest).
@@ -510,9 +504,14 @@ pub struct RestartOutcome {
     pub pids: Vec<Pid>,
     /// Images rejected along the way, with the validation error.
     pub rejected: Vec<(String, String)>,
+    /// Where each process was restored: node → virtual pids, sorted.
+    /// Summing the vpids over every node reproduces the restored process
+    /// set exactly — the accounting invariant heterogeneous-restart tests
+    /// check.
+    pub placement: Vec<(NodeId, Vec<u32>)>,
 }
 
-/// Why [`Session::restart_resilient`] could not restart anything.
+/// Why a restart plan could not restart (or migrate) anything.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RestartError {
     /// No restart script exists (no generation ever completed).
@@ -521,6 +520,43 @@ pub enum RestartError {
     NoUsableGeneration {
         /// Each rejected image with its validation error.
         rejected: Vec<(String, String)>,
+    },
+    /// The plan pinned a generation outside the committed range.
+    MissingGeneration {
+        /// The requested generation.
+        gen: u64,
+    },
+    /// An image of a pinned (or newest, non-resilient) generation could
+    /// not be read or validated from any node — no replica survives.
+    ReplicaUnreachable {
+        /// The unreachable image path.
+        path: String,
+        /// The last resolution or validation error.
+        reason: String,
+    },
+    /// The target topology cannot hold the colocation units: fewer
+    /// placement slots than units, or every candidate node has a
+    /// conflicting listener port.
+    TopologyTooSmall {
+        /// Colocation units that needed placing.
+        needed: u32,
+        /// Target nodes offered.
+        got: u32,
+    },
+    /// A subset plan referenced processes whose shared objects, socket
+    /// connections, ptys, or parent/child links cross the subset boundary.
+    SubsetNotClosed {
+        /// Which link crosses, and where.
+        detail: String,
+    },
+    /// A live migration did not complete: the pre-migration checkpoint
+    /// failed, a mover died mid-restore, or the restart stages never
+    /// settled. Bystanders and committed generations are untouched; the
+    /// caller may retry onto a different topology.
+    AbortedDuringMigration {
+        /// The generation being migrated (0 when the pre-migration
+        /// checkpoint never committed a generation).
+        gen: u64,
     },
 }
 
@@ -533,6 +569,22 @@ impl std::fmt::Display for RestartError {
                 "no complete checkpoint generation on storage ({} images rejected)",
                 rejected.len()
             ),
+            RestartError::MissingGeneration { gen } => {
+                write!(f, "generation {gen} was never committed")
+            }
+            RestartError::ReplicaUnreachable { path, reason } => {
+                write!(f, "no replica can serve {path}: {reason}")
+            }
+            RestartError::TopologyTooSmall { needed, got } => write!(
+                f,
+                "target topology too small: {needed} colocation units, {got} placeable nodes"
+            ),
+            RestartError::SubsetNotClosed { detail } => {
+                write!(f, "subset is not closed: {detail}")
+            }
+            RestartError::AbortedDuringMigration { gen } => {
+                write!(f, "migration of generation {gen} aborted")
+            }
         }
     }
 }

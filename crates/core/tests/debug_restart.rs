@@ -5,7 +5,7 @@ mod common;
 
 use common::*;
 use dmtcp::session::run_for;
-use dmtcp::{ExpectCkpt, Options, Session};
+use dmtcp::{ExpectCkpt, Options, RestartPlan, Session};
 use oskit::proc::ThreadState;
 use oskit::world::NodeId;
 use simkit::Nanos;
@@ -41,19 +41,10 @@ fn restart_diagnosis() {
     let gen = stat.gen;
     run_for(&mut w, &mut sim, Nanos::from_millis(20));
     s.kill_computation(&mut w, &mut sim);
-    let script = Session::parse_restart_script(&w);
-    let names: Vec<(String, NodeId)> = script
-        .iter()
-        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
-        .collect();
-    let remap = move |h: &str| {
-        names
-            .iter()
-            .find(|(n, _)| n == h)
-            .map(|(_, x)| *x)
-            .expect("host")
-    };
-    s.restart_from_script(&mut w, &mut sim, &script, &remap, gen);
+    RestartPlan::from_generation(&w, s.opts.coord_port, gen)
+        .expect("restart script written")
+        .execute(&s, &mut w, &mut sim)
+        .expect("identity restart");
     Session::wait_restart_done(&mut w, &mut sim, gen, 5_000_000);
     let drained_ok = sim.run_bounded(&mut w, 5_000_000);
 
@@ -159,19 +150,10 @@ fn exact_copy_of_failing_test() {
         shared_result(&w, "/shared/client_result").is_none(),
         "client finished before kill!"
     );
-    let script = Session::parse_restart_script(&w);
-    let names: Vec<(String, NodeId)> = script
-        .iter()
-        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
-        .collect();
-    let remap = move |h: &str| {
-        names
-            .iter()
-            .find(|(n, _)| n == h)
-            .map(|(_, x)| *x)
-            .expect("host")
-    };
-    s.restart_from_script(&mut w, &mut sim, &script, &remap, gen);
+    RestartPlan::from_generation(&w, s.opts.coord_port, gen)
+        .expect("restart script written")
+        .execute(&s, &mut w, &mut sim)
+        .expect("identity restart");
     Session::wait_restart_done(&mut w, &mut sim, gen, 5_000_000);
     assert!(sim.run_bounded(&mut w, 5_000_000), "post-restart deadlock");
     eprintln!(

@@ -6,7 +6,7 @@ mod common;
 use common::*;
 use dmtcp::coord::{coord_shared, stage};
 use dmtcp::session::{run_for, transplant_storage};
-use dmtcp::{ExpectCkpt, Options, Session};
+use dmtcp::{ExpectCkpt, Options, RestartPlan, Session};
 use oskit::proc::ProcState;
 use oskit::world::NodeId;
 use simkit::Nanos;
@@ -118,22 +118,17 @@ fn kill_and_restart_in_same_world() {
     // Results from the pre-kill run must not exist yet.
     assert!(shared_result(&w, "/shared/client_result").is_none());
 
-    // Restart from the script, same hosts.
-    let script = Session::parse_restart_script(&w);
-    assert_eq!(script.len(), 2, "two hosts in script: {script:?}");
-    let w_ref = &w;
-    let remap = move |h: &str| -> NodeId { w_ref.resolve(h).expect("host exists") };
-    // (borrow juggling: precompute the mapping)
-    let mapping: Vec<(String, NodeId)> =
-        script.iter().map(|(h, _)| (h.clone(), remap(h))).collect();
-    let remap2 = move |h: &str| -> NodeId {
-        mapping
-            .iter()
-            .find(|(name, _)| name == h)
-            .map(|(_, n)| *n)
-            .expect("host in mapping")
-    };
-    s.restart_from_script(&mut w, &mut sim, &script, &remap2, gen);
+    // Restart via the typed plan: identity placement, same hosts.
+    let outcome = RestartPlan::from_generation(&w, s.opts.coord_port, gen)
+        .expect("restart script written")
+        .execute(&s, &mut w, &mut sim)
+        .expect("identity restart");
+    assert_eq!(
+        outcome.placement.len(),
+        2,
+        "two hosts in placement: {:?}",
+        outcome.placement
+    );
     Session::wait_restart_done(&mut w, &mut sim, gen, EV);
 
     // The computation resumes and completes with the reference answers.
@@ -161,7 +156,6 @@ fn migrate_cluster_to_single_laptop() {
     run_for(&mut w, &mut sim, Nanos::from_millis(40));
     let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     let gen = stat.gen;
-    let script = Session::parse_restart_script(&w);
 
     // "Laptop": a fresh single-node world; only the shared storage moved.
     let (mut laptop, mut sim2) = {
@@ -175,8 +169,12 @@ fn migrate_cluster_to_single_laptop() {
     drop(sim);
 
     let s2 = Session::start(&mut laptop, &mut sim2, opts_shared_dir());
-    let everything_to_node0 = |_h: &str| NodeId(0);
-    s2.restart_from_script(&mut laptop, &mut sim2, &script, &everything_to_node0, gen);
+    RestartPlan::builder()
+        .generation(gen)
+        .topology([NodeId(0)])
+        .build()
+        .execute(&s2, &mut laptop, &mut sim2)
+        .expect("pack-down restart onto the laptop");
     Session::wait_restart_done(&mut laptop, &mut sim2, gen, EV);
     assert!(sim2.run_bounded(&mut laptop, EV), "laptop deadlock");
     assert_eq!(
@@ -209,9 +207,10 @@ fn pipes_and_fork_survive_checkpoint_restart() {
     assert_eq!(stat.participants, 2, "fork wrapper traced the child");
     let gen = stat.gen;
     s.kill_computation(&mut w, &mut sim);
-    let script = Session::parse_restart_script(&w);
-    let to0 = |_h: &str| NodeId(0);
-    s.restart_from_script(&mut w, &mut sim, &script, &to0, gen);
+    RestartPlan::from_generation(&w, s.opts.coord_port, gen)
+        .expect("restart script written")
+        .execute(&s, &mut w, &mut sim)
+        .expect("identity restart");
     Session::wait_restart_done(&mut w, &mut sim, gen, EV);
     assert!(
         sim.run_bounded(&mut w, EV),
@@ -254,9 +253,10 @@ fn multithreaded_process_restores_both_threads() {
     let stat = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     let gen = stat.gen;
     s.kill_computation(&mut w, &mut sim);
-    let script = Session::parse_restart_script(&w);
-    let to0 = |_h: &str| NodeId(0);
-    s.restart_from_script(&mut w, &mut sim, &script, &to0, gen);
+    RestartPlan::from_generation(&w, s.opts.coord_port, gen)
+        .expect("restart script written")
+        .execute(&s, &mut w, &mut sim)
+        .expect("identity restart");
     Session::wait_restart_done(&mut w, &mut sim, gen, EV);
     assert!(sim.run_bounded(&mut w, EV));
     assert_eq!(
@@ -316,29 +316,20 @@ fn second_checkpoint_after_restart_works() {
         .expect_ckpt()
         .gen;
     s.kill_computation(&mut w, &mut sim);
-    let script1 = Session::parse_restart_script(&w);
-    let id = {
-        let names: Vec<(String, NodeId)> = script1
-            .iter()
-            .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
-            .collect();
-        move |h: &str| {
-            names
-                .iter()
-                .find(|(n, _)| n == h)
-                .map(|(_, x)| *x)
-                .expect("host")
-        }
-    };
-    s.restart_from_script(&mut w, &mut sim, &script1, &id, g1);
+    RestartPlan::from_generation(&w, s.opts.coord_port, g1)
+        .expect("restart script written")
+        .execute(&s, &mut w, &mut sim)
+        .expect("identity restart");
     Session::wait_restart_done(&mut w, &mut sim, g1, EV);
 
     run_for(&mut w, &mut sim, Nanos::from_millis(20));
     let stat2 = s.checkpoint_and_wait(&mut w, &mut sim, EV).expect_ckpt();
     assert!(stat2.gen > g1, "generation advanced: {} > {g1}", stat2.gen);
     s.kill_computation(&mut w, &mut sim);
-    let script2 = Session::parse_restart_script(&w);
-    s.restart_from_script(&mut w, &mut sim, &script2, &id, stat2.gen);
+    RestartPlan::from_generation(&w, s.opts.coord_port, stat2.gen)
+        .expect("restart script written")
+        .execute(&s, &mut w, &mut sim)
+        .expect("identity restart");
     Session::wait_restart_done(&mut w, &mut sim, stat2.gen, EV);
     assert!(sim.run_bounded(&mut w, EV));
     assert_eq!(
@@ -574,19 +565,10 @@ fn checkpoint_with_kernel_buffers_full_both_directions() {
     s.kill_computation(&mut w, &mut sim);
     assert!(shared_result(&w, "/shared/flood_a").is_none());
 
-    let script = Session::parse_restart_script(&w);
-    let names: Vec<(String, NodeId)> = script
-        .iter()
-        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
-        .collect();
-    let remap = move |h: &str| {
-        names
-            .iter()
-            .find(|(n, _)| n == h)
-            .map(|(_, x)| *x)
-            .expect("host")
-    };
-    s.restart_from_script(&mut w, &mut sim, &script, &remap, gen);
+    RestartPlan::from_generation(&w, s.opts.coord_port, gen)
+        .expect("restart script written")
+        .execute(&s, &mut w, &mut sim)
+        .expect("identity restart");
     Session::wait_restart_done(&mut w, &mut sim, gen, EV);
     assert!(
         sim.run_bounded(&mut w, EV),
@@ -877,19 +859,10 @@ fn checkpoint_with_half_closed_connection() {
     let _ = w.shared_fs.remove("/shared/client_result");
     let _ = w.shared_fs.remove("/shared/server_result");
 
-    let script = Session::parse_restart_script(&w);
-    let names: Vec<(String, NodeId)> = script
-        .iter()
-        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
-        .collect();
-    let remap = move |h: &str| {
-        names
-            .iter()
-            .find(|(n, _)| n == h)
-            .map(|(_, x)| *x)
-            .expect("host")
-    };
-    s.restart_from_script(&mut w, &mut sim, &script, &remap, gen);
+    RestartPlan::from_generation(&w, s.opts.coord_port, gen)
+        .expect("restart script written")
+        .execute(&s, &mut w, &mut sim)
+        .expect("identity restart");
     Session::wait_restart_done(&mut w, &mut sim, gen, EV);
     assert!(
         sim.run_bounded(&mut w, EV),
@@ -965,20 +938,16 @@ fn hierarchical_topology_full_cycle() {
 
     // Restart bypasses the relays: restored managers register directly
     // with the root, exactly like a flat-topology restart.
-    let script = Session::parse_restart_script(&w);
-    assert_eq!(script.len(), 2, "two hosts in script: {script:?}");
-    let mapping: Vec<(String, NodeId)> = script
-        .iter()
-        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host exists")))
-        .collect();
-    let remap = move |h: &str| -> NodeId {
-        mapping
-            .iter()
-            .find(|(name, _)| name == h)
-            .map(|(_, n)| *n)
-            .expect("host in mapping")
-    };
-    s.restart_from_script(&mut w, &mut sim, &script, &remap, gen);
+    let outcome = RestartPlan::from_generation(&w, s.opts.coord_port, gen)
+        .expect("restart script written")
+        .execute(&s, &mut w, &mut sim)
+        .expect("identity restart");
+    assert_eq!(
+        outcome.placement.len(),
+        2,
+        "two hosts in placement: {:?}",
+        outcome.placement
+    );
     Session::wait_restart_done(&mut w, &mut sim, gen, EV);
 
     assert!(sim.run_bounded(&mut w, EV), "post-restart deadlock");

@@ -608,6 +608,9 @@ fn drive_cell(
         FaultKind::RelayKill | FaultKind::RelaySever => {
             unreachable!("relay faults run as dedicated hierarchical tests, not matrix cells")
         }
+        FaultKind::NodeLoss => {
+            unreachable!("node-loss fires at migration time and runs as dedicated migration cells")
+        }
     }
     if cell.store {
         // The cell only attacks the incremental path if generation 2

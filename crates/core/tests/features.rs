@@ -8,7 +8,7 @@ mod common;
 use common::*;
 use dmtcp::gsid::global;
 use dmtcp::session::run_for;
-use dmtcp::{aware, ExpectCkpt, Options, Session};
+use dmtcp::{aware, ExpectCkpt, Options, RestartPlan, Session};
 use oskit::program::{Program, Registry, Step};
 use oskit::world::{NodeId, OsSim, Pid, World};
 use oskit::{Errno, Fd, HwSpec, Kernel};
@@ -25,20 +25,10 @@ fn full_cycle(w: &mut World, sim: &mut OsSim, s: &Session, ckpt_at: Nanos) {
     let stat = s.checkpoint_and_wait(w, sim, EV).expect_ckpt();
     let gen = stat.gen;
     s.kill_computation(w, sim);
-    let script = Session::parse_restart_script(w);
-    assert!(!script.is_empty(), "restart script written");
-    let names: Vec<(String, NodeId)> = script
-        .iter()
-        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
-        .collect();
-    let remap = move |h: &str| {
-        names
-            .iter()
-            .find(|(n, _)| n == h)
-            .map(|(_, x)| *x)
-            .expect("host")
-    };
-    s.restart_from_script(w, sim, &script, &remap, gen);
+    RestartPlan::from_generation(w, s.opts.coord_port, gen)
+        .expect("restart script written")
+        .execute(s, w, sim)
+        .expect("identity restart");
     Session::wait_restart_done(w, sim, gen, EV);
     assert!(sim.run_bounded(w, EV), "post-restart deadlock");
 }
@@ -505,9 +495,10 @@ fn pid_virtualization_across_restart() {
             BTreeMap::new(),
         );
     }
-    let script = Session::parse_restart_script(&w);
-    let to0 = |_h: &str| NodeId(0);
-    s.restart_from_script(&mut w, &mut sim, &script, &to0, gen);
+    RestartPlan::from_generation(&w, s.opts.coord_port, gen)
+        .expect("restart script written")
+        .execute(&s, &mut w, &mut sim)
+        .expect("identity restart");
     Session::wait_restart_done(&mut w, &mut sim, gen, EV);
     assert!(sim.run_bounded(&mut w, EV), "vpid app deadlocked");
     assert_eq!(

@@ -13,7 +13,7 @@ use simkit::DetRng;
 /// Every wire message, drawn with random payloads. Keeping the arm count in
 /// one place means a new `Msg` variant shows up here or the exhaustiveness
 /// check below goes stale.
-const VARIANTS: u64 = 20;
+const VARIANTS: u64 = 21;
 
 fn rand_string(rng: &mut DetRng) -> String {
     let len = rng.below(24) as usize;
@@ -54,7 +54,8 @@ fn rand_msg(rng: &mut DetRng) -> Msg {
         16 => Msg::SessionAccepted(rng.next_u64(), rng.next_u32() as u16, rand_string(rng)),
         17 => Msg::SessionRejected(rng.below(8) as u8, rand_string(rng)),
         18 => Msg::CloseSession(rng.next_u64()),
-        _ => Msg::SessionCkpt(rng.next_u64()),
+        19 => Msg::SessionCkpt(rng.next_u64()),
+        _ => Msg::MigratePlan(rng.next_u32(), rng.next_u64()),
     }
 }
 
@@ -114,6 +115,7 @@ fn every_variant_roundtrips() {
             Msg::SessionRejected(..) => 17,
             Msg::CloseSession(..) => 18,
             Msg::SessionCkpt(..) => 19,
+            Msg::MigratePlan(..) => 20,
         };
         seen[idx] = true;
         let mut fb = FrameBuf::new();

@@ -15,7 +15,7 @@ mod common;
 
 use common::*;
 use dmtcp::session::run_for;
-use dmtcp::{ExpectCkpt, Options, Session};
+use dmtcp::{ExpectCkpt, Options, RestartPlan, Session};
 use oskit::world::{NodeId, OsSim, World};
 use simkit::{DetRng, Nanos, RunOutcome};
 
@@ -92,23 +92,13 @@ fn ckpt_kill_restart_at(rounds: u64, ckpt_at_ms: u64, kill_delay_ms: u64, merge:
     run_for(&mut w, &mut sim, Nanos::from_millis(kill_delay_ms));
     s.kill_computation(&mut w, &mut sim);
     let _ = w.shared_fs.remove("/shared/client_result");
-    let script = Session::parse_restart_script(&w);
-    let names: Vec<(String, NodeId)> = script
-        .iter()
-        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
-        .collect();
-    let remap = move |h: &str| {
-        if merge {
-            NodeId(0)
-        } else {
-            names
-                .iter()
-                .find(|(n, _)| n == h)
-                .map(|(_, x)| *x)
-                .expect("host")
-        }
-    };
-    s.restart_from_script(&mut w, &mut sim, &script, &remap, stat.gen);
+    let mut plan = RestartPlan::builder().generation(stat.gen);
+    if merge {
+        plan = plan.topology([NodeId(0)]);
+    }
+    plan.build()
+        .execute(&s, &mut w, &mut sim)
+        .expect("restart plan");
     Session::wait_restart_done(&mut w, &mut sim, stat.gen, run_budget());
     finish(&mut w, &mut sim, "post-restart run")
 }

@@ -73,6 +73,15 @@ pub enum FaultKind {
     /// the plain file *and* the writing node's local chunk store — modeling
     /// node-local disk loss. Restart must proceed from a replica.
     ImageDelete,
+    /// Whole-node loss *during a live migration*: at the
+    /// [`migration_started`] notification, SIGKILL every process on the
+    /// victim node and wipe its node-local disk (plain images and chunk
+    /// store). Pin the victim with [`FaultState::pin_victim_node`] — the
+    /// source node exercises the replica transfer channel, the target
+    /// node kills the restore before it commits. Not in
+    /// [`FaultKind::ALL`]: it only fires from the migration notification,
+    /// so it runs as targeted cells on top of the standard matrix.
+    NodeLoss,
     /// SIGKILL one per-node relay (hierarchical topology) at the target
     /// stage's release — the relay's whole node drops out of the protocol
     /// at once. Not in [`FaultKind::ALL`]: relay faults only make sense
@@ -112,6 +121,7 @@ impl FaultKind {
             FaultKind::TornTruncate => "torn-truncate",
             FaultKind::TornBitFlip => "torn-bitflip",
             FaultKind::ImageDelete => "image-delete",
+            FaultKind::NodeLoss => "node-loss",
             FaultKind::RelayKill => "relay-kill",
             FaultKind::RelaySever => "relay-sever",
         }
@@ -162,6 +172,9 @@ pub struct FaultState {
     severed: BTreeSet<ConnId>,
     torn_armed: bool,
     torn_skip_writes: u64,
+    /// Node the next node-scoped fault must hit, when the driver pins one
+    /// (migration cells name their victim; the matrix default is random).
+    pinned_node: Option<NodeId>,
     killed: bool,
     image_deleted: bool,
     /// Images reported written this generation: (gen, writer node, path).
@@ -188,6 +201,7 @@ impl FaultState {
             severed: BTreeSet::new(),
             torn_armed: false,
             torn_skip_writes,
+            pinned_node: None,
             killed: false,
             image_deleted: false,
             images: Vec::new(),
@@ -203,6 +217,13 @@ impl FaultState {
     /// Human-readable log of every fault actually injected.
     pub fn injected(&self) -> &[String] {
         &self.injected
+    }
+
+    /// Pin the victim of node-scoped faults ([`FaultKind::KillNode`],
+    /// [`FaultKind::NodeLoss`]) to `node` instead of a seeded random pick.
+    /// Migration cells use this to choose "source dies" vs "target dies".
+    pub fn pin_victim_node(&mut self, node: NodeId) {
+        self.pinned_node = Some(node);
     }
 
     /// Start the injection window for message/partition faults.
@@ -260,7 +281,10 @@ impl FaultState {
                 if nodes.is_empty() {
                     return Vec::new();
                 }
-                let node = nodes[self.rng.below(nodes.len() as u64) as usize];
+                let node = match self.pinned_node {
+                    Some(p) if nodes.contains(&p) => p,
+                    _ => nodes[self.rng.below(nodes.len() as u64) as usize],
+                };
                 self.injected.push(format!("kill-node node{}", node.0));
                 candidates
                     .iter()
@@ -601,6 +625,45 @@ pub fn stage_released(
         }
     }
     drop(s);
+    journal_new_injections(w, sim.now(), &st, before);
+}
+
+/// Notification: a live migration of generation `gen` is about to restore
+/// its movers (images committed and validated, restore not yet started).
+/// Fires [`FaultKind::NodeLoss`] against the pinned victim node: every
+/// process there is killed and its node-local disk (plain images + chunk
+/// store) wiped on the next simulation step — a source-node victim forces
+/// the restore through replicas, a target-node victim kills the restore
+/// before the movers commit.
+pub fn migration_started(w: &mut World, sim: &mut OsSim, gen: u64) {
+    let Some(st) = state(w) else {
+        return;
+    };
+    let before = st.borrow().injected.len();
+    let mut s = st.borrow_mut();
+    if s.plan.kind != FaultKind::NodeLoss || s.killed || gen != s.plan.target_gen {
+        return;
+    }
+    let Some(node) = s.pinned_node else {
+        return;
+    };
+    s.killed = true;
+    s.injected.push(format!("node-loss node{}", node.0));
+    drop(s);
+    sim.soon(move |w: &mut World, sim| {
+        for pid in w.procs_on(node) {
+            w.signal(sim, pid, sig::SIGKILL);
+        }
+        let doomed: Vec<String> = w.nodes[node.0 as usize]
+            .fs
+            .list_prefix("/")
+            .map(|s| s.to_string())
+            .collect();
+        for p in doomed {
+            w.nodes[node.0 as usize].fs.remove(&p).ok();
+        }
+        w.obs.metrics.inc("faultkit.node_loss", node.0 as u64);
+    });
     journal_new_injections(w, sim.now(), &st, before);
 }
 

@@ -233,6 +233,27 @@ impl World {
         self.nodes.iter().find(|n| n.hostname == host).map(|n| n.id)
     }
 
+    /// Ports with a live listening socket bound on `node`. Re-binding an
+    /// address on a target node (restart onto a different topology, live
+    /// migration) must avoid these, exactly as a real `bind` would fail
+    /// with `EADDRINUSE`.
+    pub fn ports_in_use(&self, node: NodeId) -> std::collections::BTreeSet<u16> {
+        self.listeners
+            .values()
+            .filter(|l| l.node == node)
+            .map(|l| l.port)
+            .collect()
+    }
+
+    /// Live processes hosted on `node`, in pid order.
+    pub fn procs_on(&self, node: NodeId) -> Vec<Pid> {
+        self.procs
+            .values()
+            .filter(|p| p.alive() && p.node == node)
+            .map(|p| p.pid)
+            .collect()
+    }
+
     /// Borrow a node.
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id.0 as usize]

@@ -4,7 +4,7 @@
 //! including its resource managers.
 
 use dmtcp::session::run_for;
-use dmtcp::{ExpectCkpt, Options, Session};
+use dmtcp::{ExpectCkpt, Options, RestartPlan, Session};
 use oskit::program::{Program, Registry, Step};
 use oskit::world::{NodeId, OsSim, Pid, World};
 use oskit::{HwSpec, Kernel};
@@ -198,19 +198,10 @@ fn mpi_job_checkpoint_kill_restart_same_answer() {
     let gen = stat.gen;
     s.kill_computation(&mut w, &mut sim);
     let _ = w.shared_fs.remove("/shared/mpi_result");
-    let script = Session::parse_restart_script(&w);
-    let names: Vec<(String, NodeId)> = script
-        .iter()
-        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
-        .collect();
-    let remap = move |h: &str| {
-        names
-            .iter()
-            .find(|(n, _)| n == h)
-            .map(|(_, x)| *x)
-            .expect("host")
-    };
-    s.restart_from_script(&mut w, &mut sim, &script, &remap, gen);
+    RestartPlan::from_generation(&w, s.opts.coord_port, gen)
+        .expect("restart script written")
+        .execute(&s, &mut w, &mut sim)
+        .expect("identity restart");
     Session::wait_restart_done(&mut w, &mut sim, gen, EV);
     assert!(sim.run_bounded(&mut w, EV), "restored MPI job deadlocked");
     let got = String::from_utf8(w.shared_fs.read_all("/shared/mpi_result").expect("result"))
@@ -361,19 +352,10 @@ fn topc_job_survives_checkpoint_restart() {
     let gen = stat.gen;
     s.kill_computation(&mut w, &mut sim);
     let _ = w.shared_fs.remove("/shared/topc_result");
-    let script = Session::parse_restart_script(&w);
-    let names: Vec<(String, NodeId)> = script
-        .iter()
-        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
-        .collect();
-    let remap = move |h: &str| {
-        names
-            .iter()
-            .find(|(n, _)| n == h)
-            .map(|(_, x)| *x)
-            .expect("host")
-    };
-    s.restart_from_script(&mut w, &mut sim, &script, &remap, gen);
+    RestartPlan::from_generation(&w, s.opts.coord_port, gen)
+        .expect("restart script written")
+        .execute(&s, &mut w, &mut sim)
+        .expect("identity restart");
     Session::wait_restart_done(&mut w, &mut sim, gen, EV);
     assert!(sim.run_bounded(&mut w, EV), "restored TOP-C job deadlocked");
     let got = String::from_utf8(w.shared_fs.read_all("/shared/topc_result").expect("result"))

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example debug_replay`
 
 use dmtcp::session::run_for;
-use dmtcp::{ExpectCkpt, Options, Session};
+use dmtcp::{ExpectCkpt, Options, RestartPlan, Session};
 use oskit::program::{Program, Registry, Step};
 use oskit::world::{NodeId, World};
 use oskit::{HwSpec, Kernel};
@@ -92,9 +92,10 @@ fn main() {
         // Clear the (append-mode) heartbeat log so each replay's output is
         // compared on its own.
         let _ = w.shared_fs.remove("/shared/heartbeat");
-        let script = Session::parse_restart_script(&w);
-        let here = |_h: &str| NodeId(0);
-        session.restart_from_script(&mut w, &mut sim, &script, &here, stat.gen);
+        RestartPlan::from_generation(&w, session.opts.coord_port, stat.gen)
+            .expect("restart script written")
+            .execute(&session, &mut w, &mut sim)
+            .expect("replay restart");
         Session::wait_restart_done(&mut w, &mut sim, stat.gen, 20_000_000);
         // Run up to (but not past) the crash, inspecting state.
         run_for(&mut w, &mut sim, Nanos::from_millis(40));

@@ -10,7 +10,7 @@ use apps::desktop::{launch_desktop, spec_by_name};
 use apps::registry::full_registry;
 use dmtcp::coord::coord_shared;
 use dmtcp::session::run_for;
-use dmtcp::{Options, Session};
+use dmtcp::{Options, RestartPlan, Session};
 use oskit::world::NodeId;
 use oskit::{HwSpec, World};
 use simkit::{Nanos, Sim};
@@ -48,9 +48,10 @@ fn main() {
     // Power cut. Restore the workspace from the last automatic checkpoint.
     session.kill_computation(&mut w, &mut sim);
     println!("session killed; restoring workspace…");
-    let script = Session::parse_restart_script(&w);
-    let here = |_h: &str| NodeId(0);
-    session.restart_from_script(&mut w, &mut sim, &script, &here, last.gen);
+    RestartPlan::from_generation(&w, session.opts.coord_port, last.gen)
+        .expect("interval checkpoints wrote a restart script")
+        .execute(&session, &mut w, &mut sim)
+        .expect("workspace restore");
     Session::wait_restart_done(&mut w, &mut sim, last.gen, EV);
 
     // The restored session keeps serving display updates.

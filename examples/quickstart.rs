@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use dmtcp::session::run_for;
-use dmtcp::{ExpectCkpt, Options, Session};
+use dmtcp::{ExpectCkpt, Options, RestartPlan, Session};
 use oskit::program::{Program, Registry, Step};
 use oskit::world::{NodeId, World};
 use oskit::{Errno, Fd, HwSpec, Kernel};
@@ -170,20 +170,12 @@ fn main() {
         w.live_procs()
     );
 
-    // dmtcp_restart_script.sh
-    let script = Session::parse_restart_script(&w);
-    let hosts: Vec<(String, NodeId)> = script
-        .iter()
-        .map(|(h, _)| (h.clone(), w.resolve(h).expect("host")))
-        .collect();
-    let remap = move |h: &str| {
-        hosts
-            .iter()
-            .find(|(n, _)| n == h)
-            .map(|(_, x)| *x)
-            .expect("host")
-    };
-    session.restart_from_script(&mut w, &mut sim, &script, &remap, stat.gen);
+    // dmtcp_restart_script.sh, as a typed plan: newest generation back
+    // onto the hosts that wrote it.
+    RestartPlan::from_generation(&w, session.opts.coord_port, stat.gen)
+        .expect("restart script written")
+        .execute(&session, &mut w, &mut sim)
+        .expect("identity restart");
     Session::wait_restart_done(&mut w, &mut sim, stat.gen, 10_000_000);
     println!("restarted; computation resumes from the checkpoint");
 

@@ -2,7 +2,7 @@
 # Tier-1 gate: everything a PR must keep green.
 #
 # Usage: scripts/tier1.sh [stage...]
-#   stages: build test faults bench sim scale tenants replay lint
+#   stages: build test faults bench sim scale tenants migrate replay lint
 #   No arguments runs every stage in that order (the full PR gate). CI runs
 #   the same stages one job each — `scripts/tier1.sh build`, etc. — so a
 #   local no-arg run reproduces the whole pipeline stage by stage.
@@ -81,6 +81,16 @@ stage_tenants() {
     scripts/bench_gate.sh compare results/BENCH_tenants.json scripts/BENCH_tenants.baseline.json
 }
 
+stage_migrate() {
+    echo "== heterogeneous restart + live migration tests (RestartPlan API) =="
+    cargo test -q -p dmtcp --test migrate
+    echo "== migrate smoke bench (subset migration pause vs full cycle, >=3x gate) =="
+    cargo build --release -p dmtcp-bench
+    ./target/release/migrate --smoke
+    echo "== migrate bench-regression gate =="
+    scripts/bench_gate.sh compare results/BENCH_migrate.json scripts/BENCH_migrate.baseline.json
+}
+
 stage_replay() {
     echo "== flight-recorder record/replay smoke (zero divergence) =="
     cargo test -q -p dmtcp --test replay
@@ -98,9 +108,9 @@ stage_lint() {
 run_stage() {
     local name="$1"
     case "$name" in
-        build | test | faults | bench | sim | scale | tenants | replay | lint) ;;
+        build | test | faults | bench | sim | scale | tenants | migrate | replay | lint) ;;
         *)
-            echo "tier1: unknown stage '$name' (stages: build test faults bench sim scale tenants replay lint)" >&2
+            echo "tier1: unknown stage '$name' (stages: build test faults bench sim scale tenants migrate replay lint)" >&2
             exit 2
             ;;
     esac
@@ -112,7 +122,7 @@ run_stage() {
 }
 
 if [[ $# -eq 0 ]]; then
-    set -- build test faults bench sim scale tenants replay lint
+    set -- build test faults bench sim scale tenants migrate replay lint
 fi
 for stage in "$@"; do
     run_stage "$stage"

@@ -49,7 +49,7 @@ pub use szip;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use dmtcp::{CkptError, ExpectCkpt, Options, Session};
+    pub use dmtcp::{CkptError, ExpectCkpt, Options, Packing, RestartPlan, Session};
     pub use oskit::program::{Program, Registry, Step};
     pub use oskit::world::{NodeId, OsSim, Pid, World};
     pub use oskit::{Errno, Fd, HwSpec, Kernel};

@@ -36,10 +36,11 @@ fn undump_replaces_long_startup() {
 
     // "Undump": kill and restore — must be far faster than the startup.
     s.kill_computation(&mut w, &mut sim);
-    let script = Session::parse_restart_script(&w);
-    let here = |_h: &str| NodeId(0);
     let t1 = sim.now();
-    s.restart_from_script(&mut w, &mut sim, &script, &here, stat.gen);
+    RestartPlan::from_generation(&w, s.opts.coord_port, stat.gen)
+        .expect("restart script written")
+        .execute(&s, &mut w, &mut sim)
+        .expect("undump restart");
     Session::wait_restart_done(&mut w, &mut sim, stat.gen, EV);
     let restore_took = sim.now() - t1;
     assert!(
@@ -71,15 +72,18 @@ fn cluster_to_laptop_via_facade() {
         .checkpoint_and_wait(&mut cluster, &mut sim, EV)
         .expect_ckpt();
     assert_eq!(stat.participants, 3, "controller + 2 engines");
-    let script = Session::parse_restart_script(&cluster);
 
     let mut laptop = World::new(HwSpec::desktop(), 1, full_registry());
     let mut sim2 = Sim::new();
     transplant_storage(&cluster, &mut laptop);
     drop((cluster, sim));
     let s2 = Session::start(&mut laptop, &mut sim2, opts());
-    let here = |_h: &str| NodeId(0);
-    s2.restart_from_script(&mut laptop, &mut sim2, &script, &here, stat.gen);
+    RestartPlan::builder()
+        .generation(stat.gen)
+        .topology([NodeId(0)])
+        .build()
+        .execute(&s2, &mut laptop, &mut sim2)
+        .expect("pack-down restart onto the laptop");
     Session::wait_restart_done(&mut laptop, &mut sim2, stat.gen, EV);
     // The demo keeps mapping tasks on the laptop.
     run_for(&mut laptop, &mut sim2, Nanos::from_millis(60));
@@ -120,15 +124,10 @@ fn revert_to_an_earlier_generation() {
     // Revert to the FIRST generation, not the last.
     let early = gens[0];
     s.kill_computation(&mut w, &mut sim);
-    let images: Vec<String> = w
-        .shared_fs
-        .list_prefix("/shared/ckpt/")
-        .filter(|p| p.contains(&format!("gen{early}")))
-        .map(|p| p.to_string())
-        .collect();
-    let script = vec![("node00".to_string(), images)];
-    let here = |_h: &str| NodeId(0);
-    s.restart_from_script(&mut w, &mut sim, &script, &here, early);
+    RestartPlan::from_generation(&w, s.opts.coord_port, early)
+        .expect("interval checkpoints wrote a restart script")
+        .execute(&s, &mut w, &mut sim)
+        .expect("revert to the first generation");
     Session::wait_restart_done(&mut w, &mut sim, early, EV);
     run_for(&mut w, &mut sim, Nanos::from_millis(30));
     assert!(w.live_procs() >= 2, "reverted session runs");
